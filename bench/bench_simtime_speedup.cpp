@@ -1,0 +1,106 @@
+// Simulation-time comparison (§4.2 "Simulation time") — the paper spent
+// 25,478 CPU-hours on the RTL campaigns vs under 300 hours for the same
+// number of ISS experiments (~85x). This bench measures the throughput gap
+// between our RTL core and the functional ISS (with and without timing
+// model) using google-benchmark, then reports the implied campaign speedup.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "iss/emulator.hpp"
+#include "iss/timing.hpp"
+#include "rtlcore/core.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace issrtl;
+
+const isa::Program& prog() {
+  static const isa::Program p =
+      workloads::build("rspeed", {.iterations = 1, .data_seed = 1});
+  return p;
+}
+
+void BM_IssFunctional(benchmark::State& state) {
+  u64 instrs = 0;
+  for (auto _ : state) {
+    Memory mem;
+    iss::Emulator emu(mem);
+    emu.load(prog());
+    if (emu.run() != iss::HaltReason::kHalted) state.SkipWithError("no halt");
+    instrs += emu.instret();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssFunctional)->Unit(benchmark::kMillisecond);
+
+void BM_IssWithTiming(benchmark::State& state) {
+  u64 instrs = 0;
+  for (auto _ : state) {
+    Memory mem;
+    iss::Emulator emu(mem);
+    iss::TimingModel timing;
+    emu.set_timing(&timing);
+    emu.load(prog());
+    if (emu.run() != iss::HaltReason::kHalted) state.SkipWithError("no halt");
+    instrs += emu.instret();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssWithTiming)->Unit(benchmark::kMillisecond);
+
+void BM_RtlCore(benchmark::State& state) {
+  u64 cycles = 0;
+  for (auto _ : state) {
+    Memory mem;
+    rtlcore::Leon3Core core(mem);
+    core.load(prog());
+    if (core.run() != iss::HaltReason::kHalted) state.SkipWithError("no halt");
+    cycles += core.cycles();
+  }
+  state.counters["cycle/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RtlCore)->Unit(benchmark::kMillisecond);
+
+/// Direct wall-clock comparison: same workload, same number of "injection
+/// experiments" (here: plain replays) on each vehicle.
+void report_speedup() {
+  const int kRuns = 3;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) {
+    Memory mem;
+    rtlcore::Leon3Core core(mem);
+    core.load(prog());
+    core.run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) {
+    Memory mem;
+    iss::Emulator emu(mem);
+    emu.load(prog());
+    emu.run();
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double rtl = std::chrono::duration<double>(t1 - t0).count();
+  const double iss = std::chrono::duration<double>(t2 - t1).count();
+  std::printf("\n--- campaign-cost comparison (rspeed, %d replays each) ---\n",
+              kRuns);
+  std::printf("RTL:  %.3f s   ISS: %.3f s   ratio: %.0fx\n", rtl, iss,
+              iss > 0 ? rtl / iss : 0.0);
+  std::printf("paper: 25,478 CPU-hours (RTL, clusters) vs <300 h (ISS, one "
+              "workstation) => ~85x\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  report_speedup();
+  return 0;
+}

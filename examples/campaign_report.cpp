@@ -1,0 +1,99 @@
+// Campaign report: run an RTL fault-injection campaign on a workload and
+// print a full report — per-model Pf, outcome breakdown, per-functional-unit
+// failure probabilities (the P_mf of Eq. 1) and the α_m area weights.
+// Optionally dumps a waveform of one faulty run.
+//
+//   ./examples/campaign_report [workload] [samples]
+//   ./examples/campaign_report rspeed 200
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/area.hpp"
+#include "core/predict.hpp"
+#include "fault/campaign.hpp"
+#include "fault/report.hpp"
+#include "rtl/vcd.hpp"
+#include "workloads/workload.hpp"
+
+using namespace issrtl;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "rspeed";
+  const std::size_t samples =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 120;
+
+  const auto prog = workloads::build(workload, {.iterations = 1});
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = "";  // whole design: IU + CMEM
+  cfg.models = {rtl::FaultModel::kStuckAt1, rtl::FaultModel::kStuckAt0,
+                rtl::FaultModel::kOpenLine};
+  cfg.samples = samples;
+  const auto r = fault::run_campaign(prog, cfg);
+
+  std::printf("campaign: workload=%s unit=<whole design> trials=%zu "
+              "golden=%llu cycles / %llu instructions\n\n",
+              workload.c_str(), r.runs.size(),
+              static_cast<unsigned long long>(r.golden_cycles),
+              static_cast<unsigned long long>(r.golden_instret));
+
+  fault::TextTable t({"model", "Pf", "failures", "hangs", "latent", "silent",
+                      "max latency", "mean latency"});
+  for (const auto& s : r.per_model) {
+    t.add_row({std::string(rtl::fault_model_name(s.model)),
+               fault::TextTable::pct(s.pf()), std::to_string(s.failures),
+               std::to_string(s.hangs), std::to_string(s.latent),
+               std::to_string(s.silent), std::to_string(s.max_latency),
+               fault::TextTable::num(s.mean_latency, 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Per-functional-unit P_mf + alpha_m (Eq. 1 ingredients).
+  std::vector<core::UnitObservation> obs;
+  for (const auto& run : r.runs) {
+    obs.emplace_back(run.unit, run.outcome == fault::Outcome::kFailure ||
+                                   run.outcome == fault::Outcome::kHang);
+  }
+  const core::UnitPf upf = core::UnitPf::from_observations(obs);
+
+  Memory probe_mem;
+  rtlcore::Leon3Core probe(probe_mem);
+  const core::AreaModel area = core::build_area_model(probe.sim());
+
+  fault::TextTable ut({"functional unit m", "alpha_m", "trials", "P_mf"});
+  double eq1 = 0.0;
+  for (std::size_t u = 0; u < isa::kNumFuncUnits; ++u) {
+    if (area.bits[u] == 0) continue;
+    eq1 += area.alpha[u] * upf.pf[u];
+    ut.add_row({std::string(isa::func_unit_name(static_cast<isa::FuncUnit>(u))),
+                fault::TextTable::num(area.alpha[u], 4),
+                std::to_string(upf.runs[u]),
+                fault::TextTable::pct(upf.pf[u])});
+  }
+  std::printf("%s\n", ut.render().c_str());
+  std::printf("Eq. 1 check: sum(alpha_m * P_mf) = %s (measured overall Pf "
+              "mixes models; per-model tables above)\n\n",
+              fault::TextTable::pct(eq1).c_str());
+
+  // Waveform of the first failing run, for inspection in GTKWave.
+  for (const auto& run : r.runs) {
+    if (run.outcome != fault::Outcome::kFailure) continue;
+    Memory mem;
+    rtlcore::Leon3Core core(mem);
+    core.load(prog);
+    rtl::VcdWriter vcd("faulty_run.vcd", core.sim());
+    for (u64 c = 0; c < run.site.inject_cycle; ++c) core.step();
+    core.sim().arm_fault(run.site.node, run.site.model, run.site.bit);
+    for (int c = 0; c < 400 &&
+                    core.halt_reason() == iss::HaltReason::kRunning; ++c) {
+      core.step();
+      vcd.sample(core.cycles());
+    }
+    std::printf("wrote faulty_run.vcd: %s %s bit %u (first 400 cycles after "
+                "injection)\n",
+                std::string(rtl::fault_model_name(run.site.model)).c_str(),
+                run.node_name.c_str(), run.site.bit);
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,213 @@
+// issrtl_cli — command-line front end to the library.
+//
+//   issrtl_cli list                          workloads in the registry
+//   issrtl_cli run <workload> [iters]       run on the ISS (+ timing stats)
+//   issrtl_cli rtl <workload> [iters]       run on the RTL core
+//   issrtl_cli diversity <workload>          Table-1-style characterisation
+//   issrtl_cli disasm <workload>             disassemble a workload image
+//   issrtl_cli campaign <workload> <unit> <model> <samples>
+//                                            RTL fault-injection campaign
+//   issrtl_cli avf <workload>                register-file AVF
+//   issrtl_cli asm <file.s>                  assemble + run a text program
+//   issrtl_cli nodes [unit]                  list injectable RTL nodes
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/avf.hpp"
+#include "core/diversity.hpp"
+#include "fault/campaign.hpp"
+#include "fault/report.hpp"
+#include "isa/asm_parser.hpp"
+#include "isa/disasm.hpp"
+#include "iss/emulator.hpp"
+#include "iss/timing.hpp"
+#include "rtlcore/core.hpp"
+#include "workloads/workload.hpp"
+
+using namespace issrtl;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: issrtl_cli <command> [...]\n"
+      "  list | run <wl> [iters] | rtl <wl> [iters] | diversity <wl>\n"
+      "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n>\n"
+      "  avf <wl> | asm <file.s> | nodes [unit]\n");
+  return 2;
+}
+
+isa::Program load_workload(const std::string& name, unsigned iters) {
+  return workloads::build(name, {.iterations = iters, .data_seed = 1});
+}
+
+int cmd_list() {
+  fault::TextTable t({"name", "class", "description"});
+  for (const auto& w : workloads::registry()) {
+    t.add_row({w.name,
+               w.excerpt ? "excerpt" : (w.synthetic ? "synthetic" : "automotive"),
+               w.description});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& name, unsigned iters) {
+  Memory mem;
+  iss::Emulator emu(mem);
+  iss::TimingModel timing;
+  emu.set_timing(&timing);
+  emu.load(load_workload(name, iters));
+  const auto halt = emu.run();
+  const auto s = timing.stats();
+  std::printf("halt=%s instructions=%llu cycles=%llu cpi=%.2f\n"
+              "icache %llu/%llu hits, dcache %llu/%llu hits, "
+              "off-core writes=%zu, diversity=%u\n",
+              std::string(iss::halt_reason_name(halt)).c_str(),
+              (unsigned long long)emu.instret(), (unsigned long long)s.cycles,
+              s.cpi(), (unsigned long long)s.icache_hits,
+              (unsigned long long)(s.icache_hits + s.icache_misses),
+              (unsigned long long)s.dcache_hits,
+              (unsigned long long)(s.dcache_hits + s.dcache_misses),
+              emu.offcore().writes().size(), emu.trace().diversity());
+  return halt == iss::HaltReason::kHalted ? 0 : 1;
+}
+
+int cmd_rtl(const std::string& name, unsigned iters) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  core.load(load_workload(name, iters));
+  const auto halt = core.run();
+  std::printf("halt=%s instructions=%llu cycles=%llu cpi=%.2f "
+              "off-core writes=%zu\n",
+              std::string(iss::halt_reason_name(halt)).c_str(),
+              (unsigned long long)core.instret(),
+              (unsigned long long)core.cycles(),
+              core.instret() ? double(core.cycles()) / core.instret() : 0.0,
+              core.offcore().writes().size());
+  return halt == iss::HaltReason::kHalted ? 0 : 1;
+}
+
+int cmd_diversity(const std::string& name) {
+  const auto r = core::analyze_diversity(load_workload(name, 2));
+  fault::TextTable t({"metric", "value"});
+  t.add_row({"total instructions", std::to_string(r.total_instructions)});
+  t.add_row({"integer unit", std::to_string(r.iu_instructions)});
+  t.add_row({"memory", std::to_string(r.memory_instructions)});
+  t.add_row({"diversity", std::to_string(r.diversity)});
+  std::printf("%s\nper-unit D_m:\n", t.render().c_str());
+  fault::TextTable u({"unit", "D_m", "accesses"});
+  for (std::size_t i = 0; i < isa::kNumFuncUnits; ++i) {
+    u.add_row({std::string(isa::func_unit_name(static_cast<isa::FuncUnit>(i))),
+               std::to_string(r.unit_diversity[i]),
+               std::to_string(r.unit_accesses[i])});
+  }
+  std::printf("%s", u.render().c_str());
+  return 0;
+}
+
+int cmd_disasm(const std::string& name) {
+  const auto prog = load_workload(name, 1);
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const u32 pc = prog.code_base + static_cast<u32>(4 * i);
+    std::printf("%08x:  %08x  %s\n", pc, prog.code[i],
+                isa::disassemble(prog.code[i], pc).c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::string& name, const std::string& unit,
+                 const std::string& model, std::size_t samples) {
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.samples = samples;
+  if (model == "sa0") cfg.models = {rtl::FaultModel::kStuckAt0};
+  else if (model == "sa1") cfg.models = {rtl::FaultModel::kStuckAt1};
+  else if (model == "open") cfg.models = {rtl::FaultModel::kOpenLine};
+  else if (model == "flip") cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  else return usage();
+  const auto r = fault::run_campaign(load_workload(name, 1), cfg);
+  const auto& s = r.per_model[0];
+  std::printf("workload=%s unit=%s model=%s trials=%zu\n"
+              "Pf=%.1f%% failures=%zu hangs=%zu latent=%zu silent=%zu "
+              "max_latency=%llu cycles\n",
+              name.c_str(), unit.empty() ? "<all>" : unit.c_str(),
+              model.c_str(), s.runs, 100.0 * s.pf(), s.failures, s.hangs,
+              s.latent, s.silent, (unsigned long long)s.max_latency);
+  return 0;
+}
+
+int cmd_avf(const std::string& name) {
+  const auto r = core::analyze_register_avf(load_workload(name, 1));
+  std::printf("register-file AVF = %.3f over %llu instructions\n",
+              r.regfile_avf, (unsigned long long)r.instructions);
+  return 0;
+}
+
+int cmd_asm(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::printf("cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto prog = isa::assemble_text(ss.str(), {.name = path});
+  Memory mem;
+  iss::Emulator emu(mem);
+  emu.load(prog);
+  const auto halt = emu.run();
+  std::printf("%s: %zu instructions assembled, halt=%s after %llu executed, "
+              "%zu off-core writes\n",
+              path.c_str(), prog.code.size(),
+              std::string(iss::halt_reason_name(halt)).c_str(),
+              (unsigned long long)emu.instret(),
+              emu.offcore().writes().size());
+  return halt == iss::HaltReason::kHalted ? 0 : 1;
+}
+
+int cmd_nodes(const std::string& unit) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  const auto ids = core.sim().nodes_in_unit(unit);
+  fault::TextTable t({"node", "unit", "kind", "width"});
+  for (const auto id : ids) {
+    const auto& n = core.sim().node(id);
+    t.add_row({n.name(), n.unit(),
+               n.kind() == rtl::NodeKind::kReg ? "reg" : "wire",
+               std::to_string(n.width())});
+  }
+  std::printf("%s%zu nodes, %llu injectable bits\n", t.render().c_str(),
+              ids.size(),
+              (unsigned long long)core.sim().injectable_bits(unit));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run" && argc >= 3)
+      return cmd_run(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
+    if (cmd == "rtl" && argc >= 3)
+      return cmd_rtl(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
+    if (cmd == "diversity" && argc >= 3) return cmd_diversity(argv[2]);
+    if (cmd == "disasm" && argc >= 3) return cmd_disasm(argv[2]);
+    if (cmd == "campaign" && argc >= 6)
+      return cmd_campaign(argv[2], argv[3], argv[4],
+                          static_cast<std::size_t>(std::atoll(argv[5])));
+    if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
+    if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);
+    if (cmd == "nodes") return cmd_nodes(argc > 2 ? argv[2] : "");
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,57 @@
+// Light-lockstep demo: two RTL cores run the same workload; the checker
+// core carries a permanent fault. The comparator watches the off-core write
+// streams (the AURIX/SPC56XL arrangement the paper targets) and reports the
+// detection latency — the LiVe [7] observation that permanent faults are
+// caught at the next off-core write they corrupt.
+//
+//   ./examples/lockstep_demo [workload]
+#include <cstdio>
+
+#include "fault/lockstep.hpp"
+#include "fault/report.hpp"
+#include "workloads/workload.hpp"
+
+using namespace issrtl;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "canrdr";
+  const auto prog = workloads::build(workload, {.iterations = 1});
+
+  Memory probe_mem;
+  rtlcore::Leon3Core probe(probe_mem);
+
+  struct Demo {
+    const char* node;
+    u8 bit;
+    rtl::FaultModel model;
+  };
+  const Demo demos[] = {
+      {"me_sdata", 0, rtl::FaultModel::kStuckAt1},   // store data path
+      {"alu_res", 13, rtl::FaultModel::kStuckAt0},   // ALU result bus
+      {"fetch_pc", 4, rtl::FaultModel::kStuckAt1},   // fetch address
+      {"r_w4_3", 9, rtl::FaultModel::kStuckAt1},     // unused window local
+      {"icc", 0, rtl::FaultModel::kOpenLine},        // carry flag frozen
+  };
+
+  std::printf("lockstep comparison on '%s' (fault injected at cycle 100)\n\n",
+              workload.c_str());
+  fault::TextTable t({"fault", "detected", "detect cycle", "latency",
+                      "detail"});
+  for (const Demo& d : demos) {
+    const auto id = probe.sim().find_node(d.node);
+    if (!id) continue;
+    fault::FaultSite site{*id, d.bit, d.model, 100};
+    const auto r = fault::run_lockstep(prog, site);
+    t.add_row({std::string(rtl::fault_model_name(d.model)) + " " + d.node +
+                   "[" + std::to_string(d.bit) + "]",
+               r.detected ? "yes" : "no",
+               r.detected ? std::to_string(r.detect_cycle) : "-",
+               r.detected ? std::to_string(r.detection_latency) : "-",
+               r.detected ? r.detail.substr(0, 40) : "checker stayed clean"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("note: faults in never-used state (e.g. a deep register window)\n"
+              "stay invisible to light-lockstep — exactly the latent class the\n"
+              "paper excludes from its failure definition.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "common/memory.hpp"
+
+#include <algorithm>
+
+namespace issrtl {
+
+const Memory::Page* Memory::find_page(u32 addr) const noexcept {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+Memory::Page& Memory::touch_page(u32 addr) {
+  auto [it, inserted] = pages_.try_emplace(addr >> kPageBits);
+  if (inserted) it->second.assign(kPageSize, 0);
+  return it->second;
+}
+
+u8 Memory::load_u8(u32 addr) const {
+  const Page* page = find_page(addr);
+  return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void Memory::store_u8(u32 addr, u8 value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+u16 Memory::load_u16(u32 addr) const {
+  return static_cast<u16>((load_u8(addr) << 8) | load_u8(addr + 1));
+}
+
+u32 Memory::load_u32(u32 addr) const {
+  return (static_cast<u32>(load_u8(addr)) << 24) |
+         (static_cast<u32>(load_u8(addr + 1)) << 16) |
+         (static_cast<u32>(load_u8(addr + 2)) << 8) |
+         static_cast<u32>(load_u8(addr + 3));
+}
+
+u64 Memory::load_u64(u32 addr) const {
+  return (static_cast<u64>(load_u32(addr)) << 32) | load_u32(addr + 4);
+}
+
+void Memory::store_u16(u32 addr, u16 value) {
+  store_u8(addr, static_cast<u8>(value >> 8));
+  store_u8(addr + 1, static_cast<u8>(value));
+}
+
+void Memory::store_u32(u32 addr, u32 value) {
+  store_u8(addr, static_cast<u8>(value >> 24));
+  store_u8(addr + 1, static_cast<u8>(value >> 16));
+  store_u8(addr + 2, static_cast<u8>(value >> 8));
+  store_u8(addr + 3, static_cast<u8>(value));
+}
+
+void Memory::store_u64(u32 addr, u64 value) {
+  store_u32(addr, static_cast<u32>(value >> 32));
+  store_u32(addr + 4, static_cast<u32>(value));
+}
+
+void Memory::write_block(u32 addr, const void* data, std::size_t size) {
+  const u8* bytes = static_cast<const u8*>(data);
+  for (std::size_t i = 0; i < size; ++i) store_u8(addr + static_cast<u32>(i), bytes[i]);
+}
+
+void Memory::read_block(u32 addr, void* out, std::size_t size) const {
+  u8* bytes = static_cast<u8*>(out);
+  for (std::size_t i = 0; i < size; ++i) bytes[i] = load_u8(addr + static_cast<u32>(i));
+}
+
+Memory Memory::clone() const {
+  Memory copy;
+  copy.pages_ = pages_;
+  return copy;
+}
+
+namespace {
+bool page_is_zero(const std::vector<u8>& page) {
+  return std::all_of(page.begin(), page.end(), [](u8 b) { return b == 0; });
+}
+}  // namespace
+
+bool Memory::equals(const Memory& other) const {
+  for (const auto& [idx, page] : pages_) {
+    const auto it = other.pages_.find(idx);
+    if (it == other.pages_.end()) {
+      if (!page_is_zero(page)) return false;
+    } else if (page != it->second) {
+      return false;
+    }
+  }
+  for (const auto& [idx, page] : other.pages_) {
+    if (!pages_.contains(idx) && !page_is_zero(page)) return false;
+  }
+  return true;
+}
+
+}  // namespace issrtl

@@ -1,0 +1,70 @@
+// Sparse big-endian byte-addressable memory model (SPARC V8 is big-endian).
+//
+// Shared by the ISS and the RTL core as the off-chip RAM behind the bus.
+// Backed by 4 KiB pages allocated on first touch so a 32-bit address space
+// costs only what the workload actually uses.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace issrtl {
+
+/// Raised on accesses the memory model cannot satisfy (host-level bug, not a
+/// simulated trap — simulated alignment traps are handled by the cores).
+class MemoryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Memory {
+ public:
+  static constexpr u32 kPageBits = 12;
+  static constexpr u32 kPageSize = 1u << kPageBits;
+
+  Memory() = default;
+
+  // Byte accessors. Unwritten memory reads as zero.
+  u8 load_u8(u32 addr) const;
+  void store_u8(u32 addr, u8 value);
+
+  // Big-endian multi-byte accessors; callers are responsible for alignment
+  // (the cores trap on misalignment before reaching the memory model).
+  u16 load_u16(u32 addr) const;
+  u32 load_u32(u32 addr) const;
+  u64 load_u64(u32 addr) const;
+  void store_u16(u32 addr, u16 value);
+  void store_u32(u32 addr, u32 value);
+  void store_u64(u32 addr, u64 value);
+
+  /// Bulk write, e.g. loading a program image.
+  void write_block(u32 addr, const void* data, std::size_t size);
+
+  /// Bulk read, e.g. snapshotting a result buffer.
+  void read_block(u32 addr, void* out, std::size_t size) const;
+
+  /// Number of pages currently allocated (for tests / stats).
+  std::size_t allocated_pages() const noexcept { return pages_.size(); }
+
+  /// Deep-copy snapshot, used for golden-vs-faulty end-state comparison.
+  Memory clone() const;
+
+  /// True if every allocated byte matches `other` (zero pages are equal to
+  /// absent pages, so clones with different page sets still compare equal).
+  bool equals(const Memory& other) const;
+
+ private:
+  using Page = std::vector<u8>;  // always kPageSize bytes
+
+  const Page* find_page(u32 addr) const noexcept;
+  Page& touch_page(u32 addr);
+
+  std::unordered_map<u32, Page> pages_;
+};
+
+}  // namespace issrtl

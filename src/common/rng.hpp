@@ -1,0 +1,62 @@
+// Deterministic, seedable PRNG used for fault sampling and workload data.
+//
+// We deliberately avoid std::mt19937 for campaign reproducibility across
+// standard-library implementations: xoshiro256** has a fixed, documented
+// algorithm so campaign fault lists are stable byte-for-byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace issrtl {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) noexcept {
+  state += 0x9E3779B97f4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x1337'C0DE'5EED'2015ull) noexcept {
+    u64 sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias worth caring about for
+  /// simulation sampling (bound << 2^64).
+  u64 next_below(u64 bound) noexcept { return bound == 0 ? 0 : next() % bound; }
+
+  u32 next_u32() noexcept { return static_cast<u32>(next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace issrtl

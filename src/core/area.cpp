@@ -1,0 +1,47 @@
+#include "core/area.hpp"
+
+namespace issrtl::core {
+
+isa::FuncUnit func_unit_for_rtl_unit(const std::string& u) {
+  using isa::FuncUnit;
+  // Exact functional blocks.
+  if (u == "iu.alu") return FuncUnit::Alu;
+  if (u == "iu.shift") return FuncUnit::Shift;
+  if (u == "iu.mul") return FuncUnit::Mul;
+  if (u == "iu.div") return FuncUnit::Div;
+  if (u == "iu.branch") return FuncUnit::Branch;
+  if (u == "iu.lsu") return FuncUnit::LoadStore;
+  if (u == "iu.regfile") return FuncUnit::RegFile;
+  if (u == "iu.special") return FuncUnit::Special;
+  if (u == "cmem.icache") return FuncUnit::ICache;
+  if (u == "cmem.dcache") return FuncUnit::DCache;
+  // Pipeline latches, attributed to the stage function they belong to.
+  if (u == "iu.fe") return FuncUnit::Fetch;
+  if (u == "iu.de") return FuncUnit::Fetch;     // fetch output latch
+  if (u == "iu.ra") return FuncUnit::Decode;    // decode output latch
+  if (u == "iu.ex") return FuncUnit::RegFile;   // operand latch
+  if (u == "iu.me") return FuncUnit::LoadStore; // EX/ME latch feeds the LSU
+  if (u == "iu.xc") return FuncUnit::Special;   // exception stage
+  if (u == "iu.wb") return FuncUnit::RegFile;   // write-back port latch
+  return FuncUnit::Decode;
+}
+
+AreaModel build_area_model(const rtl::SimContext& ctx,
+                           const std::string& unit_prefix) {
+  AreaModel m;
+  for (const rtl::NodeId id : ctx.nodes_in_unit(unit_prefix)) {
+    const rtl::Sig& s = ctx.node(id);
+    const auto fu = static_cast<std::size_t>(func_unit_for_rtl_unit(s.unit()));
+    m.bits[fu] += s.width();
+    m.total_bits += s.width();
+  }
+  if (m.total_bits > 0) {
+    for (std::size_t i = 0; i < m.alpha.size(); ++i) {
+      m.alpha[i] =
+          static_cast<double>(m.bits[i]) / static_cast<double>(m.total_bits);
+    }
+  }
+  return m;
+}
+
+}  // namespace issrtl::core

@@ -1,0 +1,41 @@
+// Area model: the α_m weights of Eq. 1.
+//
+// α_m is "the fraction of the total area occupied by the processor unit m";
+// at RTL abstraction the natural proxy — the one the paper itself argues for
+// in §3 item (2) — is the number of fault-injection points, i.e. injectable
+// node bits. We derive α_m directly from the RTL node registry, so the same
+// weights drive both the campaigns and the predictor.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hpp"
+#include "rtl/kernel.hpp"
+
+namespace issrtl::core {
+
+/// Map an RTL unit tag ("iu.alu", "cmem.dcache", ...) to the functional unit
+/// used by the diversity metric. Pipeline-latch units are attributed to the
+/// stage function they implement.
+isa::FuncUnit func_unit_for_rtl_unit(const std::string& rtl_unit);
+
+struct AreaModel {
+  /// α_m, normalised over the modelled design (sums to 1).
+  std::array<double, isa::kNumFuncUnits> alpha{};
+  /// Raw injectable bit counts per functional unit.
+  std::array<u64, isa::kNumFuncUnits> bits{};
+  u64 total_bits = 0;
+
+  double alpha_for(isa::FuncUnit u) const {
+    return alpha[static_cast<std::size_t>(u)];
+  }
+};
+
+/// Build the α_m model from a design's node registry. `unit_prefix`
+/// restricts the design subset ("" = IU + CMEM, "iu" = integer unit only).
+AreaModel build_area_model(const rtl::SimContext& ctx,
+                           const std::string& unit_prefix = "");
+
+}  // namespace issrtl::core

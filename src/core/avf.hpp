@@ -1,0 +1,35 @@
+// Architectural Vulnerability Factor (AVF) analysis at the ISS level.
+//
+// The paper positions its diversity/Pf correlation against the AVF
+// methodology of the high-performance domain (Mukherjee et al. [14]): AVF
+// measures the fraction of time architectural state holds ACE (Architecturally
+// Correct Execution) data. This module computes a register-file AVF with the
+// classical def-use liveness analysis over an ISS run: a register's interval
+// [write, last-read-before-next-write] is ACE; write-to-write intervals with
+// no intervening read are un-ACE. It gives users the complementary
+// *transient*-oriented metric next to the paper's permanent-fault Pf.
+#pragma once
+
+#include <array>
+
+#include "isa/program.hpp"
+#include "iss/state.hpp"
+
+namespace issrtl::core {
+
+struct AvfReport {
+  /// Whole-register-file AVF in [0,1]: mean over registers of (ACE time /
+  /// total time). %g0 is excluded (hardwired, never vulnerable).
+  double regfile_avf = 0.0;
+  /// Per-physical-register AVF.
+  std::array<double, iss::ArchState::kPhysRegs> per_reg{};
+  u64 instructions = 0;
+};
+
+/// Run the program on the functional emulator (must halt cleanly within
+/// `max_steps`) and compute register-file AVF. Time is measured in retired
+/// instructions, the natural unit at ISS abstraction.
+AvfReport analyze_register_avf(const isa::Program& prog,
+                               u64 max_steps = 50'000'000);
+
+}  // namespace issrtl::core

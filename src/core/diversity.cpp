@@ -1,0 +1,38 @@
+#include "core/diversity.hpp"
+
+#include <stdexcept>
+
+#include "iss/emulator.hpp"
+
+namespace issrtl::core {
+
+DiversityReport report_from_trace(const std::string& workload,
+                                  const iss::InstrTrace& trace) {
+  DiversityReport r;
+  r.workload = workload;
+  r.total_instructions = trace.total();
+  r.iu_instructions = trace.integer_unit_total();
+  r.memory_instructions = trace.memory_total();
+  r.diversity = trace.diversity();
+  for (std::size_t u = 0; u < isa::kNumFuncUnits; ++u) {
+    const auto fu = static_cast<isa::FuncUnit>(u);
+    r.unit_diversity[u] = trace.unit_diversity(fu);
+    r.unit_accesses[u] = trace.unit_accesses(fu);
+  }
+  return r;
+}
+
+DiversityReport analyze_diversity(const isa::Program& prog, u64 max_steps) {
+  Memory mem;
+  iss::Emulator emu(mem);
+  emu.load(prog);
+  const iss::HaltReason halt = emu.run(max_steps);
+  if (halt != iss::HaltReason::kHalted) {
+    throw std::runtime_error(
+        "analyze_diversity: workload '" + prog.name + "' ended with " +
+        std::string(iss::halt_reason_name(halt)));
+  }
+  return report_from_trace(prog.name, emu.trace());
+}
+
+}  // namespace issrtl::core

@@ -1,0 +1,40 @@
+// Diversity analysis: runs a program on the functional ISS and extracts the
+// paper's §3 metrics — instruction diversity (unique opcode types), the
+// per-functional-unit diversities D_m, utilization counts, and the Table 1
+// characterisation row.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "isa/program.hpp"
+#include "iss/trace.hpp"
+
+namespace issrtl::core {
+
+struct DiversityReport {
+  std::string workload;
+  u64 total_instructions = 0;
+  u64 iu_instructions = 0;
+  u64 memory_instructions = 0;
+  unsigned diversity = 0;  ///< unique instruction types executed
+  /// D_m: unique instruction types exercising each functional unit.
+  std::array<unsigned, isa::kNumFuncUnits> unit_diversity{};
+  /// Dynamic accesses per functional unit (utilization).
+  std::array<u64, isa::kNumFuncUnits> unit_accesses{};
+
+  unsigned dm(isa::FuncUnit u) const {
+    return unit_diversity[static_cast<std::size_t>(u)];
+  }
+};
+
+/// Execute `prog` to completion on the ISS (throws if it does not halt
+/// cleanly within `max_steps`) and report its diversity metrics.
+DiversityReport analyze_diversity(const isa::Program& prog,
+                                  u64 max_steps = 50'000'000);
+
+/// Build the report from an already-collected trace.
+DiversityReport report_from_trace(const std::string& workload,
+                                  const iss::InstrTrace& trace);
+
+}  // namespace issrtl::core

@@ -1,0 +1,123 @@
+#include "core/predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace issrtl::core {
+
+UnitPf UnitPf::from_observations(const std::vector<UnitObservation>& obs) {
+  UnitPf out;
+  std::array<u64, isa::kNumFuncUnits> failures{};
+  for (const auto& [unit, failed] : obs) {
+    const auto fu = static_cast<std::size_t>(func_unit_for_rtl_unit(unit));
+    ++out.runs[fu];
+    if (failed) ++failures[fu];
+  }
+  for (std::size_t i = 0; i < out.pf.size(); ++i) {
+    out.pf[i] = out.runs[i] == 0
+                    ? 0.0
+                    : static_cast<double>(failures[i]) /
+                          static_cast<double>(out.runs[i]);
+  }
+  return out;
+}
+
+namespace {
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}  // namespace
+
+void PfPredictor::calibrate(const std::vector<CalibrationSample>& samples,
+                            const AreaModel& area) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("PfPredictor: need >= 2 calibration samples");
+  }
+  area_ = area;
+
+  // Global Fig. 7 model.
+  std::vector<double> xs, ys;
+  for (const auto& s : samples) {
+    xs.push_back(static_cast<double>(s.diversity.diversity));
+    ys.push_back(s.total_pf);
+  }
+  global_ = log_fit(xs, ys);
+
+  // Per-unit Eq. 1 models: P_mf ~ k*ln(1+D_m) + c over samples with
+  // campaign-measured unit outcomes.
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    std::vector<double> ux, uy;
+    for (const auto& s : samples) {
+      if (!s.unit_pf || s.unit_pf->runs[u] == 0) continue;
+      ux.push_back(1.0 + s.diversity.unit_diversity[u]);
+      uy.push_back(s.unit_pf->pf[u]);
+    }
+    UnitModel& m = units_[u];
+    if (ux.size() >= 2) {
+      // Degenerate x spread (all samples share D_m) falls back to the mean.
+      const double spread =
+          *std::max_element(ux.begin(), ux.end()) -
+          *std::min_element(ux.begin(), ux.end());
+      if (spread > 0.0) {
+        m.fit = log_fit(ux, uy);
+        m.valid = true;
+      }
+    }
+    if (!uy.empty()) m.fallback = mean(uy);
+  }
+  calibrated_ = true;
+}
+
+double PfPredictor::predict_global(unsigned diversity) const {
+  if (!calibrated_) throw std::logic_error("PfPredictor: not calibrated");
+  return clamp01(global_.at(std::max(1u, diversity)));
+}
+
+double PfPredictor::unit_pf_estimate(std::size_t unit, unsigned dm) const {
+  const UnitModel& m = units_[unit];
+  if (dm == 0) return 0.0;  // unit never exercised: faults cannot propagate
+  if (!m.valid) return m.fallback;
+  return clamp01(m.fit.at(1.0 + dm));
+}
+
+double PfPredictor::predict_eq1(const DiversityReport& d) const {
+  if (!calibrated_) throw std::logic_error("PfPredictor: not calibrated");
+  double pf = 0.0;
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    pf += area_.alpha[u] * unit_pf_estimate(u, d.unit_diversity[u]);
+  }
+  return clamp01(pf);
+}
+
+double PfPredictor::predict_eq1_unweighted(const DiversityReport& d) const {
+  if (!calibrated_) throw std::logic_error("PfPredictor: not calibrated");
+  double pf = 0.0;
+  unsigned active = 0;
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    if (area_.bits[u] == 0) continue;  // unit absent from the design
+    pf += unit_pf_estimate(u, d.unit_diversity[u]);
+    ++active;
+  }
+  return active == 0 ? 0.0 : clamp01(pf / active);
+}
+
+double loo_mean_abs_error(const std::vector<CalibrationSample>& samples) {
+  if (samples.size() < 3) {
+    throw std::invalid_argument("loo_mean_abs_error: need >= 3 samples");
+  }
+  double err = 0.0;
+  for (std::size_t hold = 0; hold < samples.size(); ++hold) {
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i == hold) continue;
+      xs.push_back(static_cast<double>(samples[i].diversity.diversity));
+      ys.push_back(samples[i].total_pf);
+    }
+    const LogFit fit = log_fit(xs, ys);
+    const double pred = std::clamp(
+        fit.at(std::max(1u, samples[hold].diversity.diversity)), 0.0, 1.0);
+    err += std::abs(pred - samples[hold].total_pf);
+  }
+  return err / static_cast<double>(samples.size());
+}
+
+}  // namespace issrtl::core

@@ -1,0 +1,87 @@
+// Pf prediction from ISS-visible information.
+//
+// Two models, exactly as the paper frames them:
+//
+// 1. Global diversity model (Fig. 7): Pf = a*ln(D) + b, fitted over
+//    calibration workloads. Needs only the overall diversity D.
+// 2. Eq. 1 area-weighted model: Pf = Σ_m α_m * P_mf, where each unit's
+//    failure probability P_mf is modelled as a saturating function of the
+//    unit diversity D_m (P_mf = k_m*ln(1+D_m) + c_m, clamped to [0,1]) and
+//    α_m comes from the RTL node registry (see area.hpp).
+//
+// Calibration uses measured RTL campaign outcomes; prediction then needs the
+// ISS only — the use case the paper motivates (assessing a new workload or
+// ISA change long before RTL exists).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/area.hpp"
+#include "core/diversity.hpp"
+#include "core/stats.hpp"
+
+namespace issrtl::core {
+
+/// Per-unit injection outcomes from an RTL campaign, in a module-neutral
+/// form: (rtl unit tag, fault-became-failure flag) per injection run.
+using UnitObservation = std::pair<std::string, bool>;
+
+/// Measured per-functional-unit failure probabilities for one workload.
+struct UnitPf {
+  std::array<double, isa::kNumFuncUnits> pf{};
+  std::array<u64, isa::kNumFuncUnits> runs{};
+
+  /// Aggregate observations (each run attributed to its functional unit).
+  static UnitPf from_observations(const std::vector<UnitObservation>& obs);
+};
+
+/// One calibration sample: what the ISS sees (diversity) plus what the RTL
+/// campaign measured (total and per-unit Pf).
+struct CalibrationSample {
+  DiversityReport diversity;
+  double total_pf = 0.0;
+  std::optional<UnitPf> unit_pf;  ///< needed for the Eq. 1 model
+};
+
+class PfPredictor {
+ public:
+  /// Fit both models. The Eq. 1 per-unit fits use only samples that carry
+  /// unit_pf; the global model uses all samples. Requires >= 2 samples.
+  void calibrate(const std::vector<CalibrationSample>& samples,
+                 const AreaModel& area);
+
+  /// Fig. 7 model: needs only overall diversity.
+  double predict_global(unsigned diversity) const;
+
+  /// Eq. 1 model: area-weighted sum of per-unit predictions.
+  double predict_eq1(const DiversityReport& diversity) const;
+
+  /// Same as predict_eq1 but with uniform weights (ablation: what Eq. 1
+  /// loses when α_m heterogeneity is ignored).
+  double predict_eq1_unweighted(const DiversityReport& diversity) const;
+
+  const LogFit& global_fit() const { return global_; }
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  double unit_pf_estimate(std::size_t unit, unsigned dm) const;
+
+  LogFit global_;
+  AreaModel area_;
+  struct UnitModel {
+    LogFit fit;
+    bool valid = false;
+    double fallback = 0.0;  ///< mean observed pf when a fit is impossible
+  };
+  std::array<UnitModel, isa::kNumFuncUnits> units_{};
+  bool calibrated_ = false;
+};
+
+/// Leave-one-out validation of the global model: returns mean absolute
+/// prediction error over the samples (requires >= 3 samples).
+double loo_mean_abs_error(const std::vector<CalibrationSample>& samples);
+
+}  // namespace issrtl::core

@@ -1,0 +1,42 @@
+// Small statistics toolkit used by the correlation study: descriptive stats,
+// Pearson correlation, least-squares linear and logarithmic fits with R².
+// The paper's Fig. 7 reports exactly such a fit: Pf = 0.0838*ln(D) - 0.0191,
+// R^2 = 0.9246.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace issrtl::core {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  ///< population std deviation
+
+/// Pearson correlation coefficient r of paired samples (NaN-free inputs,
+/// at least 2 points, non-degenerate variance required; otherwise returns 0).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+
+  double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Ordinary least squares y ~ slope*x + intercept.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+struct LogFit {
+  double a = 0.0;  ///< coefficient of ln(x)
+  double b = 0.0;  ///< intercept
+  double r2 = 0.0;
+
+  double at(double x) const;
+  std::string equation() const;  ///< e.g. "y = 0.0838*ln(x) + -0.0191"
+};
+
+/// Least squares y ~ a*ln(x) + b (all x must be > 0).
+LogFit log_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace issrtl::core

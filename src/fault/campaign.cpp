@@ -1,0 +1,206 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace issrtl::fault {
+
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kSilent: return "silent";
+    case Outcome::kLatent: return "latent";
+    case Outcome::kFailure: return "failure";
+    case Outcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+const CampaignStats& CampaignResult::stats_for(FaultModel m) const {
+  for (const auto& s : per_model) {
+    if (s.model == m) return s;
+  }
+  throw std::out_of_range("no stats for fault model");
+}
+
+std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
+                                        const CampaignConfig& cfg,
+                                        u64 golden_cycles) {
+  const std::vector<rtl::NodeId> nodes = ctx.nodes_in_unit(cfg.unit_prefix);
+  if (nodes.empty()) {
+    throw std::invalid_argument("no injectable nodes under unit '" +
+                                cfg.unit_prefix + "'");
+  }
+  Xoshiro256 rng(cfg.seed);
+
+  auto pick_cycle = [&]() -> u64 {
+    switch (cfg.inject_time) {
+      case InjectTime::kEarly: return std::max<u64>(1, golden_cycles / 100);
+      case InjectTime::kUniformRandom:
+        return 1 + rng.next_below(std::max<u64>(1, golden_cycles / 2));
+      case InjectTime::kFixedCycle: return cfg.fixed_cycle;
+    }
+    return 1;
+  };
+
+  std::vector<FaultSite> sites;
+  if (cfg.samples == 0) {
+    // Exhaustive: every bit of every node, for every model.
+    for (const FaultModel m : cfg.models) {
+      for (const rtl::NodeId id : nodes) {
+        const u8 w = ctx.node(id).width();
+        for (u8 b = 0; b < w; ++b) sites.push_back({id, b, m, pick_cycle()});
+      }
+    }
+    return sites;
+  }
+
+  // Sampled: uniform over (node, bit) weighted by node width — i.e. uniform
+  // over injectable *bits*, matching area-proportional injection.
+  std::vector<u64> cum;
+  cum.reserve(nodes.size());
+  u64 total_bits = 0;
+  for (const rtl::NodeId id : nodes) {
+    total_bits += ctx.node(id).width();
+    cum.push_back(total_bits);
+  }
+  for (const FaultModel m : cfg.models) {
+    for (std::size_t i = 0; i < cfg.samples; ++i) {
+      const u64 pick = rng.next_below(total_bits);
+      const auto it = std::upper_bound(cum.begin(), cum.end(), pick);
+      const std::size_t idx = static_cast<std::size_t>(it - cum.begin());
+      const rtl::NodeId id = nodes[idx];
+      const u64 base = idx == 0 ? 0 : cum[idx - 1];
+      sites.push_back(
+          {id, static_cast<u8>(pick - base), m, pick_cycle()});
+    }
+  }
+  return sites;
+}
+
+namespace {
+
+/// Compare complete architectural + memory state for latent-error detection.
+bool states_match(const rtlcore::Leon3Core& faulty,
+                  const iss::ArchState& golden_state, const Memory& golden_mem,
+                  bool compare_memory) {
+  const iss::ArchState fs = faulty.arch_state();
+  if (fs.regs != golden_state.regs) return false;
+  if (fs.cwp != golden_state.cwp) return false;
+  if (!(fs.icc == golden_state.icc)) return false;
+  if (fs.y != golden_state.y) return false;
+  if (compare_memory && !faulty.memory().equals(golden_mem)) return false;
+  return true;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const isa::Program& prog,
+                            const CampaignConfig& cfg,
+                            const rtlcore::CoreConfig& core_cfg) {
+  CampaignResult result;
+  result.workload = prog.name;
+  result.unit_prefix = cfg.unit_prefix;
+
+  // ---- golden run -----------------------------------------------------------
+  Memory golden_mem;
+  rtlcore::Leon3Core golden(golden_mem, core_cfg);
+  golden.load(prog);
+  const iss::HaltReason golden_halt = golden.run();
+  if (golden_halt != iss::HaltReason::kHalted) {
+    throw std::runtime_error("golden run did not halt cleanly: " +
+                             std::string(iss::halt_reason_name(golden_halt)));
+  }
+  result.golden_cycles = golden.cycles();
+  result.golden_instret = golden.instret();
+  const OffCoreTrace golden_trace = golden.offcore();
+  const iss::ArchState golden_state = golden.arch_state();
+
+  const u64 watchdog = static_cast<u64>(
+      static_cast<double>(result.golden_cycles) * cfg.watchdog_factor + 1000);
+
+  // ---- faulty runs ----------------------------------------------------------
+  // One core reused across runs: reset + reload is far cheaper than
+  // rebuilding the node registry, and fault lists index into its registry.
+  Memory mem;
+  rtlcore::Leon3Core core(mem, core_cfg);
+  core.load(prog);  // construct registry identical to golden's
+
+  const std::vector<FaultSite> sites =
+      build_fault_list(core.sim(), cfg, result.golden_cycles);
+
+  result.runs.reserve(sites.size());
+  for (const FaultSite& site : sites) {
+    core.sim().clear_faults();
+    mem = Memory();  // fresh image
+    core.load(prog);
+
+    // Run to the injection instant, arm, continue.
+    for (u64 c = 0; c < site.inject_cycle &&
+                    core.halt_reason() == iss::HaltReason::kRunning;
+         ++c) {
+      core.step();
+    }
+    core.sim().arm_fault(site.node, site.model, site.bit);
+    const iss::HaltReason halt =
+        core.run(watchdog > core.cycles() ? watchdog - core.cycles() : 1);
+
+    InjectionResult ir;
+    ir.site = site;
+    ir.node_name = core.sim().node(site.node).name();
+    ir.unit = core.sim().node(site.node).unit();
+    ir.halt = halt;
+
+    const TraceDivergence div = core.offcore().compare_writes(golden_trace);
+    if (div.diverged) {
+      // Divergence cycle 0 can happen for "missing writes" when the faulty
+      // trace is empty; clamp latency at zero.
+      ir.outcome = halt == iss::HaltReason::kStepLimit &&
+                           div.index >= core.offcore().writes().size()
+                       ? Outcome::kHang
+                       : Outcome::kFailure;
+      ir.latency_cycles =
+          div.cycle > site.inject_cycle ? div.cycle - site.inject_cycle : 0;
+    } else if (halt == iss::HaltReason::kStepLimit) {
+      ir.outcome = Outcome::kHang;
+      ir.latency_cycles = watchdog - site.inject_cycle;
+    } else if (states_match(core, golden_state, golden_mem,
+                            cfg.compare_memory)) {
+      ir.outcome = Outcome::kSilent;
+    } else {
+      ir.outcome = Outcome::kLatent;
+    }
+    result.runs.push_back(std::move(ir));
+  }
+  core.sim().clear_faults();
+
+  // ---- aggregate ------------------------------------------------------------
+  for (const FaultModel m : cfg.models) {
+    CampaignStats st;
+    st.model = m;
+    u64 lat_sum = 0;
+    std::size_t lat_n = 0;
+    for (const InjectionResult& ir : result.runs) {
+      if (ir.site.model != m) continue;
+      ++st.runs;
+      switch (ir.outcome) {
+        case Outcome::kFailure:
+          ++st.failures;
+          st.max_latency = std::max(st.max_latency, ir.latency_cycles);
+          lat_sum += ir.latency_cycles;
+          ++lat_n;
+          break;
+        case Outcome::kHang: ++st.hangs; break;
+        case Outcome::kLatent: ++st.latent; break;
+        case Outcome::kSilent: ++st.silent; break;
+      }
+    }
+    st.mean_latency =
+        lat_n == 0 ? 0.0 : static_cast<double>(lat_sum) / static_cast<double>(lat_n);
+    result.per_model.push_back(st);
+  }
+  return result;
+}
+
+}  // namespace issrtl::fault

@@ -1,0 +1,117 @@
+// RTL fault-injection campaign manager.
+//
+// Reproduces the paper's methodology (§4.1): enumerate the injectable nodes
+// of a target unit (IU or CMEM), inject single permanent faults (stuck-at-0,
+// stuck-at-1, open-line) at a fixed instant, run the workload, and classify
+// the outcome against a golden run. Failure = any mismatch in the off-core
+// write sequence (the light-lockstep comparison boundary); a watchdog
+// converts hangs into missing-write failures; runs whose writes match but
+// whose internal state differs are *latent* (not failures, per the paper's
+// discussion of LiVe [7]).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "rtl/fault.hpp"
+#include "rtl/kernel.hpp"
+#include "rtlcore/core.hpp"
+
+namespace issrtl::fault {
+
+using rtl::FaultModel;
+
+/// One injection target: a bit of a named RTL node at a fixed instant.
+struct FaultSite {
+  rtl::NodeId node = 0;
+  u8 bit = 0;
+  FaultModel model = FaultModel::kStuckAt0;
+  u64 inject_cycle = 0;
+};
+
+enum class Outcome : u8 {
+  kSilent,   ///< write trace and final state match the golden run
+  kLatent,   ///< write trace matches, internal state differs (lockstep-invisible)
+  kFailure,  ///< off-core write mismatch (value/address/order/extra)
+  kHang,     ///< watchdog expired (missing writes — detected by lockstep)
+};
+
+std::string_view outcome_name(Outcome o);
+
+/// Result of one injection run.
+struct InjectionResult {
+  FaultSite site;
+  std::string node_name;
+  std::string unit;
+  Outcome outcome = Outcome::kSilent;
+  u64 latency_cycles = 0;  ///< injection -> first observable divergence
+  iss::HaltReason halt = iss::HaltReason::kRunning;
+};
+
+/// How the fixed injection instant is chosen per trial.
+enum class InjectTime : u8 {
+  kEarly,          ///< ~1% into the golden run (paper-style fixed instant)
+  kUniformRandom,  ///< uniform in [0, golden_cycles/2] (seeded)
+  kFixedCycle,     ///< CampaignConfig::fixed_cycle
+};
+
+struct CampaignConfig {
+  std::string unit_prefix = "iu";       ///< "iu", "cmem", or a subunit
+  std::vector<FaultModel> models = {FaultModel::kStuckAt1};
+  /// Number of injection trials (sampled uniformly over node bits). 0 means
+  /// exhaustive: every bit of every node in the unit, per model.
+  std::size_t samples = 200;
+  u64 seed = 2015;
+  InjectTime inject_time = InjectTime::kEarly;
+  u64 fixed_cycle = 0;
+  double watchdog_factor = 3.0;         ///< faulty-run cycle budget multiplier
+  bool compare_memory = true;           ///< include memory image in latent check
+};
+
+/// Aggregate statistics for one (unit, model) pair.
+struct CampaignStats {
+  FaultModel model = FaultModel::kStuckAt0;
+  std::size_t runs = 0;
+  std::size_t failures = 0;   // write mismatches
+  std::size_t hangs = 0;      // watchdog
+  std::size_t latent = 0;
+  std::size_t silent = 0;
+  u64 max_latency = 0;
+  double mean_latency = 0.0;
+
+  /// The paper's headline metric: % of injected faults propagating to
+  /// failures at off-core boundaries (hangs manifest as missing writes and
+  /// are therefore detected/failed as well).
+  double pf() const noexcept {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(failures + hangs) /
+                           static_cast<double>(runs);
+  }
+};
+
+struct CampaignResult {
+  std::string workload;
+  std::string unit_prefix;
+  u64 golden_cycles = 0;
+  u64 golden_instret = 0;
+  std::vector<InjectionResult> runs;
+  std::vector<CampaignStats> per_model;
+
+  const CampaignStats& stats_for(FaultModel m) const;
+};
+
+/// Run a full RTL campaign for `prog`. The core is constructed once and the
+/// workload replayed per fault (golden first, then one run per site).
+CampaignResult run_campaign(const isa::Program& prog,
+                            const CampaignConfig& cfg,
+                            const rtlcore::CoreConfig& core_cfg = {});
+
+/// Enumerate the sampled fault list only (deterministic per seed) — exposed
+/// for tests and for distributing work across processes.
+std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
+                                        const CampaignConfig& cfg,
+                                        u64 golden_cycles);
+
+}  // namespace issrtl::fault

@@ -1,0 +1,51 @@
+// ISS-level fault-injection campaign: the classical register-file injection
+// the paper cites ([7][20]), used both for the speed comparison (§4.2
+// "Simulation time") and to contrast ISS-reachable injection surface with
+// the RTL one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "iss/emulator.hpp"
+
+namespace issrtl::fault {
+
+struct IssCampaignConfig {
+  std::vector<iss::IssFaultModel> models = {iss::IssFaultModel::kStuckAt1};
+  std::size_t samples = 200;
+  u64 seed = 2015;
+  double watchdog_factor = 3.0;
+};
+
+struct IssInjectionResult {
+  iss::IssFault fault;
+  bool failure = false;    ///< off-core write mismatch or hang
+  bool latent = false;
+  u64 latency_instr = 0;
+};
+
+struct IssCampaignStats {
+  iss::IssFaultModel model = iss::IssFaultModel::kStuckAt0;
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+  std::size_t latent = 0;
+  double pf() const noexcept {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(failures) /
+                           static_cast<double>(runs);
+  }
+};
+
+struct IssCampaignResult {
+  std::string workload;
+  u64 golden_instret = 0;
+  std::vector<IssInjectionResult> runs;
+  std::vector<IssCampaignStats> per_model;
+};
+
+IssCampaignResult run_iss_campaign(const isa::Program& prog,
+                                   const IssCampaignConfig& cfg);
+
+}  // namespace issrtl::fault

@@ -1,0 +1,87 @@
+#include "fault/lockstep.hpp"
+
+namespace issrtl::fault {
+
+LockstepResult run_lockstep(const isa::Program& prog, const FaultSite& fault,
+                            u64 max_cycles,
+                            const rtlcore::CoreConfig& core_cfg) {
+  Memory master_mem, checker_mem;
+  rtlcore::Leon3Core master(master_mem, core_cfg);
+  rtlcore::Leon3Core checker(checker_mem, core_cfg);
+  master.load(prog);
+  checker.load(prog);
+
+  LockstepResult r;
+  std::size_t compared = 0;  // writes cross-checked so far
+  bool armed = false;
+
+  for (u64 cycle = 0; cycle < max_cycles; ++cycle) {
+    const bool master_running =
+        master.halt_reason() == iss::HaltReason::kRunning;
+    const bool checker_running =
+        checker.halt_reason() == iss::HaltReason::kRunning;
+    if (!master_running && !checker_running) break;
+
+    if (!armed && checker.cycles() >= fault.inject_cycle) {
+      checker.sim().arm_fault(fault.node, fault.model, fault.bit);
+      armed = true;
+    }
+    if (master_running) master.step();
+    if (checker_running) checker.step();
+
+    // Compare the write streams as far as both cores have produced them.
+    const auto& mw = master.offcore().writes();
+    const auto& cw = checker.offcore().writes();
+    while (compared < mw.size() && compared < cw.size()) {
+      if (!mw[compared].same_payload(cw[compared])) {
+        r.detected = true;
+        r.detect_cycle = cycle;
+        r.detail = "write mismatch at index " + std::to_string(compared) +
+                   ": master " + to_string(mw[compared]) + " vs checker " +
+                   to_string(cw[compared]);
+        break;
+      }
+      ++compared;
+    }
+    if (r.detected) break;
+
+    // Master finished but the checker produced extra writes (or vice versa).
+    if (!master_running && cw.size() > mw.size()) {
+      r.detected = true;
+      r.detect_cycle = cycle;
+      r.detail = "checker produced extra write(s)";
+      break;
+    }
+    if (!checker_running && checker.halt_reason() != iss::HaltReason::kRunning &&
+        !master_running && cw.size() < mw.size()) {
+      r.detected = true;
+      r.detect_cycle = cycle;
+      r.detail = "checker missing write(s)";
+      break;
+    }
+  }
+
+  if (!r.detected) {
+    // Hang detection: one side still running at the cycle budget, or
+    // mismatched halt states with incomplete write streams.
+    const auto& mw = master.offcore().writes();
+    const auto& cw = checker.offcore().writes();
+    if (mw.size() != cw.size() ||
+        master.halt_reason() != checker.halt_reason()) {
+      r.detected = true;
+      r.detect_cycle =
+          std::max(master.cycles(), checker.cycles());
+      r.detail = "post-run divergence (halt state or write count)";
+    }
+  }
+  if (r.detected) {
+    r.detection_latency = r.detect_cycle > fault.inject_cycle
+                              ? r.detect_cycle - fault.inject_cycle
+                              : 0;
+  }
+  r.master_halt = master.halt_reason();
+  r.checker_halt = checker.halt_reason();
+  return r;
+}
+
+}  // namespace issrtl::fault

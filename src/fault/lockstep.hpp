@@ -1,0 +1,31 @@
+// Light-lockstep checker: two cores executing the same program with their
+// off-core activity compared every cycle, the error-detection arrangement of
+// the Infineon AURIX / ST SPC56XL parts the paper targets (and of LiVe [7]).
+#pragma once
+
+#include <optional>
+
+#include "isa/program.hpp"
+#include "fault/campaign.hpp"
+#include "rtlcore/core.hpp"
+
+namespace issrtl::fault {
+
+struct LockstepResult {
+  bool detected = false;
+  u64 detect_cycle = 0;       ///< cycle at which the comparator fired
+  u64 detection_latency = 0;  ///< cycles from injection to detection
+  std::string detail;
+  iss::HaltReason master_halt = iss::HaltReason::kRunning;
+  iss::HaltReason checker_halt = iss::HaltReason::kRunning;
+};
+
+/// Run master (fault-free) and checker (with `fault` armed at its instant)
+/// in cycle-lockstep, comparing bus writes as they are emitted. Detection
+/// fires on the first differing/extra/missing write, or on checker
+/// hang/divergence past the watchdog.
+LockstepResult run_lockstep(const isa::Program& prog, const FaultSite& fault,
+                            u64 max_cycles = 10'000'000,
+                            const rtlcore::CoreConfig& core_cfg = {});
+
+}  // namespace issrtl::fault

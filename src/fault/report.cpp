@@ -1,0 +1,57 @@
+#include "fault/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace issrtl::fault {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string TextTable::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace issrtl::fault

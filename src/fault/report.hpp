@@ -1,0 +1,29 @@
+// Plain-text table/report helpers shared by benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace issrtl::fault {
+
+/// Fixed-width text table with a markdown-ish rendering.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  /// Helpers for numeric cells.
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace issrtl::fault

@@ -1,0 +1,571 @@
+#include "isa/asm_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/decode.hpp"
+#include "isa/encode.hpp"
+#include "isa/registers.hpp"
+
+namespace issrtl::isa {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line model
+
+enum class Section : u8 { kText, kData };
+
+struct Line {
+  std::size_t number = 0;
+  std::string label;        // without ':'
+  std::string mnemonic;     // lowercase, "" for label-only / directive lines
+  bool annul = false;       // ",a" suffix on branches
+  std::vector<std::string> operands;
+  bool is_directive = false;
+  Section section = Section::kText;  // filled in pass 1
+};
+
+std::string strip(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Split operands on top-level commas (commas inside [...] or (...) group).
+std::vector<std::string> split_operands(const std::string& s,
+                                        std::size_t line) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (depth < 0) throw AsmParseError(line, "unbalanced brackets");
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (depth != 0) throw AsmParseError(line, "unbalanced brackets");
+  const std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symbols and expressions
+
+struct SymbolTable {
+  std::map<std::string, u32> values;
+
+  u32 lookup(const std::string& name, std::size_t line) const {
+    const auto it = values.find(name);
+    if (it == values.end()) {
+      throw AsmParseError(line, "undefined symbol '" + name + "'");
+    }
+    return it->second;
+  }
+};
+
+bool is_number_start(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+';
+}
+
+std::optional<i64> parse_number(const std::string& t) {
+  if (t.empty() || !is_number_start(t[0])) return std::nullopt;
+  std::size_t pos = 0;
+  try {
+    const i64 v = std::stoll(t, &pos, 0);  // handles 0x..., decimal, sign
+    if (pos != t.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Evaluate an operand expression: number | symbol | %hi(expr) | %lo(expr).
+i64 eval_expr(const std::string& raw, const SymbolTable& syms,
+              std::size_t line) {
+  const std::string t = strip(raw);
+  if (t.empty()) throw AsmParseError(line, "empty expression");
+  const std::string lt = lower(t);
+  if (lt.rfind("%hi(", 0) == 0 && t.back() == ')') {
+    const i64 inner = eval_expr(t.substr(4, t.size() - 5), syms, line);
+    return (static_cast<u32>(inner) >> 10) & 0x3FFFFF;
+  }
+  if (lt.rfind("%lo(", 0) == 0 && t.back() == ')') {
+    const i64 inner = eval_expr(t.substr(4, t.size() - 5), syms, line);
+    return static_cast<u32>(inner) & 0x3FF;
+  }
+  if (const auto n = parse_number(t)) return *n;
+  return syms.lookup(t, line);
+}
+
+std::optional<u8> parse_reg(const std::string& raw) {
+  const std::string t = lower(strip(raw));
+  if (t.size() < 2 || t[0] != '%') return std::nullopt;
+  if (t == "%sp") return reg_num(kSp);
+  if (t == "%fp") return reg_num(kFp);
+  if (t[1] == 'r') {
+    const auto n = parse_number(t.substr(2));
+    if (n && *n >= 0 && *n < 32) return static_cast<u8>(*n);
+    return std::nullopt;
+  }
+  static constexpr std::string_view kGroups = "goli";
+  const auto g = kGroups.find(t[1]);
+  if (g == std::string_view::npos || t.size() != 3) return std::nullopt;
+  if (t[2] < '0' || t[2] > '7') return std::nullopt;
+  return static_cast<u8>(8 * g + (t[2] - '0'));
+}
+
+/// Parsed "second operand": register or simm13 value.
+struct Operand2 {
+  bool is_reg = false;
+  u8 reg = 0;
+  i32 imm = 0;
+};
+
+Operand2 parse_op2(const std::string& t, const SymbolTable& syms,
+                   std::size_t line) {
+  if (const auto r = parse_reg(t)) return {true, *r, 0};
+  const i64 v = eval_expr(t, syms, line);
+  if (v < -4096 || v > 4095) {
+    throw AsmParseError(line, "immediate out of simm13 range: " + t);
+  }
+  return {false, 0, static_cast<i32>(v)};
+}
+
+/// Memory operand "[%r]", "[%r + imm]", "[%r - imm]", "[%r + %r]".
+struct MemOperand {
+  u8 rs1 = 0;
+  Operand2 op2;
+};
+
+MemOperand parse_mem(const std::string& raw, const SymbolTable& syms,
+                     std::size_t line) {
+  const std::string t = strip(raw);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    throw AsmParseError(line, "expected memory operand [...], got '" + t + "'");
+  }
+  const std::string inner = strip(t.substr(1, t.size() - 2));
+  // Find a top-level '+' or '-' separating base and offset (skip the
+  // leading register's '%').
+  std::size_t split = std::string::npos;
+  char sign = '+';
+  int depth = 0;
+  for (std::size_t i = 1; i < inner.size(); ++i) {
+    const char c = inner[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0 && (c == '+' || c == '-')) {
+      split = i;
+      sign = c;
+      break;
+    }
+  }
+  MemOperand m;
+  const std::string base =
+      split == std::string::npos ? inner : strip(inner.substr(0, split));
+  const auto rs1 = parse_reg(base);
+  if (!rs1) throw AsmParseError(line, "bad base register in '" + t + "'");
+  m.rs1 = *rs1;
+  if (split == std::string::npos) {
+    m.op2 = {false, 0, 0};
+  } else {
+    std::string rest = strip(inner.substr(split + 1));
+    if (sign == '-') rest = "-" + rest;
+    m.op2 = parse_op2(rest, syms, line);
+    if (sign == '-' && m.op2.is_reg) {
+      throw AsmParseError(line, "register offsets cannot be negated");
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Mnemonic tables
+
+const std::map<std::string, Opcode>& f3_mnemonics() {
+  static const std::map<std::string, Opcode> m = [] {
+    std::map<std::string, Opcode> out;
+    for (std::size_t i = 1; i < kNumOpcodes; ++i) {
+      const auto op = static_cast<Opcode>(i);
+      if (op3_arith(op) != 0xFF || op3_mem(op) != 0xFF) {
+        out[std::string(mnemonic(op))] = op;
+      }
+    }
+    // std is spelt "std" in gas (our table uses "std" already via mnemonic).
+    out.erase("rd %y");
+    out.erase("wr %y");
+    out.erase("jmpl");
+    out.erase("ta");
+    out.erase("flush");
+    return out;
+  }();
+  return m;
+}
+
+const std::map<std::string, Opcode>& branch_mnemonics() {
+  static const std::map<std::string, Opcode> m = [] {
+    std::map<std::string, Opcode> out;
+    for (u8 c = 0; c < 16; ++c) {
+      const Opcode op = branch_from_cond(c);
+      out[std::string(mnemonic(op))] = op;
+    }
+    out["b"] = Opcode::kBA;      // gas alias
+    out["bnz"] = Opcode::kBNE;
+    out["bz"] = Opcode::kBE;
+    out["bgeu"] = Opcode::kBCC;
+    out["blu"] = Opcode::kBCS;
+    return out;
+  }();
+  return m;
+}
+
+bool is_load(Opcode op) {
+  return opcode_info(op).iclass == InstClass::kLoad ||
+         op == Opcode::kLDSTUB || op == Opcode::kSWAP;
+}
+bool is_store(Opcode op) {
+  return opcode_info(op).iclass == InstClass::kStore;
+}
+
+/// Number of instruction words a parsed line will emit (pass 1).
+u32 instr_words(const Line& ln) {
+  if (ln.mnemonic == "set") return 2;
+  return 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+Program assemble_text(const std::string& source, const AsmOptions& opts) {
+  // ---- lex into lines -------------------------------------------------------
+  std::vector<Line> lines;
+  {
+    std::istringstream in(source);
+    std::string raw;
+    std::size_t number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      // Strip comments.
+      for (const char marker : {'!', '#'}) {
+        const auto p = raw.find(marker);
+        if (p != std::string::npos) raw.erase(p);
+      }
+      std::string text = strip(raw);
+      while (!text.empty()) {
+        Line ln;
+        ln.number = number;
+        // Leading label(s).
+        const auto colon = text.find(':');
+        const auto space = text.find_first_of(" \t");
+        if (colon != std::string::npos && (space == std::string::npos ||
+                                           colon < space)) {
+          ln.label = strip(text.substr(0, colon));
+          if (ln.label.empty()) throw AsmParseError(number, "empty label");
+          text = strip(text.substr(colon + 1));
+          if (text.empty()) {
+            lines.push_back(ln);
+            break;
+          }
+        }
+        // Mnemonic and operands.
+        const auto sp = text.find_first_of(" \t");
+        std::string mn = lower(sp == std::string::npos ? text
+                                                       : text.substr(0, sp));
+        std::string rest =
+            sp == std::string::npos ? "" : strip(text.substr(sp + 1));
+        if (const auto comma = mn.find(",a"); comma != std::string::npos &&
+                                              comma == mn.size() - 2) {
+          ln.annul = true;
+          mn = mn.substr(0, comma);
+        }
+        ln.mnemonic = mn;
+        ln.is_directive = !mn.empty() && mn[0] == '.';
+        ln.operands = split_operands(rest, number);
+        lines.push_back(ln);
+        break;
+      }
+    }
+  }
+
+  // ---- pass 1: addresses ----------------------------------------------------
+  SymbolTable syms;
+  {
+    Section section = Section::kText;
+    u32 pc = opts.code_base;
+    u32 dc = opts.data_base;
+    auto align_data = [&](u32 a) { dc = (dc + a - 1) & ~(a - 1); };
+    for (Line& ln : lines) {
+      // Alignment implied by the directive happens *before* any label on the
+      // same line binds (a label names the datum that follows it).
+      if (ln.is_directive) {
+        const std::string& d = ln.mnemonic;
+        if (d == ".text") section = Section::kText;
+        else if (d == ".data") section = Section::kData;
+        else if (d == ".word") align_data(4);
+        else if (d == ".half") align_data(2);
+        else if (d == ".align") {
+          const u32 a = static_cast<u32>(
+              eval_expr(ln.operands.at(0), syms, ln.number));
+          if (a == 0 || (a & (a - 1)) != 0) {
+            throw AsmParseError(ln.number, ".align must be a power of two");
+          }
+          if (section == Section::kData) align_data(a);
+          else pc = (pc + a - 1) & ~(a - 1);
+        }
+      }
+      ln.section = section;
+      if (!ln.label.empty()) {
+        if (syms.values.contains(ln.label)) {
+          throw AsmParseError(ln.number, "duplicate label '" + ln.label + "'");
+        }
+        syms.values[ln.label] = section == Section::kText ? pc : dc;
+      }
+      if (ln.mnemonic.empty()) continue;
+      if (ln.is_directive) {
+        const std::string& d = ln.mnemonic;
+        if (d == ".word") dc += 4 * static_cast<u32>(std::max<std::size_t>(1, ln.operands.size()));
+        else if (d == ".half") dc += 2 * static_cast<u32>(std::max<std::size_t>(1, ln.operands.size()));
+        else if (d == ".byte") dc += static_cast<u32>(std::max<std::size_t>(1, ln.operands.size()));
+        else if (d == ".space") {
+          if (ln.operands.size() != 1) throw AsmParseError(ln.number, ".space needs a size");
+          dc += static_cast<u32>(eval_expr(ln.operands[0], syms, ln.number));
+        } else if (d == ".equ") {
+          if (ln.operands.size() != 2) throw AsmParseError(ln.number, ".equ name, value");
+          syms.values[ln.operands[0]] =
+              static_cast<u32>(eval_expr(ln.operands[1], syms, ln.number));
+        } else if (d == ".text" || d == ".data" || d == ".align" ||
+                   d == ".global") {
+          // handled above / no layout effect
+        } else {
+          throw AsmParseError(ln.number, "unknown directive '" + d + "'");
+        }
+        continue;
+      }
+      if (section == Section::kData) {
+        throw AsmParseError(ln.number, "instruction in .data section");
+      }
+      pc += 4 * instr_words(ln);
+    }
+  }
+
+  // ---- pass 2: emit ----------------------------------------------------------
+  Program prog;
+  prog.name = opts.name;
+  prog.code_base = opts.code_base;
+  prog.data_base = opts.data_base;
+  prog.entry = opts.code_base;
+  for (const auto& [name, value] : syms.values) prog.symbols[name] = value;
+
+  auto data_align = [&](u32 a) {
+    while (((prog.data_base + prog.data.size()) % a) != 0) prog.data.push_back(0);
+  };
+  auto emit_word = [&](u32 w) { prog.code.push_back(w); };
+
+  for (const Line& ln : lines) {
+    if (ln.mnemonic.empty()) continue;
+    const std::size_t n = ln.number;
+    const auto& ops = ln.operands;
+    auto need = [&](std::size_t k) {
+      if (ops.size() != k) {
+        throw AsmParseError(n, ln.mnemonic + ": expected " +
+                                   std::to_string(k) + " operands, got " +
+                                   std::to_string(ops.size()));
+      }
+    };
+    auto reg_at = [&](std::size_t i) {
+      const auto r = parse_reg(ops.at(i));
+      if (!r) throw AsmParseError(n, "expected register, got '" + ops.at(i) + "'");
+      return *r;
+    };
+
+    if (ln.is_directive) {
+      const std::string& d = ln.mnemonic;
+      if (d == ".word") {
+        data_align(4);
+        for (const auto& o : ops) {
+          const u32 v = static_cast<u32>(eval_expr(o, syms, n));
+          for (int b = 3; b >= 0; --b) prog.data.push_back(static_cast<u8>(v >> (8 * b)));
+        }
+      } else if (d == ".half") {
+        data_align(2);
+        for (const auto& o : ops) {
+          const u16 v = static_cast<u16>(eval_expr(o, syms, n));
+          prog.data.push_back(static_cast<u8>(v >> 8));
+          prog.data.push_back(static_cast<u8>(v));
+        }
+      } else if (d == ".byte") {
+        for (const auto& o : ops) {
+          prog.data.push_back(static_cast<u8>(eval_expr(o, syms, n)));
+        }
+      } else if (d == ".space") {
+        const u32 k = static_cast<u32>(eval_expr(ops[0], syms, n));
+        prog.data.insert(prog.data.end(), k, 0);
+      } else if (d == ".align" && ln.section == Section::kData) {
+        data_align(static_cast<u32>(eval_expr(ops[0], syms, n)));
+      } else if (d == ".align") {
+        const u32 a = static_cast<u32>(eval_expr(ops[0], syms, n));
+        while (((prog.code_base + 4 * prog.code.size()) % a) != 0) {
+          emit_word(encode_nop());
+        }
+      }
+      continue;
+    }
+
+    const u32 pc = prog.code_base + static_cast<u32>(4 * prog.code.size());
+    const std::string& mn = ln.mnemonic;
+
+    // Branches.
+    if (const auto it = branch_mnemonics().find(mn);
+        it != branch_mnemonics().end()) {
+      need(1);
+      const u32 target = static_cast<u32>(eval_expr(ops[0], syms, n));
+      emit_word(encode_branch(it->second, ln.annul,
+                              static_cast<i32>(target - pc)));
+      continue;
+    }
+    if (mn == "call") {
+      need(1);
+      const u32 target = static_cast<u32>(eval_expr(ops[0], syms, n));
+      emit_word(encode_call(static_cast<i32>(target - pc)));
+      continue;
+    }
+    if (mn == "sethi") {
+      need(2);
+      emit_word(encode_sethi(reg_at(1),
+                             static_cast<u32>(eval_expr(ops[0], syms, n))));
+      continue;
+    }
+    if (mn == "nop") { emit_word(encode_nop()); continue; }
+    if (mn == "set") {
+      need(2);
+      const u32 v = static_cast<u32>(eval_expr(ops[0], syms, n));
+      const u8 rd = reg_at(1);
+      emit_word(encode_sethi(rd, v >> 10));
+      emit_word(encode_f3_imm(Opcode::kOR, rd, rd,
+                              static_cast<i32>(v & 0x3FF)));
+      continue;
+    }
+    if (mn == "mov") {
+      need(2);
+      const Operand2 src = parse_op2(ops[0], syms, n);
+      const u8 rd = reg_at(1);
+      emit_word(src.is_reg ? encode_f3_reg(Opcode::kOR, rd, 0, src.reg)
+                           : encode_f3_imm(Opcode::kOR, rd, 0, src.imm));
+      continue;
+    }
+    if (mn == "cmp") {
+      need(2);
+      const u8 rs1 = reg_at(0);
+      const Operand2 b = parse_op2(ops[1], syms, n);
+      emit_word(b.is_reg ? encode_f3_reg(Opcode::kSUBCC, 0, rs1, b.reg)
+                         : encode_f3_imm(Opcode::kSUBCC, 0, rs1, b.imm));
+      continue;
+    }
+    if (mn == "clr") {
+      need(1);
+      emit_word(encode_f3_reg(Opcode::kOR, reg_at(0), 0, 0));
+      continue;
+    }
+    if (mn == "ret") { emit_word(encode_f3_imm(Opcode::kJMPL, 0, 31, 8)); continue; }
+    if (mn == "retl") { emit_word(encode_f3_imm(Opcode::kJMPL, 0, 15, 8)); continue; }
+    if (mn == "jmpl") {
+      need(2);
+      // jmpl %rs1 + op2, %rd
+      const std::string expr = ops[0];
+      const auto plus = expr.find('+');
+      const u8 rd = reg_at(1);
+      if (plus == std::string::npos) {
+        const auto rs1 = parse_reg(expr);
+        if (!rs1) throw AsmParseError(n, "jmpl: bad address");
+        emit_word(encode_f3_imm(Opcode::kJMPL, rd, *rs1, 0));
+      } else {
+        const auto rs1 = parse_reg(strip(expr.substr(0, plus)));
+        if (!rs1) throw AsmParseError(n, "jmpl: bad base register");
+        const Operand2 b = parse_op2(strip(expr.substr(plus + 1)), syms, n);
+        emit_word(b.is_reg ? encode_f3_reg(Opcode::kJMPL, rd, *rs1, b.reg)
+                           : encode_f3_imm(Opcode::kJMPL, rd, *rs1, b.imm));
+      }
+      continue;
+    }
+    if (mn == "ta") {
+      need(1);
+      emit_word(encode_ta(static_cast<u8>(eval_expr(ops[0], syms, n))));
+      continue;
+    }
+    if (mn == "rd") {
+      need(2);
+      if (lower(ops[0]) != "%y") throw AsmParseError(n, "rd: only %y supported");
+      emit_word(encode_f3_reg(Opcode::kRDY, reg_at(1), 0, 0));
+      continue;
+    }
+    if (mn == "wr") {
+      need(3);
+      if (lower(ops[2]) != "%y") throw AsmParseError(n, "wr: only %y supported");
+      const u8 rs1 = reg_at(0);
+      const Operand2 b = parse_op2(ops[1], syms, n);
+      emit_word(b.is_reg ? encode_f3_reg(Opcode::kWRY, 0, rs1, b.reg)
+                         : encode_f3_imm(Opcode::kWRY, 0, rs1, b.imm));
+      continue;
+    }
+    if (mn == "flush") {
+      need(1);
+      const MemOperand m = parse_mem(ops[0], syms, n);
+      emit_word(m.op2.is_reg
+                    ? encode_f3_reg(Opcode::kFLUSH, 0, m.rs1, m.op2.reg)
+                    : encode_f3_imm(Opcode::kFLUSH, 0, m.rs1, m.op2.imm));
+      continue;
+    }
+
+    // Plain format-3 instructions.
+    const auto it = f3_mnemonics().find(mn);
+    if (it == f3_mnemonics().end()) {
+      throw AsmParseError(n, "unknown mnemonic '" + mn + "'");
+    }
+    const Opcode op = it->second;
+    if (is_load(op)) {
+      need(2);
+      const MemOperand m = parse_mem(ops[0], syms, n);
+      const u8 rd = reg_at(1);
+      emit_word(m.op2.is_reg ? encode_f3_reg(op, rd, m.rs1, m.op2.reg)
+                             : encode_f3_imm(op, rd, m.rs1, m.op2.imm));
+      continue;
+    }
+    if (is_store(op)) {
+      need(2);
+      const u8 rd = reg_at(0);
+      const MemOperand m = parse_mem(ops[1], syms, n);
+      emit_word(m.op2.is_reg ? encode_f3_reg(op, rd, m.rs1, m.op2.reg)
+                             : encode_f3_imm(op, rd, m.rs1, m.op2.imm));
+      continue;
+    }
+    // Arithmetic: op rs1, operand2, rd.
+    need(3);
+    const u8 rs1 = reg_at(0);
+    const Operand2 b = parse_op2(ops[1], syms, n);
+    const u8 rd = reg_at(2);
+    emit_word(b.is_reg ? encode_f3_reg(op, rd, rs1, b.reg)
+                       : encode_f3_imm(op, rd, rs1, b.imm));
+  }
+
+  return prog;
+}
+
+}  // namespace issrtl::isa

@@ -1,0 +1,55 @@
+// Text assembler: parses gas-style SPARC V8 assembly into a Program.
+//
+// Complements the programmatic Assembler for users who want to feed the
+// simulators hand-written or tool-generated .s files. Supported subset:
+//
+//   labels:        name:
+//   directives:    .text .data .word .half .byte .space .align .equ .global
+//   instructions:  the full integer-unit ISA in gas operand order
+//                  (op rs1, operand2, rd), memory via [%r + off] / [%r + %r],
+//                  branches with optional ",a" annul suffix,
+//                  %hi()/%lo() operators, synthetic set/mov/cmp/nop/ret/retl,
+//                  rd %y / wr ..., ta n
+//   comments:      "!" or "#" to end of line
+//
+// Example:
+//   .data
+//   buf: .space 64
+//   .text
+//   start:
+//     set buf, %l0
+//     mov 10, %o1
+//   loop:
+//     subcc %o1, 1, %o1
+//     bne loop
+//     nop
+//     st %o1, [%l0 + 4]
+//     ta 0
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace issrtl::isa {
+
+class AsmParseError : public std::runtime_error {
+ public:
+  AsmParseError(std::size_t line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+struct AsmOptions {
+  std::string name = "asm";
+  u32 code_base = kDefaultCodeBase;
+  u32 data_base = kDefaultDataBase;
+};
+
+/// Assemble a complete source text. Throws AsmParseError with a line number
+/// on any syntax or range error.
+Program assemble_text(const std::string& source, const AsmOptions& opts = {});
+
+}  // namespace issrtl::isa

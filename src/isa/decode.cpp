@@ -1,0 +1,224 @@
+#include "isa/decode.hpp"
+
+namespace issrtl::isa {
+
+u8 op3_arith(Opcode op) {
+  switch (op) {
+    case Opcode::kADD: return 0x00;
+    case Opcode::kAND: return 0x01;
+    case Opcode::kOR: return 0x02;
+    case Opcode::kXOR: return 0x03;
+    case Opcode::kSUB: return 0x04;
+    case Opcode::kANDN: return 0x05;
+    case Opcode::kORN: return 0x06;
+    case Opcode::kXNOR: return 0x07;
+    case Opcode::kADDX: return 0x08;
+    case Opcode::kUMUL: return 0x0A;
+    case Opcode::kSMUL: return 0x0B;
+    case Opcode::kSUBX: return 0x0C;
+    case Opcode::kUDIV: return 0x0E;
+    case Opcode::kSDIV: return 0x0F;
+    case Opcode::kADDCC: return 0x10;
+    case Opcode::kANDCC: return 0x11;
+    case Opcode::kORCC: return 0x12;
+    case Opcode::kXORCC: return 0x13;
+    case Opcode::kSUBCC: return 0x14;
+    case Opcode::kANDNCC: return 0x15;
+    case Opcode::kORNCC: return 0x16;
+    case Opcode::kXNORCC: return 0x17;
+    case Opcode::kADDXCC: return 0x18;
+    case Opcode::kUMULCC: return 0x1A;
+    case Opcode::kSMULCC: return 0x1B;
+    case Opcode::kSUBXCC: return 0x1C;
+    case Opcode::kUDIVCC: return 0x1E;
+    case Opcode::kSDIVCC: return 0x1F;
+    case Opcode::kTADDCC: return 0x20;
+    case Opcode::kTSUBCC: return 0x21;
+    case Opcode::kMULSCC: return 0x24;
+    case Opcode::kSLL: return 0x25;
+    case Opcode::kSRL: return 0x26;
+    case Opcode::kSRA: return 0x27;
+    case Opcode::kRDY: return 0x28;
+    case Opcode::kWRY: return 0x30;
+    case Opcode::kJMPL: return 0x38;
+    case Opcode::kTA: return 0x3A;
+    case Opcode::kFLUSH: return 0x3B;
+    case Opcode::kSAVE: return 0x3C;
+    case Opcode::kRESTORE: return 0x3D;
+    default: return 0xFF;
+  }
+}
+
+u8 op3_mem(Opcode op) {
+  switch (op) {
+    case Opcode::kLD: return 0x00;
+    case Opcode::kLDUB: return 0x01;
+    case Opcode::kLDUH: return 0x02;
+    case Opcode::kLDD: return 0x03;
+    case Opcode::kST: return 0x04;
+    case Opcode::kSTB: return 0x05;
+    case Opcode::kSTH: return 0x06;
+    case Opcode::kSTD: return 0x07;
+    case Opcode::kLDSB: return 0x09;
+    case Opcode::kLDSH: return 0x0A;
+    case Opcode::kLDSTUB: return 0x0D;
+    case Opcode::kSWAP: return 0x0F;
+    default: return 0xFF;
+  }
+}
+
+Opcode opcode_from_op3_arith(u8 op3) {
+  switch (op3 & 0x3F) {
+    case 0x00: return Opcode::kADD;
+    case 0x01: return Opcode::kAND;
+    case 0x02: return Opcode::kOR;
+    case 0x03: return Opcode::kXOR;
+    case 0x04: return Opcode::kSUB;
+    case 0x05: return Opcode::kANDN;
+    case 0x06: return Opcode::kORN;
+    case 0x07: return Opcode::kXNOR;
+    case 0x08: return Opcode::kADDX;
+    case 0x0A: return Opcode::kUMUL;
+    case 0x0B: return Opcode::kSMUL;
+    case 0x0C: return Opcode::kSUBX;
+    case 0x0E: return Opcode::kUDIV;
+    case 0x0F: return Opcode::kSDIV;
+    case 0x10: return Opcode::kADDCC;
+    case 0x11: return Opcode::kANDCC;
+    case 0x12: return Opcode::kORCC;
+    case 0x13: return Opcode::kXORCC;
+    case 0x14: return Opcode::kSUBCC;
+    case 0x15: return Opcode::kANDNCC;
+    case 0x16: return Opcode::kORNCC;
+    case 0x17: return Opcode::kXNORCC;
+    case 0x18: return Opcode::kADDXCC;
+    case 0x1A: return Opcode::kUMULCC;
+    case 0x1B: return Opcode::kSMULCC;
+    case 0x1C: return Opcode::kSUBXCC;
+    case 0x1E: return Opcode::kUDIVCC;
+    case 0x1F: return Opcode::kSDIVCC;
+    case 0x20: return Opcode::kTADDCC;
+    case 0x21: return Opcode::kTSUBCC;
+    case 0x24: return Opcode::kMULSCC;
+    case 0x25: return Opcode::kSLL;
+    case 0x26: return Opcode::kSRL;
+    case 0x27: return Opcode::kSRA;
+    case 0x28: return Opcode::kRDY;
+    case 0x30: return Opcode::kWRY;
+    case 0x38: return Opcode::kJMPL;
+    case 0x3A: return Opcode::kTA;
+    case 0x3B: return Opcode::kFLUSH;
+    case 0x3C: return Opcode::kSAVE;
+    case 0x3D: return Opcode::kRESTORE;
+    default: return Opcode::kInvalid;
+  }
+}
+
+Opcode opcode_from_op3_mem(u8 op3) {
+  switch (op3 & 0x3F) {
+    case 0x00: return Opcode::kLD;
+    case 0x01: return Opcode::kLDUB;
+    case 0x02: return Opcode::kLDUH;
+    case 0x03: return Opcode::kLDD;
+    case 0x04: return Opcode::kST;
+    case 0x05: return Opcode::kSTB;
+    case 0x06: return Opcode::kSTH;
+    case 0x07: return Opcode::kSTD;
+    case 0x09: return Opcode::kLDSB;
+    case 0x0A: return Opcode::kLDSH;
+    case 0x0D: return Opcode::kLDSTUB;
+    case 0x0F: return Opcode::kSWAP;
+    default: return Opcode::kInvalid;
+  }
+}
+
+DecodedInst decode(u32 word) {
+  DecodedInst d;
+  d.raw = word;
+  const u32 op = bits(word, 31, 30);
+
+  switch (op) {
+    case 0: {  // format 2: SETHI / Bicc
+      const u32 op2 = bits(word, 24, 22);
+      if (op2 == 0x4) {  // SETHI
+        d.opcode = Opcode::kSETHI;
+        d.rd = static_cast<u8>(bits(word, 29, 25));
+        d.imm22 = bits(word, 21, 0);
+      } else if (op2 == 0x2) {  // Bicc
+        const u8 cond = static_cast<u8>(bits(word, 28, 25));
+        d.opcode = branch_from_cond(cond);
+        d.annul = bit(word, 29) != 0;
+        d.disp = sign_extend(bits(word, 21, 0), 22) * 4;
+      }
+      break;
+    }
+    case 1: {  // format 1: CALL
+      d.opcode = Opcode::kCALL;
+      d.rd = 15;  // %o7
+      d.disp = sign_extend(bits(word, 29, 0), 30) * 4;
+      break;
+    }
+    case 2: {  // format 3: arithmetic / control
+      const u8 op3 = static_cast<u8>(bits(word, 24, 19));
+      d.opcode = opcode_from_op3_arith(op3);
+      d.rd = static_cast<u8>(bits(word, 29, 25));
+      d.rs1 = static_cast<u8>(bits(word, 18, 14));
+      d.uses_imm = bit(word, 13) != 0;
+      if (d.uses_imm) {
+        d.simm13 = sign_extend(bits(word, 12, 0), 13);
+      } else {
+        d.rs2 = static_cast<u8>(bits(word, 4, 0));
+      }
+      if (d.opcode == Opcode::kTA) {
+        // Ticc: cond in bits 28:25; only trap-always (cond=8) is supported.
+        if (bits(word, 28, 25) != 0x8) {
+          d.opcode = Opcode::kInvalid;
+          break;
+        }
+        d.trap_num = static_cast<u8>(
+            d.uses_imm ? (static_cast<u32>(d.simm13) & 0x7F) : d.rs2);
+        d.rd = 0;
+      }
+      if (d.opcode == Opcode::kRDY) {
+        // RDY ignores rs1 and operand-2 fields; canonicalise them so that
+        // decode -> disassemble -> assemble round-trips exactly.
+        d.rs1 = 0;
+        d.rs2 = 0;
+        d.uses_imm = false;
+        d.simm13 = 0;
+      }
+      if (d.opcode == Opcode::kWRY) d.rd = 0;
+      if (d.opcode == Opcode::kFLUSH) d.rd = 0;  // rd is ignored by FLUSH
+      break;
+    }
+    case 3: {  // format 3: memory
+      const u8 op3 = static_cast<u8>(bits(word, 24, 19));
+      d.opcode = opcode_from_op3_mem(op3);
+      d.rd = static_cast<u8>(bits(word, 29, 25));
+      d.rs1 = static_cast<u8>(bits(word, 18, 14));
+      d.uses_imm = bit(word, 13) != 0;
+      if (d.uses_imm) {
+        d.simm13 = sign_extend(bits(word, 12, 0), 13);
+      } else {
+        // ASI field (bits 12:5) must be zero for our user-mode subset.
+        if (bits(word, 12, 5) != 0) {
+          d.opcode = Opcode::kInvalid;
+          break;
+        }
+        d.rs2 = static_cast<u8>(bits(word, 4, 0));
+      }
+      // LDD/STD require an even destination register pair.
+      if ((d.opcode == Opcode::kLDD || d.opcode == Opcode::kSTD) &&
+          (d.rd & 1) != 0) {
+        d.opcode = Opcode::kInvalid;
+        break;
+      }
+      break;
+    }
+  }
+
+  d.iclass = opcode_info(d.opcode).iclass;
+  return d;
+}
+
+}  // namespace issrtl::isa

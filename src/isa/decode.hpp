@@ -1,0 +1,48 @@
+// SPARC V8 instruction word decoder.
+//
+// Shared by the ISS (functional emulator) and by the RTL core's decode stage:
+// both derive from the same ISA specification, as a real ISS and RTL design
+// would. The decoded form is a plain struct so the RTL stage can expose its
+// fields as injectable pipeline-register bits.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace issrtl::isa {
+
+/// Fully decoded instruction fields. `disp` values are byte offsets already
+/// shifted left by 2 and sign-extended, relative to the instruction address.
+struct DecodedInst {
+  u32 raw = 0;
+  Opcode opcode = Opcode::kInvalid;
+  InstClass iclass = InstClass::kInvalid;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  bool uses_imm = false;   ///< i-bit: second operand is simm13
+  i32 simm13 = 0;
+  u32 imm22 = 0;           ///< SETHI payload
+  bool annul = false;      ///< Bicc a-bit
+  i32 disp = 0;            ///< Bicc/CALL displacement in bytes
+  u8 trap_num = 0;         ///< software trap number for TA (rs2/simm7)
+
+  bool valid() const noexcept { return opcode != Opcode::kInvalid; }
+};
+
+/// Decode one 32-bit instruction word. Unknown encodings return
+/// opcode == kInvalid (the cores raise an illegal-instruction trap).
+DecodedInst decode(u32 word);
+
+/// op3 field value (format 3) for an arithmetic/control opcode, or 0xFF if
+/// the opcode is not a format-3 op=2 instruction.
+u8 op3_arith(Opcode op);
+
+/// op3 field value (format 3) for a memory opcode, or 0xFF.
+u8 op3_mem(Opcode op);
+
+/// Inverse lookups used by decode(); exposed for table round-trip tests.
+Opcode opcode_from_op3_arith(u8 op3);
+Opcode opcode_from_op3_mem(u8 op3);
+
+}  // namespace issrtl::isa

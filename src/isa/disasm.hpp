@@ -1,0 +1,18 @@
+// Minimal SPARC V8 disassembler for traces, debugging and reports.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/decode.hpp"
+
+namespace issrtl::isa {
+
+/// Render one decoded instruction at address `pc` in gas-like syntax,
+/// e.g. "add %o1, 4, %o2" or "bne,a 0x40000010".
+std::string disassemble(const DecodedInst& d, u32 pc);
+
+/// Decode-then-render convenience.
+std::string disassemble(u32 word, u32 pc);
+
+}  // namespace issrtl::isa

@@ -1,0 +1,68 @@
+#include "isa/encode.hpp"
+
+#include "isa/decode.hpp"
+
+namespace issrtl::isa {
+
+namespace {
+void require(bool cond, const char* msg) {
+  if (!cond) throw EncodeError(msg);
+}
+}  // namespace
+
+u32 encode_call(i32 byte_disp) {
+  require((byte_disp & 3) == 0, "call displacement must be word aligned");
+  const u32 disp30 = static_cast<u32>(byte_disp >> 2) & 0x3FFF'FFFFu;
+  return (1u << 30) | disp30;
+}
+
+u32 encode_sethi(u8 rd, u32 imm22) {
+  require(rd < 32, "sethi: bad rd");
+  require(imm22 <= 0x3F'FFFFu, "sethi: imm22 out of range");
+  return (0u << 30) | (static_cast<u32>(rd) << 25) | (0x4u << 22) | imm22;
+}
+
+u32 encode_branch(Opcode op, bool annul, i32 byte_disp) {
+  require(is_branch(op), "encode_branch: not a Bicc opcode");
+  require((byte_disp & 3) == 0, "branch displacement must be word aligned");
+  const i32 disp22 = byte_disp >> 2;
+  require(disp22 >= -(1 << 21) && disp22 < (1 << 21),
+          "branch displacement out of range");
+  return (0u << 30) | (static_cast<u32>(annul) << 29) |
+         (static_cast<u32>(branch_cond(op)) << 25) | (0x2u << 22) |
+         (static_cast<u32>(disp22) & 0x3F'FFFFu);
+}
+
+namespace {
+u32 f3_common(Opcode op, u8 rd, u8 rs1) {
+  require(rd < 32 && rs1 < 32, "format3: bad register");
+  u8 op3 = op3_arith(op);
+  u32 opfield = 2;
+  if (op3 == 0xFF) {
+    op3 = op3_mem(op);
+    opfield = 3;
+    require(op3 != 0xFF, "format3: opcode has no op3 encoding");
+  }
+  return (opfield << 30) | (static_cast<u32>(rd) << 25) |
+         (static_cast<u32>(op3) << 19) | (static_cast<u32>(rs1) << 14);
+}
+}  // namespace
+
+u32 encode_f3_reg(Opcode op, u8 rd, u8 rs1, u8 rs2) {
+  require(rs2 < 32, "format3: bad rs2");
+  return f3_common(op, rd, rs1) | rs2;
+}
+
+u32 encode_f3_imm(Opcode op, u8 rd, u8 rs1, i32 simm13) {
+  require(simm13 >= -4096 && simm13 <= 4095, "format3: simm13 out of range");
+  return f3_common(op, rd, rs1) | (1u << 13) |
+         (static_cast<u32>(simm13) & 0x1FFFu);
+}
+
+u32 encode_ta(u8 trap_num) {
+  require(trap_num < 128, "ta: trap number out of range");
+  // Ticc with cond=8 (always), i=1, rs1=%g0.
+  return (2u << 30) | (0x8u << 25) | (0x3Au << 19) | (1u << 13) | trap_num;
+}
+
+}  // namespace issrtl::isa

@@ -1,0 +1,39 @@
+// SPARC V8 instruction word encoders (inverse of decode).
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+#include "isa/registers.hpp"
+
+namespace issrtl::isa {
+
+class EncodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CALL with byte displacement (must be 4-byte aligned, ±2^31 range).
+u32 encode_call(i32 byte_disp);
+
+/// SETHI %hi(imm22<<10), rd.
+u32 encode_sethi(u8 rd, u32 imm22);
+
+/// Bicc: branch opcode (kBA..kBVS), annul bit, byte displacement
+/// (4-byte aligned, ±2^23 range).
+u32 encode_branch(Opcode op, bool annul, i32 byte_disp);
+
+/// Format-3 register form (arithmetic/control and memory opcodes).
+u32 encode_f3_reg(Opcode op, u8 rd, u8 rs1, u8 rs2);
+
+/// Format-3 immediate form (simm13 in [-4096, 4095]).
+u32 encode_f3_imm(Opcode op, u8 rd, u8 rs1, i32 simm13);
+
+/// Ticc trap-always with a software trap number (0..127).
+u32 encode_ta(u8 trap_num);
+
+/// Canonical NOP: sethi 0, %g0.
+inline u32 encode_nop() { return encode_sethi(0, 0); }
+
+}  // namespace issrtl::isa

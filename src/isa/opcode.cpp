@@ -1,0 +1,196 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+#include "isa/registers.hpp"
+
+namespace issrtl::isa {
+
+namespace {
+
+constexpr u32 kBase = unit_bit(FuncUnit::Fetch) | unit_bit(FuncUnit::Decode) |
+                      unit_bit(FuncUnit::RegFile) | unit_bit(FuncUnit::ICache);
+constexpr u32 kAlu = kBase | unit_bit(FuncUnit::Alu);
+constexpr u32 kShift = kBase | unit_bit(FuncUnit::Shift);
+constexpr u32 kMul = kBase | unit_bit(FuncUnit::Mul) | unit_bit(FuncUnit::Special);
+constexpr u32 kDiv = kBase | unit_bit(FuncUnit::Div) | unit_bit(FuncUnit::Special);
+constexpr u32 kBr = kBase | unit_bit(FuncUnit::Branch);
+constexpr u32 kMem = kBase | unit_bit(FuncUnit::Alu) |
+                     unit_bit(FuncUnit::LoadStore) | unit_bit(FuncUnit::DCache);
+constexpr u32 kSpc = kBase | unit_bit(FuncUnit::Special);
+
+struct TableEntry {
+  Opcode op;
+  std::string_view mn;
+  InstClass cls;
+  u32 units;
+  u8 lat;
+  bool sets_icc;
+  bool reads_icc;
+  bool cti;
+};
+
+// Latencies loosely follow Leon3: single-cycle ALU, 4-cycle multiply,
+// 35-cycle divide, 2-cycle loads (cache hit).
+constexpr std::array<TableEntry, kNumOpcodes> kTable = {{
+    {Opcode::kInvalid, "<invalid>", InstClass::kInvalid, 0, 1, false, false, false},
+    {Opcode::kSETHI, "sethi", InstClass::kSethi, kAlu, 1, false, false, false},
+    {Opcode::kBA, "ba", InstClass::kBranch, kBr, 1, false, false, true},
+    {Opcode::kBN, "bn", InstClass::kBranch, kBr, 1, false, false, true},
+    {Opcode::kBNE, "bne", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBE, "be", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBG, "bg", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBLE, "ble", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBGE, "bge", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBL, "bl", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBGU, "bgu", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBLEU, "bleu", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBCC, "bcc", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBCS, "bcs", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBPOS, "bpos", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBNEG, "bneg", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBVC, "bvc", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kBVS, "bvs", InstClass::kBranch, kBr, 1, false, true, true},
+    {Opcode::kCALL, "call", InstClass::kCall, kBr, 1, false, false, true},
+    {Opcode::kADD, "add", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kADDCC, "addcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kADDX, "addx", InstClass::kAlu, kAlu, 1, false, true, false},
+    {Opcode::kADDXCC, "addxcc", InstClass::kAlu, kAlu, 1, true, true, false},
+    {Opcode::kSUB, "sub", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kSUBCC, "subcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kSUBX, "subx", InstClass::kAlu, kAlu, 1, false, true, false},
+    {Opcode::kSUBXCC, "subxcc", InstClass::kAlu, kAlu, 1, true, true, false},
+    {Opcode::kAND, "and", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kANDCC, "andcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kANDN, "andn", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kANDNCC, "andncc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kOR, "or", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kORCC, "orcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kORN, "orn", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kORNCC, "orncc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kXOR, "xor", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kXORCC, "xorcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kXNOR, "xnor", InstClass::kAlu, kAlu, 1, false, false, false},
+    {Opcode::kXNORCC, "xnorcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kSLL, "sll", InstClass::kShift, kShift, 1, false, false, false},
+    {Opcode::kSRL, "srl", InstClass::kShift, kShift, 1, false, false, false},
+    {Opcode::kSRA, "sra", InstClass::kShift, kShift, 1, false, false, false},
+    {Opcode::kUMUL, "umul", InstClass::kMul, kMul, 4, false, false, false},
+    {Opcode::kUMULCC, "umulcc", InstClass::kMul, kMul, 4, true, false, false},
+    {Opcode::kSMUL, "smul", InstClass::kMul, kMul, 4, false, false, false},
+    {Opcode::kSMULCC, "smulcc", InstClass::kMul, kMul, 4, true, false, false},
+    {Opcode::kUDIV, "udiv", InstClass::kDiv, kDiv, 35, false, false, false},
+    {Opcode::kUDIVCC, "udivcc", InstClass::kDiv, kDiv, 35, true, false, false},
+    {Opcode::kSDIV, "sdiv", InstClass::kDiv, kDiv, 35, false, false, false},
+    {Opcode::kSDIVCC, "sdivcc", InstClass::kDiv, kDiv, 35, true, false, false},
+    {Opcode::kMULSCC, "mulscc", InstClass::kAlu, kAlu | unit_bit(FuncUnit::Special), 1, true, true, false},
+    {Opcode::kTADDCC, "taddcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kTSUBCC, "tsubcc", InstClass::kAlu, kAlu, 1, true, false, false},
+    {Opcode::kRDY, "rd %y", InstClass::kReadSpecial, kSpc, 1, false, false, false},
+    {Opcode::kWRY, "wr %y", InstClass::kWriteSpecial, kSpc, 1, false, false, false},
+    {Opcode::kJMPL, "jmpl", InstClass::kJmpl, kBr | unit_bit(FuncUnit::Alu), 1, false, false, true},
+    {Opcode::kSAVE, "save", InstClass::kSaveRestore, kAlu | unit_bit(FuncUnit::Special), 1, false, false, false},
+    {Opcode::kRESTORE, "restore", InstClass::kSaveRestore, kAlu | unit_bit(FuncUnit::Special), 1, false, false, false},
+    {Opcode::kTA, "ta", InstClass::kTrap, kSpc | unit_bit(FuncUnit::Branch), 1, false, false, false},
+    {Opcode::kFLUSH, "flush", InstClass::kFlush, kBase, 1, false, false, false},
+    {Opcode::kLD, "ld", InstClass::kLoad, kMem, 2, false, false, false},
+    {Opcode::kLDUB, "ldub", InstClass::kLoad, kMem, 2, false, false, false},
+    {Opcode::kLDSB, "ldsb", InstClass::kLoad, kMem, 2, false, false, false},
+    {Opcode::kLDUH, "lduh", InstClass::kLoad, kMem, 2, false, false, false},
+    {Opcode::kLDSH, "ldsh", InstClass::kLoad, kMem, 2, false, false, false},
+    {Opcode::kLDD, "ldd", InstClass::kLoad, kMem, 3, false, false, false},
+    {Opcode::kST, "st", InstClass::kStore, kMem, 2, false, false, false},
+    {Opcode::kSTB, "stb", InstClass::kStore, kMem, 2, false, false, false},
+    {Opcode::kSTH, "sth", InstClass::kStore, kMem, 2, false, false, false},
+    {Opcode::kSTD, "std", InstClass::kStore, kMem, 3, false, false, false},
+    {Opcode::kLDSTUB, "ldstub", InstClass::kAtomic, kMem, 3, false, false, false},
+    {Opcode::kSWAP, "swap", InstClass::kAtomic, kMem, 3, false, false, false},
+}};
+
+constexpr std::array<std::string_view, kNumFuncUnits> kUnitNames = {
+    "fetch", "decode", "regfile", "alu", "shift", "mul",
+    "div", "branch", "loadstore", "special", "icache", "dcache"};
+
+}  // namespace
+
+std::string_view func_unit_name(FuncUnit u) {
+  return kUnitNames[static_cast<std::size_t>(u)];
+}
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  static const std::array<OpcodeInfo, kNumOpcodes> infos = [] {
+    std::array<OpcodeInfo, kNumOpcodes> out{};
+    for (const auto& e : kTable) {
+      out[static_cast<std::size_t>(e.op)] = OpcodeInfo{
+          e.op, e.mn, e.cls, e.units, e.lat, e.sets_icc, e.reads_icc, e.cti};
+    }
+    return out;
+  }();
+  const auto idx = static_cast<std::size_t>(op);
+  return infos[idx < kNumOpcodes ? idx : 0];
+}
+
+std::string_view mnemonic(Opcode op) { return opcode_info(op).mnemonic; }
+
+bool is_memory_op(Opcode op) {
+  const auto c = opcode_info(op).iclass;
+  return c == InstClass::kLoad || c == InstClass::kStore ||
+         c == InstClass::kAtomic;
+}
+
+bool is_branch(Opcode op) {
+  return opcode_info(op).iclass == InstClass::kBranch;
+}
+
+// SPARC V8 Bicc `cond` encodings.
+u8 branch_cond(Opcode op) {
+  switch (op) {
+    case Opcode::kBN: return 0x0;
+    case Opcode::kBE: return 0x1;
+    case Opcode::kBLE: return 0x2;
+    case Opcode::kBL: return 0x3;
+    case Opcode::kBLEU: return 0x4;
+    case Opcode::kBCS: return 0x5;
+    case Opcode::kBNEG: return 0x6;
+    case Opcode::kBVS: return 0x7;
+    case Opcode::kBA: return 0x8;
+    case Opcode::kBNE: return 0x9;
+    case Opcode::kBG: return 0xA;
+    case Opcode::kBGE: return 0xB;
+    case Opcode::kBGU: return 0xC;
+    case Opcode::kBCC: return 0xD;
+    case Opcode::kBPOS: return 0xE;
+    case Opcode::kBVC: return 0xF;
+    default: return 0x0;
+  }
+}
+
+Opcode branch_from_cond(u8 cond) {
+  switch (cond & 0xF) {
+    case 0x0: return Opcode::kBN;
+    case 0x1: return Opcode::kBE;
+    case 0x2: return Opcode::kBLE;
+    case 0x3: return Opcode::kBL;
+    case 0x4: return Opcode::kBLEU;
+    case 0x5: return Opcode::kBCS;
+    case 0x6: return Opcode::kBNEG;
+    case 0x7: return Opcode::kBVS;
+    case 0x8: return Opcode::kBA;
+    case 0x9: return Opcode::kBNE;
+    case 0xA: return Opcode::kBG;
+    case 0xB: return Opcode::kBGE;
+    case 0xC: return Opcode::kBGU;
+    case 0xD: return Opcode::kBCC;
+    case 0xE: return Opcode::kBPOS;
+    case 0xF: return Opcode::kBVC;
+  }
+  return Opcode::kInvalid;
+}
+
+std::string reg_name(unsigned reg) {
+  static constexpr std::array<char, 4> kGroup = {'g', 'o', 'l', 'i'};
+  if (reg >= 32) return "%r?" + std::to_string(reg);
+  return std::string("%") + kGroup[reg / 8] + std::to_string(reg % 8);
+}
+
+}  // namespace issrtl::isa

@@ -1,0 +1,135 @@
+// SPARC V8 integer-unit opcode inventory and static per-opcode metadata.
+//
+// The "instruction diversity" metric of the paper counts unique *instruction
+// types* (opcodes) executed by a workload, and relates each type to the
+// functional units it exercises. This table is the single source of truth for
+// both: the enum enumerates the types, OpcodeInfo carries the functional-unit
+// footprint and nominal latency used by the timing simulator.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace issrtl::isa {
+
+/// Functional units of the modelled Leon3-like microcontroller. Fetch/Decode
+/// are exercised by every instruction (paper §3 item 1); the others depend on
+/// the instruction type. ICache/DCache belong to the CMEM block, the rest to
+/// the IU.
+enum class FuncUnit : u8 {
+  Fetch = 0,
+  Decode,
+  RegFile,
+  Alu,
+  Shift,
+  Mul,
+  Div,
+  Branch,
+  LoadStore,   // address generation + D-side access path in the IU
+  Special,     // Y / PSR / window control
+  ICache,
+  DCache,
+  kCount,
+};
+
+inline constexpr std::size_t kNumFuncUnits =
+    static_cast<std::size_t>(FuncUnit::kCount);
+
+constexpr u32 unit_bit(FuncUnit u) noexcept {
+  return 1u << static_cast<unsigned>(u);
+}
+
+std::string_view func_unit_name(FuncUnit u);
+
+/// All instruction types the toolchain, ISS and RTL core implement.
+/// Each enumerator is one "instruction type" for the diversity metric
+/// (conditional branches are distinct types, as in the EEMBC characterisation
+/// where automotive kernels reach diversities near 47).
+enum class Opcode : u8 {
+  kInvalid = 0,
+  // Format 2
+  kSETHI,
+  kBA, kBN, kBNE, kBE, kBG, kBLE, kBGE, kBL, kBGU, kBLEU, kBCC, kBCS,
+  kBPOS, kBNEG, kBVC, kBVS,
+  // Format 1
+  kCALL,
+  // Format 3, op=2 (arithmetic / logical / shift / control)
+  kADD, kADDCC, kADDX, kADDXCC,
+  kSUB, kSUBCC, kSUBX, kSUBXCC,
+  kAND, kANDCC, kANDN, kANDNCC,
+  kOR, kORCC, kORN, kORNCC,
+  kXOR, kXORCC, kXNOR, kXNORCC,
+  kSLL, kSRL, kSRA,
+  kUMUL, kUMULCC, kSMUL, kSMULCC,
+  kUDIV, kUDIVCC, kSDIV, kSDIVCC,
+  kMULSCC,
+  kTADDCC, kTSUBCC,
+  kRDY, kWRY,
+  kJMPL,
+  kSAVE, kRESTORE,
+  kTA,          // trap-always; "ta 0" is the halt convention
+  kFLUSH,
+  // Format 3, op=3 (memory)
+  kLD, kLDUB, kLDSB, kLDUH, kLDSH, kLDD,
+  kST, kSTB, kSTH, kSTD,
+  kLDSTUB, kSWAP,
+  kCount,
+};
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kCount);
+
+/// Instruction class used by the decoders and the RTL control unit.
+enum class InstClass : u8 {
+  kInvalid,
+  kAlu,       // add/sub/logic (includes tagged add/sub)
+  kShift,
+  kMul,
+  kDiv,
+  kSethi,
+  kBranch,    // Bicc
+  kCall,
+  kJmpl,
+  kLoad,
+  kStore,
+  kAtomic,    // LDSTUB / SWAP (load + store in one instruction)
+  kSaveRestore,
+  kReadSpecial,   // RDY
+  kWriteSpecial,  // WRY
+  kTrap,      // TA
+  kFlush,
+};
+
+/// Static metadata for one opcode.
+struct OpcodeInfo {
+  Opcode opcode = Opcode::kInvalid;
+  std::string_view mnemonic;
+  InstClass iclass = InstClass::kInvalid;
+  u32 units = 0;        ///< OR of unit_bit(FuncUnit) this type exercises
+  u8 latency = 1;       ///< nominal execute latency (cycles) for the timing sim
+  bool sets_icc = false;
+  bool reads_icc = false;  ///< conditional branches and ADDX/SUBX family
+  bool is_cti = false;     ///< control-transfer instruction (has delay slot)
+};
+
+/// Lookup table entry for `op` (never null; unknown opcodes map to kInvalid).
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Mnemonic shorthand.
+std::string_view mnemonic(Opcode op);
+
+/// True when the type accesses data memory (loads, stores, atomics).
+bool is_memory_op(Opcode op);
+
+/// True for Bicc conditional/unconditional branches.
+bool is_branch(Opcode op);
+
+/// Branch condition code (SPARC `cond` field, 0..15) for Bicc opcodes.
+u8 branch_cond(Opcode op);
+
+/// Inverse of branch_cond.
+Opcode branch_from_cond(u8 cond);
+
+}  // namespace issrtl::isa

@@ -1,0 +1,52 @@
+// Executable program image: code + data sections plus metadata.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/memory.hpp"
+#include "common/types.hpp"
+
+namespace issrtl::isa {
+
+/// Default memory layout, mirroring the Leon3 RAM base at 0x40000000.
+inline constexpr u32 kDefaultCodeBase = 0x4000'0000;
+inline constexpr u32 kDefaultDataBase = 0x4010'0000;
+inline constexpr u32 kDefaultStackTop = 0x403F'FFF0;
+/// Stores at/above this address are treated as memory-mapped I/O by both
+/// cores (uncached, always off-core).
+inline constexpr u32 kIoBase = 0x8000'0000;
+
+struct Program {
+  std::string name;
+  u32 code_base = kDefaultCodeBase;
+  u32 data_base = kDefaultDataBase;
+  u32 entry = kDefaultCodeBase;
+  std::vector<u32> code;          ///< instruction words, in order
+  std::vector<u8> data;           ///< initialised data section
+  std::map<std::string, u32> symbols;
+
+  /// Load code (big-endian words) and data into a memory image.
+  void load_into(Memory& mem) const {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      mem.store_u32(code_base + static_cast<u32>(4 * i), code[i]);
+    }
+    if (!data.empty()) mem.write_block(data_base, data.data(), data.size());
+  }
+
+  u32 code_end() const noexcept {
+    return code_base + static_cast<u32>(4 * code.size());
+  }
+
+  /// Address of a named symbol; throws if absent.
+  u32 symbol(const std::string& name_) const {
+    const auto it = symbols.find(name_);
+    if (it == symbols.end()) {
+      throw std::out_of_range("unknown symbol: " + name_);
+    }
+    return it->second;
+  }
+};
+
+}  // namespace issrtl::isa

@@ -1,0 +1,48 @@
+// SPARC V8 integer register names and window mapping helpers.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace issrtl::isa {
+
+/// Architectural register number 0..31 as seen by an instruction:
+///   r0-r7   = %g0-%g7 (globals, %g0 hardwired to zero)
+///   r8-r15  = %o0-%o7 (outs; %o6 = %sp, %o7 = call return address)
+///   r16-r23 = %l0-%l7 (locals)
+///   r24-r31 = %i0-%i7 (ins; %i6 = %fp, %i7 = callee return address)
+enum class Reg : u8 {
+  g0 = 0, g1, g2, g3, g4, g5, g6, g7,
+  o0 = 8, o1, o2, o3, o4, o5, o6, o7,
+  l0 = 16, l1, l2, l3, l4, l5, l6, l7,
+  i0 = 24, i1, i2, i3, i4, i5, i6, i7,
+};
+
+inline constexpr Reg kSp = Reg::o6;  ///< stack pointer
+inline constexpr Reg kFp = Reg::i6;  ///< frame pointer
+
+constexpr u8 reg_num(Reg r) noexcept { return static_cast<u8>(r); }
+
+/// Number of register windows implemented (Leon3 default is 8).
+inline constexpr unsigned kNumWindows = 8;
+
+/// Total physical windowed registers (r8..r31 rotate through the windows).
+inline constexpr unsigned kWindowedRegs = kNumWindows * 16;
+
+/// Map an architectural register 0..31 under current window pointer `cwp`
+/// to a physical register file index.
+/// Globals occupy physical slots [0,8); windowed registers occupy
+/// [8, 8 + kWindowedRegs). SAVE decrements CWP (mod NWINDOWS), making the
+/// caller's outs the callee's ins, exactly as in SPARC V8.
+constexpr unsigned phys_reg_index(unsigned reg, unsigned cwp) noexcept {
+  if (reg < 8) return reg;
+  // Window w's 16 registers (r8..r23 portion) start at 8 + w*16; r24..r31
+  // (ins) overlap the next window's outs.
+  return 8 + ((cwp * 16 + (reg - 8)) % kWindowedRegs);
+}
+
+/// Printable register name ("%g0", "%o6", ...).
+std::string reg_name(unsigned reg);
+
+}  // namespace issrtl::isa

@@ -1,0 +1,462 @@
+#include "iss/emulator.hpp"
+
+#include "iss/timing.hpp"
+
+namespace issrtl::iss {
+
+using isa::DecodedInst;
+using isa::InstClass;
+using isa::Opcode;
+
+std::string_view halt_reason_name(HaltReason r) {
+  switch (r) {
+    case HaltReason::kRunning: return "running";
+    case HaltReason::kHalted: return "halted";
+    case HaltReason::kTrap: return "trap";
+    case HaltReason::kIllegalInstruction: return "illegal-instruction";
+    case HaltReason::kMisalignedAccess: return "misaligned-access";
+    case HaltReason::kDivisionByZero: return "division-by-zero";
+    case HaltReason::kWindowOverflow: return "window-overflow";
+    case HaltReason::kStepLimit: return "step-limit";
+  }
+  return "?";
+}
+
+Emulator::Emulator(Memory& mem) : mem_(mem) {}
+
+void Emulator::load(const isa::Program& prog) {
+  prog.load_into(mem_);
+  reset(prog.entry);
+}
+
+void Emulator::reset(u32 entry) {
+  state_.reset(entry);
+  trace_.clear();
+  offcore_.clear();
+  halt_ = HaltReason::kRunning;
+  trap_code_ = 0;
+  instret_ = 0;
+}
+
+HaltReason Emulator::halt_with(HaltReason r) {
+  halt_ = r;
+  return r;
+}
+
+void Emulator::advance_pc() {
+  state_.pc = state_.npc;
+  state_.npc += 4;
+}
+
+void Emulator::record_store(u32 addr, u8 size, u64 data) {
+  offcore_.record_write(instret_, addr, size, data);
+}
+
+void Emulator::arm_fault(const IssFault& fault) { faults_.push_back(fault); }
+void Emulator::clear_faults() { faults_.clear(); }
+
+void Emulator::apply_faults() {
+  for (IssFault& f : faults_) {
+    if (!f.armed) {
+      if (instret_ < f.inject_at_instr) continue;
+      f.armed = true;
+      f.frozen_value = (state_.regs[f.phys_reg] >> f.bit) & 1;
+      if (f.model == IssFaultModel::kBitFlip) {
+        state_.regs[f.phys_reg] ^= (1u << f.bit);
+        continue;  // transient: flip once, never enforce again
+      }
+    }
+    u32& r = state_.regs[f.phys_reg];
+    switch (f.model) {
+      case IssFaultModel::kStuckAt0: r &= ~(1u << f.bit); break;
+      case IssFaultModel::kStuckAt1: r |= (1u << f.bit); break;
+      case IssFaultModel::kOpenLine:
+        r = with_bit(r, f.bit, f.frozen_value);
+        break;
+      case IssFaultModel::kBitFlip: break;
+    }
+  }
+}
+
+namespace {
+
+struct Flags {
+  bool n, z, v, c;
+};
+
+Icc add_flags(u32 a, u32 b, u32 r, bool carry_in_used = false, bool cin = false) {
+  (void)carry_in_used;
+  (void)cin;
+  const bool n = (r >> 31) & 1;
+  const bool z = r == 0;
+  const bool v = (((a & b & ~r) | (~a & ~b & r)) >> 31) & 1;
+  const bool c = (((a & b) | ((a | b) & ~r)) >> 31) & 1;
+  return Icc::make(n, z, v, c);
+}
+
+Icc sub_flags(u32 a, u32 b, u32 r) {
+  const bool n = (r >> 31) & 1;
+  const bool z = r == 0;
+  const bool v = (((a & ~b & ~r) | (~a & b & r)) >> 31) & 1;
+  const bool c = (((~a & b) | (r & (~a | b))) >> 31) & 1;
+  return Icc::make(n, z, v, c);
+}
+
+Icc logic_flags(u32 r) {
+  return Icc::make((r >> 31) & 1, r == 0, false, false);
+}
+
+}  // namespace
+
+HaltReason Emulator::exec_memory(const DecodedInst& d, u32 pc) {
+  const u32 a = state_.get_reg(d.rs1);
+  const u32 b = d.uses_imm ? static_cast<u32>(d.simm13) : state_.get_reg(d.rs2);
+  const u32 addr = a + b;
+
+  auto aligned = [&](u32 align) { return (addr & (align - 1)) == 0; };
+
+  switch (d.opcode) {
+    case Opcode::kLD:
+      if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
+      state_.set_reg(d.rd, mem_.load_u32(addr));
+      break;
+    case Opcode::kLDUB:
+      state_.set_reg(d.rd, mem_.load_u8(addr));
+      break;
+    case Opcode::kLDSB:
+      state_.set_reg(d.rd, static_cast<u32>(static_cast<i32>(
+                               static_cast<i8>(mem_.load_u8(addr)))));
+      break;
+    case Opcode::kLDUH:
+      if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
+      state_.set_reg(d.rd, mem_.load_u16(addr));
+      break;
+    case Opcode::kLDSH:
+      if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
+      state_.set_reg(d.rd, static_cast<u32>(static_cast<i32>(
+                               static_cast<i16>(mem_.load_u16(addr)))));
+      break;
+    case Opcode::kLDD:
+      if (!aligned(8)) return halt_with(HaltReason::kMisalignedAccess);
+      state_.set_reg(d.rd, mem_.load_u32(addr));
+      state_.set_reg(d.rd + 1u, mem_.load_u32(addr + 4));
+      break;
+    case Opcode::kST:
+      if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
+      mem_.store_u32(addr, state_.get_reg(d.rd));
+      record_store(addr, 4, state_.get_reg(d.rd));
+      break;
+    case Opcode::kSTB:
+      mem_.store_u8(addr, static_cast<u8>(state_.get_reg(d.rd)));
+      record_store(addr, 1, state_.get_reg(d.rd) & 0xFF);
+      break;
+    case Opcode::kSTH:
+      if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
+      mem_.store_u16(addr, static_cast<u16>(state_.get_reg(d.rd)));
+      record_store(addr, 2, state_.get_reg(d.rd) & 0xFFFF);
+      break;
+    case Opcode::kSTD:
+      if (!aligned(8)) return halt_with(HaltReason::kMisalignedAccess);
+      mem_.store_u32(addr, state_.get_reg(d.rd));
+      mem_.store_u32(addr + 4, state_.get_reg(d.rd + 1u));
+      record_store(addr, 4, state_.get_reg(d.rd));
+      record_store(addr + 4, 4, state_.get_reg(d.rd + 1u));
+      break;
+    case Opcode::kLDSTUB: {
+      const u8 old = mem_.load_u8(addr);
+      mem_.store_u8(addr, 0xFF);
+      record_store(addr, 1, 0xFF);
+      state_.set_reg(d.rd, old);
+      break;
+    }
+    case Opcode::kSWAP: {
+      if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
+      const u32 old = mem_.load_u32(addr);
+      const u32 nv = state_.get_reg(d.rd);
+      mem_.store_u32(addr, nv);
+      record_store(addr, 4, nv);
+      state_.set_reg(d.rd, old);
+      break;
+    }
+    default:
+      return halt_with(HaltReason::kIllegalInstruction);
+  }
+
+  if (timing_ != nullptr) {
+    timing_->on_memory_access(addr, d.iclass != InstClass::kLoad);
+  }
+  (void)pc;
+  advance_pc();
+  return HaltReason::kRunning;
+}
+
+HaltReason Emulator::step() {
+  if (halt_ != HaltReason::kRunning) return halt_;
+
+  // Faults are enforced at instruction boundaries: a fault armed at
+  // inject_at_instr = N becomes visible before the (N+1)-th instruction reads
+  // its operands, and stuck-at/open-line overlays persist from then on.
+  if (!faults_.empty()) apply_faults();
+
+  const u32 pc = state_.pc;
+  if ((pc & 3) != 0) return halt_with(HaltReason::kMisalignedAccess);
+  const u32 word = mem_.load_u32(pc);
+  const DecodedInst d = isa::decode(word);
+
+  if (!d.valid()) return halt_with(HaltReason::kIllegalInstruction);
+
+  trace_.record(d.opcode);
+  ++instret_;
+  if (timing_ != nullptr) timing_->on_fetch(pc, d);
+
+  const u32 a = state_.get_reg(d.rs1);
+  const u32 b = d.uses_imm ? static_cast<u32>(d.simm13) : state_.get_reg(d.rs2);
+
+  switch (d.iclass) {
+    case InstClass::kSethi:
+      state_.set_reg(d.rd, d.imm22 << 10);
+      advance_pc();
+      break;
+
+    case InstClass::kAlu: {
+      u32 r = 0;
+      Icc icc = state_.icc;
+      bool write_icc = isa::opcode_info(d.opcode).sets_icc;
+      switch (d.opcode) {
+        case Opcode::kADD: case Opcode::kADDCC:
+          r = a + b;
+          if (write_icc) icc = add_flags(a, b, r);
+          break;
+        case Opcode::kADDX: case Opcode::kADDXCC: {
+          r = a + b + (state_.icc.c() ? 1 : 0);
+          if (write_icc) {
+            // Flag semantics of a 33-bit add: compute via 64-bit sum.
+            const u64 wide = static_cast<u64>(a) + b + (state_.icc.c() ? 1 : 0);
+            const bool n = (r >> 31) & 1;
+            const bool z = r == 0;
+            const bool v = ((~(a ^ b) & (a ^ r)) >> 31) & 1;
+            const bool c = (wide >> 32) & 1;
+            icc = Icc::make(n, z, v, c);
+          }
+          break;
+        }
+        case Opcode::kSUB: case Opcode::kSUBCC:
+          r = a - b;
+          if (write_icc) icc = sub_flags(a, b, r);
+          break;
+        case Opcode::kSUBX: case Opcode::kSUBXCC: {
+          const u32 cin = state_.icc.c() ? 1 : 0;
+          r = a - b - cin;
+          if (write_icc) {
+            const u64 wide = static_cast<u64>(a) - b - cin;
+            const bool n = (r >> 31) & 1;
+            const bool z = r == 0;
+            const bool v = (((a ^ b) & (a ^ r)) >> 31) & 1;
+            const bool c = (wide >> 63) & 1;  // borrow
+            icc = Icc::make(n, z, v, c);
+          }
+          break;
+        }
+        case Opcode::kAND: case Opcode::kANDCC: r = a & b; goto logic;
+        case Opcode::kANDN: case Opcode::kANDNCC: r = a & ~b; goto logic;
+        case Opcode::kOR: case Opcode::kORCC: r = a | b; goto logic;
+        case Opcode::kORN: case Opcode::kORNCC: r = a | ~b; goto logic;
+        case Opcode::kXOR: case Opcode::kXORCC: r = a ^ b; goto logic;
+        case Opcode::kXNOR: case Opcode::kXNORCC: r = ~(a ^ b); goto logic;
+        logic:
+          if (write_icc) icc = logic_flags(r);
+          break;
+        case Opcode::kTADDCC: {
+          r = a + b;
+          Icc f = add_flags(a, b, r);
+          const bool tag_v = ((a & 3) != 0) || ((b & 3) != 0) || f.v();
+          icc = Icc::make(f.n(), f.z(), tag_v, f.c());
+          break;
+        }
+        case Opcode::kTSUBCC: {
+          r = a - b;
+          Icc f = sub_flags(a, b, r);
+          const bool tag_v = ((a & 3) != 0) || ((b & 3) != 0) || f.v();
+          icc = Icc::make(f.n(), f.z(), tag_v, f.c());
+          break;
+        }
+        case Opcode::kMULSCC: {
+          // SPARC V8 multiply-step (B.17): one iteration of 32x32 multiply.
+          const u32 op1 = ((state_.icc.n() != state_.icc.v()) ? 0x8000'0000u
+                                                              : 0u) |
+                          (a >> 1);
+          const u32 op2 = (state_.y & 1) ? b : 0;
+          r = op1 + op2;
+          icc = add_flags(op1, op2, r);
+          state_.y = ((a & 1) << 31) | (state_.y >> 1);
+          write_icc = true;
+          break;
+        }
+        default:
+          return halt_with(HaltReason::kIllegalInstruction);
+      }
+      state_.set_reg(d.rd, r);
+      if (write_icc) state_.icc = icc;
+      advance_pc();
+      break;
+    }
+
+    case InstClass::kShift: {
+      const u32 count = b & 31;
+      u32 r = 0;
+      switch (d.opcode) {
+        case Opcode::kSLL: r = a << count; break;
+        case Opcode::kSRL: r = a >> count; break;
+        case Opcode::kSRA: r = static_cast<u32>(static_cast<i32>(a) >> count); break;
+        default: return halt_with(HaltReason::kIllegalInstruction);
+      }
+      state_.set_reg(d.rd, r);
+      advance_pc();
+      break;
+    }
+
+    case InstClass::kMul: {
+      const bool is_signed =
+          d.opcode == Opcode::kSMUL || d.opcode == Opcode::kSMULCC;
+      const u64 prod = is_signed
+                           ? static_cast<u64>(static_cast<i64>(static_cast<i32>(a)) *
+                                              static_cast<i64>(static_cast<i32>(b)))
+                           : static_cast<u64>(a) * b;
+      const u32 lo = static_cast<u32>(prod);
+      state_.y = static_cast<u32>(prod >> 32);
+      state_.set_reg(d.rd, lo);
+      if (isa::opcode_info(d.opcode).sets_icc) {
+        state_.icc = logic_flags(lo);  // V=C=0, N/Z from the low word
+      }
+      advance_pc();
+      break;
+    }
+
+    case InstClass::kDiv: {
+      if (b == 0) return halt_with(HaltReason::kDivisionByZero);
+      const bool is_signed =
+          d.opcode == Opcode::kSDIV || d.opcode == Opcode::kSDIVCC;
+      const u64 dividend = (static_cast<u64>(state_.y) << 32) | a;
+      u32 q;
+      bool overflow = false;
+      if (is_signed) {
+        const i64 sdividend = static_cast<i64>(dividend);
+        const i64 sq = sdividend / static_cast<i32>(b);
+        if (sq > 0x7FFF'FFFFll) { q = 0x7FFF'FFFFu; overflow = true; }
+        else if (sq < -0x8000'0000ll) { q = 0x8000'0000u; overflow = true; }
+        else q = static_cast<u32>(sq);
+      } else {
+        const u64 uq = dividend / b;
+        if (uq > 0xFFFF'FFFFull) { q = 0xFFFF'FFFFu; overflow = true; }
+        else q = static_cast<u32>(uq);
+      }
+      state_.set_reg(d.rd, q);
+      if (isa::opcode_info(d.opcode).sets_icc) {
+        state_.icc = Icc::make((q >> 31) & 1, q == 0, overflow, false);
+      }
+      advance_pc();
+      break;
+    }
+
+    case InstClass::kBranch: {
+      const bool taken = eval_cond(isa::branch_cond(d.opcode), state_.icc.nzvc);
+      const u32 target = pc + static_cast<u32>(d.disp);
+      if (timing_ != nullptr) timing_->on_branch(taken);
+      if (d.opcode == Opcode::kBA && d.annul) {
+        state_.pc = target;
+        state_.npc = target + 4;
+      } else if (taken) {
+        state_.pc = state_.npc;
+        state_.npc = target;
+      } else if (d.annul) {
+        state_.pc = state_.npc + 4;
+        state_.npc = state_.pc + 4;
+      } else {
+        advance_pc();
+      }
+      break;
+    }
+
+    case InstClass::kCall: {
+      state_.set_reg(15, pc);  // %o7
+      const u32 target = pc + static_cast<u32>(d.disp);
+      if (timing_ != nullptr) timing_->on_branch(true);
+      state_.pc = state_.npc;
+      state_.npc = target;
+      break;
+    }
+
+    case InstClass::kJmpl: {
+      const u32 target = a + b;
+      if ((target & 3) != 0) return halt_with(HaltReason::kMisalignedAccess);
+      state_.set_reg(d.rd, pc);
+      if (timing_ != nullptr) timing_->on_branch(true);
+      state_.pc = state_.npc;
+      state_.npc = target;
+      break;
+    }
+
+    case InstClass::kLoad:
+    case InstClass::kStore:
+    case InstClass::kAtomic: {
+      const HaltReason hr = exec_memory(d, pc);
+      if (hr != HaltReason::kRunning) return hr;
+      break;
+    }
+
+    case InstClass::kSaveRestore: {
+      const bool is_save = d.opcode == Opcode::kSAVE;
+      if (is_save) {
+        if (state_.window_depth + 1 >= isa::kNumWindows) {
+          return halt_with(HaltReason::kWindowOverflow);
+        }
+        ++state_.window_depth;
+        state_.cwp = (state_.cwp + isa::kNumWindows - 1) % isa::kNumWindows;
+      } else {
+        if (state_.window_depth == 0) {
+          return halt_with(HaltReason::kWindowOverflow);
+        }
+        --state_.window_depth;
+        state_.cwp = (state_.cwp + 1) % isa::kNumWindows;
+      }
+      // Operands were read in the *old* window; the sum is written to rd in
+      // the *new* window (SPARC V8 semantics).
+      state_.set_reg(d.rd, a + b);
+      advance_pc();
+      break;
+    }
+
+    case InstClass::kReadSpecial:
+      state_.set_reg(d.rd, state_.y);
+      advance_pc();
+      break;
+
+    case InstClass::kWriteSpecial:
+      state_.y = a ^ b;  // SPARC: WR xor's rs1 with operand2
+      advance_pc();
+      break;
+
+    case InstClass::kTrap:
+      trap_code_ = d.trap_num;
+      return halt_with(d.trap_num == 0 ? HaltReason::kHalted
+                                       : HaltReason::kTrap);
+
+    case InstClass::kFlush:
+      advance_pc();  // no caches in the functional emulator
+      break;
+
+    default:
+      return halt_with(HaltReason::kIllegalInstruction);
+  }
+
+  return halt_;
+}
+
+HaltReason Emulator::run(u64 max_steps) {
+  for (u64 i = 0; i < max_steps; ++i) {
+    if (step() != HaltReason::kRunning) return halt_;
+  }
+  return halt_with(HaltReason::kStepLimit);
+}
+
+}  // namespace issrtl::iss

@@ -1,0 +1,111 @@
+// Functional emulator: the interpreter half of the ISS (paper Fig. 1b).
+//
+// Executes SPARC V8 integer-unit code with exact architectural semantics:
+// delayed control transfer (PC/nPC), register windows, integer condition
+// codes, Y register, traps. Records the off-core write trace (the failure
+// manifestation boundary) and the instruction trace that feeds the
+// diversity metric. Optionally drives a TimingModel and applies ISS-level
+// register-file faults.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bus.hpp"
+#include "common/memory.hpp"
+#include "isa/decode.hpp"
+#include "iss/state.hpp"
+#include "iss/trace.hpp"
+
+namespace issrtl::iss {
+
+class TimingModel;  // iss/timing.hpp
+
+/// Why the emulator stopped.
+enum class HaltReason : u8 {
+  kRunning = 0,
+  kHalted,              ///< `ta 0` — normal program completion
+  kTrap,                ///< `ta n` with n != 0 (workloads use it as "assert")
+  kIllegalInstruction,
+  kMisalignedAccess,
+  kDivisionByZero,
+  kWindowOverflow,      ///< save/restore depth exceeded (unimplemented trap)
+  kStepLimit,           ///< run() watchdog expired
+};
+
+std::string_view halt_reason_name(HaltReason r);
+
+/// Fault models applicable at the ISS level (register-file oriented, the
+/// style of injection the paper cites from [7][20]).
+enum class IssFaultModel : u8 { kStuckAt0, kStuckAt1, kOpenLine, kBitFlip };
+
+/// One ISS-level fault: a bit of a *physical* register-file entry.
+struct IssFault {
+  unsigned phys_reg = 0;            ///< 0..ArchState::kPhysRegs-1
+  unsigned bit = 0;                 ///< 0..31
+  IssFaultModel model = IssFaultModel::kStuckAt0;
+  /// Armed once this many instructions have retired: the overlay becomes
+  /// visible before the (N+1)-th instruction reads its operands.
+  u64 inject_at_instr = 0;
+  // internal:
+  bool armed = false;
+  bool frozen_value = false;        ///< captured bit for open-line
+};
+
+class Emulator {
+ public:
+  /// The emulator borrows the memory; the caller owns it (allows snapshotting
+  /// and sharing a loaded image across runs).
+  explicit Emulator(Memory& mem);
+
+  /// Load a program image and reset architectural state to its entry point.
+  void load(const isa::Program& prog);
+
+  /// Reset to an entry point without reloading memory.
+  void reset(u32 entry);
+
+  /// Execute one instruction. Returns the (possibly new) halt status.
+  HaltReason step();
+
+  /// Run until halt or `max_steps` instructions. Returns the halt reason
+  /// (kStepLimit if the watchdog expired).
+  HaltReason run(u64 max_steps = 10'000'000);
+
+  // ---- observers ------------------------------------------------------------
+  const ArchState& state() const noexcept { return state_; }
+  ArchState& mutable_state() noexcept { return state_; }
+  const InstrTrace& trace() const noexcept { return trace_; }
+  const OffCoreTrace& offcore() const noexcept { return offcore_; }
+  HaltReason halt_reason() const noexcept { return halt_; }
+  u8 trap_code() const noexcept { return trap_code_; }
+  u64 instret() const noexcept { return instret_; }
+  Memory& memory() noexcept { return mem_; }
+
+  /// Attach a timing model (borrowed); pass nullptr to detach.
+  void set_timing(TimingModel* timing) noexcept { timing_ = timing; }
+
+  // ---- ISS-level fault injection ---------------------------------------------
+  void arm_fault(const IssFault& fault);
+  void clear_faults();
+
+ private:
+  HaltReason halt_with(HaltReason r);
+  void advance_pc();
+  void apply_faults();
+
+  u32 alu_op(const isa::DecodedInst& d, u32 a, u32 b, bool& ok);
+  HaltReason exec_memory(const isa::DecodedInst& d, u32 pc);
+  void record_store(u32 addr, u8 size, u64 data);
+
+  Memory& mem_;
+  ArchState state_;
+  InstrTrace trace_;
+  OffCoreTrace offcore_;
+  TimingModel* timing_ = nullptr;
+  std::vector<IssFault> faults_;
+  HaltReason halt_ = HaltReason::kRunning;
+  u8 trap_code_ = 0;
+  u64 instret_ = 0;
+};
+
+}  // namespace issrtl::iss

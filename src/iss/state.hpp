@@ -1,0 +1,95 @@
+// Architectural state of the SPARC V8 integer unit as kept by the
+// functional emulator: windowed register file, PSR integer condition codes,
+// Y register, and the PC/nPC pair that implements delayed control transfer.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "isa/registers.hpp"
+
+namespace issrtl::iss {
+
+/// Integer condition codes, stored as a 4-bit nibble in PSR order:
+/// bit3 = N (negative), bit2 = Z (zero), bit1 = V (overflow), bit0 = C (carry).
+struct Icc {
+  u8 nzvc = 0;
+
+  bool n() const noexcept { return (nzvc >> 3) & 1; }
+  bool z() const noexcept { return (nzvc >> 2) & 1; }
+  bool v() const noexcept { return (nzvc >> 1) & 1; }
+  bool c() const noexcept { return nzvc & 1; }
+
+  static Icc make(bool n, bool z, bool v, bool c) noexcept {
+    return Icc{static_cast<u8>((n << 3) | (z << 2) | (v << 1) |
+                               static_cast<u8>(c))};
+  }
+
+  bool operator==(const Icc&) const = default;
+};
+
+/// Evaluate a SPARC Bicc condition field (0..15) against the condition codes.
+constexpr bool eval_cond(u8 cond, u8 nzvc) noexcept {
+  const bool n = (nzvc >> 3) & 1, z = (nzvc >> 2) & 1, v = (nzvc >> 1) & 1,
+             c = nzvc & 1;
+  switch (cond & 0xF) {
+    case 0x0: return false;                 // BN
+    case 0x1: return z;                     // BE
+    case 0x2: return z || (n != v);         // BLE
+    case 0x3: return n != v;                // BL
+    case 0x4: return c || z;                // BLEU
+    case 0x5: return c;                     // BCS
+    case 0x6: return n;                     // BNEG
+    case 0x7: return v;                     // BVS
+    case 0x8: return true;                  // BA
+    case 0x9: return !z;                    // BNE
+    case 0xA: return !(z || (n != v));      // BG
+    case 0xB: return n == v;                // BGE
+    case 0xC: return !(c || z);             // BGU
+    case 0xD: return !c;                    // BCC
+    case 0xE: return !n;                    // BPOS
+    case 0xF: return !v;                    // BVC
+  }
+  return false;
+}
+
+/// Complete architectural state. Registers are held in a *physical* file
+/// (8 globals + kNumWindows*16 windowed) so that register-file fault
+/// injection can address physical locations exactly like RTL injection does.
+struct ArchState {
+  static constexpr unsigned kPhysRegs = 8 + isa::kWindowedRegs;
+
+  std::array<u32, kPhysRegs> regs{};
+  unsigned cwp = 0;       ///< current window pointer
+  Icc icc;
+  u32 y = 0;
+  u32 pc = 0;
+  u32 npc = 4;
+  unsigned window_depth = 0;  ///< saves minus restores, for overflow checking
+
+  void reset(u32 entry, u32 stack_top = isa::kDefaultStackTop) {
+    regs.fill(0);
+    cwp = 0;
+    icc = Icc{};
+    y = 0;
+    pc = entry;
+    npc = entry + 4;
+    window_depth = 0;
+    set_reg(isa::reg_num(isa::kSp), stack_top);
+  }
+
+  u32 get_reg(unsigned arch_reg) const noexcept {
+    if (arch_reg == 0) return 0;
+    return regs[isa::phys_reg_index(arch_reg, cwp)];
+  }
+
+  void set_reg(unsigned arch_reg, u32 value) noexcept {
+    if (arch_reg == 0) return;  // %g0 is hardwired to zero
+    regs[isa::phys_reg_index(arch_reg, cwp)] = value;
+  }
+
+  bool operator==(const ArchState&) const = default;
+};
+
+}  // namespace issrtl::iss

@@ -1,0 +1,93 @@
+// Instruction-level trace: the information the ISS "dumps" per §3 of the
+// paper. From it we derive the diversity metric (unique instruction types),
+// per-functional-unit diversity D_m, and the Table 1 characterisation counts.
+#pragma once
+
+#include <array>
+#include <bitset>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace issrtl::iss {
+
+class InstrTrace {
+ public:
+  void record(isa::Opcode op) {
+    const auto idx = static_cast<std::size_t>(op);
+    ++counts_[idx];
+    seen_.set(idx);
+    const u32 units = isa::opcode_info(op).units;
+    for (std::size_t u = 0; u < isa::kNumFuncUnits; ++u) {
+      if (units & (1u << u)) {
+        ++unit_counts_[u];
+        unit_seen_[u].set(idx);
+      }
+    }
+  }
+
+  /// Dynamic count of one instruction type.
+  u64 count(isa::Opcode op) const noexcept {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+
+  /// Total dynamic instructions executed.
+  u64 total() const noexcept {
+    u64 t = 0;
+    for (u64 c : counts_) t += c;
+    return t;
+  }
+
+  /// Instructions that flow through the integer unit (everything except the
+  /// trap/flush plumbing, matching the small total-vs-IU delta in Table 1).
+  u64 integer_unit_total() const noexcept {
+    return total() - count(isa::Opcode::kTA) - count(isa::Opcode::kFLUSH);
+  }
+
+  /// Memory instructions (loads, stores, atomics) — Table 1 "Memory" row.
+  u64 memory_total() const noexcept {
+    u64 t = 0;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      if (isa::is_memory_op(static_cast<isa::Opcode>(i))) t += counts_[i];
+    }
+    return t;
+  }
+
+  /// The paper's diversity metric: number of unique instruction types
+  /// (opcodes) executed by the application.
+  unsigned diversity() const noexcept {
+    return static_cast<unsigned>(seen_.count());
+  }
+
+  /// Per-functional-unit diversity D_m: unique instruction types that
+  /// exercise unit m.
+  unsigned unit_diversity(isa::FuncUnit u) const noexcept {
+    return static_cast<unsigned>(
+        unit_seen_[static_cast<std::size_t>(u)].count());
+  }
+
+  /// Dynamic accesses to unit m.
+  u64 unit_accesses(isa::FuncUnit u) const noexcept {
+    return unit_counts_[static_cast<std::size_t>(u)];
+  }
+
+  /// Set of executed types, for set-algebra in tests and analysis.
+  const std::bitset<isa::kNumOpcodes>& opcode_set() const noexcept {
+    return seen_;
+  }
+
+  void clear() {
+    counts_.fill(0);
+    unit_counts_.fill(0);
+    seen_.reset();
+    for (auto& s : unit_seen_) s.reset();
+  }
+
+ private:
+  std::array<u64, isa::kNumOpcodes> counts_{};
+  std::array<u64, isa::kNumFuncUnits> unit_counts_{};
+  std::bitset<isa::kNumOpcodes> seen_;
+  std::array<std::bitset<isa::kNumOpcodes>, isa::kNumFuncUnits> unit_seen_{};
+};
+
+}  // namespace issrtl::iss

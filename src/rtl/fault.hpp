@@ -1,0 +1,41 @@
+// Fault models applicable to RTL nodes, following the paper's fault load:
+// "single hardware faults of permanent type, targeted to VHDL signals, ports
+// and variables which appear at a fixed injection instant and cause either
+// stuck-at-1, stuck-at-0 or an open line" (§4.1), plus a transient bit-flip
+// extension (the paper's future work).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace issrtl::rtl {
+
+enum class FaultModel : u8 {
+  kStuckAt0,
+  kStuckAt1,
+  kOpenLine,          ///< node bit keeps the value it held at injection time
+  kTransientBitFlip,  ///< single bit flip at the injection instant (extension)
+  kBridge,            ///< bits shorted to another node (saboteur-style [2])
+};
+
+std::string_view fault_model_name(FaultModel m);
+
+class Sig;  // forward declaration for bridge faults
+
+/// Active fault overlay attached to a node. Single-bit stuck-at/open-line is
+/// the paper's fault load; the overlay generalises to multi-bit masks and
+/// short-circuit bridges — the fault models the paper's related work [2]
+/// implements with VHDL saboteurs.
+struct FaultOverlay {
+  FaultModel model = FaultModel::kStuckAt0;
+  u8 bit = 0;                    ///< primary bit (reporting)
+  u32 mask = 0;                  ///< all affected bits
+  u32 frozen = 0;                ///< captured values at arm time (open-line)
+  const Sig* bridge_src = nullptr;  ///< value source for kBridge
+
+  /// Apply the overlay to a raw node value.
+  u32 apply(u32 raw) const noexcept;
+};
+
+}  // namespace issrtl::rtl

@@ -1,0 +1,125 @@
+#include "rtl/kernel.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace issrtl::rtl {
+
+std::string_view fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::kStuckAt0: return "stuck-at-0";
+    case FaultModel::kStuckAt1: return "stuck-at-1";
+    case FaultModel::kOpenLine: return "open-line";
+    case FaultModel::kTransientBitFlip: return "transient-bitflip";
+    case FaultModel::kBridge: return "bridge";
+  }
+  return "?";
+}
+
+namespace {
+bool unit_matches(const std::string& unit, const std::string& prefix) {
+  return prefix.empty() ||
+         (unit.size() >= prefix.size() &&
+          unit.compare(0, prefix.size(), prefix) == 0 &&
+          (unit.size() == prefix.size() || unit[prefix.size()] == '.'));
+}
+}  // namespace
+
+u64 SimContext::injectable_bits(const std::string& unit_prefix) const {
+  u64 bits = 0;
+  for (const Sig& s : nodes_) {
+    if (unit_matches(s.unit(), unit_prefix)) bits += s.width();
+  }
+  return bits;
+}
+
+std::vector<NodeId> SimContext::nodes_in_unit(
+    const std::string& unit_prefix) const {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (unit_matches(nodes_[i].unit(), unit_prefix)) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::optional<NodeId> SimContext::find_node(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+u32 FaultOverlay::apply(u32 raw) const noexcept {
+  switch (model) {
+    case FaultModel::kStuckAt0: return raw & ~mask;
+    case FaultModel::kStuckAt1: return raw | mask;
+    case FaultModel::kOpenLine: return (raw & ~mask) | frozen;
+    case FaultModel::kTransientBitFlip: return raw;  // applied once at arm
+    case FaultModel::kBridge:
+      return bridge_src == nullptr
+                 ? raw
+                 : (raw & ~mask) | (bridge_src->raw() & mask);
+  }
+  return raw;
+}
+
+void SimContext::arm_fault(NodeId id, FaultModel model, u8 bit) {
+  if (bit >= node(id).width()) {
+    throw std::out_of_range("arm_fault: bit out of range");
+  }
+  arm_fault_mask(id, model, 1u << bit);
+}
+
+void SimContext::arm_fault_mask(NodeId id, FaultModel model, u32 mask) {
+  Sig& s = node(id);
+  if (model == FaultModel::kBridge) {
+    throw std::invalid_argument("arm_fault_mask: use arm_bridge for bridges");
+  }
+  if (mask == 0 || (mask & ~static_cast<u32>(low_mask64(s.width()))) != 0) {
+    throw std::out_of_range("arm_fault_mask: mask outside node width");
+  }
+  if (s.fault_ != nullptr) {
+    throw std::logic_error("arm_fault: node already has a fault: " + s.name());
+  }
+  if (model == FaultModel::kTransientBitFlip) {
+    // One-shot: disturb the stored value (and the pending next value for
+    // registers, as a particle strike would hit the flop master+slave).
+    s.cur_ ^= mask;
+    s.nxt_ ^= mask;
+    return;
+  }
+  auto overlay = std::make_unique<FaultOverlay>();
+  overlay->model = model;
+  overlay->bit = static_cast<u8>(std::countr_zero(mask));
+  overlay->mask = mask;
+  overlay->frozen = s.cur_ & mask;
+  s.fault_ = overlay.get();
+  armed_.push_back({id, std::move(overlay)});
+}
+
+void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
+  Sig& v = node(victim);
+  if (victim == aggressor) {
+    throw std::invalid_argument("arm_bridge: victim == aggressor");
+  }
+  if (mask == 0 || (mask & ~static_cast<u32>(low_mask64(v.width()))) != 0) {
+    throw std::out_of_range("arm_bridge: mask outside victim width");
+  }
+  if (v.fault_ != nullptr) {
+    throw std::logic_error("arm_bridge: node already has a fault: " + v.name());
+  }
+  auto overlay = std::make_unique<FaultOverlay>();
+  overlay->model = FaultModel::kBridge;
+  overlay->bit = static_cast<u8>(std::countr_zero(mask));
+  overlay->mask = mask;
+  overlay->bridge_src = &node(aggressor);
+  v.fault_ = overlay.get();
+  armed_.push_back({victim, std::move(overlay)});
+}
+
+void SimContext::clear_faults() {
+  for (auto& f : armed_) node(f.id).fault_ = nullptr;
+  armed_.clear();
+}
+
+}  // namespace issrtl::rtl

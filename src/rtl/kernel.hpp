@@ -1,0 +1,159 @@
+// Minimal cycle-based RTL modelling kernel.
+//
+// Everything the RTL core is built from is a named, bit-addressable node
+// (register or wire) registered in a SimContext. That registry is the fault-
+// injection surface: campaigns enumerate nodes exactly like simulator-command
+// injection enumerates "signals, ports and variables" in a VHDL model [10],
+// and the per-unit bit counts provide the area fractions α_m of Eq. 1.
+//
+// Simulation discipline: single-pass combinational evaluation per cycle in
+// module-defined dataflow order, followed by a register commit (two-phase,
+// like a synchronous netlist with one clock). Fault overlays are applied on
+// *read*, so a faulted node corrupts every consumer, whether wire or flop.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtl/fault.hpp"
+
+namespace issrtl::rtl {
+
+enum class NodeKind : u8 { kWire, kReg };
+
+/// A single W<=32-bit signal. Created and owned by SimContext; modules hold
+/// references. Hot-path accessors are branch-cheap: one test for an armed
+/// fault overlay.
+class Sig {
+ public:
+  /// Read the node value as consumers see it (fault overlay applied).
+  u32 r() const noexcept { return fault_ ? fault_->apply(cur_) : cur_; }
+
+  /// Read as boolean (for 1-bit control signals).
+  bool rb() const noexcept { return r() != 0; }
+
+  /// Drive a wire combinationally (visible to readers immediately).
+  void w(u32 v) noexcept { cur_ = v & mask_; }
+
+  /// Schedule a register's next value (visible after commit()).
+  void n(u32 v) noexcept { nxt_ = v & mask_; }
+
+  /// Copy current (possibly faulted) value of `src` into this reg's next.
+  void n_from(const Sig& src) noexcept { n(src.r()); }
+
+  /// Clock edge for registers.
+  void commit() noexcept { cur_ = nxt_; }
+
+  u8 width() const noexcept { return width_; }
+  NodeKind kind() const noexcept { return kind_; }
+  const std::string& name() const noexcept { return name_; }
+  const std::string& unit() const noexcept { return unit_; }
+
+  /// Raw (un-faulted) value — used by the kernel and state inspection only.
+  u32 raw() const noexcept { return cur_; }
+  void poke(u32 v) noexcept { cur_ = v & mask_; nxt_ = cur_; }
+
+ private:
+  friend class SimContext;
+  Sig(std::string name, std::string unit, u8 width, NodeKind kind)
+      : name_(std::move(name)),
+        unit_(std::move(unit)),
+        mask_(static_cast<u32>(low_mask64(width))),
+        width_(width),
+        kind_(kind) {}
+
+  std::string name_;
+  std::string unit_;
+  u32 cur_ = 0;
+  u32 nxt_ = 0;
+  u32 mask_;
+  const FaultOverlay* fault_ = nullptr;
+  u8 width_;
+  NodeKind kind_;
+};
+
+/// Node handle used by campaigns: index into the SimContext registry.
+using NodeId = u32;
+
+/// Registry of all nodes plus the armed-fault bookkeeping.
+class SimContext {
+ public:
+  SimContext() = default;
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  /// Create a node. `unit` is a hierarchical tag like "iu.alu" or
+  /// "cmem.dcache"; the top-level component (before the dot) groups nodes
+  /// for the IU/CMEM campaigns and for α_m computation.
+  Sig& make(const std::string& name, const std::string& unit, u8 width,
+            NodeKind kind) {
+    nodes_.emplace_back(Sig(name, unit, width, kind));
+    if (kind == NodeKind::kReg) regs_.push_back(&nodes_.back());
+    return nodes_.back();
+  }
+
+  Sig& wire(const std::string& name, const std::string& unit, u8 width = 32) {
+    return make(name, unit, width, NodeKind::kWire);
+  }
+  Sig& reg(const std::string& name, const std::string& unit, u8 width = 32) {
+    return make(name, unit, width, NodeKind::kReg);
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const Sig& node(NodeId id) const { return nodes_.at(id); }
+  Sig& node(NodeId id) { return nodes_.at(id); }
+
+  /// Total injectable bits in nodes whose unit starts with `unit_prefix`
+  /// (empty prefix = whole design). This is the paper's "number of fault
+  /// injection points".
+  u64 injectable_bits(const std::string& unit_prefix = "") const;
+
+  /// All node ids under a unit prefix.
+  std::vector<NodeId> nodes_in_unit(const std::string& unit_prefix) const;
+
+  /// Locate a node by exact name (linear scan; for tests and tooling).
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// Arm a fault on (node, bit). Open-line captures the current bit value;
+  /// transient flips immediately. Only one fault per node at a time.
+  void arm_fault(NodeId id, FaultModel model, u8 bit);
+
+  /// Saboteur-style multi-bit fault: every bit in `mask` is affected
+  /// (stuck-at, open-line freeze, or transient flip of all masked bits).
+  void arm_fault_mask(NodeId id, FaultModel model, u32 mask);
+
+  /// Short-circuit (bridge) fault: the masked bits of `victim` read as the
+  /// corresponding bits of `aggressor` — the dominant-aggressor bridge model
+  /// that requires saboteur instrumentation in VHDL flows [2].
+  void arm_bridge(NodeId victim, NodeId aggressor, u32 mask);
+
+  /// Remove all armed faults (between campaign runs).
+  void clear_faults();
+
+  /// Commit every register (clock edge). Hot path: iterates the cached
+  /// register list, not the full node registry.
+  void commit_all() {
+    for (Sig* s : regs_) s->commit();
+  }
+
+  /// Reset all node values to zero (does not clear faults).
+  void zero_all() {
+    for (Sig& s : nodes_) s.poke(0);
+  }
+
+ private:
+  // deque: stable addresses for Sig& held by modules.
+  std::deque<Sig> nodes_;
+  std::vector<Sig*> regs_;  // commit list (subset of nodes_)
+  struct ArmedFault {
+    NodeId id;
+    std::unique_ptr<FaultOverlay> overlay;
+  };
+  std::vector<ArmedFault> armed_;
+};
+
+}  // namespace issrtl::rtl

@@ -1,0 +1,73 @@
+#include "rtl/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace issrtl::rtl {
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // VCD identifier characters: printable ASCII 33..126.
+  std::string s;
+  do {
+    s.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return s;
+}
+
+VcdWriter::VcdWriter(const std::string& path, const SimContext& ctx)
+    : ctx_(ctx), out_(path) {
+  out_ << "$timescale 1ns $end\n";
+
+  // Group node indices by unit for readable scopes.
+  std::map<std::string, std::vector<std::size_t>> by_unit;
+  for (std::size_t i = 0; i < ctx_.node_count(); ++i) {
+    by_unit[ctx_.node(static_cast<NodeId>(i)).unit()].push_back(i);
+  }
+  for (const auto& [unit, ids] : by_unit) {
+    std::string scope = unit.empty() ? "top" : unit;
+    std::replace(scope.begin(), scope.end(), '.', '_');
+    out_ << "$scope module " << scope << " $end\n";
+    for (const std::size_t i : ids) {
+      const Sig& s = ctx_.node(static_cast<NodeId>(i));
+      std::string nm = s.name();
+      std::replace(nm.begin(), nm.end(), ' ', '_');
+      out_ << "$var " << (s.kind() == NodeKind::kReg ? "reg" : "wire") << " "
+           << static_cast<int>(s.width()) << " " << id_code(i) << " " << nm
+           << " $end\n";
+    }
+    out_ << "$upscope $end\n";
+  }
+  out_ << "$enddefinitions $end\n";
+  last_.assign(ctx_.node_count(), 0);
+  dirty_first_.assign(ctx_.node_count(), true);
+}
+
+void VcdWriter::sample(u64 cycle) {
+  if (closed_) return;
+  out_ << '#' << cycle << '\n';
+  for (std::size_t i = 0; i < ctx_.node_count(); ++i) {
+    const Sig& s = ctx_.node(static_cast<NodeId>(i));
+    const u32 v = s.r();
+    if (!dirty_first_[i] && v == last_[i]) continue;
+    dirty_first_[i] = false;
+    last_[i] = v;
+    if (s.width() == 1) {
+      out_ << (v & 1) << id_code(i) << '\n';
+    } else {
+      out_ << 'b';
+      for (int b = s.width() - 1; b >= 0; --b) out_ << ((v >> b) & 1);
+      out_ << ' ' << id_code(i) << '\n';
+    }
+  }
+}
+
+void VcdWriter::close() {
+  if (!closed_) {
+    out_.flush();
+    out_.close();
+    closed_ = true;
+  }
+}
+
+}  // namespace issrtl::rtl

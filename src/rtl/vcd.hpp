@@ -1,0 +1,37 @@
+// Value-change-dump writer: lets users inspect RTL campaign runs in any
+// standard waveform viewer (GTKWave etc.).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace issrtl::rtl {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and emits the header for every node currently in `ctx`
+  /// (grouped into scopes by unit tag). The context must outlive the writer.
+  VcdWriter(const std::string& path, const SimContext& ctx);
+
+  /// Sample all nodes at time `cycle`; emits only changed values.
+  void sample(u64 cycle);
+
+  /// Flush and close. Also called by the destructor.
+  void close();
+
+  ~VcdWriter() { close(); }
+
+ private:
+  static std::string id_code(std::size_t index);
+
+  const SimContext& ctx_;
+  std::ofstream out_;
+  std::vector<u32> last_;
+  std::vector<bool> dirty_first_;
+  bool closed_ = false;
+};
+
+}  // namespace issrtl::rtl

@@ -1,0 +1,113 @@
+#include "rtlcore/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace issrtl::rtlcore {
+
+Cache::Cache(rtl::SimContext& ctx, const std::string& unit,
+             const CacheConfig& cfg, Memory& mem, OffCoreTrace& bus)
+    : cfg_(cfg),
+      mem_(mem),
+      bus_(bus),
+      lines_(cfg.size_bytes / cfg.line_bytes),
+      words_per_line_(cfg.line_bytes / 4),
+      busy_(ctx.reg(unit.substr(unit.find('.') + 1) + "_busy", unit, 4)),
+      pending_addr_(
+          ctx.reg(unit.substr(unit.find('.') + 1) + "_pending", unit, 32)) {
+  if (!std::has_single_bit(lines_) || !std::has_single_bit(words_per_line_)) {
+    throw std::invalid_argument("Cache: geometry must be powers of two");
+  }
+  const u32 tag_bits = 32 - std::countr_zero(cfg.line_bytes) -
+                       std::countr_zero(lines_);
+  tags_.reserve(lines_);
+  valids_.reserve(lines_);
+  data_.reserve(lines_ * words_per_line_);
+  for (u32 i = 0; i < lines_; ++i) {
+    tags_.push_back(&ctx.wire("tag" + std::to_string(i), unit,
+                              static_cast<u8>(std::min(tag_bits, 32u))));
+    valids_.push_back(&ctx.wire("valid" + std::to_string(i), unit, 1));
+  }
+  for (u32 i = 0; i < lines_ * words_per_line_; ++i) {
+    data_.push_back(&ctx.wire("data" + std::to_string(i), unit, 32));
+  }
+}
+
+bool Cache::hit(u32 addr) const {
+  const u32 idx = line_index(addr);
+  return valids_[idx]->rb() && tags_[idx]->r() == tag_of(addr);
+}
+
+u32 Cache::read_word(u32 addr) const { return data_[word_slot(addr)]->r(); }
+
+void Cache::fill_line(u64 cycle, u32 addr) {
+  const u32 idx = line_index(addr);
+  const u32 base = addr & ~(cfg_.line_bytes - 1);
+  for (u32 w = 0; w < words_per_line_; ++w) {
+    const u32 v = mem_.load_u32(base + 4 * w);
+    bus_.record_read(cycle, base + 4 * w, 4, v);
+    data_[idx * words_per_line_ + w]->w(v);
+  }
+  tags_[idx]->w(tag_of(addr));
+  valids_[idx]->w(1);
+}
+
+bool Cache::step_load(u64 cycle, u32 addr, u32& out) {
+  if (busy_.r() > 0) {
+    const u32 left = busy_.r() - 1;
+    busy_.n(left);
+    if (left == 0) {
+      fill_line(cycle, pending_addr_.r());
+      out = read_word(addr);
+      return true;
+    }
+    return false;
+  }
+  if (hit(addr)) {
+    ++hits_;
+    out = read_word(addr);
+    return true;
+  }
+  ++misses_;
+  busy_.n(cfg_.miss_penalty);
+  pending_addr_.n(addr);
+  return false;
+}
+
+void Cache::store(u64 cycle, u32 addr, u8 size, u32 value) {
+  // Bus write first (write-through), then update the line if present.
+  const u64 masked = value & low_mask64(8u * size);
+  bus_.record_write(cycle, addr, size, masked);
+  switch (size) {
+    case 1: mem_.store_u8(addr, static_cast<u8>(value)); break;
+    case 2: mem_.store_u16(addr, static_cast<u16>(value)); break;
+    default: mem_.store_u32(addr, value); break;
+  }
+  if (!hit(addr)) return;  // no-allocate
+  rtl::Sig& word = *data_[word_slot(addr)];
+  const u32 byte_in_word = addr & 3u;   // big-endian lane selection
+  u32 cur = word.r();
+  switch (size) {
+    case 4:
+      cur = value;
+      break;
+    case 2: {
+      const u32 shift = (2 - byte_in_word) * 8;
+      cur = (cur & ~(0xFFFFu << shift)) | ((value & 0xFFFFu) << shift);
+      break;
+    }
+    default: {
+      const u32 shift = (3 - byte_in_word) * 8;
+      cur = (cur & ~(0xFFu << shift)) | ((value & 0xFFu) << shift);
+      break;
+    }
+  }
+  word.w(cur);
+}
+
+void Cache::invalidate_all() {
+  for (rtl::Sig* v : valids_) v->w(0);
+  busy_.poke(0);
+}
+
+}  // namespace issrtl::rtlcore

@@ -1,0 +1,189 @@
+// Leon3-like 7-stage pipelined SPARC V8 integer unit at RTL abstraction.
+//
+// Stages: FE (fetch, I-cache), DE (decode), RA (register access, scoreboard
+// interlock), EX (ALU/shift/mul/div, CTI resolution, CWP update, icc/Y
+// commit), ME (D-cache access, write-through stores), XC (exception/trap
+// commit point), WB (register-file write). In-order, single-issue,
+// stall-based interlocks, SPARC delayed control transfer with annulment.
+//
+// Every pipeline latch field, architectural register, datapath wire and
+// cache array entry is a named node in a rtl::SimContext, so the whole
+// design is a fault-injection surface comparable to a structural VHDL
+// description of the Leon3 IU + CMEM (paper Fig. 2).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "common/bus.hpp"
+#include "common/memory.hpp"
+#include "isa/decode.hpp"
+#include "isa/program.hpp"
+#include "iss/state.hpp"   // HaltReason lives with the ISS; reused for parity
+#include "iss/emulator.hpp"
+#include "rtl/kernel.hpp"
+#include "rtlcore/cache.hpp"
+#include "rtlcore/regfile.hpp"
+
+namespace issrtl::rtlcore {
+
+/// Trap codes carried down the pipe to the XC stage.
+enum class TrapKind : u8 {
+  kNone = 0,
+  kHalt,      // ta 0
+  kSoftTrap,  // ta n, n != 0
+  kIllegal,
+  kMisaligned,
+  kDivZero,
+  kWindow,
+};
+
+struct CoreConfig {
+  CacheConfig icache;
+  CacheConfig dcache;
+  u32 mul_latency = 4;
+  u32 div_latency = 35;
+};
+
+/// One pipeline latch: the packet travelling between two stages. All fields
+/// are injectable register nodes; `seq` is host-side bookkeeping used for
+/// the kill-younger logic (a fetch-order tag, not a hardware artefact that
+/// faults could target).
+struct PipeSlot {
+  rtl::Sig& valid;
+  rtl::Sig& pc;
+  rtl::Sig& inst;
+  rtl::Sig& a;       ///< operand 1 value
+  rtl::Sig& b;       ///< operand 2 value (reg or sign-extended immediate)
+  rtl::Sig& sdata;   ///< store data (rd), first word
+  rtl::Sig& sdata2;  ///< store data second word (STD)
+  rtl::Sig& dphys;   ///< destination physical register index
+  rtl::Sig& dphys2;  ///< second destination (LDD)
+  rtl::Sig& wreg;    ///< writes dphys at WB
+  rtl::Sig& wreg2;   ///< writes dphys2 at WB
+  rtl::Sig& res;     ///< result value
+  rtl::Sig& res2;    ///< second result (LDD)
+  rtl::Sig& addr;    ///< effective memory address
+  rtl::Sig& trap;    ///< TrapKind
+  rtl::Sig& tcode;   ///< software trap number for ta
+  u64 seq = 0;
+
+  static PipeSlot create(rtl::SimContext& ctx, const std::string& stage);
+  void bubble();               ///< schedule this latch to be empty next cycle
+  void load_from(const PipeSlot& src);  ///< schedule copy of src's packet
+  void hold();                 ///< keep current contents next cycle
+};
+
+/// The RTL core + CMEM + bus, executing the same programs as iss::Emulator.
+class Leon3Core {
+ public:
+  explicit Leon3Core(Memory& mem, const CoreConfig& cfg = {});
+
+  void load(const isa::Program& prog);
+  void reset(u32 entry);
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Run until halt or the cycle watchdog expires.
+  iss::HaltReason run(u64 max_cycles = 50'000'000);
+
+  // ---- observers ----------------------------------------------------------
+  iss::HaltReason halt_reason() const noexcept { return halt_; }
+  u8 trap_code() const noexcept { return trap_code_; }
+  u64 cycles() const noexcept { return cycle_; }
+  u64 instret() const noexcept { return instret_; }
+  const OffCoreTrace& offcore() const noexcept { return bus_; }
+  Memory& memory() noexcept { return mem_; }
+  const Memory& memory() const noexcept { return mem_; }
+  rtl::SimContext& sim() noexcept { return ctx_; }
+  const rtl::SimContext& sim() const noexcept { return ctx_; }
+  const Cache& icache() const noexcept { return *icache_; }
+  const Cache& dcache() const noexcept { return *dcache_; }
+
+  /// Snapshot of the architectural state (raw, unfaulted storage) in the
+  /// ISS's representation, for lockstep comparison.
+  iss::ArchState arch_state() const;
+
+ private:
+  // Stage evaluators, called in reverse pipeline order each cycle.
+  void eval_wb();
+  bool eval_xc();   // returns false when the core halted this cycle
+  void eval_me(bool xc_free);
+  void eval_ex(bool me_free);
+  void eval_ra(bool ex_free);
+  void eval_de(bool ra_free);
+  void eval_fe(bool de_free);
+
+  void resolve_cti(const isa::DecodedInst& d, u32 pc, bool taken, u32 target);
+  void gather_sources(const isa::DecodedInst& d, unsigned cwp,
+                      std::array<unsigned, 4>& srcs, unsigned& n) const;
+  bool scoreboard_blocks(const std::array<unsigned, 4>& srcs,
+                         unsigned n) const;
+  void halt_with(iss::HaltReason r, u8 code);
+  void do_ex_compute(PipeSlot& s, const isa::DecodedInst& d);
+  void icache_abort_();
+
+  Memory& mem_;
+  CoreConfig cfg_;
+  rtl::SimContext ctx_;
+  OffCoreTrace bus_;
+
+  // Architectural / special registers.
+  std::unique_ptr<RegFile> rf_;
+  rtl::Sig& icc_;     // 4-bit NZVC
+  rtl::Sig& y_;
+  rtl::Sig& cwp_;
+  rtl::Sig& wdepth_;  // save/restore depth (window overflow tracking)
+
+  // Fetch-unit state.
+  rtl::Sig& fetch_pc_;
+  rtl::Sig& redirect_pending_;
+  rtl::Sig& redirect_target_;
+  u64 redirect_after_seq_ = 0;
+  rtl::Sig& annul_pending_;
+  u64 annul_seq_ = 0;
+
+  // Datapath wires (EX stage).
+  rtl::Sig& alu_a_;
+  rtl::Sig& alu_b_;
+  rtl::Sig& alu_res_;
+  rtl::Sig& alu_cc_;
+  rtl::Sig& sh_res_;
+  rtl::Sig& mul_lo_;
+  rtl::Sig& mul_hi_;
+  rtl::Sig& div_q_;
+  rtl::Sig& br_taken_;
+  rtl::Sig& br_target_;
+  rtl::Sig& agu_addr_;
+  rtl::Sig& ex_busy_;  // multicycle execute countdown
+
+  // Pipeline latches (named by the stage they feed).
+  PipeSlot de_, ra_, ex_, me_, xc_, wb_;
+
+  std::unique_ptr<Cache> icache_;
+  std::unique_ptr<Cache> dcache_;
+
+  // Host bookkeeping.
+  u64 cycle_ = 0;
+  u64 instret_ = 0;
+  u64 next_fetch_seq_ = 1;
+  // Kill decisions made by EX this cycle, consumed by younger stages.
+  bool kill_valid_ = false;
+  u64 kill_min_seq_ = 0;
+  bool annul_exact_valid_ = false;
+  u64 annul_exact_seq_ = 0;
+  bool immediate_redirect_ = false;
+  u32 immediate_target_ = 0;
+  // Per-cycle stage handshake flags.
+  bool me_stalled_ = false;
+  bool ex_free_ = false;
+  bool ra_consumed_ = false;
+  bool de_consumed_ = false;
+
+  iss::HaltReason halt_ = iss::HaltReason::kRunning;
+  u8 trap_code_ = 0;
+};
+
+}  // namespace issrtl::rtlcore

@@ -1,0 +1,56 @@
+// Windowed SPARC register file as an RTL module: one register node per
+// physical entry (8 globals + 8 windows x 16), all injectable.
+#pragma once
+
+#include <vector>
+
+#include "isa/registers.hpp"
+#include "rtl/kernel.hpp"
+
+namespace issrtl::rtlcore {
+
+class RegFile {
+ public:
+  explicit RegFile(rtl::SimContext& ctx) {
+    regs_.reserve(iss_phys_count());
+    for (unsigned i = 0; i < iss_phys_count(); ++i) {
+      regs_.push_back(&ctx.reg(entry_name(i), "iu.regfile", 32));
+    }
+  }
+
+  static constexpr unsigned iss_phys_count() {
+    return 8 + isa::kWindowedRegs;
+  }
+
+  /// Combinational read port (fault overlay applied).
+  u32 read_phys(unsigned phys) const { return regs_.at(phys)->r(); }
+
+  /// Architectural read under a window pointer.
+  u32 read(unsigned arch_reg, unsigned cwp) const {
+    if (arch_reg == 0) return 0;
+    return read_phys(isa::phys_reg_index(arch_reg, cwp));
+  }
+
+  /// Synchronous write port (takes effect at the clock edge).
+  void write_phys(unsigned phys, u32 value) {
+    if (phys == 0) return;  // %g0
+    regs_.at(phys)->n(value);
+  }
+
+  /// Backdoor initialisation (reset state), bypassing the clock.
+  void poke_phys(unsigned phys, u32 value) { regs_.at(phys)->poke(value); }
+
+  /// Raw (unfaulted) value for cosimulation state comparison.
+  u32 peek_phys(unsigned phys) const { return regs_.at(phys)->raw(); }
+
+ private:
+  static std::string entry_name(unsigned i) {
+    if (i < 8) return "r_g" + std::to_string(i);
+    const unsigned w = (i - 8) / 16, k = (i - 8) % 16;
+    return "r_w" + std::to_string(w) + "_" + std::to_string(k);
+  }
+
+  std::vector<rtl::Sig*> regs_;
+};
+
+}  // namespace issrtl::rtlcore

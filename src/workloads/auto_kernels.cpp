@@ -1,0 +1,417 @@
+// The four Table 1 automotive kernels: puwmod, canrdr, ttsprk, rspeed.
+//
+// Each is an original integer implementation of the corresponding EEMBC
+// Autobench algorithm family, structured as: data setup, `iterations` outer
+// iterations over the input set with periodic off-core result stores, one
+// shared-harness call per iteration (see runtime.hpp), final halt.
+#include "workloads/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::workloads {
+
+namespace {
+
+/// Common kernel scaffolding: prologue, input table, harness emitted ahead of
+/// the entry path (jumped over), outer iteration loop around `body`, then an
+/// optional `epilogue` emitted once after all iterations (result publication,
+/// the paper's "last part of the program, after the iterations").
+template <typename BodyFn, typename EpilogueFn>
+isa::Program kernel_frame(const std::string& name, const WorkloadParams& p,
+                          const std::vector<u32>& data, BodyFn&& body,
+                          EpilogueFn&& epilogue) {
+  Assembler a(name);
+  emit_prologue(a);
+  emit_input_table(a, data);
+
+  Label skip = a.label();
+  a.ba(skip);
+  a.nop();
+  Label harness = emit_harness_routine(a);
+  a.bind(skip);
+
+  // Outer iteration loop in %l6 (kernels must preserve it).
+  a.set32(Reg::l6, p.iterations);
+  Label outer = a.here();
+  body(a);
+  a.call(harness);
+  a.nop();
+  a.subcc(Reg::l6, Reg::l6, 1);
+  a.bne(outer);
+  a.nop();
+  epilogue(a);
+  a.halt();
+  return a.finalize();
+}
+
+template <typename BodyFn>
+isa::Program kernel_frame(const std::string& name, const WorkloadParams& p,
+                          const std::vector<u32>& data, BodyFn&& body) {
+  return kernel_frame(name, p, data, std::forward<BodyFn>(body),
+                      [](Assembler&) {});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// puwmod: pulse-width modulation. For each commanded duty sample, scale it
+// into a compare value against the PWM period, apply deadband clamping, and
+// drive the (memory-mapped) output latch word.
+isa::Program build_puwmod(const WorkloadParams& p) {
+  constexpr u32 kSamples = 230;      // table entries, walked kRounds times
+  constexpr u32 kRounds = 9;
+  const auto data = gen_data("puwmod", p.data_seed, kSamples, 0, 1023);
+
+  return kernel_frame("puwmod", p, data, [&](Assembler& a) {
+    const u32 latch = 0x40120000;    // PWM output latch buffer
+    a.set32(Reg::o5, latch);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);         // sample pointer
+    a.set32(Reg::l1, kSamples);
+    a.set32(Reg::l2, 0x2710);        // period = 10000
+    Label sample = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // duty command 0..1023
+      a.ldub(Reg::l3, Reg::l0, 3);           // per-channel deadband trim
+      a.lduh(Reg::l4, Reg::l0, 0);           // period trim halfword
+      a.umul(Reg::o1, Reg::o0, Reg::l2);     // duty * period
+      a.srl(Reg::o1, Reg::o1, 10);           // compare = product / 1024
+      a.add(Reg::o1, Reg::o1, Reg::l3);
+      a.xor_(Reg::g7, Reg::g7, Reg::l4);
+      // Deadband clamp: compare in [8, period-8].
+      a.cmp(Reg::o1, 8);
+      Label lo_ok = a.label();
+      a.bgu(lo_ok);
+      a.nop();
+      a.mov(Reg::o1, 8);
+      a.bind(lo_ok);
+      a.sub(Reg::o2, Reg::l2, 8);
+      a.cmp(Reg::o1, Reg::o2);
+      Label hi_ok = a.label();
+      a.bleu(hi_ok);
+      a.nop();
+      a.mov(Reg::o1, Reg::o2);
+      a.bind(hi_ok);
+      // Phase counter update and output latch toggle.
+      a.add(Reg::o3, Reg::o3, Reg::o1);
+      a.and_(Reg::o3, Reg::o3, 0xFFF);
+      a.xor_(Reg::o4, Reg::o4, Reg::o1);
+      a.st(Reg::o1, Reg::o5, 0);             // compare register
+      a.sth(Reg::o4, Reg::o5, 4);            // toggle latch
+      a.stb(Reg::o3, Reg::o5, 6);            // phase tap
+      a.ld(Reg::l3, Reg::o5, 0);             // read-back check
+      a.add(Reg::g7, Reg::g7, Reg::l3);
+      a.add(Reg::g7, Reg::g7, Reg::o1);      // checksum
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(sample);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// canrdr: CAN remote data request handling. For each frame: match the ID
+// against an acceptance filter, compute a CRC-15 over the payload words, and
+// copy accepted payloads to the response buffer.
+isa::Program build_canrdr(const WorkloadParams& p) {
+  constexpr u32 kFrames = 115;
+  constexpr u32 kRounds = 6;
+  // Frame = {id, payload0, payload1}.
+  auto data = gen_data("canrdr", p.data_seed, kFrames * 3, 0, 0xFFFFFFFF);
+  for (std::size_t i = 0; i < kFrames; ++i) data[3 * i] &= 0x7FF;  // 11-bit IDs
+
+  return kernel_frame("canrdr", p, data, [&](Assembler& a) {
+    const u32 resp = 0x40130000;     // 1 KiB response ring buffer
+    a.set32(Reg::o5, resp);
+    a.set32(Reg::g3, resp + 1024);   // ring limit
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kFrames);
+    Label frame = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);      // id
+      // Acceptance filter: accept if (id & 0x700) == 0x100 or 0x300.
+      a.and_(Reg::o1, Reg::o0, 0x700);
+      a.cmp(Reg::o1, 0x100);
+      Label accept = a.label();
+      Label next_filter = a.label();
+      Label reject = a.label();
+      a.be(accept);
+      a.nop();
+      a.bind(next_filter);
+      a.cmp(Reg::o1, 0x300);
+      Label crc = a.label();
+      a.bne(reject);
+      a.nop();
+      a.bind(accept);
+
+      // Copy the 8 payload bytes into the response buffer (message copy is
+      // the memory-heavy part of CAN handling).
+      a.bind(crc);
+      a.mov(Reg::l2, 8);
+      a.mov(Reg::l3, Reg::l0);
+      a.mov(Reg::l4, Reg::o5);
+      Label copy = a.here();
+      a.ldsb(Reg::o2, Reg::l3, 4);
+      a.stb(Reg::o2, Reg::l4, 12);
+      a.add(Reg::g7, Reg::g7, Reg::o2);
+      a.inc(Reg::l3, 1);
+      a.inc(Reg::l4, 1);
+      a.subcc(Reg::l2, Reg::l2, 1);
+      a.bne(copy);
+      a.nop();
+
+      // CRC-15 (poly 0x4599) over the two payload words, 16 shift steps each.
+      a.ld(Reg::o2, Reg::l0, 4);
+      a.ld(Reg::o3, Reg::l0, 8);
+      a.xor_(Reg::o4, Reg::o2, Reg::o3);     // seed from payload
+      a.set32(Reg::l2, 0x4599);
+      a.set32(Reg::g4, 0x4000);     // CRC-15 top-bit test mask
+      a.mov(Reg::l3, 16);
+      Label crcloop = a.here();
+      {
+        a.sll(Reg::o4, Reg::o4, 1);
+        a.srl(Reg::l4, Reg::o2, 31);
+        a.or_(Reg::o4, Reg::o4, Reg::l4);
+        a.sll(Reg::o2, Reg::o2, 1);
+        a.andcc(Reg::g0, Reg::o4, Reg::g4);     // test bit 14 (15-bit CRC)
+        Label noxor = a.label();
+        a.be(noxor);
+        a.nop();
+        a.xor_(Reg::o4, Reg::o4, Reg::l2);
+        a.bind(noxor);
+        a.subcc(Reg::l3, Reg::l3, 1);
+        a.bne(crcloop);
+        a.nop();
+      }
+      a.set32(Reg::l4, 0x7FFF);
+      a.and_(Reg::o4, Reg::o4, Reg::l4);
+
+      // Copy the accepted response: id, payloads, crc.
+      a.st(Reg::o0, Reg::o5, 0);
+      a.st(Reg::o2, Reg::o5, 4);
+      a.sth(Reg::o4, Reg::o5, 8);
+      a.stb(Reg::o3, Reg::o5, 10);
+      a.orn(Reg::l2, Reg::o4, Reg::o3);      // stuff-bit mask fold
+      a.addcc(Reg::g7, Reg::g7, Reg::l2);
+      Label no_carry = a.label();
+      a.bcc(no_carry);
+      a.nop();
+      a.inc(Reg::g7, 1);                     // fold carry back in
+      a.bind(no_carry);
+      // Read-back verification of the queued response, then advance the
+      // ring (exercises the whole D-cache, as real mailbox traffic does).
+      a.ld(Reg::l3, Reg::o5, 0);
+      a.ld(Reg::l4, Reg::o5, 4);
+      a.lduh(Reg::l2, Reg::o5, 8);
+      a.xor_(Reg::l3, Reg::l3, Reg::l4);
+      a.add(Reg::g7, Reg::g7, Reg::l3);
+      a.add(Reg::g7, Reg::g7, Reg::l2);
+      a.add(Reg::o5, Reg::o5, 16);
+      a.cmp(Reg::o5, Reg::g3);
+      Label no_wrap2 = a.label();
+      a.bl(no_wrap2);
+      a.nop();
+      a.set32(Reg::o5, resp);
+      a.bind(no_wrap2);
+      a.bind(reject);
+
+      a.inc(Reg::l0, 12);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(frame);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ttsprk: tooth-to-spark. Track crank position from tooth events, look up the
+// ignition advance in a calibration table, interpolate, and compute the spark
+// and dwell times for the next cylinder event.
+isa::Program build_ttsprk(const WorkloadParams& p) {
+  constexpr u32 kEvents = 160;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("ttsprk", p.data_seed, kEvents, 200, 8000);  // RPM-ish
+
+  return kernel_frame("ttsprk", p, data, [&](Assembler& a) {
+    // Advance table: 17 entries indexed by rpm/512.
+    std::vector<u32> adv(17);
+    for (std::size_t i = 0; i < adv.size(); ++i)
+      adv[i] = 10 + static_cast<u32>(i * 2);
+    const u32 adv_table = a.data_words(adv);
+
+    const u32 spark_out = 0x40140000;
+    a.set32(Reg::o5, spark_out);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kEvents);
+    a.clr(Reg::l2);                  // crank position (tooth index)
+    Label event = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // rpm sample
+      // Position update: 60-2 tooth wheel -> wrap at 58.
+      a.add(Reg::l2, Reg::l2, 1);
+      a.cmp(Reg::l2, 58);
+      Label nowrap = a.label();
+      a.bl(nowrap);
+      a.nop();
+      a.clr(Reg::l2);
+      a.bind(nowrap);
+      // Table index = rpm / 512 (max 15), interpolate between entries.
+      a.srl(Reg::o1, Reg::o0, 9);
+      a.sll(Reg::o2, Reg::o1, 2);
+      a.set32(Reg::l3, adv_table);
+      a.ld(Reg::o3, Reg::l3, Reg::o2);       // adv[i]
+      a.add(Reg::o2, Reg::o2, 4);
+      a.ld(Reg::o4, Reg::l3, Reg::o2);       // adv[i+1]
+      a.sub(Reg::o4, Reg::o4, Reg::o3);      // delta
+      a.and_(Reg::l4, Reg::o0, 0x1FF);       // frac = rpm % 512
+      a.smul(Reg::o4, Reg::o4, Reg::l4);
+      a.sra(Reg::o4, Reg::o4, 9);
+      a.add(Reg::o3, Reg::o3, Reg::o4);      // advance (degrees)
+      // Spark delay = advance * 60000 / rpm (degrees to microseconds-ish).
+      a.set32(Reg::l4, 60000);
+      a.umul(Reg::o4, Reg::o3, Reg::l4);
+      a.wry(Reg::g0, 0);
+      a.udiv(Reg::o4, Reg::o4, Reg::o0);
+      // Dwell clamp: at least 300 ticks before spark.
+      a.cmp(Reg::o4, 300);
+      Label dwell_ok = a.label();
+      a.bge(dwell_ok);
+      a.nop();
+      a.mov(Reg::o4, 300);
+      a.bind(dwell_ok);
+      a.st(Reg::o4, Reg::o5, 0);             // spark time
+      a.sth(Reg::l2, Reg::o5, 4);            // tooth index
+      a.stb(Reg::o3, Reg::o5, 6);            // advance tap
+      a.lduh(Reg::l3, Reg::o5, 4);           // position read-back
+      a.add(Reg::g7, Reg::g7, Reg::l3);
+      a.add(Reg::g7, Reg::g7, Reg::o4);
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(event);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// rspeed: road speed calculation. Convert wheel pulse periods to speed with
+// an exponential smoothing filter, accumulate distance, flag overspeed.
+isa::Program build_rspeed(const WorkloadParams& p) {
+  constexpr u32 kPulses = 160;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("rspeed", p.data_seed, kPulses, 500, 60000);  // periods
+
+  return kernel_frame("rspeed", p, data, [&](Assembler& a) {
+    const u32 speed_out = 0x40150000;
+    a.set32(Reg::o5, speed_out);
+    a.set32(Reg::l5, kRounds);
+    // End-of-run statistics, consumed only by the epilogue (the "data not
+    // used until the last part of the program" of the paper's Fig. 4b):
+    //   %i0 min speed, %i1 max speed, %i2 pulse count, %i3 overspeed count,
+    //   %l3/%l4 64-bit distance accumulator.
+    a.set32(Reg::i0, 0x7FFFFFFF);
+    a.clr(Reg::i1);
+    a.clr(Reg::i2);
+    a.clr(Reg::i3);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kPulses);
+    a.clr(Reg::l2);                          // filtered period
+    a.clr(Reg::l3);                          // distance accumulator (lo)
+    a.clr(Reg::l4);                          // distance accumulator (hi)
+    Label pulse = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // raw period
+      // EMA filter: filt += (raw - filt) >> 3.
+      a.sub(Reg::o1, Reg::o0, Reg::l2);
+      a.sra(Reg::o1, Reg::o1, 3);
+      a.add(Reg::l2, Reg::l2, Reg::o1);
+      // speed = K / filtered period.
+      a.set32(Reg::o2, 3'600'000);
+      a.wry(Reg::g0, 0);
+      a.udiv(Reg::o3, Reg::o2, Reg::l2);
+      // 64-bit distance += speed (addcc/addx pair).
+      a.addcc(Reg::l3, Reg::l3, Reg::o3);
+      a.addx(Reg::l4, Reg::l4, 0);
+      // Overspeed check at 240: event counter consumed only at the end.
+      a.cmp(Reg::o3, 240);
+      Label no_over = a.label();
+      a.bleu(no_over);
+      a.nop();
+      a.inc(Reg::i3, 1);
+      a.bind(no_over);
+      // Min/max tracking, also end-consumed.
+      a.cmp(Reg::o3, Reg::i0);
+      Label no_min = a.label();
+      a.bcc(no_min);  // unsigned >=
+      a.nop();
+      a.mov(Reg::i0, Reg::o3);
+      a.bind(no_min);
+      a.cmp(Reg::o3, Reg::i1);
+      Label no_max = a.label();
+      a.bleu(no_max);
+      a.nop();
+      a.mov(Reg::i1, Reg::o3);
+      a.bind(no_max);
+      a.inc(Reg::i2, 1);
+      // Trip-statistics accumulators in globals, published only at the end.
+      a.xor_(Reg::g1, Reg::g1, Reg::o3);
+      a.add(Reg::g2, Reg::g2, Reg::l2);
+      a.add(Reg::g3, Reg::g3, Reg::o0);
+      a.st(Reg::o3, Reg::o5, 0);             // speed register
+      a.sth(Reg::l2, Reg::o5, 6);            // filtered period tap
+      a.ldsh(Reg::o1, Reg::o5, 6);           // read-back
+      a.add(Reg::g7, Reg::g7, Reg::o1);
+      a.add(Reg::g7, Reg::g7, Reg::o3);
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(pulse);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  },
+  [&](Assembler& a) {
+    // Epilogue, emitted once after *all* iterations: publish the end-of-run
+    // statistics (min/max/count/overspeed, final-round distance). Faults
+    // lodged in these registers manifest only here, which is what stretches
+    // the maximum propagation latency as the iteration count grows (Fig. 4b).
+    a.st(Reg::i0, Reg::o5, 8);
+    a.st(Reg::i1, Reg::o5, 12);
+    a.st(Reg::i2, Reg::o5, 16);
+    a.st(Reg::i3, Reg::o5, 20);
+    a.st(Reg::l3, Reg::o5, 24);
+    a.st(Reg::l4, Reg::o5, 28);
+    a.st(Reg::g1, Reg::o5, 32);
+    a.st(Reg::g2, Reg::o5, 36);
+    a.st(Reg::g3, Reg::o5, 40);
+    a.add(Reg::g7, Reg::g7, Reg::i0);
+    a.xor_(Reg::g7, Reg::g7, Reg::i1);
+    emit_report(a);
+  });
+}
+
+}  // namespace issrtl::workloads

@@ -1,0 +1,267 @@
+// Additional Autobench-family kernels used by the Fig. 3 excerpt study and
+// available as full workloads: a2time, tblook, basefp (fixed-point), bitmnp.
+#include "workloads/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::workloads {
+
+namespace {
+
+template <typename BodyFn>
+isa::Program kernel_frame2(const std::string& name, const WorkloadParams& p,
+                           const std::vector<u32>& data, BodyFn&& body) {
+  Assembler a(name);
+  emit_prologue(a);
+  emit_input_table(a, data);
+
+  Label skip = a.label();
+  a.ba(skip);
+  a.nop();
+  Label harness = emit_harness_routine(a);
+  a.bind(skip);
+
+  a.set32(Reg::l6, p.iterations);
+  Label outer = a.here();
+  body(a);
+  a.call(harness);
+  a.nop();
+  a.subcc(Reg::l6, Reg::l6, 1);
+  a.bne(outer);
+  a.nop();
+  a.halt();
+  return a.finalize();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// a2time: angle-to-time conversion. Convert crank angles to time delays for
+// the current engine period, with top-dead-centre offset handling.
+isa::Program build_a2time(const WorkloadParams& p) {
+  constexpr u32 kSamples = 140;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("a2time", p.data_seed, kSamples, 0, 719);  // degrees*2
+
+  return kernel_frame2("a2time", p, data, [&](Assembler& a) {
+    const u32 out = 0x40160000;
+    a.set32(Reg::o5, out);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kSamples);
+    a.set32(Reg::l2, 20000);                 // period per revolution (ticks)
+    Label sample = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // angle in half-degrees
+      // Normalise relative to TDC at 360: delta = (angle + 720 - 360) % 720.
+      a.add(Reg::o1, Reg::o0, 360);
+      a.cmp(Reg::o1, 720);
+      Label no_wrap = a.label();
+      a.bl(no_wrap);
+      a.nop();
+      a.sub(Reg::o1, Reg::o1, 720);
+      a.bind(no_wrap);
+      // time = delta * period / 720.
+      a.umul(Reg::o2, Reg::o1, Reg::l2);
+      a.wry(Reg::g0, 0);
+      a.set32(Reg::o3, 720);
+      a.udiv(Reg::o2, Reg::o2, Reg::o3);
+      // Signed correction for retard region (> 540).
+      a.cmp(Reg::o0, 540);
+      Label no_retard = a.label();
+      a.ble(no_retard);
+      a.nop();
+      a.sub(Reg::o2, Reg::g0, Reg::o2);      // negate
+      a.bind(no_retard);
+      a.st(Reg::o2, Reg::o5, 0);
+      a.add(Reg::g7, Reg::g7, Reg::o2);
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(sample);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// tblook: table lookup and interpolation over a 33-entry calibration curve.
+isa::Program build_tblook(const WorkloadParams& p) {
+  constexpr u32 kQueries = 160;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("tblook", p.data_seed, kQueries, 0, 0x7FFF);
+
+  return kernel_frame2("tblook", p, data, [&](Assembler& a) {
+    // Monotonic calibration table (33 breakpoints of a saturating curve).
+    std::vector<u32> tbl(33);
+    for (std::size_t i = 0; i < tbl.size(); ++i)
+      tbl[i] = static_cast<u32>(1000 + 900 * i - 8 * i * i);
+    const u32 table = a.data_words(tbl);
+
+    const u32 out = 0x40170000;
+    a.set32(Reg::o5, out);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kQueries);
+    Label query = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // x in [0, 0x7FFF]
+      a.srl(Reg::o1, Reg::o0, 10);           // segment = x / 1024 (0..31)
+      a.sll(Reg::o2, Reg::o1, 2);
+      a.set32(Reg::l2, table);
+      a.ld(Reg::o3, Reg::l2, Reg::o2);       // y0
+      a.add(Reg::o2, Reg::o2, 4);
+      a.ld(Reg::o4, Reg::l2, Reg::o2);       // y1
+      a.sub(Reg::o4, Reg::o4, Reg::o3);
+      a.set32(Reg::l3, 0x3FF);
+      a.and_(Reg::l4, Reg::o0, Reg::l3);     // frac
+      a.smul(Reg::o4, Reg::o4, Reg::l4);
+      a.sra(Reg::o4, Reg::o4, 10);
+      a.add(Reg::o3, Reg::o3, Reg::o4);      // interpolated value
+      // Saturate at 16000.
+      a.set32(Reg::l4, 16000);
+      a.cmp(Reg::o3, Reg::l4);
+      Label sat_ok = a.label();
+      a.bleu(sat_ok);
+      a.nop();
+      a.mov(Reg::o3, Reg::l4);
+      a.bind(sat_ok);
+      a.st(Reg::o3, Reg::o5, 0);
+      a.add(Reg::g7, Reg::g7, Reg::o3);
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(query);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// basefp: the "basic floating point" kernel re-expressed in Q16.16 fixed
+// point (the usual port for integer-only automotive MCUs): multiply-
+// accumulate with saturation over a coefficient table.
+isa::Program build_basefp(const WorkloadParams& p) {
+  constexpr u32 kElems = 170;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("basefp", p.data_seed, kElems * 2, 0, 0x0003FFFF);
+
+  return kernel_frame2("basefp", p, data, [&](Assembler& a) {
+    const u32 out = 0x40180000;
+    a.set32(Reg::o5, out);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kElems);
+    a.clr(Reg::l2);                          // Q16.16 accumulator
+    Label elem = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);             // a (Q16.16)
+      a.ld(Reg::o1, Reg::l0, 4);             // b (Q16.16)
+      // Q16.16 multiply: (a*b) >> 16 using the full 64-bit product.
+      a.umul(Reg::o2, Reg::o0, Reg::o1);     // low word
+      a.rdy(Reg::o3);                        // high word
+      a.srl(Reg::o2, Reg::o2, 16);
+      a.sll(Reg::o3, Reg::o3, 16);
+      a.or_(Reg::o2, Reg::o2, Reg::o3);      // product in Q16.16
+      // Saturating accumulate.
+      a.addcc(Reg::l2, Reg::l2, Reg::o2);
+      Label no_sat = a.label();
+      a.bvc(no_sat);
+      a.nop();
+      a.set32(Reg::l2, 0x7FFFFFFF);
+      a.bind(no_sat);
+      a.st(Reg::l2, Reg::o5, 0);
+      a.inc(Reg::l0, 8);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(elem);
+      a.nop();
+    }
+    a.add(Reg::g7, Reg::g7, Reg::l2);
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// bitmnp: bit manipulation. Bit-reverse each input word (5-stage butterfly)
+// and compute its population count; store both.
+isa::Program build_bitmnp(const WorkloadParams& p) {
+  constexpr u32 kWords = 120;
+  constexpr u32 kRounds = 8;
+  auto data = gen_data("bitmnp", p.data_seed, kWords, 0, 0xFFFFFFFF);
+
+  return kernel_frame2("bitmnp", p, data, [&](Assembler& a) {
+    const u32 out = 0x40190000;
+    a.set32(Reg::o5, out);
+    a.set32(Reg::l5, kRounds);
+    Label rounds = a.here();
+
+    a.mov(Reg::l0, Reg::g5);
+    a.set32(Reg::l1, kWords);
+    Label word = a.here();
+    {
+      a.ld(Reg::o0, Reg::l0, 0);
+      // Bit reverse via masked swaps (0x55.., 0x33.., 0x0F.., bytes, halves).
+      struct Stage { u32 mask; int shift; };
+      const Stage stages[] = {{0x55555555, 1},
+                              {0x33333333, 2},
+                              {0x0F0F0F0F, 4},
+                              {0x00FF00FF, 8}};
+      for (const auto& s : stages) {
+        a.set32(Reg::l2, s.mask);
+        a.and_(Reg::o1, Reg::o0, Reg::l2);
+        a.sll(Reg::o1, Reg::o1, s.shift);
+        a.srl(Reg::o2, Reg::o0, s.shift);
+        a.and_(Reg::o2, Reg::o2, Reg::l2);
+        a.or_(Reg::o0, Reg::o1, Reg::o2);
+      }
+      a.sll(Reg::o1, Reg::o0, 16);           // final halfword swap
+      a.srl(Reg::o2, Reg::o0, 16);
+      a.or_(Reg::o0, Reg::o1, Reg::o2);
+      // Popcount: fold bits with shifted masked adds.
+      a.srl(Reg::o3, Reg::o0, 1);
+      a.set32(Reg::l2, 0x55555555);
+      a.and_(Reg::o3, Reg::o3, Reg::l2);
+      a.sub(Reg::o3, Reg::o0, Reg::o3);
+      a.set32(Reg::l2, 0x33333333);
+      a.and_(Reg::o4, Reg::o3, Reg::l2);
+      a.srl(Reg::o3, Reg::o3, 2);
+      a.and_(Reg::o3, Reg::o3, Reg::l2);
+      a.add(Reg::o3, Reg::o3, Reg::o4);
+      a.srl(Reg::o4, Reg::o3, 4);
+      a.add(Reg::o3, Reg::o3, Reg::o4);
+      a.set32(Reg::l2, 0x0F0F0F0F);
+      a.and_(Reg::o3, Reg::o3, Reg::l2);
+      a.set32(Reg::l2, 0x01010101);
+      a.umul(Reg::o3, Reg::o3, Reg::l2);
+      a.srl(Reg::o3, Reg::o3, 24);           // popcount in o3
+      a.st(Reg::o0, Reg::o5, 0);
+      a.stb(Reg::o3, Reg::o5, 4);
+      a.add(Reg::g7, Reg::g7, Reg::o3);
+      a.xor_(Reg::g7, Reg::g7, Reg::o0);
+      a.inc(Reg::l0, 4);
+      a.subcc(Reg::l1, Reg::l1, 1);
+      a.bne(word);
+      a.nop();
+    }
+    emit_report(a);
+    a.subcc(Reg::l5, Reg::l5, 1);
+    a.bne(rounds);
+    a.nop();
+  });
+}
+
+}  // namespace issrtl::workloads

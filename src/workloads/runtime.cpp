@@ -1,0 +1,126 @@
+#include "workloads/runtime.hpp"
+
+#include "common/rng.hpp"
+
+namespace issrtl::workloads {
+
+std::vector<u32> gen_data(const std::string& tag, u64 seed, std::size_t count,
+                          u32 lo, u32 hi) {
+  // Mix the tag into the seed so "same code, different data" excerpts get
+  // genuinely different inputs per benchmark.
+  u64 mixed = seed;
+  for (const char c : tag) mixed = mixed * 1099511628211ull + static_cast<u8>(c);
+  Xoshiro256 rng(mixed);
+  std::vector<u32> out(count);
+  const u64 span = static_cast<u64>(hi) - lo + 1;
+  for (auto& v : out) v = lo + static_cast<u32>(rng.next_below(span));
+  return out;
+}
+
+u32 emit_prologue(Assembler& a, u32 out_words) {
+  const u32 out = a.data_zero(out_words * 4);
+  a.def_symbol("out", out);
+  a.set32(Reg::g6, out);
+  a.clr(Reg::g7);
+  return out;
+}
+
+u32 emit_input_table(Assembler& a, const std::vector<u32>& values) {
+  const u32 addr = a.data_words(values);
+  a.def_symbol("input", addr);
+  a.set32(Reg::g5, addr);
+  return addr;
+}
+
+void emit_report(Assembler& a) {
+  a.st(Reg::g7, Reg::g6, 0);
+  a.add(Reg::g6, Reg::g6, 4);
+}
+
+namespace {
+
+/// Emit "bxx next; nop; next:" — executes the branch type without changing
+/// the path, the way guard checks compile when both arms rejoin.
+template <typename BranchFn>
+void guard(Assembler& a, BranchFn&& br) {
+  Label next = a.label();
+  br(next);
+  a.nop();
+  a.bind(next);
+}
+
+}  // namespace
+
+Label emit_harness_routine(Assembler& a) {
+  // Scratch data the harness owns: a lock byte, a swap word, an I/O pair.
+  a.align_data(8);
+  const u32 scratch = a.data_zero(24);
+  a.def_symbol("harness_scratch", scratch);
+
+  Label entry = a.here();
+  a.save(Reg::o6, Reg::o6, -96);
+
+  // %i0 carries the kernel's latest value; fold it with rotating constants.
+  a.set32(Reg::l1, 0x3C5A'5155);            // sethi + or
+  a.xor_(Reg::l2, Reg::i0, Reg::l1);
+  a.xorcc(Reg::l3, Reg::l2, Reg::g7);
+  guard(a, [&](Label& l) { a.bneg(l); });
+  a.add(Reg::l4, Reg::l2, Reg::l3);
+  a.addcc(Reg::l5, Reg::l4, Reg::l1);
+  a.addx(Reg::l6, Reg::l5, 0);
+  a.addxcc(Reg::l7, Reg::l6, Reg::l0);
+  guard(a, [&](Label& l) { a.bpos(l); });
+  a.sub(Reg::o0, Reg::l7, Reg::l1);
+  a.subcc(Reg::o1, Reg::o0, Reg::l2);
+  guard(a, [&](Label& l) { a.bne(l); });
+  a.subx(Reg::o2, Reg::o1, 0);
+  a.and_(Reg::o3, Reg::o2, Reg::l1);
+  a.andcc(Reg::o4, Reg::o3, Reg::l4);
+  guard(a, [&](Label& l) { a.be(l); });
+  a.andn(Reg::o5, Reg::o2, Reg::o3);
+  a.orcc(Reg::l0, Reg::o5, Reg::o4);
+  a.xnor(Reg::l2, Reg::l0, Reg::l1);
+
+  // Shifter footprint.
+  a.sll(Reg::l3, Reg::l2, 3);
+  a.srl(Reg::l4, Reg::l2, 7);
+  a.sra(Reg::l5, Reg::l2, 2);
+  a.xor_(Reg::l6, Reg::l3, Reg::l4);
+  a.add(Reg::l6, Reg::l6, Reg::l5);
+
+  // Multiplier / Y-register footprint.
+  a.umul(Reg::o0, Reg::l6, Reg::l1);
+  a.rdy(Reg::o1);
+  a.smul(Reg::o2, Reg::l6, Reg::l5);
+  a.wry(Reg::o2, 0);
+  a.mulscc(Reg::o3, Reg::o0, Reg::l1);
+  a.taddcc(Reg::o4, Reg::o3, Reg::o1);
+
+  // Memory footprint over the scratch area: atomics, doubles, sub-word.
+  a.set32(Reg::l7, scratch);
+  a.ldstub(Reg::o5, Reg::l7, 8);
+  a.swap(Reg::o4, Reg::l7, 12);
+  a.std_(Reg::o0, Reg::l7, 16);   // o0/o1 pair
+  a.ldd(Reg::l0, Reg::l7, 16);
+  a.st(Reg::o3, Reg::l7, 0);
+  a.ld(Reg::l2, Reg::l7, 0);
+  a.stb(Reg::o3, Reg::l7, 4);
+  a.ldub(Reg::l3, Reg::l7, 4);
+  a.sth(Reg::o3, Reg::l7, 6);
+  a.lduh(Reg::l4, Reg::l7, 6);
+
+  // Fold everything into the global checksum and report it off-core.
+  a.xor_(Reg::g7, Reg::g7, Reg::l0);
+  a.add(Reg::g7, Reg::g7, Reg::l2);
+  a.xor_(Reg::g7, Reg::g7, Reg::l3);
+  a.add(Reg::g7, Reg::g7, Reg::l4);
+  a.xor_(Reg::g7, Reg::g7, Reg::o4);
+  a.st(Reg::g7, Reg::g6, 0);
+  a.add(Reg::g6, Reg::g6, 4);
+
+  a.ret();
+  a.restore(Reg::g0, Reg::g0, Reg::g0);
+  return entry;
+}
+
+}  // namespace issrtl::workloads

@@ -1,0 +1,77 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+namespace issrtl::workloads {
+
+namespace {
+
+std::vector<WorkloadInfo> make_registry() {
+  std::vector<WorkloadInfo> r;
+  const auto add = [&r](std::string name, std::string desc, bool synth,
+                        bool excerpt, BuilderFn fn) {
+    r.push_back({std::move(name), std::move(desc), synth, excerpt,
+                 std::move(fn)});
+  };
+
+  // Table 1 order.
+  add("puwmod", "pulse-width modulation control", false, false, build_puwmod);
+  add("canrdr", "CAN remote data request handling", false, false, build_canrdr);
+  add("ttsprk", "tooth-to-spark ignition timing", false, false, build_ttsprk);
+  add("rspeed", "road speed calculation", false, false, build_rspeed);
+  add("membench", "synthetic memory-intensive benchmark", true, false,
+      build_membench);
+  add("intbench", "synthetic integer-intensive benchmark", true, false,
+      build_intbench);
+
+  // Additional Autobench-family kernels.
+  add("a2time", "angle-to-time conversion", false, false, build_a2time);
+  add("tblook", "calibration table lookup + interpolation", false, false,
+      build_tblook);
+  add("basefp", "fixed-point (Q16.16) arithmetic kernel", false, false,
+      build_basefp);
+  add("bitmnp", "bit manipulation kernel", false, false, build_bitmnp);
+
+  // Fig. 3 excerpts: set A (8 instruction types), set B (11 types).
+  for (const char* n : {"a2time", "ttsprk", "bitmnp"}) {
+    add(std::string(n) + "_x", "init-phase excerpt (8-type set A)", false,
+        true, [n](const WorkloadParams& p) { return build_excerpt(true, n, p); });
+  }
+  for (const char* n : {"rspeed", "tblook", "basefp"}) {
+    add(std::string(n) + "_x", "init-phase excerpt (11-type set B)", false,
+        true, [n](const WorkloadParams& p) { return build_excerpt(false, n, p); });
+  }
+  return r;
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& registry() {
+  static const std::vector<WorkloadInfo> r = make_registry();
+  return r;
+}
+
+const WorkloadInfo& find(const std::string& name) {
+  for (const auto& w : registry()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+isa::Program build(const std::string& name, const WorkloadParams& params) {
+  return find(name).build(params);
+}
+
+std::vector<std::string> table1_names() {
+  return {"puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench"};
+}
+
+std::vector<std::string> excerpt_set_a() {
+  return {"a2time_x", "ttsprk_x", "bitmnp_x"};
+}
+
+std::vector<std::string> excerpt_set_b() {
+  return {"rspeed_x", "tblook_x", "basefp_x"};
+}
+
+}  // namespace issrtl::workloads

@@ -1,0 +1,289 @@
+// Fault-injection framework tests: fault-list construction, campaign outcome
+// classification, directed injections with known consequences, ISS-level
+// campaigns and the lockstep checker.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hpp"
+#include "fault/iss_campaign.hpp"
+#include "fault/lockstep.hpp"
+#include "fault/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::fault {
+namespace {
+
+using rtl::FaultModel;
+
+isa::Program small_workload() {
+  return workloads::build("a2time_x", {.iterations = 1, .data_seed = 1});
+}
+
+// ---- fault list construction ----------------------------------------------------
+
+TEST(FaultList, DeterministicPerSeed) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.samples = 50;
+  const auto a = build_fault_list(core.sim(), cfg, 10000);
+  const auto b = build_fault_list(core.sim(), cfg, 10000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].bit, b[i].bit);
+  }
+}
+
+TEST(FaultList, SeedChangesSelection) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.samples = 50;
+  const auto a = build_fault_list(core.sim(), cfg, 10000);
+  cfg.seed = 999;
+  const auto b = build_fault_list(core.sim(), cfg, 10000);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same += (a[i].node == b[i].node && a[i].bit == b[i].bit);
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(FaultList, RespectsUnitFilter) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.unit_prefix = "cmem";
+  cfg.samples = 100;
+  for (const auto& s : build_fault_list(core.sim(), cfg, 10000)) {
+    EXPECT_EQ(core.sim().node(s.node).unit().rfind("cmem", 0), 0u);
+  }
+}
+
+TEST(FaultList, BitsWithinWidth) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.samples = 500;
+  for (const auto& s : build_fault_list(core.sim(), cfg, 10000)) {
+    EXPECT_LT(s.bit, core.sim().node(s.node).width());
+  }
+}
+
+TEST(FaultList, ExhaustiveCoversEveryBit) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.unit_prefix = "iu.special";  // small unit: icc, y, cwp, wdepth
+  cfg.samples = 0;                 // exhaustive
+  cfg.models = {FaultModel::kStuckAt0, FaultModel::kStuckAt1};
+  const auto sites = build_fault_list(core.sim(), cfg, 1000);
+  EXPECT_EQ(sites.size(),
+            2 * core.sim().injectable_bits("iu.special"));
+}
+
+TEST(FaultList, UnknownUnitThrows) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.unit_prefix = "gpu";
+  EXPECT_THROW(build_fault_list(core.sim(), cfg, 1000),
+               std::invalid_argument);
+}
+
+// ---- campaign classification ------------------------------------------------------
+
+TEST(Campaign, OutcomesPartitionRuns) {
+  CampaignConfig cfg;
+  cfg.samples = 40;
+  cfg.models = {FaultModel::kStuckAt1, FaultModel::kOpenLine};
+  const auto r = run_campaign(small_workload(), cfg);
+  EXPECT_EQ(r.runs.size(), 80u);
+  for (const auto& st : r.per_model) {
+    EXPECT_EQ(st.runs, 40u);
+    EXPECT_EQ(st.failures + st.hangs + st.latent + st.silent, st.runs);
+    EXPECT_GE(st.pf(), 0.0);
+    EXPECT_LE(st.pf(), 1.0);
+  }
+}
+
+TEST(Campaign, DeterministicPerSeed) {
+  CampaignConfig cfg;
+  cfg.samples = 30;
+  const auto a = run_campaign(small_workload(), cfg);
+  const auto b = run_campaign(small_workload(), cfg);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << i;
+  }
+}
+
+TEST(Campaign, GoldenMetadataFilled) {
+  CampaignConfig cfg;
+  cfg.samples = 5;
+  const auto r = run_campaign(small_workload(), cfg);
+  EXPECT_GT(r.golden_cycles, 0u);
+  EXPECT_GT(r.golden_instret, 0u);
+  EXPECT_EQ(r.unit_prefix, "iu");
+  EXPECT_FALSE(r.workload.empty());
+}
+
+TEST(Campaign, StatsForUnknownModelThrows) {
+  CampaignConfig cfg;
+  cfg.samples = 5;
+  const auto r = run_campaign(small_workload(), cfg);
+  EXPECT_NO_THROW(r.stats_for(FaultModel::kStuckAt1));
+  EXPECT_THROW(r.stats_for(FaultModel::kOpenLine), std::out_of_range);
+}
+
+TEST(Campaign, LatencyOnlyOnFailures) {
+  CampaignConfig cfg;
+  cfg.samples = 60;
+  const auto r = run_campaign(small_workload(), cfg);
+  for (const auto& run : r.runs) {
+    if (run.outcome == Outcome::kSilent || run.outcome == Outcome::kLatent) {
+      EXPECT_EQ(run.latency_cycles, 0u);
+    }
+  }
+}
+
+// Directed injections with known consequences.
+namespace {
+
+Outcome inject_named(const isa::Program& prog, const std::string& node_name,
+                     u8 bit, FaultModel model) {
+  Memory golden_mem;
+  rtlcore::Leon3Core golden(golden_mem);
+  golden.load(prog);
+  EXPECT_EQ(golden.run(), iss::HaltReason::kHalted);
+
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  core.load(prog);
+  const auto id = core.sim().find_node(node_name);
+  EXPECT_TRUE(id.has_value()) << node_name;
+  for (int i = 0; i < 10; ++i) core.step();
+  core.sim().arm_fault(*id, model, bit);
+  const auto halt = core.run(golden.cycles() * 4 + 1000);
+  const auto div = core.offcore().compare_writes(golden.offcore());
+  if (div.diverged) return Outcome::kFailure;
+  if (halt == iss::HaltReason::kStepLimit) return Outcome::kHang;
+  return core.arch_state().regs == golden.arch_state().regs
+             ? Outcome::kSilent
+             : Outcome::kLatent;
+}
+
+}  // namespace
+
+TEST(Campaign, StuckFetchPcBitIsCatastrophic) {
+  // Forcing a low PC bit corrupts the instruction stream: failure or hang.
+  const auto o =
+      inject_named(small_workload(), "fetch_pc", 2, FaultModel::kStuckAt1);
+  EXPECT_TRUE(o == Outcome::kFailure || o == Outcome::kHang);
+}
+
+TEST(Campaign, FaultInUnusedWindowIsSilentOrLatent) {
+  // The excerpt never SAVEs: windows 3-6 are untouched, so a stuck bit in
+  // one of their locals can never propagate to off-core activity.
+  const auto o =
+      inject_named(small_workload(), "r_w4_8", 13, FaultModel::kStuckAt1);
+  EXPECT_TRUE(o == Outcome::kSilent || o == Outcome::kLatent);
+}
+
+TEST(Campaign, OpenLineOnQuietNodeIsSilent) {
+  // Open-line freezes the value a node already holds — on a constant-zero
+  // node of an idle unit this can never change anything.
+  const auto o =
+      inject_named(small_workload(), "div_q", 7, FaultModel::kOpenLine);
+  EXPECT_EQ(o, Outcome::kSilent);
+}
+
+TEST(Campaign, StoreDataPathFaultCausesFailure) {
+  // sdata in the ME latch feeds every store's bus payload; the excerpt
+  // stores every word it copies, so a stuck bit must show up off-core.
+  const auto o =
+      inject_named(small_workload(), "me_sdata", 0, FaultModel::kStuckAt1);
+  EXPECT_EQ(o, Outcome::kFailure);
+}
+
+// ---- ISS campaign -------------------------------------------------------------------
+
+TEST(IssCampaign, RunsAndClassifies) {
+  IssCampaignConfig cfg;
+  cfg.samples = 60;
+  cfg.models = {iss::IssFaultModel::kStuckAt1, iss::IssFaultModel::kBitFlip};
+  const auto r = run_iss_campaign(small_workload(), cfg);
+  EXPECT_EQ(r.runs.size(), 120u);
+  EXPECT_GT(r.golden_instret, 0u);
+  for (const auto& st : r.per_model) {
+    EXPECT_EQ(st.runs, 60u);
+    EXPECT_LE(st.failures + st.latent, st.runs);
+  }
+}
+
+TEST(IssCampaign, PermanentFaultsFailMoreThanTransients) {
+  IssCampaignConfig cfg;
+  cfg.samples = 120;
+  cfg.models = {iss::IssFaultModel::kStuckAt1, iss::IssFaultModel::kBitFlip};
+  const auto r = run_iss_campaign(
+      workloads::build("rspeed", {.iterations = 1, .data_seed = 1}), cfg);
+  EXPECT_GE(r.per_model[0].pf(), r.per_model[1].pf());
+}
+
+// ---- lockstep ------------------------------------------------------------------------
+
+TEST(Lockstep, DetectsStoreDataFault) {
+  const auto prog = small_workload();
+  Memory mem;
+  rtlcore::Leon3Core probe(mem);  // only for node lookup
+  const auto id = probe.sim().find_node("me_sdata");
+  ASSERT_TRUE(id.has_value());
+  FaultSite site{*id, 1, FaultModel::kStuckAt1, 20};
+  const auto r = run_lockstep(prog, site);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.detect_cycle, site.inject_cycle);
+  EXPECT_EQ(r.detection_latency, r.detect_cycle - site.inject_cycle);
+}
+
+TEST(Lockstep, SilentFaultNotDetected) {
+  const auto prog = small_workload();
+  Memory mem;
+  rtlcore::Leon3Core probe(mem);
+  const auto id = probe.sim().find_node("r_w4_8");
+  ASSERT_TRUE(id.has_value());
+  FaultSite site{*id, 3, FaultModel::kStuckAt1, 20};
+  const auto r = run_lockstep(prog, site);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.master_halt, iss::HaltReason::kHalted);
+  EXPECT_EQ(r.checker_halt, iss::HaltReason::kHalted);
+}
+
+// ---- report --------------------------------------------------------------------------
+
+TEST(Report, TableRendersAligned) {
+  TextTable t({"bench", "Pf"});
+  t.add_row({"rspeed", TextTable::pct(0.25)});
+  t.add_row({"membench-long-name", TextTable::pct(0.071, 2)});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| bench"), std::string::npos);
+  EXPECT_NE(s.find("25.0%"), std::string::npos);
+  EXPECT_NE(s.find("7.10%"), std::string::npos);
+  // All lines have equal length.
+  std::size_t first = s.find('\n');
+  std::size_t pos = 0, len = first;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, len);
+    pos = next + 1;
+  }
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace issrtl::fault

@@ -1,0 +1,350 @@
+// Unit and property tests for the SPARC V8 ISA substrate:
+// encode/decode round trips, assembler fixups and the opcode metadata table.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decode.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encode.hpp"
+#include "isa/opcode.hpp"
+#include "isa/registers.hpp"
+
+namespace issrtl::isa {
+namespace {
+
+TEST(OpcodeTable, EveryOpcodeHasInfo) {
+  for (std::size_t i = 1; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto& info = opcode_info(op);
+    EXPECT_EQ(info.opcode, op) << "table hole at index " << i;
+    EXPECT_FALSE(info.mnemonic.empty());
+    EXPECT_NE(info.iclass, InstClass::kInvalid) << info.mnemonic;
+    EXPECT_NE(info.units, 0u) << info.mnemonic;
+    EXPECT_GE(info.latency, 1) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, EveryOpcodeTouchesFetchAndDecode) {
+  for (std::size_t i = 1; i < kNumOpcodes; ++i) {
+    const auto& info = opcode_info(static_cast<Opcode>(i));
+    // Paper §3: "all instructions have the same probability of triggering a
+    // failure at decode and fetch stages as these stages are used by every
+    // instruction".
+    EXPECT_TRUE(info.units & unit_bit(FuncUnit::Fetch)) << info.mnemonic;
+    EXPECT_TRUE(info.units & unit_bit(FuncUnit::Decode)) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, MemoryOpsTouchDCache) {
+  for (std::size_t i = 1; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto& info = opcode_info(op);
+    EXPECT_EQ(is_memory_op(op),
+              (info.units & unit_bit(FuncUnit::DCache)) != 0)
+        << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, BranchCondRoundTrip) {
+  for (u8 cond = 0; cond < 16; ++cond) {
+    const Opcode op = branch_from_cond(cond);
+    EXPECT_TRUE(is_branch(op));
+    EXPECT_EQ(branch_cond(op), cond);
+  }
+}
+
+TEST(OpcodeTable, Op3TablesRoundTrip) {
+  for (std::size_t i = 1; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (const u8 op3 = op3_arith(op); op3 != 0xFF) {
+      EXPECT_EQ(opcode_from_op3_arith(op3), op) << mnemonic(op);
+    }
+    if (const u8 op3 = op3_mem(op); op3 != 0xFF) {
+      EXPECT_EQ(opcode_from_op3_mem(op3), op) << mnemonic(op);
+    }
+  }
+}
+
+// ---- encode/decode round trips ---------------------------------------------
+
+TEST(EncodeDecode, Sethi) {
+  const u32 w = encode_sethi(5, 0x12345);
+  const DecodedInst d = decode(w);
+  EXPECT_EQ(d.opcode, Opcode::kSETHI);
+  EXPECT_EQ(d.rd, 5);
+  EXPECT_EQ(d.imm22, 0x12345u);
+}
+
+TEST(EncodeDecode, Nop) {
+  const DecodedInst d = decode(encode_nop());
+  EXPECT_EQ(d.opcode, Opcode::kSETHI);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.imm22, 0u);
+}
+
+TEST(EncodeDecode, CallDisplacement) {
+  for (const i32 disp : {4, -4, 0x100, -0x4000, 0x3FFF'FFFC}) {
+    const DecodedInst d = decode(encode_call(disp));
+    EXPECT_EQ(d.opcode, Opcode::kCALL);
+    EXPECT_EQ(d.disp, disp);
+    EXPECT_EQ(d.rd, 15);
+  }
+}
+
+TEST(EncodeDecode, BranchAllCondsAndAnnul) {
+  for (u8 cond = 0; cond < 16; ++cond) {
+    const Opcode op = branch_from_cond(cond);
+    for (const bool annul : {false, true}) {
+      for (const i32 disp : {8, -8, 0x1FFFFC, -0x200000}) {
+        const DecodedInst d = decode(encode_branch(op, annul, disp));
+        EXPECT_EQ(d.opcode, op);
+        EXPECT_EQ(d.annul, annul);
+        EXPECT_EQ(d.disp, disp);
+      }
+    }
+  }
+}
+
+TEST(EncodeDecode, BranchRangeChecked) {
+  EXPECT_THROW(encode_branch(Opcode::kBA, false, 3), EncodeError);
+  EXPECT_THROW(encode_branch(Opcode::kBA, false, 1 << 24), EncodeError);
+  EXPECT_THROW(encode_branch(Opcode::kADD, false, 4), EncodeError);
+}
+
+TEST(EncodeDecode, Format3RegAndImm) {
+  const u32 wr = encode_f3_reg(Opcode::kADD, 1, 2, 3);
+  DecodedInst d = decode(wr);
+  EXPECT_EQ(d.opcode, Opcode::kADD);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rs2, 3);
+  EXPECT_FALSE(d.uses_imm);
+
+  const u32 wi = encode_f3_imm(Opcode::kSUBCC, 4, 5, -42);
+  d = decode(wi);
+  EXPECT_EQ(d.opcode, Opcode::kSUBCC);
+  EXPECT_TRUE(d.uses_imm);
+  EXPECT_EQ(d.simm13, -42);
+}
+
+TEST(EncodeDecode, Simm13Boundaries) {
+  for (const i32 imm : {-4096, -1, 0, 1, 4095}) {
+    const DecodedInst d = decode(encode_f3_imm(Opcode::kOR, 1, 1, imm));
+    EXPECT_EQ(d.simm13, imm);
+  }
+  EXPECT_THROW(encode_f3_imm(Opcode::kOR, 1, 1, 4096), EncodeError);
+  EXPECT_THROW(encode_f3_imm(Opcode::kOR, 1, 1, -4097), EncodeError);
+}
+
+TEST(EncodeDecode, TrapAlways) {
+  const DecodedInst d = decode(encode_ta(0));
+  EXPECT_EQ(d.opcode, Opcode::kTA);
+  EXPECT_EQ(d.trap_num, 0);
+  const DecodedInst d5 = decode(encode_ta(5));
+  EXPECT_EQ(d5.trap_num, 5);
+}
+
+TEST(EncodeDecode, LddOddRdRejected) {
+  const u32 w = encode_f3_imm(Opcode::kLDD, 3, 1, 0);  // odd rd
+  EXPECT_EQ(decode(w).opcode, Opcode::kInvalid);
+}
+
+TEST(Decode, GarbageIsInvalidNotCrash) {
+  Xoshiro256 rng(99);
+  int invalid = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const DecodedInst d = decode(rng.next_u32());
+    if (!d.valid()) ++invalid;
+  }
+  EXPECT_GT(invalid, 0);
+}
+
+// Property: every format-3 opcode round-trips through encode/decode with
+// randomized fields.
+class F3RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(F3RoundTrip, RandomFields) {
+  const auto op = static_cast<Opcode>(GetParam());
+  if (op3_arith(op) == 0xFF && op3_mem(op) == 0xFF) GTEST_SKIP();
+  if (op == Opcode::kTA) GTEST_SKIP();  // Ticc has its own encoder
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    u8 rd = static_cast<u8>(rng.next_below(32));
+    const u8 rs1 = static_cast<u8>(rng.next_below(32));
+    const u8 rs2 = static_cast<u8>(rng.next_below(32));
+    if (op == Opcode::kLDD || op == Opcode::kSTD) rd &= 0x1E;
+    if (op == Opcode::kRDY) {
+      const DecodedInst d = decode(encode_f3_reg(op, rd, 0, 0));
+      EXPECT_EQ(d.opcode, op);
+      continue;
+    }
+    const DecodedInst dr = decode(encode_f3_reg(op, rd, rs1, rs2));
+    EXPECT_EQ(dr.opcode, op) << mnemonic(op);
+    // WRY and FLUSH ignore rd; the decoder canonicalises it to zero.
+    if (op != Opcode::kWRY && op != Opcode::kFLUSH) {
+      EXPECT_EQ(dr.rd, rd);
+    }
+    EXPECT_EQ(dr.rs1, rs1);
+    EXPECT_EQ(dr.rs2, rs2);
+
+    const i32 imm = static_cast<i32>(rng.next_below(8192)) - 4096;
+    const DecodedInst di = decode(encode_f3_imm(op, rd, rs1, imm));
+    EXPECT_EQ(di.opcode, op) << mnemonic(op);
+    EXPECT_TRUE(di.uses_imm);
+    EXPECT_EQ(di.simm13, imm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, F3RoundTrip,
+                         ::testing::Range(1, static_cast<int>(kNumOpcodes)));
+
+// ---- registers ---------------------------------------------------------------
+
+TEST(Registers, WindowOverlap) {
+  // Window w's ins are window (w-1)'s outs: after SAVE (cwp decrements),
+  // the caller's %o registers appear as the callee's %i registers.
+  for (unsigned cwp = 0; cwp < kNumWindows; ++cwp) {
+    const unsigned callee = (cwp + kNumWindows - 1) % kNumWindows;
+    for (unsigned k = 0; k < 8; ++k) {
+      EXPECT_EQ(phys_reg_index(8 + k, cwp),      // caller %o_k
+                phys_reg_index(24 + k, callee)); // callee %i_k
+    }
+  }
+}
+
+TEST(Registers, GlobalsSharedAcrossWindows) {
+  for (unsigned cwp = 0; cwp < kNumWindows; ++cwp) {
+    for (unsigned g = 0; g < 8; ++g) EXPECT_EQ(phys_reg_index(g, cwp), g);
+  }
+}
+
+TEST(Registers, LocalsPrivatePerWindow) {
+  // No two different windows may map a local register to the same slot.
+  for (unsigned w1 = 0; w1 < kNumWindows; ++w1) {
+    for (unsigned w2 = w1 + 1; w2 < kNumWindows; ++w2) {
+      for (unsigned k = 16; k < 24; ++k) {
+        EXPECT_NE(phys_reg_index(k, w1), phys_reg_index(k, w2));
+      }
+    }
+  }
+}
+
+TEST(Registers, Names) {
+  EXPECT_EQ(reg_name(0), "%g0");
+  EXPECT_EQ(reg_name(14), "%o6");
+  EXPECT_EQ(reg_name(17), "%l1");
+  EXPECT_EQ(reg_name(31), "%i7");
+}
+
+// ---- assembler ---------------------------------------------------------------
+
+TEST(Assembler, ForwardAndBackwardBranches) {
+  Assembler a("t");
+  auto back = a.here();
+  a.nop();
+  auto fwd = a.label();
+  a.ba(fwd);
+  a.nop();
+  a.ba(back);
+  a.nop();
+  a.bind(fwd);
+  a.halt();
+  const Program p = a.finalize();
+
+  // Instruction 1 is "ba fwd": target is the halt at index 5.
+  const DecodedInst b1 = decode(p.code[1]);
+  EXPECT_EQ(p.code_base + 4 + static_cast<u32>(b1.disp), p.code_base + 20);
+  // Instruction 3 is "ba back": target is index 0.
+  const DecodedInst b3 = decode(p.code[3]);
+  EXPECT_EQ(p.code_base + 12 + static_cast<u32>(b3.disp), p.code_base);
+}
+
+TEST(Assembler, CallFixup) {
+  Assembler a("t");
+  auto fn = a.label();
+  a.call(fn);
+  a.nop();
+  a.halt();
+  a.bind(fn);
+  a.retl();
+  a.nop();
+  const Program p = a.finalize();
+  const DecodedInst c = decode(p.code[0]);
+  EXPECT_EQ(c.opcode, Opcode::kCALL);
+  EXPECT_EQ(p.code_base + static_cast<u32>(c.disp), p.code_base + 12);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a("t");
+  auto l = a.label();
+  a.ba(l);
+  a.nop();
+  EXPECT_THROW(a.finalize(), AssemblerError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a("t");
+  auto l = a.here();
+  EXPECT_THROW(a.bind(l), AssemblerError);
+}
+
+TEST(Assembler, Set32Variants) {
+  Assembler a("t");
+  a.set32(Reg::o0, 0);            // 1 insn (mov)
+  a.set32(Reg::o1, 4095);         // 1 insn
+  a.set32(Reg::o2, 0x12345678);   // sethi + or
+  a.set32(Reg::o3, 0xFFFFFC00);   // sethi only (low 10 bits zero)
+  const Program p = a.finalize();
+  EXPECT_EQ(p.code.size(), 5u);   // 1 + 1 + 2 + 1
+}
+
+TEST(Assembler, DataSection) {
+  Assembler a("t");
+  const u32 w = a.data_u32(0xCAFEBABE);
+  const u32 b = a.data_u8(0x7);
+  const u32 h = a.data_u16(0x1234);  // must auto-align
+  EXPECT_EQ(w, a.finalize().data_base);
+  EXPECT_EQ(b, w + 4);
+  EXPECT_EQ(h % 2, 0u);
+}
+
+TEST(Assembler, DataLoadsBigEndian) {
+  Assembler a("t");
+  const u32 addr = a.data_u32(0xCAFEBABE);
+  Program p = a.finalize();
+  Memory m;
+  p.load_into(m);
+  EXPECT_EQ(m.load_u32(addr), 0xCAFEBABEu);
+  EXPECT_EQ(m.load_u8(addr), 0xCAu);
+}
+
+TEST(Assembler, SymbolTable) {
+  Assembler a("t");
+  a.def_symbol("result", 0x40100000);
+  const Program p = a.finalize();
+  EXPECT_EQ(p.symbol("result"), 0x40100000u);
+  EXPECT_THROW(p.symbol("nope"), std::out_of_range);
+}
+
+// ---- disassembler --------------------------------------------------------------
+
+TEST(Disasm, Representative) {
+  EXPECT_EQ(disassemble(encode_f3_imm(Opcode::kADD, 10, 9, 4), 0),
+            "add %o1, 4, %o2");
+  EXPECT_EQ(disassemble(encode_nop(), 0), "nop");
+  EXPECT_EQ(disassemble(encode_ta(0), 0), "ta 0");
+  const std::string b =
+      disassemble(encode_branch(Opcode::kBNE, true, 16), 0x40000000);
+  EXPECT_EQ(b, "bne,a 0x40000010");
+}
+
+TEST(Disasm, NeverEmpty) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_FALSE(disassemble(rng.next_u32(), 0x40000000).empty());
+  }
+}
+
+}  // namespace
+}  // namespace issrtl::isa

@@ -1,0 +1,282 @@
+// Unit tests for the RTL modelling kernel: node registry, fault overlays,
+// two-phase register semantics and VCD output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rtl/kernel.hpp"
+#include "rtl/vcd.hpp"
+
+namespace issrtl::rtl {
+namespace {
+
+TEST(Kernel, WireWriteReadImmediate) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  w.w(0xDEADBEEF);
+  EXPECT_EQ(w.r(), 0xDEADBEEFu);
+}
+
+TEST(Kernel, WidthMasking) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 4);
+  w.w(0xFF);
+  EXPECT_EQ(w.r(), 0xFu);
+  Sig& b = ctx.wire("b", "iu.alu", 1);
+  b.w(2);
+  EXPECT_EQ(b.r(), 0u);
+}
+
+TEST(Kernel, RegisterTwoPhase) {
+  SimContext ctx;
+  Sig& r = ctx.reg("r", "iu.special", 32);
+  r.n(42);
+  EXPECT_EQ(r.r(), 0u);  // not visible before the clock edge
+  ctx.commit_all();
+  EXPECT_EQ(r.r(), 42u);
+}
+
+TEST(Kernel, RegisterHoldsWithoutWrite) {
+  SimContext ctx;
+  Sig& r = ctx.reg("r", "iu.special", 32);
+  r.n(7);
+  ctx.commit_all();
+  ctx.commit_all();
+  ctx.commit_all();
+  EXPECT_EQ(r.r(), 7u);
+}
+
+TEST(Kernel, StuckAt1ForcesBit) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 5);
+  w.w(0);
+  EXPECT_EQ(w.r(), 32u);
+  w.w(0xFFFFFFFF);
+  EXPECT_EQ(w.r(), 0xFFFFFFFFu);
+}
+
+TEST(Kernel, StuckAt0ForcesBit) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault(0, FaultModel::kStuckAt0, 0);
+  w.w(0xFFFFFFFF);
+  EXPECT_EQ(w.r(), 0xFFFFFFFEu);
+}
+
+TEST(Kernel, OpenLineFreezesArmTimeValue) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  w.w(0x10);                                  // bit 4 high at injection
+  ctx.arm_fault(0, FaultModel::kOpenLine, 4);
+  w.w(0);
+  EXPECT_EQ(w.r(), 0x10u);                    // bit stays high
+  ctx.clear_faults();
+  EXPECT_EQ(w.r(), 0u);
+}
+
+TEST(Kernel, OpenLineFreezesZero) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault(0, FaultModel::kOpenLine, 4); // bit low at injection
+  w.w(0xFFFFFFFF);
+  EXPECT_EQ(w.r(), 0xFFFFFFEFu);
+}
+
+TEST(Kernel, TransientFlipIsOneShot) {
+  SimContext ctx;
+  Sig& r = ctx.reg("r", "iu.special", 32);
+  r.poke(8);
+  ctx.arm_fault(0, FaultModel::kTransientBitFlip, 3);
+  EXPECT_EQ(r.r(), 0u);       // flipped now
+  r.n(8);
+  ctx.commit_all();
+  EXPECT_EQ(r.r(), 8u);       // overwritten value is clean
+}
+
+TEST(Kernel, DoubleFaultOnNodeRejected) {
+  SimContext ctx;
+  ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault(0, FaultModel::kStuckAt0, 0);
+  EXPECT_THROW(ctx.arm_fault(0, FaultModel::kStuckAt1, 1), std::logic_error);
+}
+
+TEST(Kernel, BitRangeChecked) {
+  SimContext ctx;
+  ctx.wire("w", "iu.alu", 4);
+  EXPECT_THROW(ctx.arm_fault(0, FaultModel::kStuckAt0, 4), std::out_of_range);
+}
+
+TEST(Kernel, ClearFaultsRestores) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  w.w(0);
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 7);
+  EXPECT_EQ(w.r(), 128u);
+  ctx.clear_faults();
+  EXPECT_EQ(w.r(), 0u);
+  // Can re-arm after clearing.
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 3);
+  EXPECT_EQ(w.r(), 8u);
+}
+
+TEST(Kernel, InjectableBitsByUnit) {
+  SimContext ctx;
+  ctx.wire("a", "iu.alu", 32);
+  ctx.wire("b", "iu.alu", 4);
+  ctx.reg("c", "cmem.dcache", 1);
+  EXPECT_EQ(ctx.injectable_bits("iu"), 36u);
+  EXPECT_EQ(ctx.injectable_bits("iu.alu"), 36u);
+  EXPECT_EQ(ctx.injectable_bits("cmem"), 1u);
+  EXPECT_EQ(ctx.injectable_bits(), 37u);
+}
+
+TEST(Kernel, UnitPrefixIsComponentWise) {
+  SimContext ctx;
+  ctx.wire("a", "iu.alu", 8);
+  ctx.wire("b", "iu.aluX", 8);  // must NOT match prefix "iu.alu"
+  EXPECT_EQ(ctx.nodes_in_unit("iu.alu").size(), 1u);
+  EXPECT_EQ(ctx.nodes_in_unit("iu").size(), 2u);
+}
+
+TEST(Kernel, NodesInUnitReturnsIds) {
+  SimContext ctx;
+  ctx.wire("a", "iu.alu", 8);
+  ctx.reg("b", "cmem.icache", 8);
+  const auto iu = ctx.nodes_in_unit("iu");
+  ASSERT_EQ(iu.size(), 1u);
+  EXPECT_EQ(ctx.node(iu[0]).name(), "a");
+}
+
+TEST(Kernel, ZeroAllResetsValuesNotFaults) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  w.w(123);
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 0);
+  ctx.zero_all();
+  EXPECT_EQ(w.r(), 1u);  // value cleared, stuck bit still applied
+}
+
+TEST(Vcd, ProducesParsableFile) {
+  SimContext ctx;
+  Sig& a = ctx.wire("alu_res", "iu.alu", 32);
+  Sig& b = ctx.reg("valid", "iu.de", 1);
+  const std::string path = ::testing::TempDir() + "issrtl_test.vcd";
+  {
+    VcdWriter vcd(path, ctx);
+    a.w(5);
+    b.poke(1);
+    vcd.sample(0);
+    a.w(6);
+    vcd.sample(1);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(all.find("alu_res"), std::string::npos);
+  EXPECT_NE(all.find("#0"), std::string::npos);
+  EXPECT_NE(all.find("#1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- saboteur-style multi-bit and bridge faults (related work [2]) -------
+
+TEST(Saboteur, MultiBitStuckAt) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault_mask(0, FaultModel::kStuckAt1, 0x000000F0);
+  w.w(0);
+  EXPECT_EQ(w.r(), 0xF0u);
+  ctx.clear_faults();
+  ctx.arm_fault_mask(0, FaultModel::kStuckAt0, 0xFF000000);
+  w.w(0xFFFFFFFF);
+  EXPECT_EQ(w.r(), 0x00FFFFFFu);
+}
+
+TEST(Saboteur, MultiBitOpenLineFreezesPattern) {
+  SimContext ctx;
+  Sig& w = ctx.wire("w", "iu.alu", 32);
+  w.w(0xA0);  // bits 5 and 7 high inside the mask
+  ctx.arm_fault_mask(0, FaultModel::kOpenLine, 0xF0);
+  w.w(0x50);
+  EXPECT_EQ(w.r(), 0xA0u);  // masked bits frozen at 0xA0 pattern
+  w.w(0x0F);
+  EXPECT_EQ(w.r(), 0xAFu);
+}
+
+TEST(Saboteur, MultiBitTransientFlipsAllMaskedBits) {
+  SimContext ctx;
+  Sig& r = ctx.reg("r", "iu.special", 32);
+  r.poke(0x3);
+  ctx.arm_fault_mask(0, FaultModel::kTransientBitFlip, 0xF);
+  EXPECT_EQ(r.r(), 0xCu);
+}
+
+TEST(Saboteur, BridgeShortsToAggressor) {
+  SimContext ctx;
+  Sig& victim = ctx.wire("v", "iu.alu", 32);
+  Sig& aggressor = ctx.wire("a", "iu.alu", 32);
+  ctx.arm_bridge(0, 1, 0x0000FFFF);
+  aggressor.w(0x1234ABCD);
+  victim.w(0x55550000);
+  EXPECT_EQ(victim.r(), 0x5555ABCDu);  // low half shorted to aggressor
+  ctx.clear_faults();
+  EXPECT_EQ(victim.r(), 0x55550000u);
+}
+
+TEST(Saboteur, BridgeTracksAggressorDynamically) {
+  SimContext ctx;
+  Sig& victim = ctx.wire("v", "iu.alu", 8);
+  Sig& aggressor = ctx.wire("a", "iu.alu", 8);
+  ctx.arm_bridge(0, 1, 0xFF);
+  victim.w(0);
+  aggressor.w(0x11);
+  EXPECT_EQ(victim.r(), 0x11u);
+  aggressor.w(0x22);
+  EXPECT_EQ(victim.r(), 0x22u);
+}
+
+TEST(Saboteur, Validation) {
+  SimContext ctx;
+  ctx.wire("v", "iu.alu", 8);
+  ctx.wire("a", "iu.alu", 8);
+  EXPECT_THROW(ctx.arm_fault_mask(0, FaultModel::kStuckAt1, 0x100),
+               std::out_of_range);                       // beyond width
+  EXPECT_THROW(ctx.arm_fault_mask(0, FaultModel::kStuckAt1, 0),
+               std::out_of_range);                       // empty mask
+  EXPECT_THROW(ctx.arm_fault_mask(0, FaultModel::kBridge, 1),
+               std::invalid_argument);                   // wrong API
+  EXPECT_THROW(ctx.arm_bridge(0, 0, 1), std::invalid_argument);  // self
+  ctx.arm_bridge(0, 1, 0xFF);
+  EXPECT_THROW(ctx.arm_bridge(0, 1, 0x0F), std::logic_error);    // occupied
+}
+
+// Property: for every model, a faulted read differs from the raw value in at
+// most the targeted bit.
+class OverlayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlayProperty, OnlyTargetBitAffected) {
+  const auto model = static_cast<FaultModel>(GetParam());
+  for (u8 bit = 0; bit < 32; ++bit) {
+    SimContext ctx;
+    Sig& w = ctx.wire("w", "iu.alu", 32);
+    w.w(0xA5A5A5A5);
+    ctx.arm_fault(0, model, bit);
+    for (const u32 v : {0u, 0xFFFFFFFFu, 0xA5A5A5A5u, 0x5A5A5A5Au}) {
+      w.w(v);
+      const u32 diff = w.r() ^ (model == FaultModel::kTransientBitFlip
+                                    ? w.raw()
+                                    : v);
+      EXPECT_EQ(diff & ~(1u << bit), 0u)
+          << fault_model_name(model) << " bit " << int(bit);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, OverlayProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace issrtl::rtl
