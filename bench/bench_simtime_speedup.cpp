@@ -3,11 +3,19 @@
 // number of ISS experiments (~85x). This bench measures the throughput gap
 // between our RTL core and the functional ISS (with and without timing
 // model) using google-benchmark, then reports the implied campaign speedup.
+// A second section compares the unified campaign engine against the naive
+// serial driver it replaced: a 200-sample RTL campaign run (a) the old way
+// (one thread, golden prefix re-simulated per fault, every run simulated to
+// halt/watchdog) and (b) on the engine with golden-prefix checkpointing,
+// early divergence cut-off and 4 worker threads — same pf() per model,
+// bit-identical outcomes.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_util.hpp"
+#include "engine/rtl_backend.hpp"
 #include "iss/emulator.hpp"
 #include "iss/timing.hpp"
 #include "rtlcore/core.hpp"
@@ -96,11 +104,66 @@ void report_speedup() {
               "workstation) => ~85x\n");
 }
 
+/// Campaign-engine comparison: the seed repo's serial algorithm (expressed
+/// as engine options: 1 thread, no checkpointing, no early stop) vs the
+/// engine's fast path at 4 threads, on the same 200-sample fault list.
+/// Bench-wide knobs apply (here with headline-sized defaults): ISSRTL_SAMPLES
+/// (200), ISSRTL_SEED, ISSRTL_THREADS (4).
+void report_engine_speedup() {
+  const std::size_t samples = bench::env_size("ISSRTL_SAMPLES", 200);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = "iu";
+  cfg.models = {rtl::FaultModel::kStuckAt1};
+  cfg.samples = samples;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  engine::EngineOptions naive;
+  naive.threads = 1;
+  naive.checkpoint = false;
+  naive.early_stop = false;
+  naive.hang_fast_forward = false;
+
+  engine::EngineOptions fast;
+  fast.threads = threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto serial = engine::run_rtl_campaign(prog(), cfg, {}, naive);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto parallel = engine::run_rtl_campaign(prog(), cfg, {}, fast);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double ts = std::chrono::duration<double>(t1 - t0).count();
+  const double te = std::chrono::duration<double>(t2 - t1).count();
+  bool identical = serial.runs.size() == parallel.runs.size();
+  for (std::size_t i = 0; identical && i < serial.runs.size(); ++i) {
+    identical =
+        serial.runs[i].outcome == parallel.runs[i].outcome &&
+        serial.runs[i].latency_cycles == parallel.runs[i].latency_cycles;
+  }
+  const double pf_serial = serial.stats_for(rtl::FaultModel::kStuckAt1).pf();
+  const double pf_engine = parallel.stats_for(rtl::FaultModel::kStuckAt1).pf();
+
+  std::printf("\n--- campaign engine vs seed serial driver (rspeed, %zu "
+              "RTL injections @ IU) ---\n", samples);
+  std::printf("serial (seed algorithm):       %.3f s   Pf=%.1f%%\n", ts,
+              100.0 * pf_serial);
+  std::printf("engine (ckpt+cutoff, %u thr):  %.3f s   Pf=%.1f%%\n", threads,
+              te, 100.0 * pf_engine);
+  std::printf("speedup: %.2fx   outcomes bit-identical: %s   pf match: %s\n",
+              te > 0 ? ts / te : 0.0, identical ? "yes" : "NO",
+              pf_serial == pf_engine ? "yes" : "NO");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_speedup();
+  report_engine_speedup();
   return 0;
 }

@@ -6,12 +6,15 @@
 //   ISSRTL_SAMPLES  — injection trials per (workload, unit, model); default 60
 //   ISSRTL_ITERS    — workload iterations for campaign runs; default 1
 //   ISSRTL_SEED     — campaign seed; default 2015
+//   ISSRTL_THREADS  — engine worker threads; default 0 = all hardware
+//                     threads (results are bit-identical for any count)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "engine/rtl_backend.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "workloads/workload.hpp"
@@ -28,6 +31,9 @@ inline unsigned campaign_iters() {
   return static_cast<unsigned>(env_size("ISSRTL_ITERS", 1));
 }
 inline u64 seed() { return env_size("ISSRTL_SEED", 2015); }
+inline unsigned threads() {
+  return static_cast<unsigned>(env_size("ISSRTL_THREADS", 0));
+}
 
 inline void banner(const char* what, const char* paper_ref) {
   std::printf("==============================================================\n");
@@ -39,7 +45,8 @@ inline void banner(const char* what, const char* paper_ref) {
   std::printf("==============================================================\n");
 }
 
-/// Run one campaign with the bench-wide knobs applied.
+/// Run one campaign with the bench-wide knobs applied, on the parallel
+/// engine (ISSRTL_THREADS workers; identical results at any thread count).
 inline fault::CampaignResult campaign(const std::string& workload,
                                       const std::string& unit,
                                       std::vector<rtl::FaultModel> models,
@@ -51,7 +58,9 @@ inline fault::CampaignResult campaign(const std::string& workload,
   cfg.models = std::move(models);
   cfg.samples = samples();
   cfg.seed = seed();
-  return fault::run_campaign(prog, cfg);
+  engine::EngineOptions opts;
+  opts.threads = threads();
+  return engine::run_rtl_campaign(prog, cfg, {}, opts);
 }
 
 }  // namespace issrtl::bench

@@ -3,13 +3,17 @@
 // failure probabilities (the P_mf of Eq. 1) and the α_m area weights.
 // Optionally dumps a waveform of one faulty run.
 //
-//   ./examples/campaign_report [workload] [samples]
-//   ./examples/campaign_report rspeed 200
+//   ./examples/campaign_report [workload] [samples] [threads]
+//   ./examples/campaign_report rspeed 200 4
+//
+// Campaigns run on the parallel engine; threads=0 (the default) uses every
+// hardware thread and produces the same result as any other thread count.
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/area.hpp"
 #include "core/predict.hpp"
+#include "engine/rtl_backend.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "rtl/vcd.hpp"
@@ -21,6 +25,10 @@ int main(int argc, char** argv) {
   const std::string workload = argc > 1 ? argv[1] : "rspeed";
   const std::size_t samples =
       argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 120;
+  // Negative or garbage thread counts fall back to 0 (= all hardware).
+  const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 0;
+  const unsigned threads =
+      threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
 
   const auto prog = workloads::build(workload, {.iterations = 1});
 
@@ -29,7 +37,10 @@ int main(int argc, char** argv) {
   cfg.models = {rtl::FaultModel::kStuckAt1, rtl::FaultModel::kStuckAt0,
                 rtl::FaultModel::kOpenLine};
   cfg.samples = samples;
-  const auto r = fault::run_campaign(prog, cfg);
+  engine::EngineOptions opts;
+  opts.threads = threads;
+  opts.on_progress = engine::stderr_progress();
+  const auto r = engine::run_rtl_campaign(prog, cfg, {}, opts);
 
   std::printf("campaign: workload=%s unit=<whole design> trials=%zu "
               "golden=%llu cycles / %llu instructions\n\n",

@@ -5,8 +5,11 @@
 //   issrtl_cli rtl <workload> [iters]       run on the RTL core
 //   issrtl_cli diversity <workload>          Table-1-style characterisation
 //   issrtl_cli disasm <workload>             disassemble a workload image
-//   issrtl_cli campaign <workload> <unit> <model> <samples>
-//                                            RTL fault-injection campaign
+//   issrtl_cli campaign <workload> <unit> <model> <samples> [threads]
+//                                            RTL fault-injection campaign on
+//                                            the parallel engine (threads=0
+//                                            uses all hardware threads;
+//                                            results identical at any count)
 //   issrtl_cli avf <workload>                register-file AVF
 //   issrtl_cli asm <file.s>                  assemble + run a text program
 //   issrtl_cli nodes [unit]                  list injectable RTL nodes
@@ -18,6 +21,7 @@
 
 #include "core/avf.hpp"
 #include "core/diversity.hpp"
+#include "engine/rtl_backend.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "isa/asm_parser.hpp"
@@ -35,7 +39,8 @@ int usage() {
   std::printf(
       "usage: issrtl_cli <command> [...]\n"
       "  list | run <wl> [iters] | rtl <wl> [iters] | diversity <wl>\n"
-      "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n>\n"
+      "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n> "
+      "[threads]\n"
       "  avf <wl> | asm <file.s> | nodes [unit]\n");
   return 2;
 }
@@ -120,7 +125,8 @@ int cmd_disasm(const std::string& name) {
 }
 
 int cmd_campaign(const std::string& name, const std::string& unit,
-                 const std::string& model, std::size_t samples) {
+                 const std::string& model, std::size_t samples,
+                 unsigned threads) {
   fault::CampaignConfig cfg;
   cfg.unit_prefix = unit;
   cfg.samples = samples;
@@ -129,7 +135,10 @@ int cmd_campaign(const std::string& name, const std::string& unit,
   else if (model == "open") cfg.models = {rtl::FaultModel::kOpenLine};
   else if (model == "flip") cfg.models = {rtl::FaultModel::kTransientBitFlip};
   else return usage();
-  const auto r = fault::run_campaign(load_workload(name, 1), cfg);
+  engine::EngineOptions opts;
+  opts.threads = threads;
+  opts.on_progress = engine::stderr_progress();
+  const auto r = engine::run_rtl_campaign(load_workload(name, 1), cfg, {}, opts);
   const auto& s = r.per_model[0];
   std::printf("workload=%s unit=%s model=%s trials=%zu\n"
               "Pf=%.1f%% failures=%zu hangs=%zu latent=%zu silent=%zu "
@@ -199,9 +208,13 @@ int main(int argc, char** argv) {
       return cmd_rtl(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
     if (cmd == "diversity" && argc >= 3) return cmd_diversity(argv[2]);
     if (cmd == "disasm" && argc >= 3) return cmd_disasm(argv[2]);
-    if (cmd == "campaign" && argc >= 6)
+    if (cmd == "campaign" && argc >= 6) {
+      // Negative or garbage thread counts fall back to 0 (= all hardware).
+      const int threads = argc > 6 ? std::atoi(argv[6]) : 0;
       return cmd_campaign(argv[2], argv[3], argv[4],
-                          static_cast<std::size_t>(std::atoll(argv[5])));
+                          static_cast<std::size_t>(std::atoll(argv[5])),
+                          threads > 0 ? static_cast<unsigned>(threads) : 0);
+    }
     if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
     if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);
     if (cmd == "nodes") return cmd_nodes(argc > 2 ? argv[2] : "");

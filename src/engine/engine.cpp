@@ -1,0 +1,33 @@
+#include "engine/engine.hpp"
+
+#include <cstdio>
+
+namespace issrtl::engine {
+
+unsigned resolve_threads(unsigned requested, std::size_t sites) {
+  unsigned threads =
+      requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (sites != 0 && threads > sites) {
+    threads = static_cast<unsigned>(sites);
+  }
+  return threads;
+}
+
+Xoshiro256 shard_stream(u64 seed, unsigned shard) {
+  // Two splitmix64 draws decorrelate (seed, shard) pairs before the state
+  // expansion inside Xoshiro256's constructor.
+  u64 sm = seed ^ (0x9E37'79B9'7F4A'7C15ull * (static_cast<u64>(shard) + 1));
+  const u64 a = splitmix64(sm);
+  const u64 b = splitmix64(sm);
+  return Xoshiro256(a ^ (b << 1));
+}
+
+std::function<void(const EngineProgress&)> stderr_progress() {
+  return [](const EngineProgress& p) {
+    std::fprintf(stderr, "\r%zu/%zu injections", p.completed, p.total);
+    if (p.completed == p.total) std::fprintf(stderr, "\n");
+  };
+}
+
+}  // namespace issrtl::engine

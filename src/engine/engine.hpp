@@ -1,0 +1,163 @@
+// Unified parallel campaign engine.
+//
+// Both fault-injection vehicles (the RTL core and the functional ISS) run
+// campaigns with the same shape: enumerate fault sites, position a simulator
+// at the injection instant, run the faulty suffix, classify the outcome
+// against a golden run. CampaignEngine owns that shape once, behind a
+// backend concept, and makes it fast:
+//
+//  * checkpointing — backends snapshot the golden prefix at each distinct
+//    injection instant (Leon3Core/Emulator checkpoint() + Memory::clone),
+//    so the prefix is simulated once per instant per worker instead of once
+//    per fault;
+//  * parallelism — a pool of worker threads executes deterministically
+//    sharded fault lists. Site i always belongs to shard i % threads and
+//    its record always lands in slot i, so an N-thread run is bit-identical
+//    to a serial one;
+//  * streaming aggregation — per-worker progress is merged into a single
+//    monotonic counter and surfaced through EngineOptions::on_progress;
+//    outcome aggregation is shared across backends (engine/stats.hpp).
+//
+// Backend concept (see engine/rtl_backend.hpp, engine/iss_backend.hpp):
+//
+//   using Record = ...;                    // per-injection result
+//   std::size_t site_count() const;
+//   u64 site_instant(std::size_t i) const; // injection instant of site i
+//   std::unique_ptr<W> make_worker(unsigned shard);  // thread-safe
+//     // where W::run_site(std::size_t i) -> Record, deterministic per i
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace issrtl::engine {
+
+/// Incremental progress surfaced to EngineOptions::on_progress. Counts are
+/// monotonic across the whole campaign, not per worker.
+struct EngineProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+};
+
+struct EngineOptions {
+  /// Worker threads. 0 means std::thread::hardware_concurrency(). Results
+  /// are bit-identical for every thread count.
+  unsigned threads = 1;
+  /// Reuse golden-prefix checkpoints instead of re-simulating from reset.
+  bool checkpoint = true;
+  /// Abandon a faulty run as soon as its off-core write sequence definitely
+  /// diverges from the golden one (a wrong or extra write can never heal;
+  /// classification is unchanged). Records of early-stopped runs keep
+  /// halt == kRunning to mark the abandoned simulation.
+  bool early_stop = true;
+  /// Once a faulty RTL run outlives the golden cycle count, probe for a
+  /// fixed point (CoreActivityProbe) and skip straight to the watchdog
+  /// verdict when one is found. Exact: a fixed-point core can never emit
+  /// another write, change state, or halt, so the remaining (up to
+  /// 2x-golden) cycles are simulated-by-proof instead of by stepping.
+  bool hang_fast_forward = true;
+  /// Called (serialised) as injections finish; every worker reports at
+  /// least every `progress_stride` completed sites.
+  std::function<void(const EngineProgress&)> on_progress;
+  std::size_t progress_stride = 64;
+};
+
+/// Threads actually used for `sites` fault sites under `requested`.
+unsigned resolve_threads(unsigned requested, std::size_t sites);
+
+/// Deterministic per-shard RNG stream: decorrelated from the campaign seed
+/// and from every other shard. Any stochastic per-run behaviour a backend
+/// adds must draw from its shard's stream to stay reproducible under
+/// resharding (today's backends are fully pre-enumerated and draw nothing).
+Xoshiro256 shard_stream(u64 seed, unsigned shard);
+
+/// Ready-made on_progress callback: rewrites "<done>/<total> injections"
+/// on stderr, newline once complete. Shared by the CLI front ends.
+std::function<void(const EngineProgress&)> stderr_progress();
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(EngineOptions opts = {}) : opts_(std::move(opts)) {}
+
+  const EngineOptions& options() const noexcept { return opts_; }
+
+  /// Execute every site of `backend` and return the records in site order.
+  /// Shard w owns sites {i : i % threads == w} and replays them sorted by
+  /// injection instant (so its checkpoint only ever moves forward); the
+  /// slot a record lands in depends only on its site index, which makes the
+  /// result independent of thread count and scheduling.
+  template <class Backend>
+  std::vector<typename Backend::Record> run(Backend& backend) {
+    const std::size_t total = backend.site_count();
+    std::vector<typename Backend::Record> records(total);
+    if (total == 0) return records;
+    const unsigned threads = resolve_threads(opts_.threads, total);
+
+    std::atomic<std::size_t> completed{0};
+    std::mutex progress_mu;
+    std::size_t reported = 0;  // highest count delivered, under progress_mu
+    std::vector<std::exception_ptr> errors(threads);
+
+    auto run_shard = [&](unsigned shard) {
+      try {
+        auto worker = backend.make_worker(shard);
+        std::vector<std::size_t> mine;
+        mine.reserve(total / threads + 1);
+        for (std::size_t i = shard; i < total; i += threads) mine.push_back(i);
+        std::stable_sort(mine.begin(), mine.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return backend.site_instant(a) <
+                                  backend.site_instant(b);
+                         });
+        std::size_t unreported = 0;
+        for (const std::size_t i : mine) {
+          records[i] = worker->run_site(i);
+          const std::size_t done = completed.fetch_add(1) + 1;
+          ++unreported;
+          if (opts_.on_progress &&
+              (unreported >= opts_.progress_stride || done == total)) {
+            unreported = 0;
+            const std::lock_guard<std::mutex> lock(progress_mu);
+            // Re-read under the lock and deliver only new maxima, so the
+            // callback sees a monotonic count even when workers race
+            // between their fetch_add and this critical section.
+            const std::size_t now = completed.load();
+            if (now > reported) {
+              reported = now;
+              opts_.on_progress({now, total});
+            }
+          }
+        }
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    };
+
+    if (threads == 1) {
+      run_shard(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (unsigned w = 0; w < threads; ++w) pool.emplace_back(run_shard, w);
+      for (std::thread& t : pool) t.join();
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return records;
+  }
+
+ private:
+  EngineOptions opts_;
+};
+
+}  // namespace issrtl::engine

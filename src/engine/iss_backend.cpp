@@ -1,0 +1,168 @@
+#include "engine/iss_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/stats.hpp"
+
+namespace issrtl::engine {
+
+IssCampaignBackend::IssCampaignBackend(const isa::Program& prog,
+                                       const fault::IssCampaignConfig& cfg,
+                                       const EngineOptions& opts)
+    : prog_(prog), cfg_(cfg), opts_(opts) {
+  Memory golden_mem;
+  iss::Emulator golden(golden_mem);
+  golden.load(prog_);
+  if (golden.run() != iss::HaltReason::kHalted) {
+    throw std::runtime_error("ISS golden run did not halt cleanly");
+  }
+  golden_instret_ = golden.instret();
+  golden_trace_ = golden.offcore();
+  golden_state_ = golden.state();
+  watchdog_ = static_cast<u64>(static_cast<double>(golden_instret_) *
+                                   cfg_.watchdog_factor +
+                               1000);
+
+  // Same draw order as the original serial driver (models outer, samples
+  // inner, three draws per site) so fault lists stay bit-identical.
+  Xoshiro256 rng(cfg_.seed);
+  faults_.reserve(cfg_.models.size() * cfg_.samples);
+  for (const iss::IssFaultModel model : cfg_.models) {
+    for (std::size_t i = 0; i < cfg_.samples; ++i) {
+      iss::IssFault f;
+      f.phys_reg = 1 + static_cast<unsigned>(
+                           rng.next_below(iss::ArchState::kPhysRegs - 1));
+      f.bit = static_cast<unsigned>(rng.next_below(32));
+      f.model = model;
+      f.inject_at_instr =
+          1 + rng.next_below(std::max<u64>(1, golden_instret_ / 2));
+      faults_.push_back(f);
+    }
+  }
+}
+
+std::unique_ptr<IssCampaignBackend::Worker> IssCampaignBackend::make_worker(
+    unsigned shard) const {
+  return std::make_unique<Worker>(*this, shard);
+}
+
+IssCampaignBackend::Worker::Worker(const IssCampaignBackend& backend,
+                                   unsigned /*shard*/)
+    : b_(backend), emu_(mem_) {}
+
+void IssCampaignBackend::Worker::prepare(u64 inject_at_instr) {
+  emu_.clear_faults();
+  if (b_.opts_.checkpoint && have_checkpoint_ &&
+      checkpoint_.instret <= inject_at_instr) {
+    emu_.restore(checkpoint_);
+    mem_ = checkpoint_mem_.clone();
+  } else {
+    mem_ = Memory();
+    emu_.load(b_.prog_);
+    have_checkpoint_ = false;
+  }
+  while (emu_.instret() < inject_at_instr &&
+         emu_.halt_reason() == iss::HaltReason::kRunning) {
+    emu_.step();
+  }
+  if (b_.opts_.checkpoint &&
+      (!have_checkpoint_ || checkpoint_.instret != emu_.instret())) {
+    checkpoint_ = emu_.checkpoint();
+    checkpoint_mem_ = mem_.clone();
+    have_checkpoint_ = true;
+  }
+}
+
+fault::IssInjectionResult IssCampaignBackend::Worker::run_site(
+    std::size_t index) {
+  const iss::IssFault fault = b_.faults_[index];
+  prepare(fault.inject_at_instr);
+  emu_.arm_fault(fault);
+
+  // The serial driver gave run() the whole watchdog from reset; the prefix
+  // consumed inject_at_instr steps of it.
+  u64 budget = b_.watchdog_ > emu_.instret()
+                   ? b_.watchdog_ - emu_.instret()
+                   : 1;
+  const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
+  std::size_t matched = emu_.offcore().writes().size();
+  bool definite_divergence = false;
+  iss::HaltReason halt = emu_.halt_reason();
+  while (budget > 0 && halt == iss::HaltReason::kRunning &&
+         !definite_divergence) {
+    halt = emu_.step();
+    --budget;
+    if (b_.opts_.early_stop) {
+      const std::vector<BusRecord>& writes = emu_.offcore().writes();
+      while (matched < writes.size()) {
+        if (matched >= golden_writes.size() ||
+            !writes[matched].same_payload(golden_writes[matched])) {
+          definite_divergence = true;
+          break;
+        }
+        ++matched;
+      }
+    }
+  }
+  if (halt == iss::HaltReason::kRunning && !definite_divergence) {
+    halt = iss::HaltReason::kStepLimit;
+  }
+
+  fault::IssInjectionResult result;
+  result.fault = fault;
+  const TraceDivergence div =
+      emu_.offcore().compare_writes(b_.golden_trace_);
+  if (div.diverged || halt == iss::HaltReason::kStepLimit ||
+      halt != iss::HaltReason::kHalted) {
+    result.failure = true;
+    result.latency_instr = div.diverged && div.cycle > fault.inject_at_instr
+                               ? div.cycle - fault.inject_at_instr
+                               : 0;
+  } else {
+    // Clean halt with matching writes: latent if any register differs.
+    const iss::ArchState fs = emu_.state();
+    result.latent = !(fs.regs == b_.golden_state_.regs &&
+                      fs.icc == b_.golden_state_.icc &&
+                      fs.y == b_.golden_state_.y);
+  }
+  return result;
+}
+
+fault::IssCampaignResult IssCampaignBackend::finish(
+    std::vector<Record> records) const {
+  fault::IssCampaignResult result;
+  result.workload = prog_.name;
+  result.golden_instret = golden_instret_;
+  result.runs = std::move(records);
+  std::size_t index = 0;
+  for (const iss::IssFaultModel model : cfg_.models) {
+    OutcomeAccumulator acc;
+    for (std::size_t i = 0; i < cfg_.samples && index < result.runs.size();
+         ++i, ++index) {
+      const fault::IssInjectionResult& run = result.runs[index];
+      acc.add(run.failure ? fault::Outcome::kFailure
+              : run.latent ? fault::Outcome::kLatent
+                           : fault::Outcome::kSilent,
+              run.latency_instr);
+    }
+    fault::IssCampaignStats stats;
+    stats.model = model;
+    stats.runs = acc.runs;
+    stats.failures = acc.failures;
+    stats.latent = acc.latent;
+    result.per_model.push_back(stats);
+  }
+  return result;
+}
+
+fault::IssCampaignResult run_iss_campaign_engine(
+    const isa::Program& prog, const fault::IssCampaignConfig& cfg,
+    const EngineOptions& opts) {
+  IssCampaignBackend backend(prog, cfg, opts);
+  CampaignEngine engine(opts);
+  return backend.finish(engine.run(backend));
+}
+
+}  // namespace issrtl::engine

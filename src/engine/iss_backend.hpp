@@ -1,0 +1,70 @@
+// ISS fault backend for CampaignEngine: classical register-file injection
+// (the paper's [7][20] style) behind the same enumerate → checkpoint →
+// faulty-suffix → classify shape as the RTL backend, used for the §4.2
+// "Simulation time" comparison.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "fault/campaign.hpp"
+#include "fault/iss_campaign.hpp"
+
+namespace issrtl::engine {
+
+class IssCampaignBackend {
+ public:
+  using Record = fault::IssInjectionResult;
+
+  IssCampaignBackend(const isa::Program& prog,
+                     const fault::IssCampaignConfig& cfg,
+                     const EngineOptions& opts);
+
+  std::size_t site_count() const noexcept { return faults_.size(); }
+  u64 site_instant(std::size_t i) const noexcept {
+    return faults_[i].inject_at_instr;
+  }
+  const std::vector<iss::IssFault>& faults() const noexcept { return faults_; }
+
+  class Worker {
+   public:
+    Worker(const IssCampaignBackend& backend, unsigned shard);
+    Record run_site(std::size_t index);
+
+   private:
+    void prepare(u64 inject_at_instr);
+
+    // Stochastic per-run behaviour (none today) must draw from
+    // engine::shard_stream(cfg.seed, shard) to stay reshard-stable.
+    const IssCampaignBackend& b_;
+    Memory mem_;
+    iss::Emulator emu_;
+    bool have_checkpoint_ = false;
+    iss::EmuCheckpoint checkpoint_;
+    Memory checkpoint_mem_;
+  };
+
+  std::unique_ptr<Worker> make_worker(unsigned shard) const;
+
+  fault::IssCampaignResult finish(std::vector<Record> records) const;
+
+ private:
+  isa::Program prog_;
+  fault::IssCampaignConfig cfg_;
+  EngineOptions opts_;
+
+  u64 golden_instret_ = 0;
+  u64 watchdog_ = 0;
+  OffCoreTrace golden_trace_;
+  iss::ArchState golden_state_;
+  std::vector<iss::IssFault> faults_;
+};
+
+/// Full engine-backed ISS campaign. fault::run_iss_campaign is the serial
+/// thin wrapper over this.
+fault::IssCampaignResult run_iss_campaign_engine(
+    const isa::Program& prog, const fault::IssCampaignConfig& cfg,
+    const EngineOptions& opts = {});
+
+}  // namespace issrtl::engine

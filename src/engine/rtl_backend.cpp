@@ -1,0 +1,200 @@
+#include "engine/rtl_backend.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "engine/stats.hpp"
+
+namespace issrtl::engine {
+
+namespace {
+
+/// Complete architectural + memory state comparison for the latent check.
+bool states_match(const rtlcore::Leon3Core& faulty,
+                  const iss::ArchState& golden_state, const Memory& golden_mem,
+                  bool compare_memory) {
+  const iss::ArchState fs = faulty.arch_state();
+  if (fs.regs != golden_state.regs) return false;
+  if (fs.cwp != golden_state.cwp) return false;
+  if (!(fs.icc == golden_state.icc)) return false;
+  if (fs.y != golden_state.y) return false;
+  if (compare_memory && !faulty.memory().equals(golden_mem)) return false;
+  return true;
+}
+
+}  // namespace
+
+RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
+                                       const fault::CampaignConfig& cfg,
+                                       const rtlcore::CoreConfig& core_cfg,
+                                       const EngineOptions& opts)
+    : prog_(prog), cfg_(cfg), core_cfg_(core_cfg), opts_(opts) {
+  rtlcore::Leon3Core golden(golden_mem_, core_cfg_);
+  golden.load(prog_);
+  const iss::HaltReason golden_halt = golden.run();
+  if (golden_halt != iss::HaltReason::kHalted) {
+    throw std::runtime_error("golden run did not halt cleanly: " +
+                             std::string(iss::halt_reason_name(golden_halt)));
+  }
+  golden_cycles_ = golden.cycles();
+  golden_instret_ = golden.instret();
+  golden_trace_ = golden.offcore();
+  golden_state_ = golden.arch_state();
+  watchdog_ = static_cast<u64>(static_cast<double>(golden_cycles_) *
+                                   cfg_.watchdog_factor +
+                               1000);
+  sites_ = fault::build_fault_list(golden.sim(), cfg_, golden_cycles_);
+}
+
+std::unique_ptr<RtlCampaignBackend::Worker> RtlCampaignBackend::make_worker(
+    unsigned shard) const {
+  return std::make_unique<Worker>(*this, shard);
+}
+
+RtlCampaignBackend::Worker::Worker(const RtlCampaignBackend& backend,
+                                   unsigned /*shard*/)
+    : b_(backend), core_(mem_, backend.core_cfg_) {}
+
+void RtlCampaignBackend::Worker::prepare(u64 inject_cycle) {
+  core_.sim().clear_faults();
+  if (b_.opts_.checkpoint && have_checkpoint_ &&
+      checkpoint_.cycle <= inject_cycle) {
+    core_.restore(checkpoint_);
+    mem_ = checkpoint_mem_.clone();
+  } else {
+    mem_ = Memory();
+    core_.load(b_.prog_);
+    have_checkpoint_ = false;
+  }
+  while (core_.cycles() < inject_cycle &&
+         core_.halt_reason() == iss::HaltReason::kRunning) {
+    core_.step();
+  }
+  if (b_.opts_.checkpoint &&
+      (!have_checkpoint_ || checkpoint_.cycle != core_.cycles())) {
+    checkpoint_ = core_.checkpoint();
+    checkpoint_mem_ = mem_.clone();
+    have_checkpoint_ = true;
+  }
+}
+
+fault::InjectionResult RtlCampaignBackend::Worker::run_site(
+    std::size_t index) {
+  const fault::FaultSite site = b_.sites_[index];
+  prepare(site.inject_cycle);
+  core_.sim().arm_fault(site.node, site.model, site.bit);
+
+  // Faulty suffix under the serial driver's cycle budget: total cycles,
+  // golden prefix included, may not exceed the watchdog.
+  u64 budget =
+      b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 1;
+  const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
+  // Every prefix write replayed the golden run, so matching resumes here.
+  std::size_t matched = core_.offcore().writes().size();
+  bool definite_divergence = false;
+  rtlcore::CoreActivityScalars scalars_prev;
+  bool scalars_valid = false;
+  bool nodes_valid = false;
+  iss::HaltReason halt = core_.halt_reason();
+  while (budget > 0 && halt == iss::HaltReason::kRunning &&
+         !definite_divergence) {
+    core_.step();
+    --budget;
+    halt = core_.halt_reason();
+    if (b_.opts_.early_stop) {
+      const std::vector<BusRecord>& writes = core_.offcore().writes();
+      while (matched < writes.size()) {
+        if (matched >= golden_writes.size() ||
+            !writes[matched].same_payload(golden_writes[matched])) {
+          // A wrong or extra write can never heal: the run is a failure no
+          // matter what it would do next. Abandon the simulation.
+          definite_divergence = true;
+          break;
+        }
+        ++matched;
+      }
+    }
+    // A run that outlived the golden cycle count is headed for the
+    // watchdog; probe for a fixed point and, once found, skip the
+    // remaining cycles — they are provably identical. The scalar
+    // counters act as a filter: a spin-loop hang keeps fetching (so
+    // next_fetch_seq advances every cycle) and never pays for the
+    // node-array half of the probe.
+    if (b_.opts_.hang_fast_forward && halt == iss::HaltReason::kRunning &&
+        core_.cycles() > b_.golden_cycles_) {
+      const rtlcore::CoreActivityScalars scalars = core_.activity_scalars();
+      if (!scalars_valid || !(scalars == scalars_prev)) {
+        scalars_prev = scalars;
+        scalars_valid = true;
+        nodes_valid = false;
+      } else if (!nodes_valid) {
+        core_.save_node_values(probe_nodes_);
+        nodes_valid = true;
+      } else if (core_.node_values_equal(probe_nodes_)) {
+        halt = iss::HaltReason::kStepLimit;  // stuck: watchdog is certain
+        break;
+      } else {
+        core_.save_node_values(probe_nodes_);
+      }
+    }
+  }
+  if (halt == iss::HaltReason::kRunning && !definite_divergence) {
+    halt = iss::HaltReason::kStepLimit;  // watchdog expired
+  }
+
+  fault::InjectionResult result;
+  result.site = site;
+  result.node_name = core_.sim().node(site.node).name();
+  result.unit = core_.sim().node(site.node).unit();
+  result.halt = halt;
+
+  const TraceDivergence div =
+      core_.offcore().compare_writes(b_.golden_trace_);
+  if (div.diverged) {
+    result.outcome = halt == iss::HaltReason::kStepLimit &&
+                             div.index >= core_.offcore().writes().size()
+                         ? fault::Outcome::kHang
+                         : fault::Outcome::kFailure;
+    result.latency_cycles =
+        div.cycle > site.inject_cycle ? div.cycle - site.inject_cycle : 0;
+  } else if (halt == iss::HaltReason::kStepLimit) {
+    result.outcome = fault::Outcome::kHang;
+    result.latency_cycles = b_.watchdog_ - site.inject_cycle;
+  } else if (states_match(core_, b_.golden_state_, b_.golden_mem_,
+                          b_.cfg_.compare_memory)) {
+    result.outcome = fault::Outcome::kSilent;
+  } else {
+    result.outcome = fault::Outcome::kLatent;
+  }
+  return result;
+}
+
+fault::CampaignResult RtlCampaignBackend::finish(
+    std::vector<Record> records) const {
+  fault::CampaignResult result;
+  result.workload = prog_.name;
+  result.unit_prefix = cfg_.unit_prefix;
+  result.golden_cycles = golden_cycles_;
+  result.golden_instret = golden_instret_;
+  result.runs = std::move(records);
+  for (const rtl::FaultModel model : cfg_.models) {
+    OutcomeAccumulator acc;
+    for (const fault::InjectionResult& run : result.runs) {
+      if (run.site.model == model) acc.add(run.outcome, run.latency_cycles);
+    }
+    result.per_model.push_back(acc.to_stats(model));
+  }
+  return result;
+}
+
+fault::CampaignResult run_rtl_campaign(const isa::Program& prog,
+                                       const fault::CampaignConfig& cfg,
+                                       const rtlcore::CoreConfig& core_cfg,
+                                       const EngineOptions& opts) {
+  RtlCampaignBackend backend(prog, cfg, core_cfg, opts);
+  CampaignEngine engine(opts);
+  return backend.finish(engine.run(backend));
+}
+
+}  // namespace issrtl::engine

@@ -1,0 +1,88 @@
+// RTL fault backend for CampaignEngine: enumerate sites with
+// fault::build_fault_list, checkpoint the golden prefix at each injection
+// instant (Leon3Core::checkpoint + Memory::clone), run the faulty suffix and
+// classify against the golden run — the §4.1 methodology, minus the
+// per-fault golden-prefix re-simulation the serial driver paid.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "fault/campaign.hpp"
+
+namespace issrtl::engine {
+
+class RtlCampaignBackend {
+ public:
+  using Record = fault::InjectionResult;
+
+  /// Runs the golden reference and enumerates the fault list (both
+  /// deterministic); throws if the golden run does not halt cleanly.
+  RtlCampaignBackend(const isa::Program& prog,
+                     const fault::CampaignConfig& cfg,
+                     const rtlcore::CoreConfig& core_cfg,
+                     const EngineOptions& opts);
+
+  std::size_t site_count() const noexcept { return sites_.size(); }
+  u64 site_instant(std::size_t i) const noexcept {
+    return sites_[i].inject_cycle;
+  }
+  const std::vector<fault::FaultSite>& sites() const noexcept {
+    return sites_;
+  }
+
+  /// One per worker thread: owns a core + memory and the rolling
+  /// golden-prefix checkpoint for its shard.
+  class Worker {
+   public:
+    Worker(const RtlCampaignBackend& backend, unsigned shard);
+    Record run_site(std::size_t index);
+
+   private:
+    /// Position core_ (fault-free) exactly at `inject_cycle`, from the
+    /// shard checkpoint when it is not ahead of us, from reset otherwise.
+    void prepare(u64 inject_cycle);
+
+    // Stochastic per-run behaviour (none today) must draw from
+    // engine::shard_stream(cfg.seed, shard) to stay reshard-stable.
+    const RtlCampaignBackend& b_;
+    Memory mem_;
+    rtlcore::Leon3Core core_;
+    bool have_checkpoint_ = false;
+    rtlcore::CoreCheckpoint checkpoint_;
+    Memory checkpoint_mem_;
+    // Scratch buffer for the hang fast-forward fixed-point probe.
+    std::vector<u32> probe_nodes_;
+  };
+
+  std::unique_ptr<Worker> make_worker(unsigned shard) const;
+
+  /// Golden metadata + shared per-model aggregation over finished records.
+  fault::CampaignResult finish(std::vector<Record> records) const;
+
+ private:
+  friend class Worker;
+
+  isa::Program prog_;
+  fault::CampaignConfig cfg_;
+  rtlcore::CoreConfig core_cfg_;
+  EngineOptions opts_;
+
+  u64 golden_cycles_ = 0;
+  u64 golden_instret_ = 0;
+  u64 watchdog_ = 0;
+  OffCoreTrace golden_trace_;
+  iss::ArchState golden_state_;
+  Memory golden_mem_;
+  std::vector<fault::FaultSite> sites_;
+};
+
+/// Full engine-backed RTL campaign. fault::run_campaign is the serial thin
+/// wrapper over this; examples and benches pass threads/options directly.
+fault::CampaignResult run_rtl_campaign(const isa::Program& prog,
+                                       const fault::CampaignConfig& cfg,
+                                       const rtlcore::CoreConfig& core_cfg = {},
+                                       const EngineOptions& opts = {});
+
+}  // namespace issrtl::engine

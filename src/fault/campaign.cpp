@@ -1,9 +1,11 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "engine/rtl_backend.hpp"
 
 namespace issrtl::fault {
 
@@ -14,14 +16,17 @@ std::string_view outcome_name(Outcome o) {
     case Outcome::kFailure: return "failure";
     case Outcome::kHang: return "hang";
   }
+  assert(false && "outcome_name: invalid Outcome");
   return "?";
 }
 
-const CampaignStats& CampaignResult::stats_for(FaultModel m) const {
+CampaignStats CampaignResult::stats_for(FaultModel m) const {
   for (const auto& s : per_model) {
     if (s.model == m) return s;
   }
-  throw std::out_of_range("no stats for fault model");
+  CampaignStats zero;
+  zero.model = m;
+  return zero;
 }
 
 std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
@@ -79,128 +84,10 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
   return sites;
 }
 
-namespace {
-
-/// Compare complete architectural + memory state for latent-error detection.
-bool states_match(const rtlcore::Leon3Core& faulty,
-                  const iss::ArchState& golden_state, const Memory& golden_mem,
-                  bool compare_memory) {
-  const iss::ArchState fs = faulty.arch_state();
-  if (fs.regs != golden_state.regs) return false;
-  if (fs.cwp != golden_state.cwp) return false;
-  if (!(fs.icc == golden_state.icc)) return false;
-  if (fs.y != golden_state.y) return false;
-  if (compare_memory && !faulty.memory().equals(golden_mem)) return false;
-  return true;
-}
-
-}  // namespace
-
 CampaignResult run_campaign(const isa::Program& prog,
                             const CampaignConfig& cfg,
                             const rtlcore::CoreConfig& core_cfg) {
-  CampaignResult result;
-  result.workload = prog.name;
-  result.unit_prefix = cfg.unit_prefix;
-
-  // ---- golden run -----------------------------------------------------------
-  Memory golden_mem;
-  rtlcore::Leon3Core golden(golden_mem, core_cfg);
-  golden.load(prog);
-  const iss::HaltReason golden_halt = golden.run();
-  if (golden_halt != iss::HaltReason::kHalted) {
-    throw std::runtime_error("golden run did not halt cleanly: " +
-                             std::string(iss::halt_reason_name(golden_halt)));
-  }
-  result.golden_cycles = golden.cycles();
-  result.golden_instret = golden.instret();
-  const OffCoreTrace golden_trace = golden.offcore();
-  const iss::ArchState golden_state = golden.arch_state();
-
-  const u64 watchdog = static_cast<u64>(
-      static_cast<double>(result.golden_cycles) * cfg.watchdog_factor + 1000);
-
-  // ---- faulty runs ----------------------------------------------------------
-  // One core reused across runs: reset + reload is far cheaper than
-  // rebuilding the node registry, and fault lists index into its registry.
-  Memory mem;
-  rtlcore::Leon3Core core(mem, core_cfg);
-  core.load(prog);  // construct registry identical to golden's
-
-  const std::vector<FaultSite> sites =
-      build_fault_list(core.sim(), cfg, result.golden_cycles);
-
-  result.runs.reserve(sites.size());
-  for (const FaultSite& site : sites) {
-    core.sim().clear_faults();
-    mem = Memory();  // fresh image
-    core.load(prog);
-
-    // Run to the injection instant, arm, continue.
-    for (u64 c = 0; c < site.inject_cycle &&
-                    core.halt_reason() == iss::HaltReason::kRunning;
-         ++c) {
-      core.step();
-    }
-    core.sim().arm_fault(site.node, site.model, site.bit);
-    const iss::HaltReason halt =
-        core.run(watchdog > core.cycles() ? watchdog - core.cycles() : 1);
-
-    InjectionResult ir;
-    ir.site = site;
-    ir.node_name = core.sim().node(site.node).name();
-    ir.unit = core.sim().node(site.node).unit();
-    ir.halt = halt;
-
-    const TraceDivergence div = core.offcore().compare_writes(golden_trace);
-    if (div.diverged) {
-      // Divergence cycle 0 can happen for "missing writes" when the faulty
-      // trace is empty; clamp latency at zero.
-      ir.outcome = halt == iss::HaltReason::kStepLimit &&
-                           div.index >= core.offcore().writes().size()
-                       ? Outcome::kHang
-                       : Outcome::kFailure;
-      ir.latency_cycles =
-          div.cycle > site.inject_cycle ? div.cycle - site.inject_cycle : 0;
-    } else if (halt == iss::HaltReason::kStepLimit) {
-      ir.outcome = Outcome::kHang;
-      ir.latency_cycles = watchdog - site.inject_cycle;
-    } else if (states_match(core, golden_state, golden_mem,
-                            cfg.compare_memory)) {
-      ir.outcome = Outcome::kSilent;
-    } else {
-      ir.outcome = Outcome::kLatent;
-    }
-    result.runs.push_back(std::move(ir));
-  }
-  core.sim().clear_faults();
-
-  // ---- aggregate ------------------------------------------------------------
-  for (const FaultModel m : cfg.models) {
-    CampaignStats st;
-    st.model = m;
-    u64 lat_sum = 0;
-    std::size_t lat_n = 0;
-    for (const InjectionResult& ir : result.runs) {
-      if (ir.site.model != m) continue;
-      ++st.runs;
-      switch (ir.outcome) {
-        case Outcome::kFailure:
-          ++st.failures;
-          st.max_latency = std::max(st.max_latency, ir.latency_cycles);
-          lat_sum += ir.latency_cycles;
-          ++lat_n;
-          break;
-        case Outcome::kHang: ++st.hangs; break;
-        case Outcome::kLatent: ++st.latent; break;
-        case Outcome::kSilent: ++st.silent; break;
-      }
-    }
-    st.mean_latency =
-        lat_n == 0 ? 0.0 : static_cast<double>(lat_sum) / static_cast<double>(lat_n);
-    result.per_model.push_back(st);
-  }
-  return result;
+  return engine::run_rtl_campaign(prog, cfg, core_cfg, {});
 }
 
 }  // namespace issrtl::fault

@@ -47,6 +47,10 @@ struct InjectionResult {
   std::string unit;
   Outcome outcome = Outcome::kSilent;
   u64 latency_cycles = 0;  ///< injection -> first observable divergence
+  /// How the faulty run ended. kRunning means the engine abandoned the
+  /// simulation once the outcome was already decided (early divergence
+  /// cut-off, see engine::EngineOptions::early_stop); outcome, latency and
+  /// pf() are unaffected.
   iss::HaltReason halt = iss::HaltReason::kRunning;
 };
 
@@ -99,11 +103,14 @@ struct CampaignResult {
   std::vector<InjectionResult> runs;
   std::vector<CampaignStats> per_model;
 
-  const CampaignStats& stats_for(FaultModel m) const;
+  /// Stats for model `m`. A campaign that recorded no runs for `m` (e.g. an
+  /// empty campaign) yields a zeroed CampaignStats (runs == 0, pf() == 0).
+  CampaignStats stats_for(FaultModel m) const;
 };
 
-/// Run a full RTL campaign for `prog`. The core is constructed once and the
-/// workload replayed per fault (golden first, then one run per site).
+/// Run a full RTL campaign for `prog` — a thin serial wrapper over the
+/// unified engine (engine::run_rtl_campaign), which also offers worker
+/// threads, golden-prefix checkpointing and early divergence cut-off.
 CampaignResult run_campaign(const isa::Program& prog,
                             const CampaignConfig& cfg,
                             const rtlcore::CoreConfig& core_cfg = {});

@@ -1,70 +1,12 @@
 #include "fault/iss_campaign.hpp"
 
-#include "common/rng.hpp"
+#include "engine/iss_backend.hpp"
 
 namespace issrtl::fault {
 
 IssCampaignResult run_iss_campaign(const isa::Program& prog,
                                    const IssCampaignConfig& cfg) {
-  IssCampaignResult result;
-  result.workload = prog.name;
-
-  Memory golden_mem;
-  iss::Emulator golden(golden_mem);
-  golden.load(prog);
-  if (golden.run() != iss::HaltReason::kHalted) {
-    throw std::runtime_error("ISS golden run did not halt cleanly");
-  }
-  result.golden_instret = golden.instret();
-  const OffCoreTrace golden_trace = golden.offcore();
-  const iss::ArchState golden_state = golden.state();
-  const u64 watchdog = static_cast<u64>(
-      static_cast<double>(result.golden_instret) * cfg.watchdog_factor + 1000);
-
-  Xoshiro256 rng(cfg.seed);
-  for (const auto model : cfg.models) {
-    IssCampaignStats st;
-    st.model = model;
-    for (std::size_t i = 0; i < cfg.samples; ++i) {
-      iss::IssFault f;
-      f.phys_reg = 1 + static_cast<unsigned>(rng.next_below(
-                           iss::ArchState::kPhysRegs - 1));  // skip %g0
-      f.bit = static_cast<unsigned>(rng.next_below(32));
-      f.model = model;
-      f.inject_at_instr = 1 + rng.next_below(
-                                  std::max<u64>(1, result.golden_instret / 2));
-
-      Memory mem;
-      iss::Emulator emu(mem);
-      emu.load(prog);
-      emu.arm_fault(f);
-      const iss::HaltReason halt = emu.run(watchdog);
-
-      IssInjectionResult ir;
-      ir.fault = f;
-      const TraceDivergence div = emu.offcore().compare_writes(golden_trace);
-      if (div.diverged || halt == iss::HaltReason::kStepLimit ||
-          halt != iss::HaltReason::kHalted) {
-        ir.failure = true;
-        ir.latency_instr = div.diverged && div.cycle > f.inject_at_instr
-                               ? div.cycle - f.inject_at_instr
-                               : 0;
-      } else {
-        // Clean halt with matching writes: latent if any register differs.
-        // Permanent register faults usually remain visible in the final
-        // state even when never consumed.
-        iss::ArchState fs = emu.state();
-        ir.latent = !(fs.regs == golden_state.regs &&
-                      fs.icc == golden_state.icc && fs.y == golden_state.y);
-      }
-      ++st.runs;
-      st.failures += ir.failure ? 1 : 0;
-      st.latent += ir.latent ? 1 : 0;
-      result.runs.push_back(ir);
-    }
-    result.per_model.push_back(st);
-  }
-  return result;
+  return engine::run_iss_campaign_engine(prog, cfg, {});
 }
 
 }  // namespace issrtl::fault

@@ -45,6 +45,9 @@ struct IssCampaignResult {
   std::vector<IssCampaignStats> per_model;
 };
 
+/// Thin serial wrapper over the unified engine
+/// (engine::run_iss_campaign_engine), which also offers worker threads,
+/// golden-prefix checkpointing and early divergence cut-off.
 IssCampaignResult run_iss_campaign(const isa::Program& prog,
                                    const IssCampaignConfig& cfg);
 

@@ -55,6 +55,19 @@ void Emulator::record_store(u32 addr, u8 size, u64 data) {
 void Emulator::arm_fault(const IssFault& fault) { faults_.push_back(fault); }
 void Emulator::clear_faults() { faults_.clear(); }
 
+EmuCheckpoint Emulator::checkpoint() const {
+  return EmuCheckpoint{state_, trace_, offcore_, halt_, trap_code_, instret_};
+}
+
+void Emulator::restore(const EmuCheckpoint& ck) {
+  state_ = ck.state;
+  trace_ = ck.trace;
+  offcore_ = ck.offcore;
+  halt_ = ck.halt;
+  trap_code_ = ck.trap_code;
+  instret_ = ck.instret;
+}
+
 void Emulator::apply_faults() {
   for (IssFault& f : faults_) {
     if (!f.armed) {

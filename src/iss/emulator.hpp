@@ -52,6 +52,21 @@ struct IssFault {
   bool frozen_value = false;        ///< captured bit for open-line
 };
 
+/// Copyable checkpoint of an Emulator at an instruction boundary. The
+/// backing Memory is owned by the caller and snapshotted separately
+/// (Memory::clone). Armed faults are not captured; campaign workers
+/// clear_faults() and re-arm after restore. An attached TimingModel is
+/// also not captured — it is borrowed, and its accumulated cycle/cache
+/// state will not rewind; detach or reset it around checkpoint use.
+struct EmuCheckpoint {
+  ArchState state;
+  InstrTrace trace;
+  OffCoreTrace offcore;
+  HaltReason halt = HaltReason::kRunning;
+  u8 trap_code = 0;
+  u64 instret = 0;
+};
+
 class Emulator {
  public:
   /// The emulator borrows the memory; the caller owns it (allows snapshotting
@@ -83,6 +98,13 @@ class Emulator {
 
   /// Attach a timing model (borrowed); pass nullptr to detach.
   void set_timing(TimingModel* timing) noexcept { timing_ = timing; }
+
+  /// Capture the execution state between instructions (Memory excluded).
+  EmuCheckpoint checkpoint() const;
+
+  /// Resume from a checkpoint. The caller restores the backing Memory to the
+  /// matching image and clears/re-arms faults.
+  void restore(const EmuCheckpoint& ck);
 
   // ---- ISS-level fault injection ---------------------------------------------
   void arm_fault(const IssFault& fault);

@@ -117,6 +117,36 @@ void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
   armed_.push_back({victim, std::move(overlay)});
 }
 
+std::vector<u32> SimContext::save_values() const {
+  std::vector<u32> values;
+  save_values_into(values);
+  return values;
+}
+
+void SimContext::save_values_into(std::vector<u32>& out) const {
+  out.clear();
+  out.reserve(nodes_.size());
+  for (const Sig& s : nodes_) out.push_back(s.raw());
+}
+
+bool SimContext::values_equal(const std::vector<u32>& values) const {
+  if (values.size() != nodes_.size()) return false;
+  std::size_t i = 0;
+  for (const Sig& s : nodes_) {
+    if (s.raw() != values[i++]) return false;
+  }
+  return true;
+}
+
+void SimContext::load_values(const std::vector<u32>& values) {
+  if (values.size() != nodes_.size()) {
+    throw std::invalid_argument(
+        "load_values: checkpoint taken on a different registry");
+  }
+  std::size_t i = 0;
+  for (Sig& s : nodes_) s.poke(values[i++]);
+}
+
 void SimContext::clear_faults() {
   for (auto& f : armed_) node(f.id).fault_ = nullptr;
   armed_.clear();

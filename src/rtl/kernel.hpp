@@ -145,6 +145,24 @@ class SimContext {
     for (Sig& s : nodes_) s.poke(0);
   }
 
+  /// Raw values of every node in registry order — the node half of a core
+  /// checkpoint. Meaningful only at a cycle boundary (after commit_all),
+  /// where registers satisfy cur == nxt.
+  std::vector<u32> save_values() const;
+
+  /// Allocation-free variant for per-cycle probing (hang fast-forward).
+  void save_values_into(std::vector<u32>& out) const;
+
+  /// Element-wise comparison against a save_values() capture, without
+  /// copying. Early-exits on the first differing node; a size mismatch
+  /// (foreign registry) compares unequal.
+  bool values_equal(const std::vector<u32>& values) const;
+
+  /// Restore node values captured by save_values() on an identical registry
+  /// (same module construction order). Does not touch armed faults; callers
+  /// clear_faults() first. Throws std::invalid_argument on a size mismatch.
+  void load_values(const std::vector<u32>& values);
+
  private:
   // deque: stable addresses for Sig& held by modules.
   std::deque<Sig> nodes_;

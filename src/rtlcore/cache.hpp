@@ -46,6 +46,13 @@ class Cache {
   u64 hits() const noexcept { return hits_; }
   u64 misses() const noexcept { return misses_; }
 
+  /// Reinstate host-side hit/miss counters from a core checkpoint (the
+  /// tag/valid/data arrays live in the node registry and are restored there).
+  void restore_stats(u64 hits, u64 misses) noexcept {
+    hits_ = hits;
+    misses_ = misses;
+  }
+
  private:
   u32 line_index(u32 addr) const { return (addr / cfg_.line_bytes) % lines_; }
   u32 tag_of(u32 addr) const { return addr / cfg_.line_bytes / lines_; }

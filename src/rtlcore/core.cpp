@@ -886,6 +886,67 @@ HaltReason Leon3Core::run(u64 max_cycles) {
   return halt_;
 }
 
+CoreCheckpoint Leon3Core::checkpoint() const {
+  CoreCheckpoint ck;
+  ck.node_values = ctx_.save_values();
+  ck.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+  ck.cycle = cycle_;
+  ck.instret = instret_;
+  ck.next_fetch_seq = next_fetch_seq_;
+  ck.redirect_after_seq = redirect_after_seq_;
+  ck.annul_seq = annul_seq_;
+  ck.halt = halt_;
+  ck.trap_code = trap_code_;
+  ck.icache_hits = icache_->hits();
+  ck.icache_misses = icache_->misses();
+  ck.dcache_hits = dcache_->hits();
+  ck.dcache_misses = dcache_->misses();
+  ck.offcore = bus_;
+  return ck;
+}
+
+void Leon3Core::restore(const CoreCheckpoint& ck) {
+  ctx_.load_values(ck.node_values);
+  de_.seq = ck.slot_seq[0];
+  ra_.seq = ck.slot_seq[1];
+  ex_.seq = ck.slot_seq[2];
+  me_.seq = ck.slot_seq[3];
+  xc_.seq = ck.slot_seq[4];
+  wb_.seq = ck.slot_seq[5];
+  cycle_ = ck.cycle;
+  instret_ = ck.instret;
+  next_fetch_seq_ = ck.next_fetch_seq;
+  redirect_after_seq_ = ck.redirect_after_seq;
+  annul_seq_ = ck.annul_seq;
+  halt_ = ck.halt;
+  trap_code_ = ck.trap_code;
+  icache_->restore_stats(ck.icache_hits, ck.icache_misses);
+  dcache_->restore_stats(ck.dcache_hits, ck.dcache_misses);
+  bus_ = ck.offcore;
+  // Per-cycle handshake scratch: recomputed at the top of every step();
+  // cleared here so a restored core is indistinguishable from one that
+  // reached this cycle by stepping.
+  kill_valid_ = false;
+  annul_exact_valid_ = false;
+  immediate_redirect_ = false;
+  me_stalled_ = false;
+  ex_free_ = false;
+  ra_consumed_ = false;
+  de_consumed_ = false;
+}
+
+CoreActivityScalars Leon3Core::activity_scalars() const {
+  CoreActivityScalars s;
+  s.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+  s.next_fetch_seq = next_fetch_seq_;
+  s.redirect_after_seq = redirect_after_seq_;
+  s.annul_seq = annul_seq_;
+  s.instret = instret_;
+  s.bus_writes = bus_.writes().size();
+  s.bus_reads = bus_.reads().size();
+  return s;
+}
+
 iss::ArchState Leon3Core::arch_state() const {
   iss::ArchState st;
   for (unsigned i = 0; i < RegFile::iss_phys_count(); ++i) {

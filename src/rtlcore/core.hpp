@@ -75,6 +75,49 @@ struct PipeSlot {
   void hold();                 ///< keep current contents next cycle
 };
 
+/// Copyable checkpoint of a Leon3Core at a cycle boundary: every node value
+/// plus the host-side bookkeeping that is not part of the node registry.
+/// The backing Memory is owned by the caller and snapshotted separately
+/// (Memory::clone); campaign workers pair the two to resume a golden prefix
+/// once per injection instant instead of re-simulating it per fault.
+struct CoreCheckpoint {
+  std::vector<u32> node_values;
+  std::array<u64, 6> slot_seq{};  ///< fetch-order tags of de/ra/ex/me/xc/wb
+  u64 cycle = 0;
+  u64 instret = 0;
+  u64 next_fetch_seq = 1;
+  u64 redirect_after_seq = 0;
+  u64 annul_seq = 0;
+  iss::HaltReason halt = iss::HaltReason::kRunning;
+  u8 trap_code = 0;
+  u64 icache_hits = 0, icache_misses = 0;
+  u64 dcache_hits = 0, dcache_misses = 0;
+  OffCoreTrace offcore;
+};
+
+/// Cheap half of the hang fast-forward fingerprint: the host-side counters
+/// step() reads, minus the cycle counter (which only timestamps bus
+/// records). A core that is fetching or retiring advances these every few
+/// cycles, so callers use them as a filter before paying for the node-array
+/// comparison. Together with the node values they cover everything step()
+/// reads except the memory image, whose every mutation shows up as a node
+/// change or a recorded bus transaction. If two consecutive cycles agree on
+/// scalars and node values while the core is still running, the core is at
+/// a fixed point: every future cycle is provably identical, so it can never
+/// emit another write, change state, or halt — the watchdog verdict is
+/// already decided.
+struct CoreActivityScalars {
+  std::array<u64, 6> slot_seq{};
+  u64 next_fetch_seq = 0;
+  u64 redirect_after_seq = 0;
+  u64 annul_seq = 0;
+  u64 instret = 0;
+  std::size_t bus_writes = 0;
+  std::size_t bus_reads = 0;
+
+  bool operator==(const CoreActivityScalars&) const = default;
+};
+
 /// The RTL core + CMEM + bus, executing the same programs as iss::Emulator.
 class Leon3Core {
  public:
@@ -105,6 +148,28 @@ class Leon3Core {
   /// Snapshot of the architectural state (raw, unfaulted storage) in the
   /// ISS's representation, for lockstep comparison.
   iss::ArchState arch_state() const;
+
+  /// Capture the full core state at a cycle boundary (call between step()s,
+  /// with no fault armed). The backing Memory is not included.
+  CoreCheckpoint checkpoint() const;
+
+  /// Resume from a checkpoint taken on this core (or on a core constructed
+  /// with the same config, hence an identical node registry). The caller is
+  /// responsible for restoring the backing Memory to the matching image and
+  /// for clear_faults() beforehand.
+  void restore(const CoreCheckpoint& ck);
+
+  /// The cheap half of the activity fingerprint (no node traversal).
+  CoreActivityScalars activity_scalars() const;
+
+  /// Node half of the fingerprint: capture into / compare against a reused
+  /// buffer. node_values_equal early-exits without copying.
+  void save_node_values(std::vector<u32>& out) const {
+    ctx_.save_values_into(out);
+  }
+  bool node_values_equal(const std::vector<u32>& values) const {
+    return ctx_.values_equal(values);
+  }
 
  private:
   // Stage evaluators, called in reverse pipeline order each cycle.

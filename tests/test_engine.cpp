@@ -1,0 +1,339 @@
+// Campaign-engine tests: determinism under sharding (N-thread runs must be
+// bit-identical to serial), checkpoint/restore correctness for both
+// simulation vehicles, and equivalence of the engine's fast paths
+// (checkpointing, early divergence cut-off) with the naive serial algorithm.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/iss_backend.hpp"
+#include "engine/rtl_backend.hpp"
+#include "engine/stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::engine {
+namespace {
+
+using fault::CampaignConfig;
+using fault::CampaignResult;
+using fault::IssCampaignConfig;
+using rtl::FaultModel;
+
+isa::Program small_workload() {
+  return workloads::build("a2time_x", {.iterations = 1, .data_seed = 1});
+}
+
+CampaignConfig rtl_cfg(std::size_t samples) {
+  CampaignConfig cfg;
+  cfg.samples = samples;
+  cfg.models = {FaultModel::kStuckAt1, FaultModel::kOpenLine};
+  // Spread inject instants so the rolling checkpoint actually has to move.
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+  return cfg;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.golden_cycles, b.golden_cycles);
+  EXPECT_EQ(a.golden_instret, b.golden_instret);
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const fault::InjectionResult& x = a.runs[i];
+    const fault::InjectionResult& y = b.runs[i];
+    EXPECT_EQ(x.site.node, y.site.node) << i;
+    EXPECT_EQ(x.site.bit, y.site.bit) << i;
+    EXPECT_EQ(x.site.inject_cycle, y.site.inject_cycle) << i;
+    EXPECT_EQ(x.node_name, y.node_name) << i;
+    EXPECT_EQ(x.outcome, y.outcome) << i;
+    EXPECT_EQ(x.latency_cycles, y.latency_cycles) << i;
+    EXPECT_EQ(x.halt, y.halt) << i;
+  }
+  ASSERT_EQ(a.per_model.size(), b.per_model.size());
+  for (std::size_t m = 0; m < a.per_model.size(); ++m) {
+    EXPECT_EQ(a.per_model[m].failures, b.per_model[m].failures);
+    EXPECT_EQ(a.per_model[m].hangs, b.per_model[m].hangs);
+    EXPECT_EQ(a.per_model[m].latent, b.per_model[m].latent);
+    EXPECT_EQ(a.per_model[m].silent, b.per_model[m].silent);
+    EXPECT_EQ(a.per_model[m].max_latency, b.per_model[m].max_latency);
+    EXPECT_DOUBLE_EQ(a.per_model[m].mean_latency, b.per_model[m].mean_latency);
+    EXPECT_DOUBLE_EQ(a.per_model[m].pf(), b.per_model[m].pf());
+  }
+}
+
+// ---- determinism under sharding ---------------------------------------------
+
+TEST(Engine, RtlParallelBitIdenticalToSerial) {
+  const auto prog = small_workload();
+  const auto cfg = rtl_cfg(40);
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions parallel;
+  parallel.threads = 4;
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, serial);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, parallel);
+  expect_identical(a, b);
+}
+
+TEST(Engine, IssParallelBitIdenticalToSerial) {
+  const auto prog = small_workload();
+  IssCampaignConfig cfg;
+  cfg.samples = 60;
+  cfg.models = {iss::IssFaultModel::kStuckAt1, iss::IssFaultModel::kBitFlip};
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions parallel;
+  parallel.threads = 4;
+  const auto a = run_iss_campaign_engine(prog, cfg, serial);
+  const auto b = run_iss_campaign_engine(prog, cfg, parallel);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].failure, b.runs[i].failure) << i;
+    EXPECT_EQ(a.runs[i].latent, b.runs[i].latent) << i;
+    EXPECT_EQ(a.runs[i].latency_instr, b.runs[i].latency_instr) << i;
+  }
+  ASSERT_EQ(a.per_model.size(), b.per_model.size());
+  for (std::size_t m = 0; m < a.per_model.size(); ++m) {
+    EXPECT_EQ(a.per_model[m].failures, b.per_model[m].failures);
+    EXPECT_EQ(a.per_model[m].latent, b.per_model[m].latent);
+    EXPECT_DOUBLE_EQ(a.per_model[m].pf(), b.per_model[m].pf());
+  }
+}
+
+TEST(Engine, FaultListSeedAndShardStable) {
+  // The engine assigns site i to shard i % threads and stores record i in
+  // slot i — the fault list itself must not depend on who consumes it.
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  const auto cfg = rtl_cfg(64);
+  const auto a = fault::build_fault_list(core.sim(), cfg, 10000);
+  const auto b = fault::build_fault_list(core.sim(), cfg, 10000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].bit, b[i].bit);
+    EXPECT_EQ(a[i].inject_cycle, b[i].inject_cycle);
+    EXPECT_EQ(a[i].model, b[i].model);
+  }
+}
+
+// ---- fast-path equivalence --------------------------------------------------
+
+TEST(Engine, CheckpointingDoesNotChangeResults) {
+  const auto prog = small_workload();
+  const auto cfg = rtl_cfg(30);
+  EngineOptions naive;
+  naive.threads = 1;
+  naive.checkpoint = false;
+  naive.early_stop = false;
+  EngineOptions checkpointed;
+  checkpointed.threads = 1;
+  checkpointed.checkpoint = true;
+  checkpointed.early_stop = false;
+  expect_identical(run_rtl_campaign(prog, cfg, {}, naive),
+                   run_rtl_campaign(prog, cfg, {}, checkpointed));
+}
+
+TEST(Engine, EarlyStopPreservesClassification) {
+  const auto prog = small_workload();
+  const auto cfg = rtl_cfg(30);
+  EngineOptions slow;
+  slow.threads = 1;
+  slow.early_stop = false;
+  EngineOptions fast;
+  fast.threads = 1;
+  fast.early_stop = true;
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, slow);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, fast);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    // halt may legitimately differ (early-stopped runs keep kRunning);
+    // outcome, latency and therefore pf() may not.
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << i;
+    EXPECT_EQ(a.runs[i].latency_cycles, b.runs[i].latency_cycles) << i;
+  }
+  for (std::size_t m = 0; m < a.per_model.size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.per_model[m].pf(), b.per_model[m].pf());
+  }
+}
+
+TEST(Engine, HangFastForwardPreservesClassification) {
+  // Fetch-unit faults are the hang factory: a stuck fetch_pc or redirect
+  // bit freezes or derails the front end. Exhaustive over iu.fe.
+  const auto prog = small_workload();
+  CampaignConfig cfg;
+  cfg.unit_prefix = "iu.fe";
+  cfg.samples = 0;  // exhaustive: every bit, 66 sites
+  cfg.models = {FaultModel::kStuckAt0};
+  EngineOptions slow;
+  slow.threads = 1;
+  slow.hang_fast_forward = false;
+  EngineOptions fast;
+  fast.threads = 1;
+  fast.hang_fast_forward = true;
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, slow);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, fast);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  std::size_t hangs = 0;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << a.runs[i].node_name;
+    EXPECT_EQ(a.runs[i].latency_cycles, b.runs[i].latency_cycles) << i;
+    hangs += b.runs[i].outcome == fault::Outcome::kHang;
+  }
+  EXPECT_GT(hangs, 0u) << "expected at least one hang among fetch faults";
+}
+
+// ---- checkpoint correctness -------------------------------------------------
+
+TEST(Checkpoint, RtlCoreResumesToIdenticalRun) {
+  const auto prog = small_workload();
+
+  Memory ref_mem;
+  rtlcore::Leon3Core ref(ref_mem);
+  ref.load(prog);
+  ASSERT_EQ(ref.run(), iss::HaltReason::kHalted);
+
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  core.load(prog);
+  const u64 mid = ref.cycles() / 2;
+  while (core.cycles() < mid) core.step();
+  const rtlcore::CoreCheckpoint ck = core.checkpoint();
+  const Memory ck_mem = mem.clone();
+
+  // Run to completion once...
+  ASSERT_EQ(core.run(), iss::HaltReason::kHalted);
+  const u64 cycles_a = core.cycles();
+  const auto writes_a = core.offcore().writes();
+  const iss::ArchState state_a = core.arch_state();
+
+  // ...then rewind to the checkpoint and run again.
+  core.sim().clear_faults();
+  core.restore(ck);
+  mem = ck_mem.clone();
+  EXPECT_EQ(core.cycles(), mid);
+  ASSERT_EQ(core.run(), iss::HaltReason::kHalted);
+
+  EXPECT_EQ(core.cycles(), cycles_a);
+  EXPECT_EQ(core.instret(), ref.instret());
+  const auto& writes_b = core.offcore().writes();
+  ASSERT_EQ(writes_a.size(), writes_b.size());
+  for (std::size_t i = 0; i < writes_a.size(); ++i) {
+    EXPECT_TRUE(writes_a[i].same_payload(writes_b[i])) << i;
+    EXPECT_EQ(writes_a[i].cycle, writes_b[i].cycle) << i;
+  }
+  EXPECT_EQ(state_a, core.arch_state());
+  EXPECT_TRUE(core.memory().equals(ref_mem));
+  EXPECT_FALSE(core.offcore().compare_writes(ref.offcore()).diverged);
+}
+
+TEST(Checkpoint, IssEmulatorResumesToIdenticalRun) {
+  const auto prog = small_workload();
+
+  Memory ref_mem;
+  iss::Emulator ref(ref_mem);
+  ref.load(prog);
+  ASSERT_EQ(ref.run(), iss::HaltReason::kHalted);
+
+  Memory mem;
+  iss::Emulator emu(mem);
+  emu.load(prog);
+  const u64 mid = ref.instret() / 2;
+  while (emu.instret() < mid) emu.step();
+  const iss::EmuCheckpoint ck = emu.checkpoint();
+  const Memory ck_mem = mem.clone();
+
+  ASSERT_EQ(emu.run(), iss::HaltReason::kHalted);
+  const u64 instret_a = emu.instret();
+  const auto writes_a = emu.offcore().writes();
+  const iss::ArchState state_a = emu.state();
+  const unsigned diversity_a = emu.trace().diversity();
+
+  emu.clear_faults();
+  emu.restore(ck);
+  mem = ck_mem.clone();
+  EXPECT_EQ(emu.instret(), mid);
+  ASSERT_EQ(emu.run(), iss::HaltReason::kHalted);
+
+  EXPECT_EQ(emu.instret(), instret_a);
+  EXPECT_EQ(emu.trace().diversity(), diversity_a);
+  const auto& writes_b = emu.offcore().writes();
+  ASSERT_EQ(writes_a.size(), writes_b.size());
+  for (std::size_t i = 0; i < writes_a.size(); ++i) {
+    EXPECT_TRUE(writes_a[i].same_payload(writes_b[i])) << i;
+  }
+  EXPECT_EQ(state_a, emu.state());
+  EXPECT_TRUE(emu.memory().equals(ref_mem));
+}
+
+TEST(Checkpoint, RestoreRejectsForeignRegistry) {
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  rtlcore::CoreCheckpoint ck = core.checkpoint();
+  ck.node_values.pop_back();
+  EXPECT_THROW(core.restore(ck), std::invalid_argument);
+}
+
+// ---- engine plumbing --------------------------------------------------------
+
+TEST(Engine, ProgressIsMonotonicAndComplete) {
+  const auto prog = small_workload();
+  CampaignConfig cfg;
+  cfg.samples = 12;
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.progress_stride = 1;
+  std::size_t last = 0;
+  std::size_t calls = 0;
+  std::size_t final_total = 0;
+  opts.on_progress = [&](const EngineProgress& p) {
+    EXPECT_GE(p.completed, last);  // serialized under the engine's lock
+    last = p.completed;
+    final_total = p.total;
+    ++calls;
+  };
+  const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+  EXPECT_EQ(r.runs.size(), 12u);
+  EXPECT_EQ(last, 12u);
+  EXPECT_EQ(final_total, 12u);
+  EXPECT_GE(calls, 2u);
+}
+
+TEST(Engine, ShardStreamsAreDeterministicAndDecorrelated) {
+  Xoshiro256 a0 = shard_stream(2015, 0);
+  Xoshiro256 a0_again = shard_stream(2015, 0);
+  Xoshiro256 a1 = shard_stream(2015, 1);
+  EXPECT_EQ(a0.next(), a0_again.next());
+  int same = 0;
+  for (int i = 0; i < 16; ++i) same += a0.next() == a1.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Engine, ResolveThreadsClampsToSites) {
+  EXPECT_EQ(resolve_threads(8, 3), 3u);
+  EXPECT_EQ(resolve_threads(2, 100), 2u);
+  EXPECT_GE(resolve_threads(0, 100), 1u);
+}
+
+TEST(Engine, AccumulatorMergeMatchesSequential) {
+  OutcomeAccumulator all;
+  OutcomeAccumulator a, b;
+  all.add(fault::Outcome::kFailure, 10);
+  all.add(fault::Outcome::kHang, 0);
+  all.add(fault::Outcome::kFailure, 30);
+  all.add(fault::Outcome::kSilent, 0);
+  a.add(fault::Outcome::kFailure, 10);
+  a.add(fault::Outcome::kHang, 0);
+  b.add(fault::Outcome::kFailure, 30);
+  b.add(fault::Outcome::kSilent, 0);
+  a.merge(b);
+  EXPECT_EQ(a.runs, all.runs);
+  EXPECT_EQ(a.failures, all.failures);
+  EXPECT_EQ(a.hangs, all.hangs);
+  EXPECT_EQ(a.max_latency, all.max_latency);
+  EXPECT_DOUBLE_EQ(a.mean_latency(), all.mean_latency());
+  const fault::CampaignStats s = a.to_stats(FaultModel::kStuckAt1);
+  EXPECT_EQ(s.failures, 2u);
+  EXPECT_EQ(s.hangs, 1u);
+  EXPECT_DOUBLE_EQ(s.pf(), 3.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace issrtl::engine

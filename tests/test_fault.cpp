@@ -128,12 +128,23 @@ TEST(Campaign, GoldenMetadataFilled) {
   EXPECT_FALSE(r.workload.empty());
 }
 
-TEST(Campaign, StatsForUnknownModelThrows) {
+TEST(Campaign, StatsForUnknownModelIsZeroed) {
   CampaignConfig cfg;
   cfg.samples = 5;
   const auto r = run_campaign(small_workload(), cfg);
-  EXPECT_NO_THROW(r.stats_for(FaultModel::kStuckAt1));
-  EXPECT_THROW(r.stats_for(FaultModel::kOpenLine), std::out_of_range);
+  EXPECT_EQ(r.stats_for(FaultModel::kStuckAt1).runs, 5u);
+  const CampaignStats missing = r.stats_for(FaultModel::kOpenLine);
+  EXPECT_EQ(missing.model, FaultModel::kOpenLine);
+  EXPECT_EQ(missing.runs, 0u);
+  EXPECT_EQ(missing.pf(), 0.0);
+}
+
+TEST(Campaign, EmptyCampaignStatsAreZeroed) {
+  // An empty result (no runs at all) must not throw either.
+  const CampaignResult empty;
+  const CampaignStats s = empty.stats_for(FaultModel::kStuckAt1);
+  EXPECT_EQ(s.runs, 0u);
+  EXPECT_EQ(s.pf(), 0.0);
 }
 
 TEST(Campaign, LatencyOnlyOnFailures) {
