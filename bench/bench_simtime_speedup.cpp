@@ -13,6 +13,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "bench/bench_util.hpp"
 #include "engine/rtl_backend.hpp"
@@ -75,16 +77,31 @@ void BM_RtlCore(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlCore)->Unit(benchmark::kMillisecond);
 
+/// Metrics collected by the report sections, optionally dumped as JSON (see
+/// write_bench_json) so CI can track the kernel perf trajectory.
+struct BenchMetrics {
+  double rtl_ns_per_cycle = 0.0;
+  double iss_ns_per_instr = 0.0;
+  std::size_t samples = 0;
+  unsigned threads = 0;
+  double serial_s = 0.0;
+  double engine_s = 0.0;
+  double injections_per_s = 0.0;
+  double engine_vs_serial_ratio = 0.0;
+};
+
 /// Direct wall-clock comparison: same workload, same number of "injection
 /// experiments" (here: plain replays) on each vehicle.
-void report_speedup() {
+void report_speedup(BenchMetrics& m) {
   const int kRuns = 3;
+  u64 rtl_cycles = 0, iss_instrs = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < kRuns; ++i) {
     Memory mem;
     rtlcore::Leon3Core core(mem);
     core.load(prog());
     core.run();
+    rtl_cycles += core.cycles();
   }
   const auto t1 = std::chrono::steady_clock::now();
   for (int i = 0; i < kRuns; ++i) {
@@ -92,14 +109,17 @@ void report_speedup() {
     iss::Emulator emu(mem);
     emu.load(prog());
     emu.run();
+    iss_instrs += emu.instret();
   }
   const auto t2 = std::chrono::steady_clock::now();
   const double rtl = std::chrono::duration<double>(t1 - t0).count();
   const double iss = std::chrono::duration<double>(t2 - t1).count();
+  m.rtl_ns_per_cycle = rtl_cycles > 0 ? 1e9 * rtl / rtl_cycles : 0.0;
+  m.iss_ns_per_instr = iss_instrs > 0 ? 1e9 * iss / iss_instrs : 0.0;
   std::printf("\n--- campaign-cost comparison (rspeed, %d replays each) ---\n",
               kRuns);
-  std::printf("RTL:  %.3f s   ISS: %.3f s   ratio: %.0fx\n", rtl, iss,
-              iss > 0 ? rtl / iss : 0.0);
+  std::printf("RTL:  %.3f s (%.1f ns/cycle)   ISS: %.3f s   ratio: %.0fx\n",
+              rtl, m.rtl_ns_per_cycle, iss, iss > 0 ? rtl / iss : 0.0);
   std::printf("paper: 25,478 CPU-hours (RTL, clusters) vs <300 h (ISS, one "
               "workstation) => ~85x\n");
 }
@@ -109,7 +129,7 @@ void report_speedup() {
 /// engine's fast path at 4 threads, on the same 200-sample fault list.
 /// Bench-wide knobs apply (here with headline-sized defaults): ISSRTL_SAMPLES
 /// (200), ISSRTL_SEED, ISSRTL_THREADS (4).
-void report_engine_speedup() {
+void report_engine_speedup(BenchMetrics& m) {
   const std::size_t samples = bench::env_size("ISSRTL_SAMPLES", 200);
   const unsigned threads =
       static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
@@ -146,6 +166,12 @@ void report_engine_speedup() {
   }
   const double pf_serial = serial.stats_for(rtl::FaultModel::kStuckAt1).pf();
   const double pf_engine = parallel.stats_for(rtl::FaultModel::kStuckAt1).pf();
+  m.samples = samples;
+  m.threads = threads;
+  m.serial_s = ts;
+  m.engine_s = te;
+  m.injections_per_s = te > 0 ? static_cast<double>(samples) / te : 0.0;
+  m.engine_vs_serial_ratio = te > 0 ? ts / te : 0.0;
 
   std::printf("\n--- campaign engine vs seed serial driver (rspeed, %zu "
               "RTL injections @ IU) ---\n", samples);
@@ -158,12 +184,72 @@ void report_engine_speedup() {
               pf_serial == pf_engine ? "yes" : "NO");
 }
 
+/// The PR 1 engine's numbers on this bench's headline section (200 samples,
+/// 4 threads, rspeed, default seed), measured on the reference dev box
+/// immediately before the SoA-kernel/COW-memory rewrite. Only comparable to
+/// runs on that same box, so the baseline block is emitted solely when
+/// ISSRTL_BENCH_BASELINE=pr1 is set explicitly (as it was for the committed
+/// BENCH_kernel.json); CI artifacts carry each runner's raw numbers only.
+constexpr double kPr1SerialS = 5.135;
+constexpr double kPr1EngineS = 3.354;
+constexpr double kPr1RtlNsPerCycle = 158.7;
+
+/// Write the collected metrics to $ISSRTL_BENCH_JSON (if set) so CI archives
+/// a machine-readable point on the kernel perf trajectory per commit.
+void write_bench_json(const BenchMetrics& m) {
+  const char* path = std::getenv("ISSRTL_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"rspeed\",\n"
+               "  \"rtl_ns_per_cycle\": %.2f,\n"
+               "  \"iss_ns_per_instr\": %.2f,\n"
+               "  \"engine_section\": {\n"
+               "    \"samples\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"serial_s\": %.3f,\n"
+               "    \"engine_s\": %.3f,\n"
+               "    \"injections_per_s\": %.1f,\n"
+               "    \"engine_vs_serial_ratio\": %.2f\n"
+               "  }",
+               m.rtl_ns_per_cycle, m.iss_ns_per_instr, m.samples, m.threads,
+               m.serial_s, m.engine_s, m.injections_per_s,
+               m.engine_vs_serial_ratio);
+  const char* baseline = std::getenv("ISSRTL_BENCH_BASELINE");
+  if (baseline != nullptr && std::string_view(baseline) == "pr1" &&
+      m.samples == 200 && m.threads == 4) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"baseline_pr1_engine\": {\n"
+                 "    \"comment\": \"reference dev box, same 200-sample "
+                 "section, PR 1 tree before the SoA-kernel/COW-memory "
+                 "rewrite\",\n"
+                 "    \"serial_s\": %.3f,\n"
+                 "    \"engine_s\": %.3f,\n"
+                 "    \"rtl_ns_per_cycle\": %.1f\n"
+                 "  },\n"
+                 "  \"speedup_vs_pr1_engine\": %.2f",
+                 kPr1SerialS, kPr1EngineS, kPr1RtlNsPerCycle,
+                 m.engine_s > 0 ? kPr1EngineS / m.engine_s : 0.0);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("bench metrics written to %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  report_speedup();
-  report_engine_speedup();
+  BenchMetrics metrics;
+  report_speedup(metrics);
+  report_engine_speedup(metrics);
+  write_bench_json(metrics);
   return 0;
 }

@@ -184,10 +184,10 @@ int cmd_nodes(const std::string& unit) {
   const auto ids = core.sim().nodes_in_unit(unit);
   fault::TextTable t({"node", "unit", "kind", "width"});
   for (const auto id : ids) {
-    const auto& n = core.sim().node(id);
-    t.add_row({n.name(), n.unit(),
-               n.kind() == rtl::NodeKind::kReg ? "reg" : "wire",
-               std::to_string(n.width())});
+    const auto& sim = core.sim();
+    t.add_row({sim.name(id), sim.unit(id),
+               sim.kind(id) == rtl::NodeKind::kReg ? "reg" : "wire",
+               std::to_string(sim.width(id))});
   }
   std::printf("%s%zu nodes, %llu injectable bits\n", t.render().c_str(),
               ids.size(),

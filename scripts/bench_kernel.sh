@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the RTL-kernel perf benchmark and emit a BENCH_kernel.json point.
+#
+# Usage: scripts/bench_kernel.sh [build-dir] [output-json]
+#
+# The default output lands inside the (gitignored) build dir so a run never
+# dirties the committed reference snapshot at the repo root; pass an explicit
+# path — and ISSRTL_BENCH_BASELINE=pr1 on the reference box — to regenerate
+# that snapshot. Knobs (env): ISSRTL_SAMPLES (default 200 — the headline
+# engine section), ISSRTL_THREADS (default 4), ISSRTL_SEED. CI runs this on
+# a fixed small workload and archives the JSON as the per-commit perf
+# trajectory point.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_json="${2:-${build_dir}/BENCH_kernel.json}"
+bench="${build_dir}/bench_simtime_speedup"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+ISSRTL_BENCH_JSON="${out_json}" "${bench}" --benchmark_filter=nomatch
+echo "--- ${out_json} ---"
+cat "${out_json}"

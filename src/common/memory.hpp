@@ -3,13 +3,22 @@
 // Shared by the ISS and the RTL core as the off-chip RAM behind the bus.
 // Backed by 4 KiB pages allocated on first touch so a 32-bit address space
 // costs only what the workload actually uses.
+//
+// Pages are copy-on-write: clone() (and the copy constructor) duplicate only
+// the page table — O(pages) shared_ptr copies — and a page's bytes are
+// copied the first time a store lands on a page that is still shared. That
+// turns the campaign engine's per-injection checkpoint_mem_.clone() from a
+// full deep copy into a pointer copy, and lets equals() short-circuit pages
+// two images still share. Sharing is confined to one clone lineage, which in
+// the engine is always owned by a single worker thread; the shared_ptr
+// control block makes the (read-only) cross-thread golden image safe too.
 #pragma once
 
+#include <array>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -34,7 +43,8 @@ class Memory {
   void store_u8(u32 addr, u8 value);
 
   // Big-endian multi-byte accessors; callers are responsible for alignment
-  // (the cores trap on misalignment before reaching the memory model).
+  // (the cores trap on misalignment before reaching the memory model), but
+  // page-crossing accesses fall back to byte-wise handling regardless.
   u16 load_u16(u32 addr) const;
   u32 load_u32(u32 addr) const;
   u64 load_u64(u32 addr) const;
@@ -51,20 +61,26 @@ class Memory {
   /// Number of pages currently allocated (for tests / stats).
   std::size_t allocated_pages() const noexcept { return pages_.size(); }
 
-  /// Deep-copy snapshot, used for golden-vs-faulty end-state comparison.
-  Memory clone() const;
+  /// Snapshot for golden-vs-faulty end-state comparison. O(pages) pointer
+  /// copies; bytes are duplicated lazily on the next store to either image.
+  Memory clone() const { return *this; }
 
   /// True if every allocated byte matches `other` (zero pages are equal to
   /// absent pages, so clones with different page sets still compare equal).
+  /// Pages still shared between the two images compare by pointer.
   bool equals(const Memory& other) const;
 
  private:
-  using Page = std::vector<u8>;  // always kPageSize bytes
+  using Page = std::array<u8, kPageSize>;
+  using PageRef = std::shared_ptr<Page>;
 
   const Page* find_page(u32 addr) const noexcept;
-  Page& touch_page(u32 addr);
 
-  std::unordered_map<u32, Page> pages_;
+  /// Page backing `addr`, private to this image: allocated (zeroed) on first
+  /// touch, and un-shared (bytes copied) on first write to a shared page.
+  Page& page_for_write(u32 addr);
+
+  std::unordered_map<u32, PageRef> pages_;
 };
 
 }  // namespace issrtl

@@ -30,10 +30,10 @@ AreaModel build_area_model(const rtl::SimContext& ctx,
                            const std::string& unit_prefix) {
   AreaModel m;
   for (const rtl::NodeId id : ctx.nodes_in_unit(unit_prefix)) {
-    const rtl::Sig& s = ctx.node(id);
-    const auto fu = static_cast<std::size_t>(func_unit_for_rtl_unit(s.unit()));
-    m.bits[fu] += s.width();
-    m.total_bits += s.width();
+    const auto fu =
+        static_cast<std::size_t>(func_unit_for_rtl_unit(ctx.unit(id)));
+    m.bits[fu] += ctx.width(id);
+    m.total_bits += ctx.width(id);
   }
   if (m.total_bits > 0) {
     for (std::size_t i = 0; i < m.alpha.size(); ++i) {

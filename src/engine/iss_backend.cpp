@@ -82,10 +82,11 @@ fault::IssInjectionResult IssCampaignBackend::Worker::run_site(
   emu_.arm_fault(fault);
 
   // The serial driver gave run() the whole watchdog from reset; the prefix
-  // consumed inject_at_instr steps of it.
+  // consumed inject_at_instr steps of it. A prefix already at or past the
+  // watchdog gets no further steps (same off-by-one as the RTL backend).
   u64 budget = b_.watchdog_ > emu_.instret()
                    ? b_.watchdog_ - emu_.instret()
-                   : 1;
+                   : 0;
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   std::size_t matched = emu_.offcore().writes().size();
   bool definite_divergence = false;

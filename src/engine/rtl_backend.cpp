@@ -30,8 +30,13 @@ RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
                                        const rtlcore::CoreConfig& core_cfg,
                                        const EngineOptions& opts)
     : prog_(prog), cfg_(cfg), core_cfg_(core_cfg), opts_(opts) {
+  // Load the program image once; the golden memory and every worker reset
+  // clone from it, so pages neither run touches stay COW-shared and the
+  // latent check's Memory::equals can short-circuit them by pointer.
+  prog_.load_into(initial_mem_);
+  golden_mem_ = initial_mem_.clone();
   rtlcore::Leon3Core golden(golden_mem_, core_cfg_);
-  golden.load(prog_);
+  golden.reset(prog_.entry);
   const iss::HaltReason golden_halt = golden.run();
   if (golden_halt != iss::HaltReason::kHalted) {
     throw std::runtime_error("golden run did not halt cleanly: " +
@@ -45,6 +50,15 @@ RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
                                    cfg_.watchdog_factor +
                                1000);
   sites_ = fault::build_fault_list(golden.sim(), cfg_, golden_cycles_);
+  // Snapshot the node metadata so finish() can label records without the
+  // golden core (and without workers copying strings in the per-site loop).
+  const rtl::SimContext& sim = golden.sim();
+  node_names_.reserve(sim.node_count());
+  node_units_.reserve(sim.node_count());
+  for (rtl::NodeId id = 0; id < sim.node_count(); ++id) {
+    node_names_.push_back(sim.name(id));
+    node_units_.push_back(sim.unit(id));
+  }
 }
 
 std::unique_ptr<RtlCampaignBackend::Worker> RtlCampaignBackend::make_worker(
@@ -63,8 +77,8 @@ void RtlCampaignBackend::Worker::prepare(u64 inject_cycle) {
     core_.restore(checkpoint_);
     mem_ = checkpoint_mem_.clone();
   } else {
-    mem_ = Memory();
-    core_.load(b_.prog_);
+    mem_ = b_.initial_mem_.clone();
+    core_.reset(b_.prog_.entry);
     have_checkpoint_ = false;
   }
   while (core_.cycles() < inject_cycle &&
@@ -86,9 +100,11 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   core_.sim().arm_fault(site.node, site.model, site.bit);
 
   // Faulty suffix under the serial driver's cycle budget: total cycles,
-  // golden prefix included, may not exceed the watchdog.
+  // golden prefix included, may not exceed the watchdog. A prefix already at
+  // or past the watchdog gets no further cycles and classifies as a hang
+  // immediately (a budget of 1 would step past the watchdog).
   u64 budget =
-      b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 1;
+      b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 0;
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   // Every prefix write replayed the golden run, so matching resumes here.
   std::size_t matched = core_.offcore().writes().size();
@@ -145,9 +161,7 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
 
   fault::InjectionResult result;
   result.site = site;
-  result.node_name = core_.sim().node(site.node).name();
-  result.unit = core_.sim().node(site.node).unit();
-  result.halt = halt;
+  result.halt = halt;  // node_name/unit are resolved once, in finish()
 
   const TraceDivergence div =
       core_.offcore().compare_writes(b_.golden_trace_);
@@ -178,6 +192,10 @@ fault::CampaignResult RtlCampaignBackend::finish(
   result.golden_cycles = golden_cycles_;
   result.golden_instret = golden_instret_;
   result.runs = std::move(records);
+  for (fault::InjectionResult& run : result.runs) {
+    run.node_name = node_names_[run.site.node];
+    run.unit = node_units_[run.site.node];
+  }
   for (const rtl::FaultModel model : cfg_.models) {
     OutcomeAccumulator acc;
     for (const fault::InjectionResult& run : result.runs) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -74,8 +75,13 @@ class RtlCampaignBackend {
   u64 watchdog_ = 0;
   OffCoreTrace golden_trace_;
   iss::ArchState golden_state_;
+  Memory initial_mem_;  ///< loaded program image, COW ancestor of all runs
   Memory golden_mem_;
   std::vector<fault::FaultSite> sites_;
+  // Node metadata snapshot (NodeId-indexed) for labelling results in
+  // finish(); the golden core itself does not outlive the constructor.
+  std::vector<std::string> node_names_;
+  std::vector<std::string> node_units_;
 };
 
 /// Full engine-backed RTL campaign. fault::run_campaign is the serial thin

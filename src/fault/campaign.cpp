@@ -54,7 +54,7 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
     // Exhaustive: every bit of every node, for every model.
     for (const FaultModel m : cfg.models) {
       for (const rtl::NodeId id : nodes) {
-        const u8 w = ctx.node(id).width();
+        const u8 w = ctx.width(id);
         for (u8 b = 0; b < w; ++b) sites.push_back({id, b, m, pick_cycle()});
       }
     }
@@ -67,7 +67,7 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
   cum.reserve(nodes.size());
   u64 total_bits = 0;
   for (const rtl::NodeId id : nodes) {
-    total_bits += ctx.node(id).width();
+    total_bits += ctx.width(id);
     cum.push_back(total_bits);
   }
   for (const FaultModel m : cfg.models) {

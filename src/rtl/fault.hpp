@@ -11,6 +11,12 @@
 
 namespace issrtl::rtl {
 
+/// Node handle used by campaigns: index into the SimContext registry.
+using NodeId = u32;
+
+/// Sentinel for "no node" (e.g. a non-bridge overlay's aggressor).
+inline constexpr NodeId kNoNode = 0xFFFF'FFFFu;
+
 enum class FaultModel : u8 {
   kStuckAt0,
   kStuckAt1,
@@ -21,21 +27,24 @@ enum class FaultModel : u8 {
 
 std::string_view fault_model_name(FaultModel m);
 
-class Sig;  // forward declaration for bridge faults
-
 /// Active fault overlay attached to a node. Single-bit stuck-at/open-line is
 /// the paper's fault load; the overlay generalises to multi-bit masks and
 /// short-circuit bridges — the fault models the paper's related work [2]
 /// implements with VHDL saboteurs.
+///
+/// Since the SoA kernel rewrite the overlay is *not* consulted on reads:
+/// SimContext keeps the armed node's value array entry patched (write-through)
+/// and re-applies the overlay whenever the underlying raw value can change.
 struct FaultOverlay {
   FaultModel model = FaultModel::kStuckAt0;
-  u8 bit = 0;                    ///< primary bit (reporting)
-  u32 mask = 0;                  ///< all affected bits
-  u32 frozen = 0;                ///< captured values at arm time (open-line)
-  const Sig* bridge_src = nullptr;  ///< value source for kBridge
+  u8 bit = 0;                  ///< primary bit (reporting)
+  u32 mask = 0;                ///< all affected bits
+  u32 frozen = 0;              ///< captured values at arm time (open-line)
+  NodeId bridge_src = kNoNode; ///< aggressor node for kBridge
 
-  /// Apply the overlay to a raw node value.
-  u32 apply(u32 raw) const noexcept;
+  /// Apply the overlay to a raw node value. `bridge_raw` is the aggressor's
+  /// raw value (only consulted for kBridge).
+  u32 apply(u32 raw, u32 bridge_raw = 0) const noexcept;
 };
 
 }  // namespace issrtl::rtl

@@ -25,10 +25,44 @@ bool unit_matches(const std::string& unit, const std::string& prefix) {
 }
 }  // namespace
 
+u32 FaultOverlay::apply(u32 raw, u32 bridge_raw) const noexcept {
+  switch (model) {
+    case FaultModel::kStuckAt0: return raw & ~mask;
+    case FaultModel::kStuckAt1: return raw | mask;
+    case FaultModel::kOpenLine: return (raw & ~mask) | frozen;
+    case FaultModel::kTransientBitFlip: return raw;  // applied once at arm
+    case FaultModel::kBridge:
+      return bridge_src == kNoNode ? raw : (raw & ~mask) | (bridge_raw & mask);
+  }
+  return raw;
+}
+
+Sig SimContext::make(const std::string& name, const std::string& unit,
+                     u8 width, NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(meta_.size());
+  meta_.push_back(NodeMeta{name, unit, width, kind});
+  by_name_.try_emplace(name, id);  // first registration wins on duplicates
+  cur_.push_back(0);
+  nxt_.push_back(0);
+  mask_.push_back(static_cast<u32>(low_mask64(width)));
+  flags_.push_back(0);
+  return Sig(this, id);
+}
+
+u32 SimContext::raw_value(NodeId id) const {
+  check_id(id);
+  if (flags_[id] & kFlagOverlay) {
+    for (const ArmedFault& f : armed_) {
+      if (f.id == id) return f.shadow;
+    }
+  }
+  return cur_[id];
+}
+
 u64 SimContext::injectable_bits(const std::string& unit_prefix) const {
   u64 bits = 0;
-  for (const Sig& s : nodes_) {
-    if (unit_matches(s.unit(), unit_prefix)) bits += s.width();
+  for (const NodeMeta& m : meta_) {
+    if (unit_matches(m.unit, unit_prefix)) bits += m.width;
   }
   return bits;
 }
@@ -36,85 +70,128 @@ u64 SimContext::injectable_bits(const std::string& unit_prefix) const {
 std::vector<NodeId> SimContext::nodes_in_unit(
     const std::string& unit_prefix) const {
   std::vector<NodeId> ids;
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    if (unit_matches(nodes_[i].unit(), unit_prefix)) ids.push_back(i);
+  for (NodeId i = 0; i < meta_.size(); ++i) {
+    if (unit_matches(meta_[i].unit, unit_prefix)) ids.push_back(i);
   }
   return ids;
 }
 
 std::optional<NodeId> SimContext::find_node(const std::string& name) const {
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name() == name) return i;
-  }
-  return std::nullopt;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
 }
 
-u32 FaultOverlay::apply(u32 raw) const noexcept {
-  switch (model) {
-    case FaultModel::kStuckAt0: return raw & ~mask;
-    case FaultModel::kStuckAt1: return raw | mask;
-    case FaultModel::kOpenLine: return (raw & ~mask) | frozen;
-    case FaultModel::kTransientBitFlip: return raw;  // applied once at arm
-    case FaultModel::kBridge:
-      return bridge_src == nullptr
-                 ? raw
-                 : (raw & ~mask) | (bridge_src->raw() & mask);
+u32 SimContext::apply_overlay(const ArmedFault& f) const noexcept {
+  const u32 bridge_raw = f.overlay.bridge_src == kNoNode
+                             ? 0
+                             : raw_value(f.overlay.bridge_src);
+  return f.overlay.apply(f.shadow, bridge_raw);
+}
+
+void SimContext::write_slow(NodeId id, u32 masked) noexcept {
+  nxt_[id] = masked;
+  if (flags_[id] & kFlagOverlay) {
+    for (ArmedFault& f : armed_) {
+      if (f.id == id) {
+        f.shadow = masked;
+        cur_[id] = apply_overlay(f);
+        break;
+      }
+    }
+  } else {
+    cur_[id] = masked;
   }
-  return raw;
+  if (flags_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
+}
+
+void SimContext::refresh_bridges_from(NodeId aggressor) noexcept {
+  for (const ArmedFault& f : armed_) {
+    if (f.overlay.bridge_src == aggressor) cur_[f.id] = apply_overlay(f);
+  }
+}
+
+void SimContext::reapply_overlays() noexcept {
+  // Two passes: cur_ holds raw values for every armed node right after a
+  // bulk copy/clear, so capture all shadows first, then patch — bridge
+  // overlays then read consistent aggressor raw values via raw_value().
+  for (ArmedFault& f : armed_) f.shadow = cur_[f.id];
+  for (const ArmedFault& f : armed_) cur_[f.id] = apply_overlay(f);
 }
 
 void SimContext::arm_fault(NodeId id, FaultModel model, u8 bit) {
-  if (bit >= node(id).width()) {
+  if (bit >= width(id)) {
     throw std::out_of_range("arm_fault: bit out of range");
   }
   arm_fault_mask(id, model, 1u << bit);
 }
 
 void SimContext::arm_fault_mask(NodeId id, FaultModel model, u32 mask) {
-  Sig& s = node(id);
+  check_id(id);
   if (model == FaultModel::kBridge) {
     throw std::invalid_argument("arm_fault_mask: use arm_bridge for bridges");
   }
-  if (mask == 0 || (mask & ~static_cast<u32>(low_mask64(s.width()))) != 0) {
+  if (mask == 0 || (mask & ~mask_[id]) != 0) {
     throw std::out_of_range("arm_fault_mask: mask outside node width");
   }
-  if (s.fault_ != nullptr) {
-    throw std::logic_error("arm_fault: node already has a fault: " + s.name());
+  if (flags_[id] & kFlagOverlay) {
+    throw std::logic_error("arm_fault: node already has a fault: " + name(id));
   }
   if (model == FaultModel::kTransientBitFlip) {
     // One-shot: disturb the stored value (and the pending next value for
     // registers, as a particle strike would hit the flop master+slave).
-    s.cur_ ^= mask;
-    s.nxt_ ^= mask;
+    cur_[id] ^= mask;
+    nxt_[id] ^= mask;
+    if (flags_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
     return;
   }
-  auto overlay = std::make_unique<FaultOverlay>();
-  overlay->model = model;
-  overlay->bit = static_cast<u8>(std::countr_zero(mask));
-  overlay->mask = mask;
-  overlay->frozen = s.cur_ & mask;
-  s.fault_ = overlay.get();
-  armed_.push_back({id, std::move(overlay)});
+  ArmedFault f;
+  f.id = id;
+  f.shadow = cur_[id];  // unfaulted until now: cur_ holds the raw value
+  f.overlay.model = model;
+  f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
+  f.overlay.mask = mask;
+  f.overlay.frozen = f.shadow & mask;
+  flags_[id] |= kFlagOverlay;
+  cur_[id] = apply_overlay(f);
+  armed_.push_back(f);
 }
 
 void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
-  Sig& v = node(victim);
+  check_id(victim);
+  check_id(aggressor);
   if (victim == aggressor) {
     throw std::invalid_argument("arm_bridge: victim == aggressor");
   }
-  if (mask == 0 || (mask & ~static_cast<u32>(low_mask64(v.width()))) != 0) {
+  if (mask == 0 || (mask & ~mask_[victim]) != 0) {
     throw std::out_of_range("arm_bridge: mask outside victim width");
   }
-  if (v.fault_ != nullptr) {
-    throw std::logic_error("arm_bridge: node already has a fault: " + v.name());
+  if (flags_[victim] & kFlagOverlay) {
+    throw std::logic_error("arm_bridge: node already has a fault: " +
+                           name(victim));
   }
-  auto overlay = std::make_unique<FaultOverlay>();
-  overlay->model = FaultModel::kBridge;
-  overlay->bit = static_cast<u8>(std::countr_zero(mask));
-  overlay->mask = mask;
-  overlay->bridge_src = &node(aggressor);
-  v.fault_ = overlay.get();
-  armed_.push_back({victim, std::move(overlay)});
+  ArmedFault f;
+  f.id = victim;
+  f.shadow = cur_[victim];
+  f.overlay.model = FaultModel::kBridge;
+  f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
+  f.overlay.mask = mask;
+  f.overlay.bridge_src = aggressor;
+  flags_[victim] |= kFlagOverlay;
+  flags_[aggressor] |= kFlagBridgeSrc;
+  armed_.push_back(f);
+  cur_[victim] = apply_overlay(armed_.back());
+}
+
+void SimContext::clear_faults() {
+  for (const ArmedFault& f : armed_) {
+    cur_[f.id] = f.shadow;  // restore the raw value
+    flags_[f.id] &= static_cast<u8>(~kFlagOverlay);
+    if (f.overlay.bridge_src != kNoNode) {
+      flags_[f.overlay.bridge_src] &= static_cast<u8>(~kFlagBridgeSrc);
+    }
+  }
+  armed_.clear();
 }
 
 std::vector<u32> SimContext::save_values() const {
@@ -124,32 +201,22 @@ std::vector<u32> SimContext::save_values() const {
 }
 
 void SimContext::save_values_into(std::vector<u32>& out) const {
-  out.clear();
-  out.reserve(nodes_.size());
-  for (const Sig& s : nodes_) out.push_back(s.raw());
-}
-
-bool SimContext::values_equal(const std::vector<u32>& values) const {
-  if (values.size() != nodes_.size()) return false;
-  std::size_t i = 0;
-  for (const Sig& s : nodes_) {
-    if (s.raw() != values[i++]) return false;
+  out.resize(cur_.size());
+  if (!cur_.empty()) {
+    std::memcpy(out.data(), cur_.data(), cur_.size() * sizeof(u32));
   }
-  return true;
 }
 
 void SimContext::load_values(const std::vector<u32>& values) {
-  if (values.size() != nodes_.size()) {
+  if (values.size() != cur_.size()) {
     throw std::invalid_argument(
         "load_values: checkpoint taken on a different registry");
   }
-  std::size_t i = 0;
-  for (Sig& s : nodes_) s.poke(values[i++]);
-}
-
-void SimContext::clear_faults() {
-  for (auto& f : armed_) node(f.id).fault_ = nullptr;
-  armed_.clear();
+  if (!cur_.empty()) {
+    std::memcpy(cur_.data(), values.data(), cur_.size() * sizeof(u32));
+    std::memcpy(nxt_.data(), values.data(), nxt_.size() * sizeof(u32));
+  }
+  if (!armed_.empty()) reapply_overlays();
 }
 
 }  // namespace issrtl::rtl

@@ -6,16 +6,29 @@
 // injection enumerates "signals, ports and variables" in a VHDL model [10],
 // and the per-unit bit counts provide the area fractions α_m of Eq. 1.
 //
+// Storage is structure-of-arrays: the hot per-node state (current value, next
+// value, width mask) lives in three contiguous u32 arrays indexed by NodeId,
+// while names/units/kinds/widths sit in a cold side table. That makes the
+// per-cycle work a dense array problem: commit_all() is a single memcpy of
+// the next-value array, and the checkpoint / hang-fast-forward probes
+// (save_values / values_equal) are memcpy/memcmp over one 4·N-byte array.
+//
 // Simulation discipline: single-pass combinational evaluation per cycle in
 // module-defined dataflow order, followed by a register commit (two-phase,
-// like a synchronous netlist with one clock). Fault overlays are applied on
-// *read*, so a faulted node corrupts every consumer, whether wire or flop.
+// like a synchronous netlist with one clock).
+//
+// Fault discipline: the value array always holds the value *consumers see*.
+// Reads are therefore branch-free; the (at most a handful of) armed nodes
+// carry their true raw value in a shadow slot, and the overlay is re-applied
+// write-through at every point the raw value can change (w/poke on the node,
+// writes to a bridge aggressor, commit_all, zero_all, load_values). A faulted
+// node corrupts every consumer, whether wire or flop, exactly as before.
 #pragma once
 
-#include <deque>
-#include <memory>
+#include <cstring>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -25,59 +38,46 @@ namespace issrtl::rtl {
 
 enum class NodeKind : u8 { kWire, kReg };
 
-/// A single W<=32-bit signal. Created and owned by SimContext; modules hold
-/// references. Hot-path accessors are branch-cheap: one test for an armed
-/// fault overlay.
+class SimContext;
+
+/// Lightweight handle to a single W<=32-bit node: a (context, NodeId) pair.
+/// Copyable and 16 bytes; modules store handles by value. All accessors
+/// index the SimContext's packed value arrays — the unfaulted read path is
+/// a single array load with no branches.
 class Sig {
  public:
-  /// Read the node value as consumers see it (fault overlay applied).
-  u32 r() const noexcept { return fault_ ? fault_->apply(cur_) : cur_; }
+  Sig() = default;
+
+  /// Read the node value as consumers see it (fault overlay pre-applied).
+  u32 r() const noexcept;
 
   /// Read as boolean (for 1-bit control signals).
   bool rb() const noexcept { return r() != 0; }
 
   /// Drive a wire combinationally (visible to readers immediately).
-  void w(u32 v) noexcept { cur_ = v & mask_; }
+  void w(u32 v) noexcept;
 
-  /// Schedule a register's next value (visible after commit()).
-  void n(u32 v) noexcept { nxt_ = v & mask_; }
+  /// Schedule a register's next value (visible after commit_all()).
+  void n(u32 v) noexcept;
 
   /// Copy current (possibly faulted) value of `src` into this reg's next.
   void n_from(const Sig& src) noexcept { n(src.r()); }
 
-  /// Clock edge for registers.
-  void commit() noexcept { cur_ = nxt_; }
+  /// Raw (un-faulted) value — used by state inspection only.
+  u32 raw() const noexcept;
 
-  u8 width() const noexcept { return width_; }
-  NodeKind kind() const noexcept { return kind_; }
-  const std::string& name() const noexcept { return name_; }
-  const std::string& unit() const noexcept { return unit_; }
+  /// Backdoor initialisation, bypassing the clock (sets cur and nxt).
+  void poke(u32 v) noexcept;
 
-  /// Raw (un-faulted) value — used by the kernel and state inspection only.
-  u32 raw() const noexcept { return cur_; }
-  void poke(u32 v) noexcept { cur_ = v & mask_; nxt_ = cur_; }
+  NodeId id() const noexcept { return id_; }
 
  private:
   friend class SimContext;
-  Sig(std::string name, std::string unit, u8 width, NodeKind kind)
-      : name_(std::move(name)),
-        unit_(std::move(unit)),
-        mask_(static_cast<u32>(low_mask64(width))),
-        width_(width),
-        kind_(kind) {}
+  Sig(SimContext* ctx, NodeId id) noexcept : ctx_(ctx), id_(id) {}
 
-  std::string name_;
-  std::string unit_;
-  u32 cur_ = 0;
-  u32 nxt_ = 0;
-  u32 mask_;
-  const FaultOverlay* fault_ = nullptr;
-  u8 width_;
-  NodeKind kind_;
+  SimContext* ctx_ = nullptr;
+  NodeId id_ = 0;
 };
-
-/// Node handle used by campaigns: index into the SimContext registry.
-using NodeId = u32;
 
 /// Registry of all nodes plus the armed-fault bookkeeping.
 class SimContext {
@@ -85,27 +85,39 @@ class SimContext {
   SimContext() = default;
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;
+  SimContext(SimContext&&) = delete;
+  SimContext& operator=(SimContext&&) = delete;
 
   /// Create a node. `unit` is a hierarchical tag like "iu.alu" or
   /// "cmem.dcache"; the top-level component (before the dot) groups nodes
   /// for the IU/CMEM campaigns and for α_m computation.
-  Sig& make(const std::string& name, const std::string& unit, u8 width,
-            NodeKind kind) {
-    nodes_.emplace_back(Sig(name, unit, width, kind));
-    if (kind == NodeKind::kReg) regs_.push_back(&nodes_.back());
-    return nodes_.back();
-  }
+  Sig make(const std::string& name, const std::string& unit, u8 width,
+           NodeKind kind);
 
-  Sig& wire(const std::string& name, const std::string& unit, u8 width = 32) {
+  Sig wire(const std::string& name, const std::string& unit, u8 width = 32) {
     return make(name, unit, width, NodeKind::kWire);
   }
-  Sig& reg(const std::string& name, const std::string& unit, u8 width = 32) {
+  Sig reg(const std::string& name, const std::string& unit, u8 width = 32) {
     return make(name, unit, width, NodeKind::kReg);
   }
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
-  const Sig& node(NodeId id) const { return nodes_.at(id); }
-  Sig& node(NodeId id) { return nodes_.at(id); }
+  std::size_t node_count() const noexcept { return meta_.size(); }
+
+  /// Handle to an existing node; throws std::out_of_range on a bad id.
+  Sig node(NodeId id) {
+    check_id(id);
+    return Sig(this, id);
+  }
+
+  // ---- cold metadata (side table, never touched by the simulation loop) ----
+  const std::string& name(NodeId id) const { return meta_.at(id).name; }
+  const std::string& unit(NodeId id) const { return meta_.at(id).unit; }
+  u8 width(NodeId id) const { return meta_.at(id).width; }
+  NodeKind kind(NodeId id) const { return meta_.at(id).kind; }
+
+  /// Node value as consumers see it / raw (unfaulted) node value.
+  u32 value(NodeId id) const { return cur_.at(id); }
+  u32 raw_value(NodeId id) const;
 
   /// Total injectable bits in nodes whose unit starts with `unit_prefix`
   /// (empty prefix = whole design). This is the paper's "number of fault
@@ -115,7 +127,10 @@ class SimContext {
   /// All node ids under a unit prefix.
   std::vector<NodeId> nodes_in_unit(const std::string& unit_prefix) const;
 
-  /// Locate a node by exact name (linear scan; for tests and tooling).
+  /// Locate a node by exact name — O(1) via the name index built at
+  /// registration time. Duplicate names (legal across units, e.g. the two
+  /// caches' line arrays) resolve to the first-registered node, matching
+  /// the linear scan this replaced.
   std::optional<NodeId> find_node(const std::string& name) const;
 
   /// Arm a fault on (node, bit). Open-line captures the current bit value;
@@ -134,29 +149,44 @@ class SimContext {
   /// Remove all armed faults (between campaign runs).
   void clear_faults();
 
-  /// Commit every register (clock edge). Hot path: iterates the cached
-  /// register list, not the full node registry.
-  void commit_all() {
-    for (Sig* s : regs_) s->commit();
+  /// Commit every register (clock edge). The next-value array mirrors the
+  /// current-value array for wires, so the whole commit is one memcpy; armed
+  /// overlays are re-applied afterwards (the copy exposes raw next values).
+  void commit_all() noexcept {
+    if (!cur_.empty()) {
+      std::memcpy(cur_.data(), nxt_.data(), cur_.size() * sizeof(u32));
+    }
+    if (!armed_.empty()) reapply_overlays();
   }
 
   /// Reset all node values to zero (does not clear faults).
-  void zero_all() {
-    for (Sig& s : nodes_) s.poke(0);
+  void zero_all() noexcept {
+    if (!cur_.empty()) {
+      std::memset(cur_.data(), 0, cur_.size() * sizeof(u32));
+      std::memset(nxt_.data(), 0, nxt_.size() * sizeof(u32));
+    }
+    if (!armed_.empty()) reapply_overlays();
   }
 
-  /// Raw values of every node in registry order — the node half of a core
+  /// Values of every node in registry order — the node half of a core
   /// checkpoint. Meaningful only at a cycle boundary (after commit_all),
-  /// where registers satisfy cur == nxt.
+  /// where registers satisfy cur == nxt. With no fault armed (the
+  /// checkpoint contract) these are raw values; with faults armed the
+  /// armed nodes' entries are their as-read values, which is exactly what
+  /// the per-cycle fixed-point probe wants to compare.
   std::vector<u32> save_values() const;
 
   /// Allocation-free variant for per-cycle probing (hang fast-forward).
   void save_values_into(std::vector<u32>& out) const;
 
-  /// Element-wise comparison against a save_values() capture, without
-  /// copying. Early-exits on the first differing node; a size mismatch
-  /// (foreign registry) compares unequal.
-  bool values_equal(const std::vector<u32>& values) const;
+  /// Comparison against a save_values() capture: one memcmp, no copy.
+  /// A size mismatch (foreign registry) compares unequal.
+  bool values_equal(const std::vector<u32>& values) const noexcept {
+    return values.size() == cur_.size() &&
+           (cur_.empty() ||
+            std::memcmp(values.data(), cur_.data(),
+                        cur_.size() * sizeof(u32)) == 0);
+  }
 
   /// Restore node values captured by save_values() on an identical registry
   /// (same module construction order). Does not touch armed faults; callers
@@ -164,14 +194,62 @@ class SimContext {
   void load_values(const std::vector<u32>& values);
 
  private:
-  // deque: stable addresses for Sig& held by modules.
-  std::deque<Sig> nodes_;
-  std::vector<Sig*> regs_;  // commit list (subset of nodes_)
+  friend class Sig;
+
+  // flags_ bits: the node carries an armed overlay / is a bridge aggressor.
+  static constexpr u8 kFlagOverlay = 1;
+  static constexpr u8 kFlagBridgeSrc = 2;
+
+  struct NodeMeta {
+    std::string name;
+    std::string unit;
+    u8 width;
+    NodeKind kind;
+  };
+
   struct ArmedFault {
     NodeId id;
-    std::unique_ptr<FaultOverlay> overlay;
+    u32 shadow = 0;  ///< true raw value of the patched node
+    FaultOverlay overlay;
   };
+
+  void check_id(NodeId id) const { (void)meta_.at(id); }
+
+  // Hot per-node write: fast path is two stores; only armed nodes and
+  // bridge aggressors (flags_ != 0) take the overlay slow path.
+  void write(NodeId id, u32 v) noexcept {
+    v &= mask_[id];
+    if (flags_[id] != 0) [[unlikely]] {
+      write_slow(id, v);
+      return;
+    }
+    cur_[id] = v;
+    nxt_[id] = v;
+  }
+  void next(NodeId id, u32 v) noexcept { nxt_[id] = v & mask_[id]; }
+
+  void write_slow(NodeId id, u32 masked) noexcept;
+  void reapply_overlays() noexcept;
+  void refresh_bridges_from(NodeId aggressor) noexcept;
+  u32 apply_overlay(const ArmedFault& f) const noexcept;
+
+  // Hot structure-of-arrays state, indexed by NodeId.
+  std::vector<u32> cur_;   ///< value consumers see (overlay pre-applied)
+  std::vector<u32> nxt_;   ///< raw next value (mirrors cur_ for wires)
+  std::vector<u32> mask_;  ///< low_mask64(width)
+  std::vector<u8> flags_;
+
+  // Cold side table + name index.
+  std::vector<NodeMeta> meta_;
+  std::unordered_map<std::string, NodeId> by_name_;
+
   std::vector<ArmedFault> armed_;
 };
+
+inline u32 Sig::r() const noexcept { return ctx_->cur_[id_]; }
+inline void Sig::w(u32 v) noexcept { ctx_->write(id_, v); }
+inline void Sig::n(u32 v) noexcept { ctx_->next(id_, v); }
+inline u32 Sig::raw() const noexcept { return ctx_->raw_value(id_); }
+inline void Sig::poke(u32 v) noexcept { ctx_->write(id_, v); }
 
 }  // namespace issrtl::rtl

@@ -22,19 +22,19 @@ VcdWriter::VcdWriter(const std::string& path, const SimContext& ctx)
   // Group node indices by unit for readable scopes.
   std::map<std::string, std::vector<std::size_t>> by_unit;
   for (std::size_t i = 0; i < ctx_.node_count(); ++i) {
-    by_unit[ctx_.node(static_cast<NodeId>(i)).unit()].push_back(i);
+    by_unit[ctx_.unit(static_cast<NodeId>(i))].push_back(i);
   }
   for (const auto& [unit, ids] : by_unit) {
     std::string scope = unit.empty() ? "top" : unit;
     std::replace(scope.begin(), scope.end(), '.', '_');
     out_ << "$scope module " << scope << " $end\n";
     for (const std::size_t i : ids) {
-      const Sig& s = ctx_.node(static_cast<NodeId>(i));
-      std::string nm = s.name();
+      const NodeId id = static_cast<NodeId>(i);
+      std::string nm = ctx_.name(id);
       std::replace(nm.begin(), nm.end(), ' ', '_');
-      out_ << "$var " << (s.kind() == NodeKind::kReg ? "reg" : "wire") << " "
-           << static_cast<int>(s.width()) << " " << id_code(i) << " " << nm
-           << " $end\n";
+      out_ << "$var " << (ctx_.kind(id) == NodeKind::kReg ? "reg" : "wire")
+           << " " << static_cast<int>(ctx_.width(id)) << " " << id_code(i)
+           << " " << nm << " $end\n";
     }
     out_ << "$upscope $end\n";
   }
@@ -47,16 +47,17 @@ void VcdWriter::sample(u64 cycle) {
   if (closed_) return;
   out_ << '#' << cycle << '\n';
   for (std::size_t i = 0; i < ctx_.node_count(); ++i) {
-    const Sig& s = ctx_.node(static_cast<NodeId>(i));
-    const u32 v = s.r();
+    const NodeId id = static_cast<NodeId>(i);
+    const u32 v = ctx_.value(id);
     if (!dirty_first_[i] && v == last_[i]) continue;
     dirty_first_[i] = false;
     last_[i] = v;
-    if (s.width() == 1) {
+    const u8 width = ctx_.width(id);
+    if (width == 1) {
       out_ << (v & 1) << id_code(i) << '\n';
     } else {
       out_ << 'b';
-      for (int b = s.width() - 1; b >= 0; --b) out_ << ((v >> b) & 1);
+      for (int b = width - 1; b >= 0; --b) out_ << ((v >> b) & 1);
       out_ << ' ' << id_code(i) << '\n';
     }
   }

@@ -24,21 +24,21 @@ Cache::Cache(rtl::SimContext& ctx, const std::string& unit,
   valids_.reserve(lines_);
   data_.reserve(lines_ * words_per_line_);
   for (u32 i = 0; i < lines_; ++i) {
-    tags_.push_back(&ctx.wire("tag" + std::to_string(i), unit,
-                              static_cast<u8>(std::min(tag_bits, 32u))));
-    valids_.push_back(&ctx.wire("valid" + std::to_string(i), unit, 1));
+    tags_.push_back(ctx.wire("tag" + std::to_string(i), unit,
+                             static_cast<u8>(std::min(tag_bits, 32u))));
+    valids_.push_back(ctx.wire("valid" + std::to_string(i), unit, 1));
   }
   for (u32 i = 0; i < lines_ * words_per_line_; ++i) {
-    data_.push_back(&ctx.wire("data" + std::to_string(i), unit, 32));
+    data_.push_back(ctx.wire("data" + std::to_string(i), unit, 32));
   }
 }
 
 bool Cache::hit(u32 addr) const {
   const u32 idx = line_index(addr);
-  return valids_[idx]->rb() && tags_[idx]->r() == tag_of(addr);
+  return valids_[idx].rb() && tags_[idx].r() == tag_of(addr);
 }
 
-u32 Cache::read_word(u32 addr) const { return data_[word_slot(addr)]->r(); }
+u32 Cache::read_word(u32 addr) const { return data_[word_slot(addr)].r(); }
 
 void Cache::fill_line(u64 cycle, u32 addr) {
   const u32 idx = line_index(addr);
@@ -46,10 +46,10 @@ void Cache::fill_line(u64 cycle, u32 addr) {
   for (u32 w = 0; w < words_per_line_; ++w) {
     const u32 v = mem_.load_u32(base + 4 * w);
     bus_.record_read(cycle, base + 4 * w, 4, v);
-    data_[idx * words_per_line_ + w]->w(v);
+    data_[idx * words_per_line_ + w].w(v);
   }
-  tags_[idx]->w(tag_of(addr));
-  valids_[idx]->w(1);
+  tags_[idx].w(tag_of(addr));
+  valids_[idx].w(1);
 }
 
 bool Cache::step_load(u64 cycle, u32 addr, u32& out) {
@@ -84,7 +84,7 @@ void Cache::store(u64 cycle, u32 addr, u8 size, u32 value) {
     default: mem_.store_u32(addr, value); break;
   }
   if (!hit(addr)) return;  // no-allocate
-  rtl::Sig& word = *data_[word_slot(addr)];
+  rtl::Sig& word = data_[word_slot(addr)];
   const u32 byte_in_word = addr & 3u;   // big-endian lane selection
   u32 cur = word.r();
   switch (size) {
@@ -106,7 +106,7 @@ void Cache::store(u64 cycle, u32 addr, u8 size, u32 value) {
 }
 
 void Cache::invalidate_all() {
-  for (rtl::Sig* v : valids_) v->w(0);
+  for (rtl::Sig& v : valids_) v.w(0);
   busy_.poke(0);
 }
 

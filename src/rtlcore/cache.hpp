@@ -68,11 +68,11 @@ class Cache {
   OffCoreTrace& bus_;
   u32 lines_;
   u32 words_per_line_;
-  std::vector<rtl::Sig*> tags_;
-  std::vector<rtl::Sig*> valids_;
-  std::vector<rtl::Sig*> data_;
-  rtl::Sig& busy_;
-  rtl::Sig& pending_addr_;
+  std::vector<rtl::Sig> tags_;
+  std::vector<rtl::Sig> valids_;
+  std::vector<rtl::Sig> data_;
+  rtl::Sig busy_;
+  rtl::Sig pending_addr_;
   u64 hits_ = 0;
   u64 misses_ = 0;
 };

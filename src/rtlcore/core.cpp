@@ -12,7 +12,7 @@ using iss::HaltReason;
 
 PipeSlot PipeSlot::create(rtl::SimContext& ctx, const std::string& stage) {
   const std::string u = "iu." + stage;
-  auto sig = [&](const char* n, u8 w) -> rtl::Sig& {
+  auto sig = [&](const char* n, u8 w) -> rtl::Sig {
     return ctx.reg(stage + "_" + n, u, w);
   };
   return PipeSlot{

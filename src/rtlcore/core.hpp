@@ -51,22 +51,22 @@ struct CoreConfig {
 /// the kill-younger logic (a fetch-order tag, not a hardware artefact that
 /// faults could target).
 struct PipeSlot {
-  rtl::Sig& valid;
-  rtl::Sig& pc;
-  rtl::Sig& inst;
-  rtl::Sig& a;       ///< operand 1 value
-  rtl::Sig& b;       ///< operand 2 value (reg or sign-extended immediate)
-  rtl::Sig& sdata;   ///< store data (rd), first word
-  rtl::Sig& sdata2;  ///< store data second word (STD)
-  rtl::Sig& dphys;   ///< destination physical register index
-  rtl::Sig& dphys2;  ///< second destination (LDD)
-  rtl::Sig& wreg;    ///< writes dphys at WB
-  rtl::Sig& wreg2;   ///< writes dphys2 at WB
-  rtl::Sig& res;     ///< result value
-  rtl::Sig& res2;    ///< second result (LDD)
-  rtl::Sig& addr;    ///< effective memory address
-  rtl::Sig& trap;    ///< TrapKind
-  rtl::Sig& tcode;   ///< software trap number for ta
+  rtl::Sig valid;
+  rtl::Sig pc;
+  rtl::Sig inst;
+  rtl::Sig a;       ///< operand 1 value
+  rtl::Sig b;       ///< operand 2 value (reg or sign-extended immediate)
+  rtl::Sig sdata;   ///< store data (rd), first word
+  rtl::Sig sdata2;  ///< store data second word (STD)
+  rtl::Sig dphys;   ///< destination physical register index
+  rtl::Sig dphys2;  ///< second destination (LDD)
+  rtl::Sig wreg;    ///< writes dphys at WB
+  rtl::Sig wreg2;   ///< writes dphys2 at WB
+  rtl::Sig res;     ///< result value
+  rtl::Sig res2;    ///< second result (LDD)
+  rtl::Sig addr;    ///< effective memory address
+  rtl::Sig trap;    ///< TrapKind
+  rtl::Sig tcode;   ///< software trap number for ta
   u64 seq = 0;
 
   static PipeSlot create(rtl::SimContext& ctx, const std::string& stage);
@@ -197,32 +197,32 @@ class Leon3Core {
 
   // Architectural / special registers.
   std::unique_ptr<RegFile> rf_;
-  rtl::Sig& icc_;     // 4-bit NZVC
-  rtl::Sig& y_;
-  rtl::Sig& cwp_;
-  rtl::Sig& wdepth_;  // save/restore depth (window overflow tracking)
+  rtl::Sig icc_;     // 4-bit NZVC
+  rtl::Sig y_;
+  rtl::Sig cwp_;
+  rtl::Sig wdepth_;  // save/restore depth (window overflow tracking)
 
   // Fetch-unit state.
-  rtl::Sig& fetch_pc_;
-  rtl::Sig& redirect_pending_;
-  rtl::Sig& redirect_target_;
+  rtl::Sig fetch_pc_;
+  rtl::Sig redirect_pending_;
+  rtl::Sig redirect_target_;
   u64 redirect_after_seq_ = 0;
-  rtl::Sig& annul_pending_;
+  rtl::Sig annul_pending_;
   u64 annul_seq_ = 0;
 
   // Datapath wires (EX stage).
-  rtl::Sig& alu_a_;
-  rtl::Sig& alu_b_;
-  rtl::Sig& alu_res_;
-  rtl::Sig& alu_cc_;
-  rtl::Sig& sh_res_;
-  rtl::Sig& mul_lo_;
-  rtl::Sig& mul_hi_;
-  rtl::Sig& div_q_;
-  rtl::Sig& br_taken_;
-  rtl::Sig& br_target_;
-  rtl::Sig& agu_addr_;
-  rtl::Sig& ex_busy_;  // multicycle execute countdown
+  rtl::Sig alu_a_;
+  rtl::Sig alu_b_;
+  rtl::Sig alu_res_;
+  rtl::Sig alu_cc_;
+  rtl::Sig sh_res_;
+  rtl::Sig mul_lo_;
+  rtl::Sig mul_hi_;
+  rtl::Sig div_q_;
+  rtl::Sig br_taken_;
+  rtl::Sig br_target_;
+  rtl::Sig agu_addr_;
+  rtl::Sig ex_busy_;  // multicycle execute countdown
 
   // Pipeline latches (named by the stage they feed).
   PipeSlot de_, ra_, ex_, me_, xc_, wb_;

@@ -14,7 +14,7 @@ class RegFile {
   explicit RegFile(rtl::SimContext& ctx) {
     regs_.reserve(iss_phys_count());
     for (unsigned i = 0; i < iss_phys_count(); ++i) {
-      regs_.push_back(&ctx.reg(entry_name(i), "iu.regfile", 32));
+      regs_.push_back(ctx.reg(entry_name(i), "iu.regfile", 32));
     }
   }
 
@@ -22,8 +22,11 @@ class RegFile {
     return 8 + isa::kWindowedRegs;
   }
 
-  /// Combinational read port (fault overlay applied).
-  u32 read_phys(unsigned phys) const { return regs_.at(phys)->r(); }
+  /// Combinational read port (fault overlay applied). `phys` can carry a
+  /// fault (e.g. a stuck bit in a dphys latch) and exceed the table; the
+  /// address decoder aliases out-of-range indices back into it, like
+  /// hardware ignoring unimplemented address bits.
+  u32 read_phys(unsigned phys) const { return regs_[wrap(phys)].r(); }
 
   /// Architectural read under a window pointer.
   u32 read(unsigned arch_reg, unsigned cwp) const {
@@ -31,26 +34,32 @@ class RegFile {
     return read_phys(isa::phys_reg_index(arch_reg, cwp));
   }
 
-  /// Synchronous write port (takes effect at the clock edge).
+  /// Synchronous write port (takes effect at the clock edge). Same
+  /// address-decoder aliasing as read_phys for faulted indices.
   void write_phys(unsigned phys, u32 value) {
+    phys = wrap(phys);
     if (phys == 0) return;  // %g0
-    regs_.at(phys)->n(value);
+    regs_[phys].n(value);
   }
 
   /// Backdoor initialisation (reset state), bypassing the clock.
-  void poke_phys(unsigned phys, u32 value) { regs_.at(phys)->poke(value); }
+  void poke_phys(unsigned phys, u32 value) { regs_.at(phys).poke(value); }
 
   /// Raw (unfaulted) value for cosimulation state comparison.
-  u32 peek_phys(unsigned phys) const { return regs_.at(phys)->raw(); }
+  u32 peek_phys(unsigned phys) const { return regs_.at(phys).raw(); }
 
  private:
+  static unsigned wrap(unsigned phys) {
+    return phys < iss_phys_count() ? phys : phys % iss_phys_count();
+  }
+
   static std::string entry_name(unsigned i) {
     if (i < 8) return "r_g" + std::to_string(i);
     const unsigned w = (i - 8) / 16, k = (i - 8) % 16;
     return "r_w" + std::to_string(w) + "_" + std::to_string(k);
   }
 
-  std::vector<rtl::Sig*> regs_;
+  std::vector<rtl::Sig> regs_;
 };
 
 }  // namespace issrtl::rtlcore

@@ -84,6 +84,66 @@ TEST(Memory, CloneIsDeep) {
   EXPECT_EQ(c.load_u32(0x1000), 43u);
 }
 
+TEST(Memory, CowCloneSharesUntilWrite) {
+  Memory m;
+  m.store_u32(0x1000, 42);
+  m.store_u32(0x5000, 7);  // second page
+  Memory c = m.clone();
+  EXPECT_TRUE(m.equals(c));
+
+  // Write to one image: only that page un-shares, the other is unaffected.
+  c.store_u32(0x1000, 99);
+  EXPECT_EQ(m.load_u32(0x1000), 42u);
+  EXPECT_EQ(c.load_u32(0x1000), 99u);
+  EXPECT_EQ(m.load_u32(0x5000), 7u);
+  EXPECT_EQ(c.load_u32(0x5000), 7u);
+  EXPECT_FALSE(m.equals(c));
+
+  // Writing back through the original does not leak into the clone either.
+  m.store_u32(0x5000, 8);
+  EXPECT_EQ(c.load_u32(0x5000), 7u);
+}
+
+TEST(Memory, CowCloneOfCloneIsIndependent) {
+  Memory a;
+  a.store_u8(0x2000, 1);
+  Memory b = a.clone();
+  Memory c = b.clone();
+  b.store_u8(0x2000, 2);
+  c.store_u8(0x2000, 3);
+  EXPECT_EQ(a.load_u8(0x2000), 1);
+  EXPECT_EQ(b.load_u8(0x2000), 2);
+  EXPECT_EQ(c.load_u8(0x2000), 3);
+}
+
+TEST(Memory, CowEqualsUnaffectedBySharing) {
+  Memory m;
+  for (u32 p = 0; p < 8; ++p) m.store_u32(0x1000 * (p + 1), p + 1);
+  const Memory golden = m.clone();
+  Memory faulty = m.clone();
+  EXPECT_TRUE(faulty.equals(golden));
+  faulty.store_u32(0x3000, 0xBAD);
+  EXPECT_FALSE(faulty.equals(golden));
+  EXPECT_FALSE(golden.equals(faulty));
+  faulty.store_u32(0x3000, 3);  // restore the overwritten value
+  EXPECT_TRUE(faulty.equals(golden));
+  EXPECT_TRUE(m.equals(golden));  // the source image never changed
+}
+
+TEST(Memory, CrossPageWordAccess) {
+  Memory m;
+  const u32 addr = Memory::kPageSize - 2;
+  m.store_u32(addr, 0x11223344);
+  EXPECT_EQ(m.load_u32(addr), 0x11223344u);
+  EXPECT_EQ(m.load_u16(addr), 0x1122u);
+  EXPECT_EQ(m.load_u16(addr + 2), 0x3344u);
+  const u8 block[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  m.write_block(addr - 2, block, sizeof block);
+  u8 out[8] = {};
+  m.read_block(addr - 2, out, sizeof out);
+  EXPECT_EQ(0, std::memcmp(block, out, sizeof block));
+}
+
 TEST(Memory, EqualsIgnoresZeroPages) {
   Memory a, b;
   a.store_u32(0x1000, 0);  // allocates a zero page

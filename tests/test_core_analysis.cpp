@@ -157,7 +157,7 @@ TEST(Area, EveryRtlUnitMapsSomewhere) {
   Memory mem;
   rtlcore::Leon3Core core(mem);
   for (const auto id : core.sim().nodes_in_unit("")) {
-    const auto fu = func_unit_for_rtl_unit(core.sim().node(id).unit());
+    const auto fu = func_unit_for_rtl_unit(core.sim().unit(id));
     EXPECT_LT(static_cast<std::size_t>(fu), isa::kNumFuncUnits);
   }
 }

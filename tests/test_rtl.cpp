@@ -13,24 +13,24 @@ namespace {
 
 TEST(Kernel, WireWriteReadImmediate) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   w.w(0xDEADBEEF);
   EXPECT_EQ(w.r(), 0xDEADBEEFu);
 }
 
 TEST(Kernel, WidthMasking) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 4);
+  Sig w = ctx.wire("w", "iu.alu", 4);
   w.w(0xFF);
   EXPECT_EQ(w.r(), 0xFu);
-  Sig& b = ctx.wire("b", "iu.alu", 1);
+  Sig b = ctx.wire("b", "iu.alu", 1);
   b.w(2);
   EXPECT_EQ(b.r(), 0u);
 }
 
 TEST(Kernel, RegisterTwoPhase) {
   SimContext ctx;
-  Sig& r = ctx.reg("r", "iu.special", 32);
+  Sig r = ctx.reg("r", "iu.special", 32);
   r.n(42);
   EXPECT_EQ(r.r(), 0u);  // not visible before the clock edge
   ctx.commit_all();
@@ -39,7 +39,7 @@ TEST(Kernel, RegisterTwoPhase) {
 
 TEST(Kernel, RegisterHoldsWithoutWrite) {
   SimContext ctx;
-  Sig& r = ctx.reg("r", "iu.special", 32);
+  Sig r = ctx.reg("r", "iu.special", 32);
   r.n(7);
   ctx.commit_all();
   ctx.commit_all();
@@ -49,7 +49,7 @@ TEST(Kernel, RegisterHoldsWithoutWrite) {
 
 TEST(Kernel, StuckAt1ForcesBit) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   ctx.arm_fault(0, FaultModel::kStuckAt1, 5);
   w.w(0);
   EXPECT_EQ(w.r(), 32u);
@@ -59,7 +59,7 @@ TEST(Kernel, StuckAt1ForcesBit) {
 
 TEST(Kernel, StuckAt0ForcesBit) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   ctx.arm_fault(0, FaultModel::kStuckAt0, 0);
   w.w(0xFFFFFFFF);
   EXPECT_EQ(w.r(), 0xFFFFFFFEu);
@@ -67,7 +67,7 @@ TEST(Kernel, StuckAt0ForcesBit) {
 
 TEST(Kernel, OpenLineFreezesArmTimeValue) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   w.w(0x10);                                  // bit 4 high at injection
   ctx.arm_fault(0, FaultModel::kOpenLine, 4);
   w.w(0);
@@ -78,7 +78,7 @@ TEST(Kernel, OpenLineFreezesArmTimeValue) {
 
 TEST(Kernel, OpenLineFreezesZero) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   ctx.arm_fault(0, FaultModel::kOpenLine, 4); // bit low at injection
   w.w(0xFFFFFFFF);
   EXPECT_EQ(w.r(), 0xFFFFFFEFu);
@@ -86,7 +86,7 @@ TEST(Kernel, OpenLineFreezesZero) {
 
 TEST(Kernel, TransientFlipIsOneShot) {
   SimContext ctx;
-  Sig& r = ctx.reg("r", "iu.special", 32);
+  Sig r = ctx.reg("r", "iu.special", 32);
   r.poke(8);
   ctx.arm_fault(0, FaultModel::kTransientBitFlip, 3);
   EXPECT_EQ(r.r(), 0u);       // flipped now
@@ -110,7 +110,7 @@ TEST(Kernel, BitRangeChecked) {
 
 TEST(Kernel, ClearFaultsRestores) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   w.w(0);
   ctx.arm_fault(0, FaultModel::kStuckAt1, 7);
   EXPECT_EQ(w.r(), 128u);
@@ -146,22 +146,71 @@ TEST(Kernel, NodesInUnitReturnsIds) {
   ctx.reg("b", "cmem.icache", 8);
   const auto iu = ctx.nodes_in_unit("iu");
   ASSERT_EQ(iu.size(), 1u);
-  EXPECT_EQ(ctx.node(iu[0]).name(), "a");
+  EXPECT_EQ(ctx.name(iu[0]), "a");
 }
 
 TEST(Kernel, ZeroAllResetsValuesNotFaults) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   w.w(123);
   ctx.arm_fault(0, FaultModel::kStuckAt1, 0);
   ctx.zero_all();
   EXPECT_EQ(w.r(), 1u);  // value cleared, stuck bit still applied
 }
 
+TEST(Kernel, SnapshotRoundTrip) {
+  SimContext ctx;
+  Sig w = ctx.wire("w", "iu.alu", 32);
+  Sig r = ctx.reg("r", "iu.special", 16);
+  Sig b = ctx.wire("b", "cmem.icache", 1);
+  w.w(0xCAFEBABE);
+  r.poke(0x1234);
+  b.w(1);
+  const std::vector<u32> snap = ctx.save_values();
+  EXPECT_TRUE(ctx.values_equal(snap));
+
+  w.w(0);
+  r.n(0x4321);
+  ctx.commit_all();
+  b.w(0);
+  EXPECT_FALSE(ctx.values_equal(snap));
+
+  ctx.load_values(snap);
+  EXPECT_TRUE(ctx.values_equal(snap));
+  EXPECT_EQ(w.r(), 0xCAFEBABEu);
+  EXPECT_EQ(r.r(), 0x1234u);
+  EXPECT_EQ(b.r(), 1u);
+  // Registers restored at a cycle boundary hold their value (cur == nxt).
+  ctx.commit_all();
+  EXPECT_EQ(r.r(), 0x1234u);
+  EXPECT_TRUE(ctx.values_equal(snap));
+}
+
+TEST(Kernel, SnapshotSizeMismatchRejected) {
+  SimContext ctx;
+  ctx.wire("w", "iu.alu", 32);
+  std::vector<u32> snap = ctx.save_values();
+  snap.push_back(0);
+  EXPECT_FALSE(ctx.values_equal(snap));
+  EXPECT_THROW(ctx.load_values(snap), std::invalid_argument);
+}
+
+TEST(Kernel, FindNodeUsesFirstRegistration) {
+  SimContext ctx;
+  ctx.wire("tag0", "cmem.icache", 20);
+  ctx.wire("other", "iu.alu", 32);
+  ctx.wire("tag0", "cmem.dcache", 20);  // duplicate name, different unit
+  const auto id = ctx.find_node("tag0");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 0u);  // linear-scan semantics: first registered wins
+  EXPECT_EQ(ctx.unit(*id), "cmem.icache");
+  EXPECT_FALSE(ctx.find_node("nonexistent").has_value());
+}
+
 TEST(Vcd, ProducesParsableFile) {
   SimContext ctx;
-  Sig& a = ctx.wire("alu_res", "iu.alu", 32);
-  Sig& b = ctx.reg("valid", "iu.de", 1);
+  Sig a = ctx.wire("alu_res", "iu.alu", 32);
+  Sig b = ctx.reg("valid", "iu.de", 1);
   const std::string path = ::testing::TempDir() + "issrtl_test.vcd";
   {
     VcdWriter vcd(path, ctx);
@@ -186,7 +235,7 @@ TEST(Vcd, ProducesParsableFile) {
 
 TEST(Saboteur, MultiBitStuckAt) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   ctx.arm_fault_mask(0, FaultModel::kStuckAt1, 0x000000F0);
   w.w(0);
   EXPECT_EQ(w.r(), 0xF0u);
@@ -198,7 +247,7 @@ TEST(Saboteur, MultiBitStuckAt) {
 
 TEST(Saboteur, MultiBitOpenLineFreezesPattern) {
   SimContext ctx;
-  Sig& w = ctx.wire("w", "iu.alu", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
   w.w(0xA0);  // bits 5 and 7 high inside the mask
   ctx.arm_fault_mask(0, FaultModel::kOpenLine, 0xF0);
   w.w(0x50);
@@ -209,7 +258,7 @@ TEST(Saboteur, MultiBitOpenLineFreezesPattern) {
 
 TEST(Saboteur, MultiBitTransientFlipsAllMaskedBits) {
   SimContext ctx;
-  Sig& r = ctx.reg("r", "iu.special", 32);
+  Sig r = ctx.reg("r", "iu.special", 32);
   r.poke(0x3);
   ctx.arm_fault_mask(0, FaultModel::kTransientBitFlip, 0xF);
   EXPECT_EQ(r.r(), 0xCu);
@@ -217,8 +266,8 @@ TEST(Saboteur, MultiBitTransientFlipsAllMaskedBits) {
 
 TEST(Saboteur, BridgeShortsToAggressor) {
   SimContext ctx;
-  Sig& victim = ctx.wire("v", "iu.alu", 32);
-  Sig& aggressor = ctx.wire("a", "iu.alu", 32);
+  Sig victim = ctx.wire("v", "iu.alu", 32);
+  Sig aggressor = ctx.wire("a", "iu.alu", 32);
   ctx.arm_bridge(0, 1, 0x0000FFFF);
   aggressor.w(0x1234ABCD);
   victim.w(0x55550000);
@@ -229,8 +278,8 @@ TEST(Saboteur, BridgeShortsToAggressor) {
 
 TEST(Saboteur, BridgeTracksAggressorDynamically) {
   SimContext ctx;
-  Sig& victim = ctx.wire("v", "iu.alu", 8);
-  Sig& aggressor = ctx.wire("a", "iu.alu", 8);
+  Sig victim = ctx.wire("v", "iu.alu", 8);
+  Sig aggressor = ctx.wire("a", "iu.alu", 8);
   ctx.arm_bridge(0, 1, 0xFF);
   victim.w(0);
   aggressor.w(0x11);
@@ -262,7 +311,7 @@ TEST_P(OverlayProperty, OnlyTargetBitAffected) {
   const auto model = static_cast<FaultModel>(GetParam());
   for (u8 bit = 0; bit < 32; ++bit) {
     SimContext ctx;
-    Sig& w = ctx.wire("w", "iu.alu", 32);
+    Sig w = ctx.wire("w", "iu.alu", 32);
     w.w(0xA5A5A5A5);
     ctx.arm_fault(0, model, bit);
     for (const u32 v : {0u, 0xFFFFFFFFu, 0xA5A5A5A5u, 0x5A5A5A5Au}) {
