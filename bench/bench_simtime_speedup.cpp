@@ -8,12 +8,18 @@
 // (one thread, golden prefix re-simulated per fault, every run simulated to
 // halt/watchdog) and (b) on the engine with golden-prefix checkpointing,
 // early divergence cut-off and 4 worker threads — same pf() per model,
-// bit-identical outcomes.
+// bit-identical outcomes. A third section measures the checkpoint ladder on
+// a multi-instant transient sweep (ISSRTL_SITES fault sites x
+// ISSRTL_INSTANTS injection instants each): the same engine with the ladder
+// disabled (PR 1's single rolling golden checkpoint) vs enabled (rung
+// restores + convergence cut-off), again with bit-identical outcomes —
+// verified here at 1 and 3 threads on top of the timed run.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "bench/bench_util.hpp"
@@ -88,6 +94,18 @@ struct BenchMetrics {
   double engine_s = 0.0;
   double injections_per_s = 0.0;
   double engine_vs_serial_ratio = 0.0;
+  // Ladder section (multi-instant transient sweep).
+  std::string ladder_unit;
+  std::size_t ladder_sites = 0;
+  std::size_t ladder_instants = 0;
+  unsigned ladder_threads = 0;
+  u64 ladder_rungs = 0;
+  u64 ladder_bytes = 0;
+  u64 ladder_convergence_cutoffs = 0;
+  double noladder_s = 0.0;
+  double ladder_s = 0.0;
+  double ladder_vs_noladder_ratio = 0.0;
+  bool ladder_identical = false;  ///< counts + hash, at 1/3/bench threads
 };
 
 /// Direct wall-clock comparison: same workload, same number of "injection
@@ -184,6 +202,104 @@ void report_engine_speedup(BenchMetrics& m) {
               pf_serial == pf_engine ? "yes" : "NO");
 }
 
+bool same_outcomes(const fault::CampaignResult& a,
+                   const fault::CampaignResult& b) {
+  if (a.runs.size() != b.runs.size()) return false;
+  if (fault::outcome_hash(a) != fault::outcome_hash(b)) return false;
+  if (a.per_model.size() != b.per_model.size()) return false;
+  for (std::size_t m = 0; m < a.per_model.size(); ++m) {
+    if (a.per_model[m].failures != b.per_model[m].failures ||
+        a.per_model[m].hangs != b.per_model[m].hangs ||
+        a.per_model[m].latent != b.per_model[m].latent ||
+        a.per_model[m].silent != b.per_model[m].silent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Checkpoint-ladder comparison on the workload class it exists for: a
+/// multi-instant transient sweep (every sampled fault site injected at
+/// ISSRTL_INSTANTS uniform-random instants — the per-instant sensitivity
+/// study of §5's transient extension). Baseline is the same engine with
+/// the ladder disabled — PR 1's single rolling golden checkpoint per
+/// worker — so the measured gap is exactly the rung restores plus the
+/// golden-state convergence cut-off. The default target is the EX-stage
+/// datapath (ISSRTL_UNIT=iu.ex), where a masked transient is overwritten
+/// within cycles and the cut-off classifies nearly every silent run at the
+/// first rung; latent-heavy populations (e.g. the whole IU, where a flip
+/// can lodge in a register that is never rewritten) gain less because a
+/// latent run must still be simulated to completion to prove latency.
+/// Outcome counts and the (outcome, latency) hash are additionally
+/// required to match at 1 and 3 threads.
+void report_ladder_speedup(BenchMetrics& m) {
+  const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
+  const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const char* unit_env = std::getenv("ISSRTL_UNIT");
+  const std::string unit =
+      unit_env != nullptr && unit_env[0] != '\0' ? unit_env : "iu.ex";
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  cfg.samples = sites;
+  cfg.instants_per_site = instants;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  // ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB apply to the ladder side; the
+  // baseline is that same configuration with the ladder forced off.
+  engine::EngineOptions ladder = engine::options_from_env();
+  ladder.threads = threads;
+
+  engine::EngineOptions noladder = ladder;
+  noladder.ladder_stride = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto base = engine::run_rtl_campaign(prog(), cfg, {}, noladder);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto fast = engine::run_rtl_campaign(prog(), cfg, {}, ladder);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  bool identical = same_outcomes(base, fast);
+  // Determinism spot-check across thread counts (untimed).
+  for (const unsigned t : {1u, 3u}) {
+    engine::EngineOptions o = ladder;
+    o.threads = t;
+    identical =
+        identical && same_outcomes(base, engine::run_rtl_campaign(prog(), cfg, {}, o));
+  }
+
+  m.ladder_unit = unit;
+  m.ladder_sites = sites;
+  m.ladder_instants = instants;
+  m.ladder_threads = threads;
+  m.ladder_rungs = fast.replay.ladder_rungs;
+  m.ladder_bytes = fast.replay.ladder_bytes;
+  m.ladder_convergence_cutoffs = fast.replay.convergence_cutoffs;
+  m.noladder_s = std::chrono::duration<double>(t1 - t0).count();
+  m.ladder_s = std::chrono::duration<double>(t2 - t1).count();
+  m.ladder_vs_noladder_ratio =
+      m.ladder_s > 0 ? m.noladder_s / m.ladder_s : 0.0;
+  m.ladder_identical = identical;
+
+  std::printf("\n--- checkpoint ladder vs single golden checkpoint (rspeed, "
+              "%zu sites x %zu instants, transient flips @ %s) ---\n",
+              sites, instants, unit.c_str());
+  std::printf("no ladder (PR 1 path, %u thr):  %.3f s\n", threads,
+              m.noladder_s);
+  std::printf("ladder    (%llu rungs, %u thr):  %.3f s   "
+              "(%llu convergence cutoffs)\n",
+              (unsigned long long)m.ladder_rungs, threads, m.ladder_s,
+              (unsigned long long)m.ladder_convergence_cutoffs);
+  std::printf("speedup: %.2fx   outcomes+hash bit-identical (1/3/%u thr): "
+              "%s\n",
+              m.ladder_vs_noladder_ratio, threads,
+              identical ? "yes" : "NO");
+}
+
 /// The PR 1 engine's numbers on this bench's headline section (200 samples,
 /// 4 threads, rspeed, default seed), measured on the reference dev box
 /// immediately before the SoA-kernel/COW-memory rewrite. Only comparable to
@@ -216,10 +332,31 @@ void write_bench_json(const BenchMetrics& m) {
                "    \"engine_s\": %.3f,\n"
                "    \"injections_per_s\": %.1f,\n"
                "    \"engine_vs_serial_ratio\": %.2f\n"
+               "  },\n"
+               "  \"ladder_section\": {\n"
+               "    \"unit\": \"%s\",\n"
+               "    \"sites\": %zu,\n"
+               "    \"instants_per_site\": %zu,\n"
+               "    \"injections\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"ladder_rungs\": %llu,\n"
+               "    \"ladder_bytes\": %llu,\n"
+               "    \"convergence_cutoffs\": %llu,\n"
+               "    \"noladder_s\": %.3f,\n"
+               "    \"ladder_s\": %.3f,\n"
+               "    \"ladder_vs_noladder_ratio\": %.2f,\n"
+               "    \"outcomes_identical_1_3_bench_threads\": %s\n"
                "  }",
                m.rtl_ns_per_cycle, m.iss_ns_per_instr, m.samples, m.threads,
                m.serial_s, m.engine_s, m.injections_per_s,
-               m.engine_vs_serial_ratio);
+               m.engine_vs_serial_ratio, m.ladder_unit.c_str(),
+               m.ladder_sites, m.ladder_instants,
+               m.ladder_sites * m.ladder_instants, m.ladder_threads,
+               (unsigned long long)m.ladder_rungs,
+               (unsigned long long)m.ladder_bytes,
+               (unsigned long long)m.ladder_convergence_cutoffs, m.noladder_s,
+               m.ladder_s, m.ladder_vs_noladder_ratio,
+               m.ladder_identical ? "true" : "false");
   const char* baseline = std::getenv("ISSRTL_BENCH_BASELINE");
   if (baseline != nullptr && std::string_view(baseline) == "pr1" &&
       m.samples == 200 && m.threads == 4) {
@@ -250,6 +387,7 @@ int main(int argc, char** argv) {
   BenchMetrics metrics;
   report_speedup(metrics);
   report_engine_speedup(metrics);
+  report_ladder_speedup(metrics);
   write_bench_json(metrics);
   return 0;
 }

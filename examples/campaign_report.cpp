@@ -3,13 +3,15 @@
 // failure probabilities (the P_mf of Eq. 1) and the α_m area weights.
 // Optionally dumps a waveform of one faulty run.
 //
-//   ./examples/campaign_report [workload] [samples] [threads]
+//   ./examples/campaign_report [workload] [samples] [threads] [instants]
 //   ./examples/campaign_report rspeed 200 4
+//   ./examples/campaign_report --help
 //
 // Campaigns run on the parallel engine; threads=0 (the default) uses every
 // hardware thread and produces the same result as any other thread count.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/area.hpp"
 #include "core/predict.hpp"
@@ -21,7 +23,42 @@
 
 using namespace issrtl;
 
+namespace {
+
+int help() {
+  std::printf(
+      "campaign_report — full RTL fault-injection campaign report\n"
+      "\n"
+      "usage: campaign_report [workload] [samples] [threads] [instants]\n"
+      "  workload   registry name (issrtl_cli list); default rspeed\n"
+      "  samples    injection trials per fault model; default 120\n"
+      "  threads    engine worker threads; 0 or absent = all hardware\n"
+      "             threads (results identical at any count)\n"
+      "  instants   injection instants per sampled (node, bit); default 1.\n"
+      "             >1 sweeps every site over time (samples*instants\n"
+      "             trials per model, uniform-random instants)\n"
+      "\n"
+      "environment:\n"
+      "  ISSRTL_THREADS      worker threads when [threads] is absent\n"
+      "  ISSRTL_CKPT_STRIDE  checkpoint-ladder rung spacing in cycles;\n"
+      "                      'auto' (default) adapts to the golden run,\n"
+      "                      0 disables the ladder. Bit-identical results\n"
+      "                      either way.\n"
+      "  ISSRTL_CKPT_MB      ladder byte cap in MiB (default 256)\n"
+      "\n"
+      "Prints per-model Pf, outcome breakdown, per-functional-unit P_mf\n"
+      "with the alpha_m area weights (Eq. 1), the replay-economics\n"
+      "counters, and dumps faulty_run.vcd for the first failing run.\n");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    return help();
+  }
   const std::string workload = argc > 1 ? argv[1] : "rspeed";
   const std::size_t samples =
       argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 120;
@@ -29,6 +66,7 @@ int main(int argc, char** argv) {
   const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 0;
   const unsigned threads =
       threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
+  const long long instants_arg = argc > 4 ? std::atoll(argv[4]) : 1;
 
   const auto prog = workloads::build(workload, {.iterations = 1});
 
@@ -37,16 +75,31 @@ int main(int argc, char** argv) {
   cfg.models = {rtl::FaultModel::kStuckAt1, rtl::FaultModel::kStuckAt0,
                 rtl::FaultModel::kOpenLine};
   cfg.samples = samples;
-  engine::EngineOptions opts;
-  opts.threads = threads;
+  if (instants_arg > 1) {
+    cfg.instants_per_site = static_cast<std::size_t>(instants_arg);
+    cfg.inject_time = fault::InjectTime::kUniformRandom;
+  }
+  engine::EngineOptions opts = engine::options_from_env();
+  if (threads != 0) opts.threads = threads;
   opts.on_progress = engine::stderr_progress();
   const auto r = engine::run_rtl_campaign(prog, cfg, {}, opts);
 
   std::printf("campaign: workload=%s unit=<whole design> trials=%zu "
-              "golden=%llu cycles / %llu instructions\n\n",
+              "golden=%llu cycles / %llu instructions\n",
               workload.c_str(), r.runs.size(),
               static_cast<unsigned long long>(r.golden_cycles),
               static_cast<unsigned long long>(r.golden_instret));
+  std::printf("replay: ladder %llu rungs (%.1f KiB, %llu evicted), restores "
+              "%llu ladder / %llu rolling / %llu cold, fast-forward %llu "
+              "cycles, %llu convergence cutoffs\n\n",
+              static_cast<unsigned long long>(r.replay.ladder_rungs),
+              r.replay.ladder_bytes / 1024.0,
+              static_cast<unsigned long long>(r.replay.ladder_evicted),
+              static_cast<unsigned long long>(r.replay.ladder_restores),
+              static_cast<unsigned long long>(r.replay.rolling_restores),
+              static_cast<unsigned long long>(r.replay.cold_resets),
+              static_cast<unsigned long long>(r.replay.fast_forward_cycles),
+              static_cast<unsigned long long>(r.replay.convergence_cutoffs));
 
   fault::TextTable t({"model", "Pf", "failures", "hangs", "latent", "silent",
                       "max latency", "mean latency"});

@@ -40,9 +40,49 @@ int usage() {
       "usage: issrtl_cli <command> [...]\n"
       "  list | run <wl> [iters] | rtl <wl> [iters] | diversity <wl>\n"
       "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n> "
-      "[threads]\n"
-      "  avf <wl> | asm <file.s> | nodes [unit]\n");
+      "[threads] [instants]\n"
+      "  avf <wl> | asm <file.s> | nodes [unit] | help\n"
+      "run 'issrtl_cli help' for the full flag and environment reference\n");
   return 2;
+}
+
+int help() {
+  std::printf(
+      "issrtl_cli — command-line front end to the issrtl library\n"
+      "\n"
+      "commands:\n"
+      "  list                      workloads in the registry\n"
+      "  run <wl> [iters]          run on the ISS (+ timing stats); iters\n"
+      "                            defaults to 1\n"
+      "  rtl <wl> [iters]          run on the RTL core\n"
+      "  diversity <wl>            Table-1-style characterisation\n"
+      "  disasm <wl>               disassemble a workload image\n"
+      "  campaign <wl> <unit> <model> <n> [threads] [instants]\n"
+      "                            RTL fault-injection campaign on the\n"
+      "                            parallel engine\n"
+      "      <unit>      node-unit prefix: iu, cmem, a subunit like iu.fe,\n"
+      "                  or '' for the whole design\n"
+      "      <model>     sa0 | sa1 | open | flip\n"
+      "      <n>         sampled injection trials (0 = exhaustive)\n"
+      "      [threads]   worker threads; 0 or absent = all hardware\n"
+      "                  threads (results identical at any count)\n"
+      "      [instants]  injection instants per sampled (node, bit);\n"
+      "                  default 1, >1 sweeps each site over time\n"
+      "  avf <wl>                  register-file AVF\n"
+      "  asm <file.s>              assemble + run a text program\n"
+      "  nodes [unit]              list injectable RTL nodes\n"
+      "  help | --help | -h        this reference\n"
+      "\n"
+      "environment (campaign command):\n"
+      "  ISSRTL_THREADS      worker threads when [threads] is absent\n"
+      "                      (0 = all hardware threads)\n"
+      "  ISSRTL_CKPT_STRIDE  checkpoint-ladder rung spacing in cycles;\n"
+      "                      'auto' (default) adapts to the golden run,\n"
+      "                      0 disables the ladder (rolling checkpoint\n"
+      "                      only). Results are bit-identical either way.\n"
+      "  ISSRTL_CKPT_MB      ladder byte cap in MiB (default 256); rungs\n"
+      "                      are evicted oldest-first beyond it\n");
+  return 0;
 }
 
 isa::Program load_workload(const std::string& name, unsigned iters) {
@@ -126,17 +166,21 @@ int cmd_disasm(const std::string& name) {
 
 int cmd_campaign(const std::string& name, const std::string& unit,
                  const std::string& model, std::size_t samples,
-                 unsigned threads) {
+                 unsigned threads, std::size_t instants) {
   fault::CampaignConfig cfg;
   cfg.unit_prefix = unit;
   cfg.samples = samples;
+  cfg.instants_per_site = instants;
+  if (instants > 1) cfg.inject_time = fault::InjectTime::kUniformRandom;
   if (model == "sa0") cfg.models = {rtl::FaultModel::kStuckAt0};
   else if (model == "sa1") cfg.models = {rtl::FaultModel::kStuckAt1};
   else if (model == "open") cfg.models = {rtl::FaultModel::kOpenLine};
   else if (model == "flip") cfg.models = {rtl::FaultModel::kTransientBitFlip};
   else return usage();
-  engine::EngineOptions opts;
-  opts.threads = threads;
+  // Environment knobs first (ISSRTL_THREADS / _CKPT_STRIDE / _CKPT_MB),
+  // explicit arguments on top.
+  engine::EngineOptions opts = engine::options_from_env();
+  if (threads != 0) opts.threads = threads;
   opts.on_progress = engine::stderr_progress();
   const auto r = engine::run_rtl_campaign(load_workload(name, 1), cfg, {}, opts);
   const auto& s = r.per_model[0];
@@ -146,6 +190,18 @@ int cmd_campaign(const std::string& name, const std::string& unit,
               name.c_str(), unit.empty() ? "<all>" : unit.c_str(),
               model.c_str(), s.runs, 100.0 * s.pf(), s.failures, s.hangs,
               s.latent, s.silent, (unsigned long long)s.max_latency);
+  const fault::ReplayCounters& rc = r.replay;
+  std::printf("replay: ladder %llu rungs (%.1f KiB, %llu evicted), restores "
+              "%llu ladder / %llu rolling / %llu cold, fast-forward %llu "
+              "cycles, %llu convergence cutoffs\n",
+              (unsigned long long)rc.ladder_rungs,
+              rc.ladder_bytes / 1024.0,
+              (unsigned long long)rc.ladder_evicted,
+              (unsigned long long)rc.ladder_restores,
+              (unsigned long long)rc.rolling_restores,
+              (unsigned long long)rc.cold_resets,
+              (unsigned long long)rc.fast_forward_cycles,
+              (unsigned long long)rc.convergence_cutoffs);
   return 0;
 }
 
@@ -201,6 +257,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return help();
     if (cmd == "list") return cmd_list();
     if (cmd == "run" && argc >= 3)
       return cmd_run(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
@@ -211,9 +268,12 @@ int main(int argc, char** argv) {
     if (cmd == "campaign" && argc >= 6) {
       // Negative or garbage thread counts fall back to 0 (= all hardware).
       const int threads = argc > 6 ? std::atoi(argv[6]) : 0;
+      const long long instants = argc > 7 ? std::atoll(argv[7]) : 1;
       return cmd_campaign(argv[2], argv[3], argv[4],
                           static_cast<std::size_t>(std::atoll(argv[5])),
-                          threads > 0 ? static_cast<unsigned>(threads) : 0);
+                          threads > 0 ? static_cast<unsigned>(threads) : 0,
+                          instants > 1 ? static_cast<std::size_t>(instants)
+                                       : 1);
     }
     if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
     if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);

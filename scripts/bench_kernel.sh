@@ -7,9 +7,10 @@
 # dirties the committed reference snapshot at the repo root; pass an explicit
 # path — and ISSRTL_BENCH_BASELINE=pr1 on the reference box — to regenerate
 # that snapshot. Knobs (env): ISSRTL_SAMPLES (default 200 — the headline
-# engine section), ISSRTL_THREADS (default 4), ISSRTL_SEED. CI runs this on
-# a fixed small workload and archives the JSON as the per-commit perf
-# trajectory point.
+# engine section), ISSRTL_THREADS (default 4), ISSRTL_SEED, and for the
+# checkpoint-ladder section ISSRTL_SITES x ISSRTL_INSTANTS (default 25 x 8)
+# plus ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB. CI runs this on a fixed small
+# workload and archives the JSON as the per-commit perf trajectory point.
 set -euo pipefail
 
 build_dir="${1:-build}"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and their #anchors) in the given files.
+
+Usage: scripts/check_md_links.py README.md docs/ARCHITECTURE.md ...
+
+For every [text](target) link whose target is not an external URL, verify
+that the referenced file exists relative to the linking file, and — when the
+target carries a #fragment — that the referenced heading exists in the
+target file (GitHub anchor convention: lowercase, punctuation stripped,
+spaces to dashes). External http(s)/mailto links are not fetched; this is a
+repository-consistency check meant to run in CI, not a crawler.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per defect).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor id convention (close enough for ASCII)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    defects = 0
+    for name in argv[1:]:
+        source = Path(name)
+        if not source.is_file():
+            print(f"{name}: file not found")
+            defects += 1
+            continue
+        for lineno, target in links_of(source):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = (source.parent / path_part).resolve() if path_part else source
+            if path_part and not dest.exists():
+                print(f"{name}:{lineno}: broken link -> {target}")
+                defects += 1
+                continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() not in {".md", ""}:
+                    continue  # anchors into non-markdown are not checked
+                if dest.is_file() and fragment not in headings_of(dest):
+                    print(f"{name}:{lineno}: missing anchor -> {target}")
+                    defects += 1
+    if defects:
+        print(f"{defects} broken link(s)")
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

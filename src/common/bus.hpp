@@ -8,6 +8,7 @@
 // read records are kept for diagnostics and lockstep experiments.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -58,6 +59,23 @@ class OffCoreTrace {
   const std::vector<BusRecord>& reads() const noexcept { return reads_; }
 
   void clear() { writes_.clear(); reads_.clear(); }
+
+  /// Become the first `writes` write records and `reads` read records of
+  /// `src` (clamped to src's actual lengths). This is how checkpoint-ladder
+  /// restores rebuild a simulator's bus history: a ladder rung stores only
+  /// the two prefix *lengths* instead of an O(instant) trace copy, because
+  /// every rung is taken on the golden run — its trace is by construction a
+  /// prefix of the golden trace the campaign backend already holds.
+  void assign_prefix(const OffCoreTrace& src, std::size_t writes,
+                     std::size_t reads) {
+    writes_.assign(src.writes_.begin(),
+                   src.writes_.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min(writes, src.writes_.size())));
+    reads_.assign(src.reads_.begin(),
+                  src.reads_.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(reads, src.reads_.size())));
+  }
 
   /// Compare this (faulty) trace's writes against a golden trace's writes.
   /// Order, address, size and value must all match; a shorter sequence is a

@@ -61,8 +61,24 @@ class Memory {
   /// Number of pages currently allocated (for tests / stats).
   std::size_t allocated_pages() const noexcept { return pages_.size(); }
 
-  /// Snapshot for golden-vs-faulty end-state comparison. O(pages) pointer
-  /// copies; bytes are duplicated lazily on the next store to either image.
+  /// Snapshot for golden-vs-faulty end-state comparison and for checkpoint
+  /// rungs. O(pages) pointer copies; bytes are duplicated lazily on the
+  /// next store to either image.
+  ///
+  /// COW aliasing rules:
+  ///  * a clone and its source share pages until one of them stores to a
+  ///    shared page, at which point only that image copies the bytes —
+  ///    reads never unshare;
+  ///  * sharing is transitive across a clone lineage (a clone of a clone
+  ///    shares with both ancestors), which is what lets equals() compare
+  ///    untouched pages by pointer no matter how many snapshots deep a
+  ///    campaign worker is;
+  ///  * mutating an image never affects any clone taken from it earlier —
+  ///    a snapshot is immutable history, not a view;
+  ///  * concurrent use is safe as long as each *image* stays on one
+  ///    thread: the atomic shared_ptr control blocks make it fine for
+  ///    many worker threads to clone from (and read) one golden image,
+  ///    e.g. the checkpoint-ladder rungs shared by every worker.
   Memory clone() const { return *this; }
 
   /// True if every allocated byte matches `other` (zero pages are equal to

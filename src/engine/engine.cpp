@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace issrtl::engine {
 
@@ -21,6 +23,22 @@ Xoshiro256 shard_stream(u64 seed, unsigned shard) {
   const u64 a = splitmix64(sm);
   const u64 b = splitmix64(sm);
   return Xoshiro256(a ^ (b << 1));
+}
+
+EngineOptions options_from_env(EngineOptions base) {
+  if (const char* v = std::getenv("ISSRTL_THREADS"); v != nullptr && *v) {
+    base.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("ISSRTL_CKPT_STRIDE"); v != nullptr && *v) {
+    base.ladder_stride = std::strcmp(v, "auto") == 0
+                             ? kLadderStrideAuto
+                             : std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("ISSRTL_CKPT_MB"); v != nullptr && *v) {
+    base.ladder_max_bytes =
+        static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) << 20;
+  }
+  return base;
 }
 
 std::function<void(const EngineProgress&)> stderr_progress() {

@@ -38,6 +38,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "engine/ladder.hpp"
 
 namespace issrtl::engine {
 
@@ -65,11 +66,37 @@ struct EngineOptions {
   /// another write, change state, or halt, so the remaining (up to
   /// 2x-golden) cycles are simulated-by-proof instead of by stepping.
   bool hang_fast_forward = true;
+  /// Rung spacing of the checkpoint ladder recorded during the golden run
+  /// (cycles for the RTL backend, retired instructions for the ISS one).
+  /// kLadderStrideAuto picks ~512 rungs across the golden span
+  /// (resolve_ladder_stride); 0 disables the ladder, leaving only the
+  /// per-worker rolling checkpoint (the PR 1 behaviour). Results are
+  /// bit-identical for every stride, including 0 — the ladder only changes
+  /// where fault-free prefixes are resumed from.
+  u64 ladder_stride = kLadderStrideAuto;
+  /// Byte cap on the ladder; rungs are evicted oldest-first beyond it. The
+  /// cap bounds host memory, not correctness (a missing rung just means a
+  /// longer fast-forward or a cold reset).
+  std::size_t ladder_max_bytes = std::size_t{256} << 20;
+  /// Classify a transient-fault run as silent the moment it crosses a rung
+  /// instant with state bit-identical to the golden rung and every off-core
+  /// write matched so far: from identical state, the remainder of the run
+  /// is provably identical to the golden run, so outcome, latency and halt
+  /// are already decided. Permanent faults never take this path (their
+  /// armed overlay keeps perturbing the state). Requires the ladder.
+  bool converge_cutoff = true;
   /// Called (serialised) as injections finish; every worker reports at
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
   std::size_t progress_stride = 64;
 };
+
+/// `base` with the ISSRTL_* environment knobs folded in: ISSRTL_THREADS
+/// (worker threads), ISSRTL_CKPT_STRIDE ("auto", or rung spacing in
+/// instants; 0 disables the ladder) and ISSRTL_CKPT_MB (ladder byte cap in
+/// MiB). Unset variables leave the corresponding field of `base` untouched;
+/// front ends apply explicit command-line arguments on top.
+EngineOptions options_from_env(EngineOptions base = {});
 
 /// Threads actually used for `sites` fault sites under `requested`.
 unsigned resolve_threads(unsigned requested, std::size_t sites);
@@ -80,8 +107,8 @@ unsigned resolve_threads(unsigned requested, std::size_t sites);
 /// resharding (today's backends are fully pre-enumerated and draw nothing).
 Xoshiro256 shard_stream(u64 seed, unsigned shard);
 
-/// Ready-made on_progress callback: rewrites "<done>/<total> injections"
-/// on stderr, newline once complete. Shared by the CLI front ends.
+/// Ready-made on_progress callback: rewrites a `done/total injections`
+/// line on stderr, newline once complete. Shared by the CLI front ends.
 std::function<void(const EngineProgress&)> stderr_progress();
 
 class CampaignEngine {

@@ -8,14 +8,50 @@
 
 namespace issrtl::engine {
 
+namespace {
+
+std::size_t snapshot_bytes(const IssCampaignBackend::GoldenSnapshot& s) {
+  // sizeof(s) covers the inline EmuCheckpoint (ArchState + InstrTrace
+  // count arrays; the off-core trace is omitted by checkpoint_lite);
+  // pages are COW-shared with the golden image and charged at
+  // bookkeeping cost.
+  return sizeof(s) + s.mem.allocated_pages() * 64;
+}
+
+}  // namespace
+
 IssCampaignBackend::IssCampaignBackend(const isa::Program& prog,
                                        const fault::IssCampaignConfig& cfg,
                                        const EngineOptions& opts)
-    : prog_(prog), cfg_(cfg), opts_(opts) {
-  Memory golden_mem;
-  iss::Emulator golden(golden_mem);
-  golden.load(prog_);
-  if (golden.run() != iss::HaltReason::kHalted) {
+    : prog_(prog),
+      cfg_(cfg),
+      opts_(opts),
+      ladder_(opts.checkpoint ? initial_ladder_stride(opts.ladder_stride) : 0,
+              opts.ladder_max_bytes, ladder_rung_limit(opts.ladder_stride)) {
+  // Load the image once; the golden run and every worker reset clone from
+  // it so untouched pages stay COW-shared across the whole campaign.
+  prog_.load_into(initial_mem_);
+  golden_mem_ = initial_mem_.clone();
+  iss::Emulator golden(golden_mem_);
+  golden.reset(prog_.entry);
+  // The golden run, stepped manually so the ladder can snapshot it on the
+  // stride grid (same 10M-instruction watchdog as Emulator::run's default).
+  constexpr u64 kGoldenMaxSteps = 10'000'000;
+  for (u64 i = 0;
+       i < kGoldenMaxSteps && golden.halt_reason() == iss::HaltReason::kRunning;
+       ++i) {
+    if (ladder_.wants(golden.instret())) {
+      auto snap = std::make_shared<GoldenSnapshot>();
+      snap->emu = golden.checkpoint_lite();
+      snap->mem = golden_mem_.clone();
+      snap->writes = golden.offcore().writes().size();
+      snap->reads = golden.offcore().reads().size();
+      const std::size_t bytes = snapshot_bytes(*snap);
+      ladder_.record(golden.instret(), std::move(snap), bytes);
+    }
+    golden.step();
+  }
+  if (golden.halt_reason() != iss::HaltReason::kHalted) {
     throw std::runtime_error("ISS golden run did not halt cleanly");
   }
   golden_instret_ = golden.instret();
@@ -54,23 +90,43 @@ IssCampaignBackend::Worker::Worker(const IssCampaignBackend& backend,
 
 void IssCampaignBackend::Worker::prepare(u64 inject_at_instr) {
   emu_.clear_faults();
-  if (b_.opts_.checkpoint && have_checkpoint_ &&
-      checkpoint_.instret <= inject_at_instr) {
-    emu_.restore(checkpoint_);
+  const auto* rung = b_.opts_.checkpoint
+                         ? b_.ladder_.best_at_or_below(inject_at_instr)
+                         : nullptr;
+  const bool rolling_usable = b_.opts_.checkpoint && have_checkpoint_ &&
+                              checkpoint_.instret <= inject_at_instr;
+  if (rolling_usable &&
+      (rung == nullptr || rung->instant <= checkpoint_.instret)) {
+    emu_.restore(checkpoint_, b_.golden_trace_, checkpoint_writes_,
+                 checkpoint_reads_);
     mem_ = checkpoint_mem_.clone();
+    b_.rolling_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else if (rung != nullptr) {
+    emu_.restore(rung->snap->emu, b_.golden_trace_, rung->snap->writes,
+                 rung->snap->reads);
+    mem_ = rung->snap->mem.clone();
+    b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    mem_ = Memory();
-    emu_.load(b_.prog_);
+    mem_ = b_.initial_mem_.clone();
+    emu_.reset(b_.prog_.entry);
     have_checkpoint_ = false;
+    b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
   }
+  u64 stepped = 0;
   while (emu_.instret() < inject_at_instr &&
          emu_.halt_reason() == iss::HaltReason::kRunning) {
     emu_.step();
+    ++stepped;
+  }
+  if (stepped != 0) {
+    b_.fast_forward_instrs_.fetch_add(stepped, std::memory_order_relaxed);
   }
   if (b_.opts_.checkpoint &&
       (!have_checkpoint_ || checkpoint_.instret != emu_.instret())) {
-    checkpoint_ = emu_.checkpoint();
+    checkpoint_ = emu_.checkpoint_lite();
     checkpoint_mem_ = mem_.clone();
+    checkpoint_writes_ = emu_.offcore().writes().size();
+    checkpoint_reads_ = emu_.offcore().reads().size();
     have_checkpoint_ = true;
   }
 }
@@ -89,21 +145,45 @@ fault::IssInjectionResult IssCampaignBackend::Worker::run_site(
                    : 0;
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   std::size_t matched = emu_.offcore().writes().size();
+  // A bit-flip is applied once and never enforced again, so a faulty run
+  // whose architectural state and memory coincide with the golden run at
+  // the same retired-instruction count is provably identical from there
+  // on: compare against ladder rungs as they are crossed.
+  const bool converge = b_.opts_.converge_cutoff && b_.ladder_.enabled() &&
+                        fault.model == iss::IssFaultModel::kBitFlip;
+  const bool track_writes = b_.opts_.early_stop || converge;
+  const u64 rung_stride = b_.ladder_.stride();
+  bool write_mismatch = false;
   bool definite_divergence = false;
   iss::HaltReason halt = emu_.halt_reason();
   while (budget > 0 && halt == iss::HaltReason::kRunning &&
          !definite_divergence) {
     halt = emu_.step();
     --budget;
-    if (b_.opts_.early_stop) {
+    if (track_writes) {
       const std::vector<BusRecord>& writes = emu_.offcore().writes();
-      while (matched < writes.size()) {
+      while (!write_mismatch && matched < writes.size()) {
         if (matched >= golden_writes.size() ||
             !writes[matched].same_payload(golden_writes[matched])) {
-          definite_divergence = true;
-          break;
+          write_mismatch = true;
+          if (b_.opts_.early_stop) definite_divergence = true;
+        } else {
+          ++matched;
         }
-        ++matched;
+      }
+    }
+    if (converge && !write_mismatch && halt == iss::HaltReason::kRunning &&
+        emu_.instret() > fault.inject_at_instr &&
+        emu_.instret() % rung_stride == 0) {
+      if (const auto* rung = b_.ladder_.at(emu_.instret())) {
+        const GoldenSnapshot& g = *rung->snap;
+        if (emu_.offcore().writes().size() == g.writes &&
+            emu_.state() == g.emu.state && emu_.memory().equals(g.mem)) {
+          b_.convergence_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+          fault::IssInjectionResult result;
+          result.fault = fault;  // silent: failure/latent stay false
+          return result;
+        }
       }
     }
   }
@@ -136,6 +216,14 @@ fault::IssCampaignResult IssCampaignBackend::finish(
   fault::IssCampaignResult result;
   result.workload = prog_.name;
   result.golden_instret = golden_instret_;
+  result.replay.ladder_rungs = ladder_.rung_count();
+  result.replay.ladder_bytes = ladder_.total_bytes();
+  result.replay.ladder_evicted = ladder_.evicted_count();
+  result.replay.ladder_restores = ladder_restores_.load();
+  result.replay.rolling_restores = rolling_restores_.load();
+  result.replay.cold_resets = cold_resets_.load();
+  result.replay.fast_forward_cycles = fast_forward_instrs_.load();
+  result.replay.convergence_cutoffs = convergence_cutoffs_.load();
   result.runs = std::move(records);
   std::size_t index = 0;
   for (const iss::IssFaultModel model : cfg_.models) {

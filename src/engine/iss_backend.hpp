@@ -1,13 +1,15 @@
 // ISS fault backend for CampaignEngine: classical register-file injection
-// (the paper's [7][20] style) behind the same enumerate → checkpoint →
+// (the paper's [7][20] style) behind the same enumerate → ladder →
 // faulty-suffix → classify shape as the RTL backend, used for the §4.2
 // "Simulation time" comparison.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/ladder.hpp"
 #include "fault/campaign.hpp"
 #include "fault/iss_campaign.hpp"
 
@@ -16,6 +18,17 @@ namespace issrtl::engine {
 class IssCampaignBackend {
  public:
   using Record = fault::IssInjectionResult;
+
+  /// One ladder rung: the golden emulator at an instruction boundary.
+  /// `emu` is a checkpoint_lite() snapshot (no trace copy); `mem` a COW
+  /// clone of the golden memory; `writes`/`reads` the golden bus-trace
+  /// prefix lengths at that instant.
+  struct GoldenSnapshot {
+    iss::EmuCheckpoint emu;
+    Memory mem;
+    std::size_t writes = 0;
+    std::size_t reads = 0;
+  };
 
   IssCampaignBackend(const isa::Program& prog,
                      const fault::IssCampaignConfig& cfg,
@@ -26,6 +39,9 @@ class IssCampaignBackend {
     return faults_[i].inject_at_instr;
   }
   const std::vector<iss::IssFault>& faults() const noexcept { return faults_; }
+  const CheckpointLadder<GoldenSnapshot>& ladder() const noexcept {
+    return ladder_;
+  }
 
   class Worker {
    public:
@@ -40,9 +56,13 @@ class IssCampaignBackend {
     const IssCampaignBackend& b_;
     Memory mem_;
     iss::Emulator emu_;
+    // Rolling checkpoint: checkpoint_lite() + golden-trace prefix lengths
+    // (fault-free prefixes only, so the trace is a golden prefix).
     bool have_checkpoint_ = false;
     iss::EmuCheckpoint checkpoint_;
     Memory checkpoint_mem_;
+    std::size_t checkpoint_writes_ = 0;
+    std::size_t checkpoint_reads_ = 0;
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;
@@ -50,6 +70,8 @@ class IssCampaignBackend {
   fault::IssCampaignResult finish(std::vector<Record> records) const;
 
  private:
+  friend class Worker;
+
   isa::Program prog_;
   fault::IssCampaignConfig cfg_;
   EngineOptions opts_;
@@ -58,7 +80,16 @@ class IssCampaignBackend {
   u64 watchdog_ = 0;
   OffCoreTrace golden_trace_;
   iss::ArchState golden_state_;
+  Memory initial_mem_;  ///< loaded program image, COW ancestor of all runs
+  Memory golden_mem_;
+  CheckpointLadder<GoldenSnapshot> ladder_;
   std::vector<iss::IssFault> faults_;
+  // Replay economics (informational only — see fault::ReplayCounters).
+  mutable std::atomic<u64> ladder_restores_{0};
+  mutable std::atomic<u64> rolling_restores_{0};
+  mutable std::atomic<u64> cold_resets_{0};
+  mutable std::atomic<u64> fast_forward_instrs_{0};
+  mutable std::atomic<u64> convergence_cutoffs_{0};
 };
 
 /// Full engine-backed ISS campaign. fault::run_iss_campaign is the serial

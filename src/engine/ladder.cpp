@@ -1,0 +1,14 @@
+#include "engine/ladder.hpp"
+
+namespace issrtl::engine {
+
+u64 initial_ladder_stride(u64 requested) {
+  if (requested == 0) return 0;
+  return requested == kLadderStrideAuto ? kAutoInitialStride : requested;
+}
+
+std::size_t ladder_rung_limit(u64 requested) {
+  return requested == kLadderStrideAuto ? kAutoMaxRungs : 0;
+}
+
+}  // namespace issrtl::engine

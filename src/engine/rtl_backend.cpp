@@ -23,13 +23,28 @@ bool states_match(const rtlcore::Leon3Core& faulty,
   return true;
 }
 
+/// Rung-size estimate for the ladder's byte cap: the node-value array plus
+/// fixed overhead plus per-page bookkeeping. COW pages are shared with the
+/// golden image, so a rung is charged the pointer-copy cost per page, not
+/// 4 KiB — the bytes a later store forces to be copied are attributed to
+/// the writer, not the snapshot.
+std::size_t snapshot_bytes(const RtlCampaignBackend::GoldenSnapshot& s) {
+  return s.core.node_values.size() * sizeof(u32) +
+         s.mem.allocated_pages() * 64 + sizeof(s);
+}
+
 }  // namespace
 
 RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
                                        const fault::CampaignConfig& cfg,
                                        const rtlcore::CoreConfig& core_cfg,
                                        const EngineOptions& opts)
-    : prog_(prog), cfg_(cfg), core_cfg_(core_cfg), opts_(opts) {
+    : prog_(prog),
+      cfg_(cfg),
+      core_cfg_(core_cfg),
+      opts_(opts),
+      ladder_(opts.checkpoint ? initial_ladder_stride(opts.ladder_stride) : 0,
+              opts.ladder_max_bytes, ladder_rung_limit(opts.ladder_stride)) {
   // Load the program image once; the golden memory and every worker reset
   // clone from it, so pages neither run touches stay COW-shared and the
   // latent check's Memory::equals can short-circuit them by pointer.
@@ -37,7 +52,27 @@ RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
   golden_mem_ = initial_mem_.clone();
   rtlcore::Leon3Core golden(golden_mem_, core_cfg_);
   golden.reset(prog_.entry);
-  const iss::HaltReason golden_halt = golden.run();
+  // The golden run, stepped manually so the ladder can snapshot it on the
+  // stride grid (same 50M-cycle watchdog as Leon3Core::run's default).
+  constexpr u64 kGoldenMaxCycles = 50'000'000;
+  for (u64 i = 0;
+       i < kGoldenMaxCycles && golden.halt_reason() == iss::HaltReason::kRunning;
+       ++i) {
+    if (ladder_.wants(golden.cycles())) {
+      auto snap = std::make_shared<GoldenSnapshot>();
+      snap->core = golden.checkpoint_lite();
+      snap->mem = golden_mem_.clone();
+      snap->writes = golden.offcore().writes().size();
+      snap->reads = golden.offcore().reads().size();
+      const std::size_t bytes = snapshot_bytes(*snap);
+      ladder_.record(golden.cycles(), std::move(snap), bytes);
+    }
+    golden.step();
+  }
+  const iss::HaltReason golden_halt =
+      golden.halt_reason() == iss::HaltReason::kRunning
+          ? iss::HaltReason::kStepLimit
+          : golden.halt_reason();
   if (golden_halt != iss::HaltReason::kHalted) {
     throw std::runtime_error("golden run did not halt cleanly: " +
                              std::string(iss::halt_reason_name(golden_halt)));
@@ -72,23 +107,42 @@ RtlCampaignBackend::Worker::Worker(const RtlCampaignBackend& backend,
 
 void RtlCampaignBackend::Worker::prepare(u64 inject_cycle) {
   core_.sim().clear_faults();
-  if (b_.opts_.checkpoint && have_checkpoint_ &&
-      checkpoint_.cycle <= inject_cycle) {
-    core_.restore(checkpoint_);
+  const auto* rung =
+      b_.opts_.checkpoint ? b_.ladder_.best_at_or_below(inject_cycle) : nullptr;
+  const bool rolling_usable = b_.opts_.checkpoint && have_checkpoint_ &&
+                              checkpoint_.cycle <= inject_cycle;
+  if (rolling_usable &&
+      (rung == nullptr || rung->instant <= checkpoint_.cycle)) {
+    core_.restore(checkpoint_, b_.golden_trace_, checkpoint_writes_,
+                  checkpoint_reads_);
     mem_ = checkpoint_mem_.clone();
+    b_.rolling_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else if (rung != nullptr) {
+    core_.restore(rung->snap->core, b_.golden_trace_, rung->snap->writes,
+                  rung->snap->reads);
+    mem_ = rung->snap->mem.clone();
+    b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
   } else {
     mem_ = b_.initial_mem_.clone();
     core_.reset(b_.prog_.entry);
     have_checkpoint_ = false;
+    b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
   }
+  u64 stepped = 0;
   while (core_.cycles() < inject_cycle &&
          core_.halt_reason() == iss::HaltReason::kRunning) {
     core_.step();
+    ++stepped;
+  }
+  if (stepped != 0) {
+    b_.fast_forward_cycles_.fetch_add(stepped, std::memory_order_relaxed);
   }
   if (b_.opts_.checkpoint &&
       (!have_checkpoint_ || checkpoint_.cycle != core_.cycles())) {
-    checkpoint_ = core_.checkpoint();
+    checkpoint_ = core_.checkpoint_lite();
     checkpoint_mem_ = mem_.clone();
+    checkpoint_writes_ = core_.offcore().writes().size();
+    checkpoint_reads_ = core_.offcore().reads().size();
     have_checkpoint_ = true;
   }
 }
@@ -108,6 +162,15 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   // Every prefix write replayed the golden run, so matching resumes here.
   std::size_t matched = core_.offcore().writes().size();
+  // Transient faults leave no armed overlay behind, so a faulty run whose
+  // full state coincides with the golden state at the same cycle is
+  // provably identical from there on: compare against ladder rungs as they
+  // are crossed and classify silent on the spot.
+  const bool converge = b_.opts_.converge_cutoff && b_.ladder_.enabled() &&
+                        site.model == rtl::FaultModel::kTransientBitFlip;
+  const bool track_writes = b_.opts_.early_stop || converge;
+  const u64 rung_stride = b_.ladder_.stride();
+  bool write_mismatch = false;
   bool definite_divergence = false;
   rtlcore::CoreActivityScalars scalars_prev;
   bool scalars_valid = false;
@@ -118,17 +181,45 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
     core_.step();
     --budget;
     halt = core_.halt_reason();
-    if (b_.opts_.early_stop) {
+    if (track_writes) {
       const std::vector<BusRecord>& writes = core_.offcore().writes();
-      while (matched < writes.size()) {
+      while (!write_mismatch && matched < writes.size()) {
         if (matched >= golden_writes.size() ||
             !writes[matched].same_payload(golden_writes[matched])) {
           // A wrong or extra write can never heal: the run is a failure no
-          // matter what it would do next. Abandon the simulation.
-          definite_divergence = true;
-          break;
+          // matter what it would do next. Abandon the simulation (early
+          // stop) or at least stop comparing (convergence is off the
+          // table).
+          write_mismatch = true;
+          if (b_.opts_.early_stop) definite_divergence = true;
+        } else {
+          ++matched;
         }
-        ++matched;
+      }
+    }
+    if (converge && !write_mismatch && halt == iss::HaltReason::kRunning &&
+        core_.cycles() % rung_stride == 0) {
+      if (const auto* rung = b_.ladder_.at(core_.cycles())) {
+        const GoldenSnapshot& g = *rung->snap;
+        const rtlcore::CoreActivityScalars sc = core_.activity_scalars();
+        // Cheap scalar gate first; reads are deliberately not compared —
+        // past bus reads are diagnostics, not state the core evolves from.
+        if (sc.instret == g.core.instret && sc.slot_seq == g.core.slot_seq &&
+            sc.next_fetch_seq == g.core.next_fetch_seq &&
+            sc.redirect_after_seq == g.core.redirect_after_seq &&
+            sc.annul_seq == g.core.annul_seq && sc.bus_writes == g.writes &&
+            core_.node_values_equal(g.core.node_values) &&
+            core_.memory().equals(g.mem)) {
+          // State, memory and write history all coincide with the golden
+          // run at this cycle: the remainder is the golden remainder. The
+          // run retires silently with the golden halt reason.
+          b_.convergence_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+          fault::InjectionResult result;
+          result.site = site;
+          result.outcome = fault::Outcome::kSilent;
+          result.halt = iss::HaltReason::kHalted;
+          return result;
+        }
       }
     }
     // A run that outlived the golden cycle count is headed for the
@@ -191,6 +282,14 @@ fault::CampaignResult RtlCampaignBackend::finish(
   result.unit_prefix = cfg_.unit_prefix;
   result.golden_cycles = golden_cycles_;
   result.golden_instret = golden_instret_;
+  result.replay.ladder_rungs = ladder_.rung_count();
+  result.replay.ladder_bytes = ladder_.total_bytes();
+  result.replay.ladder_evicted = ladder_.evicted_count();
+  result.replay.ladder_restores = ladder_restores_.load();
+  result.replay.rolling_restores = rolling_restores_.load();
+  result.replay.cold_resets = cold_resets_.load();
+  result.replay.fast_forward_cycles = fast_forward_cycles_.load();
+  result.replay.convergence_cutoffs = convergence_cutoffs_.load();
   result.runs = std::move(records);
   for (fault::InjectionResult& run : result.runs) {
     run.node_name = node_names_[run.site.node];

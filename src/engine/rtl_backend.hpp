@@ -1,15 +1,18 @@
 // RTL fault backend for CampaignEngine: enumerate sites with
-// fault::build_fault_list, checkpoint the golden prefix at each injection
-// instant (Leon3Core::checkpoint + Memory::clone), run the faulty suffix and
-// classify against the golden run — the §4.1 methodology, minus the
-// per-fault golden-prefix re-simulation the serial driver paid.
+// fault::build_fault_list, record a checkpoint ladder while running the
+// golden reference, then run each faulty suffix from the nearest snapshot
+// and classify against the golden run — the §4.1 methodology, minus both
+// the per-fault golden-prefix re-simulation the serial driver paid and the
+// per-worker prefix re-simulation the PR 1 rolling checkpoint still paid.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/ladder.hpp"
 #include "fault/campaign.hpp"
 
 namespace issrtl::engine {
@@ -18,7 +21,19 @@ class RtlCampaignBackend {
  public:
   using Record = fault::InjectionResult;
 
-  /// Runs the golden reference and enumerates the fault list (both
+  /// One ladder rung: the golden core at a cycle boundary. `core` is a
+  /// checkpoint_lite() snapshot (no trace copy); `mem` a COW clone of the
+  /// golden memory; `writes`/`reads` the golden bus-trace prefix lengths at
+  /// that cycle, from which restores rebuild the trace.
+  struct GoldenSnapshot {
+    rtlcore::CoreCheckpoint core;
+    Memory mem;
+    std::size_t writes = 0;
+    std::size_t reads = 0;
+  };
+
+  /// Runs the golden reference (recording ladder rungs every
+  /// opts.ladder_stride cycles) and enumerates the fault list (both
   /// deterministic); throws if the golden run does not halt cleanly.
   RtlCampaignBackend(const isa::Program& prog,
                      const fault::CampaignConfig& cfg,
@@ -32,17 +47,22 @@ class RtlCampaignBackend {
   const std::vector<fault::FaultSite>& sites() const noexcept {
     return sites_;
   }
+  const CheckpointLadder<GoldenSnapshot>& ladder() const noexcept {
+    return ladder_;
+  }
 
-  /// One per worker thread: owns a core + memory and the rolling
-  /// golden-prefix checkpoint for its shard.
+  /// One per worker thread: owns a core + memory and a rolling golden-prefix
+  /// checkpoint; restores whichever of {rolling checkpoint, ladder rung} is
+  /// closest below each injection instant.
   class Worker {
    public:
     Worker(const RtlCampaignBackend& backend, unsigned shard);
     Record run_site(std::size_t index);
 
    private:
-    /// Position core_ (fault-free) exactly at `inject_cycle`, from the
-    /// shard checkpoint when it is not ahead of us, from reset otherwise.
+    /// Position core_ (fault-free) exactly at `inject_cycle`: from the
+    /// rolling shard checkpoint or the best ladder rung — whichever is not
+    /// ahead of us and closer — or from reset when neither exists.
     void prepare(u64 inject_cycle);
 
     // Stochastic per-run behaviour (none today) must draw from
@@ -50,9 +70,15 @@ class RtlCampaignBackend {
     const RtlCampaignBackend& b_;
     Memory mem_;
     rtlcore::Leon3Core core_;
+    // Rolling checkpoint: a checkpoint_lite() plus golden-trace prefix
+    // lengths — it is only ever taken on fault-free prefixes, whose bus
+    // trace is by construction a prefix of the golden trace, so the
+    // O(instant) trace copy is skipped exactly like for ladder rungs.
     bool have_checkpoint_ = false;
     rtlcore::CoreCheckpoint checkpoint_;
     Memory checkpoint_mem_;
+    std::size_t checkpoint_writes_ = 0;
+    std::size_t checkpoint_reads_ = 0;
     // Scratch buffer for the hang fast-forward fixed-point probe.
     std::vector<u32> probe_nodes_;
   };
@@ -77,11 +103,19 @@ class RtlCampaignBackend {
   iss::ArchState golden_state_;
   Memory initial_mem_;  ///< loaded program image, COW ancestor of all runs
   Memory golden_mem_;
+  CheckpointLadder<GoldenSnapshot> ladder_;
   std::vector<fault::FaultSite> sites_;
   // Node metadata snapshot (NodeId-indexed) for labelling results in
   // finish(); the golden core itself does not outlive the constructor.
   std::vector<std::string> node_names_;
   std::vector<std::string> node_units_;
+  // Replay economics, accumulated relaxed by the workers (informational
+  // only — see fault::ReplayCounters).
+  mutable std::atomic<u64> ladder_restores_{0};
+  mutable std::atomic<u64> rolling_restores_{0};
+  mutable std::atomic<u64> cold_resets_{0};
+  mutable std::atomic<u64> fast_forward_cycles_{0};
+  mutable std::atomic<u64> convergence_cutoffs_{0};
 };
 
 /// Full engine-backed RTL campaign. fault::run_campaign is the serial thin

@@ -20,6 +20,15 @@ std::string_view outcome_name(Outcome o) {
   return "?";
 }
 
+u64 outcome_hash(const CampaignResult& r) {
+  u64 hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const InjectionResult& run : r.runs) {
+    hash = (hash ^ static_cast<u64>(run.outcome)) * 1099511628211ull;
+    hash = (hash ^ run.latency_cycles) * 1099511628211ull;
+  }
+  return hash;
+}
+
 CampaignStats CampaignResult::stats_for(FaultModel m) const {
   for (const auto& s : per_model) {
     if (s.model == m) return s;
@@ -49,13 +58,30 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
     return 1;
   };
 
+  // Multi-instant sweeps repeat every sampled (node, bit) at K instants,
+  // drawn back-to-back so the K == 1 draw order (and therefore every
+  // pinned single-instant fault list) is bit-identical to the historical
+  // one-draw-per-site behaviour.
+  const std::size_t instants = std::max<std::size_t>(1, cfg.instants_per_site);
+  if (instants > 1 && cfg.inject_time != InjectTime::kUniformRandom) {
+    // A deterministic instant would replicate each site K times verbatim:
+    // K-fold cost, zero extra information, and per-model stats built from
+    // duplicated runs. Reject rather than silently degrade.
+    throw std::invalid_argument(
+        "instants_per_site > 1 requires InjectTime::kUniformRandom");
+  }
+
   std::vector<FaultSite> sites;
   if (cfg.samples == 0) {
     // Exhaustive: every bit of every node, for every model.
     for (const FaultModel m : cfg.models) {
       for (const rtl::NodeId id : nodes) {
         const u8 w = ctx.width(id);
-        for (u8 b = 0; b < w; ++b) sites.push_back({id, b, m, pick_cycle()});
+        for (u8 b = 0; b < w; ++b) {
+          for (std::size_t k = 0; k < instants; ++k) {
+            sites.push_back({id, b, m, pick_cycle()});
+          }
+        }
       }
     }
     return sites;
@@ -77,8 +103,10 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
       const std::size_t idx = static_cast<std::size_t>(it - cum.begin());
       const rtl::NodeId id = nodes[idx];
       const u64 base = idx == 0 ? 0 : cum[idx - 1];
-      sites.push_back(
-          {id, static_cast<u8>(pick - base), m, pick_cycle()});
+      for (std::size_t k = 0; k < instants; ++k) {
+        sites.push_back(
+            {id, static_cast<u8>(pick - base), m, pick_cycle()});
+      }
     }
   }
   return sites;

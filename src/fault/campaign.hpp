@@ -67,6 +67,15 @@ struct CampaignConfig {
   /// Number of injection trials (sampled uniformly over node bits). 0 means
   /// exhaustive: every bit of every node in the unit, per model.
   std::size_t samples = 200;
+  /// Injection instants drawn per sampled (node, bit): 1 is the classic
+  /// one-shot campaign; K > 1 sweeps every site at K instants (so the
+  /// campaign has samples*K trials per model) — the sensitivity-vs-time
+  /// study the checkpoint ladder makes affordable. Requires
+  /// InjectTime::kUniformRandom when > 1 (build_fault_list throws
+  /// otherwise: a deterministic instant would just duplicate each site K
+  /// times). With 1 the fault-list draw order is bit-identical to the
+  /// pre-multi-instant campaigns.
+  std::size_t instants_per_site = 1;
   u64 seed = 2015;
   InjectTime inject_time = InjectTime::kEarly;
   u64 fixed_cycle = 0;
@@ -95,11 +104,29 @@ struct CampaignStats {
   }
 };
 
+/// Host-side replay economics of a campaign (how the engine *reached* each
+/// injection instant, and how often it proved a suffix instead of
+/// simulating it). Purely informational: outcomes are bit-identical
+/// whatever these read. Unlike the outcome statistics they are not
+/// thread-count-invariant — e.g. every worker pays at least one cold
+/// reset — so they are excluded from determinism comparisons.
+struct ReplayCounters {
+  u64 ladder_rungs = 0;        ///< rungs alive at the end of the golden run
+  u64 ladder_bytes = 0;        ///< estimated bytes held by those rungs
+  u64 ladder_evicted = 0;      ///< rungs dropped by the byte cap
+  u64 ladder_restores = 0;     ///< prefix resumes served by a ladder rung
+  u64 rolling_restores = 0;    ///< resumes served by a worker's rolling ckpt
+  u64 cold_resets = 0;         ///< resumes that had to re-simulate from 0
+  u64 fast_forward_cycles = 0; ///< fault-free instants stepped after restore
+  u64 convergence_cutoffs = 0; ///< transient runs proven silent at a rung
+};
+
 struct CampaignResult {
   std::string workload;
   std::string unit_prefix;
   u64 golden_cycles = 0;
   u64 golden_instret = 0;
+  ReplayCounters replay;
   std::vector<InjectionResult> runs;
   std::vector<CampaignStats> per_model;
 
@@ -107,6 +134,13 @@ struct CampaignResult {
   /// empty campaign) yields a zeroed CampaignStats (runs == 0, pf() == 0).
   CampaignStats stats_for(FaultModel m) const;
 };
+
+/// FNV-1a fingerprint of the (outcome, latency) sequence of `r.runs` — the
+/// canonical hash behind the determinism contract: regression tests pin it
+/// across refactors and the benches compare it between engine fast paths.
+/// Deliberately covers outcome and latency only; `halt` may legitimately
+/// differ between equivalent paths (early-stopped runs keep kRunning).
+u64 outcome_hash(const CampaignResult& r);
 
 /// Run a full RTL campaign for `prog` — a thin serial wrapper over the
 /// unified engine (engine::run_rtl_campaign), which also offers worker

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/campaign.hpp"
 #include "isa/program.hpp"
 #include "iss/emulator.hpp"
 
@@ -41,6 +42,9 @@ struct IssCampaignStats {
 struct IssCampaignResult {
   std::string workload;
   u64 golden_instret = 0;
+  /// Replay economics (instants here are retired instructions); see
+  /// fault::ReplayCounters for the determinism caveat.
+  ReplayCounters replay;
   std::vector<IssInjectionResult> runs;
   std::vector<IssCampaignStats> per_model;
 };

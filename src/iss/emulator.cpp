@@ -59,6 +59,11 @@ EmuCheckpoint Emulator::checkpoint() const {
   return EmuCheckpoint{state_, trace_, offcore_, halt_, trap_code_, instret_};
 }
 
+EmuCheckpoint Emulator::checkpoint_lite() const {
+  return EmuCheckpoint{state_, trace_, OffCoreTrace{}, halt_, trap_code_,
+                       instret_};
+}
+
 void Emulator::restore(const EmuCheckpoint& ck) {
   state_ = ck.state;
   trace_ = ck.trace;
@@ -66,6 +71,12 @@ void Emulator::restore(const EmuCheckpoint& ck) {
   halt_ = ck.halt;
   trap_code_ = ck.trap_code;
   instret_ = ck.instret;
+}
+
+void Emulator::restore(const EmuCheckpoint& ck, const OffCoreTrace& trace_src,
+                       std::size_t writes, std::size_t reads) {
+  restore(ck);
+  offcore_.assign_prefix(trace_src, writes, reads);
 }
 
 void Emulator::apply_faults() {

@@ -102,9 +102,22 @@ class Emulator {
   /// Capture the execution state between instructions (Memory excluded).
   EmuCheckpoint checkpoint() const;
 
+  /// Like checkpoint(), but leaves `offcore` empty — a fixed-size snapshot
+  /// instead of one that grows O(instant) with the write trace. Only valid
+  /// for states whose bus history is a prefix of a trace the caller retains
+  /// (e.g. ladder rungs taken on the golden run); resume with the
+  /// three-argument restore() overload.
+  EmuCheckpoint checkpoint_lite() const;
+
   /// Resume from a checkpoint. The caller restores the backing Memory to the
   /// matching image and clears/re-arms faults.
   void restore(const EmuCheckpoint& ck);
+
+  /// Resume from a checkpoint_lite() snapshot: identical to restore(), but
+  /// the off-core trace is rebuilt as the first `writes`/`reads` records of
+  /// `trace_src` instead of being copied out of the checkpoint.
+  void restore(const EmuCheckpoint& ck, const OffCoreTrace& trace_src,
+               std::size_t writes, std::size_t reads);
 
   // ---- ISS-level fault injection ---------------------------------------------
   void arm_fault(const IssFault& fault);

@@ -134,7 +134,17 @@ class SimContext {
   std::optional<NodeId> find_node(const std::string& name) const;
 
   /// Arm a fault on (node, bit). Open-line captures the current bit value;
-  /// transient flips immediately. Only one fault per node at a time.
+  /// transient flips immediately (one-shot: cur and nxt are disturbed once
+  /// and no overlay stays armed, which is what makes the engine's
+  /// golden-state convergence cut-off sound for transients).
+  ///
+  /// Single-armed-fault invariant: at most one overlay per node — arming a
+  /// node that already carries one throws std::logic_error. The write-
+  /// through patching scheme stores exactly one shadow raw value per armed
+  /// node; a second overlay would corrupt the shadow on clear. Campaign
+  /// code upholds the stronger form (one armed fault per *run*, cleared
+  /// via clear_faults() before the next prepare), matching the paper's
+  /// single-fault assumption.
   void arm_fault(NodeId id, FaultModel model, u8 bit);
 
   /// Saboteur-style multi-bit fault: every bit in `mask` is affected

@@ -887,6 +887,12 @@ HaltReason Leon3Core::run(u64 max_cycles) {
 }
 
 CoreCheckpoint Leon3Core::checkpoint() const {
+  CoreCheckpoint ck = checkpoint_lite();
+  ck.offcore = bus_;
+  return ck;
+}
+
+CoreCheckpoint Leon3Core::checkpoint_lite() const {
   CoreCheckpoint ck;
   ck.node_values = ctx_.save_values();
   ck.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
@@ -901,8 +907,13 @@ CoreCheckpoint Leon3Core::checkpoint() const {
   ck.icache_misses = icache_->misses();
   ck.dcache_hits = dcache_->hits();
   ck.dcache_misses = dcache_->misses();
-  ck.offcore = bus_;
   return ck;
+}
+
+void Leon3Core::restore(const CoreCheckpoint& ck, const OffCoreTrace& trace_src,
+                        std::size_t writes, std::size_t reads) {
+  restore(ck);
+  bus_.assign_prefix(trace_src, writes, reads);
 }
 
 void Leon3Core::restore(const CoreCheckpoint& ck) {

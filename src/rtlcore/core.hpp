@@ -153,11 +153,24 @@ class Leon3Core {
   /// with no fault armed). The backing Memory is not included.
   CoreCheckpoint checkpoint() const;
 
+  /// Like checkpoint(), but leaves `offcore` empty — an O(nodes) snapshot
+  /// handle instead of an O(instant) trace copy. Only valid for states whose
+  /// bus history is a prefix of a trace the caller retains (e.g. ladder
+  /// rungs taken on the golden run); resume with the three-argument
+  /// restore() overload, which rebuilds the trace prefix from that source.
+  CoreCheckpoint checkpoint_lite() const;
+
   /// Resume from a checkpoint taken on this core (or on a core constructed
   /// with the same config, hence an identical node registry). The caller is
   /// responsible for restoring the backing Memory to the matching image and
   /// for clear_faults() beforehand.
   void restore(const CoreCheckpoint& ck);
+
+  /// Resume from a checkpoint_lite() snapshot: identical to restore(), but
+  /// the off-core trace is rebuilt as the first `writes`/`reads` records of
+  /// `trace_src` instead of being copied out of the checkpoint.
+  void restore(const CoreCheckpoint& ck, const OffCoreTrace& trace_src,
+               std::size_t writes, std::size_t reads);
 
   /// The cheap half of the activity fingerprint (no node traversal).
   CoreActivityScalars activity_scalars() const;

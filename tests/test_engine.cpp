@@ -183,8 +183,9 @@ TEST(Engine, HangFastForwardPreservesClassification) {
 // Cross-refactor regression fixture: per-model outcome counts and a hash of
 // the full (outcome, latency) sequence captured from the pre-SoA-kernel
 // serial driver (PR 1) for this exact (workload, config, seed). The campaign
-// is fully deterministic, so any divergence — at any thread count — means a
-// semantic change in the kernel, the memory model or the engine.
+// is fully deterministic, so any divergence — at any thread count, and at
+// any checkpoint-ladder configuration (disabled, auto, explicit stride) —
+// means a semantic change in the kernel, the memory model or the engine.
 TEST(Engine, ResultsBitIdenticalToPreRefactorBaseline) {
   const auto prog = workloads::build("rspeed", {.iterations = 1, .data_seed = 1});
   CampaignConfig cfg;
@@ -194,24 +195,23 @@ TEST(Engine, ResultsBitIdenticalToPreRefactorBaseline) {
   cfg.inject_time = fault::InjectTime::kUniformRandom;
 
   for (const unsigned threads : {1u, 3u}) {
-    EngineOptions opts;
-    opts.threads = threads;
-    const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
-    EXPECT_EQ(r.golden_cycles, 134966u) << threads;
-    EXPECT_EQ(r.golden_instret, 41181u) << threads;
-    const fault::CampaignStats s = r.stats_for(FaultModel::kStuckAt1);
-    EXPECT_EQ(s.runs, 60u) << threads;
-    EXPECT_EQ(s.failures, 13u) << threads;
-    EXPECT_EQ(s.hangs, 0u) << threads;
-    EXPECT_EQ(s.latent, 2u) << threads;
-    EXPECT_EQ(s.silent, 45u) << threads;
-    EXPECT_EQ(s.max_latency, 131258u) << threads;
-    u64 hash = 1469598103934665603ull;  // FNV-1a over (outcome, latency)
-    for (const fault::InjectionResult& run : r.runs) {
-      hash = (hash ^ static_cast<u64>(run.outcome)) * 1099511628211ull;
-      hash = (hash ^ run.latency_cycles) * 1099511628211ull;
+    for (const u64 stride : {u64{0}, kLadderStrideAuto, u64{977}}) {
+      EngineOptions opts;
+      opts.threads = threads;
+      opts.ladder_stride = stride;
+      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+      EXPECT_EQ(r.golden_cycles, 134966u) << threads;
+      EXPECT_EQ(r.golden_instret, 41181u) << threads;
+      const fault::CampaignStats s = r.stats_for(FaultModel::kStuckAt1);
+      EXPECT_EQ(s.runs, 60u) << threads;
+      EXPECT_EQ(s.failures, 13u) << threads;
+      EXPECT_EQ(s.hangs, 0u) << threads;
+      EXPECT_EQ(s.latent, 2u) << threads;
+      EXPECT_EQ(s.silent, 45u) << threads;
+      EXPECT_EQ(s.max_latency, 131258u) << threads;
+      EXPECT_EQ(fault::outcome_hash(r), 53577475502873108ull)
+          << threads << " threads, stride " << stride;
     }
-    EXPECT_EQ(hash, 53577475502873108ull) << threads;
   }
 }
 
