@@ -13,12 +13,18 @@
 // ISSRTL_INSTANTS injection instants each): the same engine with the ladder
 // disabled (PR 1's single rolling golden checkpoint) vs enabled (rung
 // restores + convergence cut-off), again with bit-identical outcomes —
-// verified here at 1 and 3 threads on top of the timed run.
+// verified here at 1 and 3 threads on top of the timed run. A fourth
+// section runs that same sweep through the batched lockstep scheduler
+// (ISSRTL_BATCH replica lanes per worker) against the per-site ladder path
+// in this tree and against the committed PR 3 ladder_section reference,
+// with outcomes verified bit-identical at several batch sizes and thread
+// counts.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <string_view>
 
@@ -106,6 +112,12 @@ struct BenchMetrics {
   double ladder_s = 0.0;
   double ladder_vs_noladder_ratio = 0.0;
   bool ladder_identical = false;  ///< counts + hash, at 1/3/bench threads
+  // Batched section (same sweep, replica-lane lockstep scheduler).
+  unsigned batch_lanes = 0;
+  double batch_serial_s = 0.0;   ///< per-site ladder path, this tree
+  double batch_batched_s = 0.0;  ///< batched scheduler, this tree
+  double batched_vs_serial_ratio = 0.0;
+  bool batch_identical = false;  ///< counts + hash, batches x threads
 };
 
 /// Direct wall-clock comparison: same workload, same number of "injection
@@ -300,6 +312,82 @@ void report_ladder_speedup(BenchMetrics& m) {
               identical ? "yes" : "NO");
 }
 
+/// Batched lockstep evaluation on the ladder sweep: the same 25x8 transient
+/// EX-datapath campaign, run (a) on the per-site serial path (the PR 3
+/// ladder algorithm, batch_lanes = 1) and (b) through the replica-lane
+/// batch scheduler (ISSRTL_BATCH lanes per worker, default 16). Outcomes
+/// must pin bit-identically — additionally spot-checked here at batch
+/// sizes {4, 32} x threads {1, 3} on top of the timed runs. The absolute
+/// comparison against the *PR 3 tree* (kPr3LadderS below) is what the
+/// batched-kernel work is measured by: this PR also rebuilt the cycle
+/// primitives (span-compressed commit, ranged pipe-latch copies, decode
+/// memoization), which speed the in-tree serial baseline as well, so the
+/// in-tree ratio understates the change tree-over-tree.
+void report_batched_speedup(BenchMetrics& m) {
+  const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
+  const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const unsigned batch =
+      static_cast<unsigned>(bench::env_size("ISSRTL_BATCH", 16));
+  const char* unit_env = std::getenv("ISSRTL_UNIT");
+  const std::string unit =
+      unit_env != nullptr && unit_env[0] != '\0' ? unit_env : "iu.ex";
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  cfg.samples = sites;
+  cfg.instants_per_site = instants;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  engine::EngineOptions serial = engine::options_from_env();
+  serial.threads = threads;
+  serial.batch_lanes = 1;  // the PR 3 per-site ladder path
+
+  engine::EngineOptions batched = serial;
+  batched.batch_lanes = batch;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto base = engine::run_rtl_campaign(prog(), cfg, {}, serial);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto fast = engine::run_rtl_campaign(prog(), cfg, {}, batched);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  bool identical = same_outcomes(base, fast);
+  // Determinism spot-check across batch sizes and thread counts (untimed).
+  for (const unsigned t : {1u, 3u}) {
+    for (const unsigned b : {4u, 32u}) {
+      engine::EngineOptions o = batched;
+      o.threads = t;
+      o.batch_lanes = b;
+      identical = identical &&
+                  same_outcomes(base, engine::run_rtl_campaign(prog(), cfg,
+                                                               {}, o));
+    }
+  }
+
+  m.batch_lanes = batch;
+  m.batch_serial_s = std::chrono::duration<double>(t1 - t0).count();
+  m.batch_batched_s = std::chrono::duration<double>(t2 - t1).count();
+  m.batched_vs_serial_ratio =
+      m.batch_batched_s > 0 ? m.batch_serial_s / m.batch_batched_s : 0.0;
+  m.batch_identical = identical;
+
+  std::printf("\n--- batched lockstep evaluation vs per-site ladder path "
+              "(rspeed, %zu sites x %zu instants, transient flips @ %s) "
+              "---\n",
+              sites, instants, unit.c_str());
+  std::printf("per-site (batch 1, %u thr):     %.3f s\n", threads,
+              m.batch_serial_s);
+  std::printf("batched  (%u lanes, %u thr):    %.3f s\n", batch, threads,
+              m.batch_batched_s);
+  std::printf("in-tree speedup: %.2fx   outcomes+hash bit-identical "
+              "(batch {4,32} x threads {1,3}): %s\n",
+              m.batched_vs_serial_ratio, identical ? "yes" : "NO");
+}
+
 /// The PR 1 engine's numbers on this bench's headline section (200 samples,
 /// 4 threads, rspeed, default seed), measured on the reference dev box
 /// immediately before the SoA-kernel/COW-memory rewrite. Only comparable to
@@ -309,6 +397,14 @@ void report_ladder_speedup(BenchMetrics& m) {
 constexpr double kPr1SerialS = 5.135;
 constexpr double kPr1EngineS = 3.354;
 constexpr double kPr1RtlNsPerCycle = 158.7;
+
+/// The PR 3 tree's ladder_section wall-clock on the default 25x8 transient
+/// EX-datapath sweep (reference dev box, 4 threads), from the committed
+/// BENCH_kernel.json immediately before this PR's batched-lockstep kernel
+/// work. Like the PR 1 block above, only comparable to runs on that same
+/// box, so it is emitted solely under ISSRTL_BENCH_BASELINE=pr1 and only
+/// for the default sweep shape.
+constexpr double kPr3LadderS = 0.069;
 
 /// Write the collected metrics to $ISSRTL_BENCH_JSON (if set) so CI archives
 /// a machine-readable point on the kernel perf trajectory per commit.
@@ -358,6 +454,38 @@ void write_bench_json(const BenchMetrics& m) {
                m.ladder_s, m.ladder_vs_noladder_ratio,
                m.ladder_identical ? "true" : "false");
   const char* baseline = std::getenv("ISSRTL_BENCH_BASELINE");
+  const bool on_reference_box =
+      baseline != nullptr && std::string_view(baseline) == "pr1";
+  std::fprintf(f,
+               ",\n"
+               "  \"batched_section\": {\n"
+               "    \"unit\": \"%s\",\n"
+               "    \"sites\": %zu,\n"
+               "    \"instants_per_site\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"batch_lanes\": %u,\n"
+               "    \"serial_s\": %.3f,\n"
+               "    \"batched_s\": %.3f,\n"
+               "    \"batched_vs_serial_ratio\": %.2f,\n"
+               "    \"outcomes_identical_batches_4_32_threads_1_3\": %s",
+               m.ladder_unit.c_str(), m.ladder_sites, m.ladder_instants,
+               m.ladder_threads, m.batch_lanes, m.batch_serial_s,
+               m.batch_batched_s, m.batched_vs_serial_ratio,
+               m.batch_identical ? "true" : "false");
+  if (on_reference_box && m.ladder_sites == 25 && m.ladder_instants == 8 &&
+      m.ladder_threads == 4 && m.batch_batched_s > 0) {
+    // Tree-over-tree comparison, only meaningful on the reference box: the
+    // PR 3 ladder path's committed wall-clock on this exact sweep vs the
+    // batched run above (whose tree also carries the span-commit /
+    // ranged-copy / decode-memo cycle primitives the batched kernel
+    // motivated — the in-tree ratio above deliberately excludes those).
+    std::fprintf(f,
+                 ",\n"
+                 "    \"pr3_ladder_s\": %.3f,\n"
+                 "    \"batched_vs_pr3_ladder_ratio\": %.2f",
+                 kPr3LadderS, kPr3LadderS / m.batch_batched_s);
+  }
+  std::fprintf(f, "\n  }");
   if (baseline != nullptr && std::string_view(baseline) == "pr1" &&
       m.samples == 200 && m.threads == 4) {
     std::fprintf(f,
@@ -381,13 +509,19 @@ void write_bench_json(const BenchMetrics& m) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   BenchMetrics metrics;
   report_speedup(metrics);
   report_engine_speedup(metrics);
   report_ladder_speedup(metrics);
+  report_batched_speedup(metrics);
   write_bench_json(metrics);
   return 0;
+} catch (const std::exception& e) {
+  // e.g. a malformed ISSRTL_* environment value rejected by
+  // engine::options_from_env — report it instead of std::terminate.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -4,7 +4,9 @@
 // Optionally dumps a waveform of one faulty run.
 //
 //   ./examples/campaign_report [workload] [samples] [threads] [instants]
+//                              [--vcd <path>]
 //   ./examples/campaign_report rspeed 200 4
+//   ./examples/campaign_report rspeed 120 0 1 --vcd /tmp/fault.vcd
 //   ./examples/campaign_report --help
 //
 // Campaigns run on the parallel engine; threads=0 (the default) uses every
@@ -12,6 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
 
 #include "core/area.hpp"
 #include "core/predict.hpp"
@@ -30,6 +35,7 @@ int help() {
       "campaign_report — full RTL fault-injection campaign report\n"
       "\n"
       "usage: campaign_report [workload] [samples] [threads] [instants]\n"
+      "                       [--vcd <path>]\n"
       "  workload   registry name (issrtl_cli list); default rspeed\n"
       "  samples    injection trials per fault model; default 120\n"
       "  threads    engine worker threads; 0 or absent = all hardware\n"
@@ -37,6 +43,9 @@ int help() {
       "  instants   injection instants per sampled (node, bit); default 1.\n"
       "             >1 sweeps every site over time (samples*instants\n"
       "             trials per model, uniform-random instants)\n"
+      "  --vcd <path>  write a GTKWave waveform of the first failing run\n"
+      "             to <path> (off by default: no files are dropped into\n"
+      "             the working directory unless asked)\n"
       "\n"
       "environment:\n"
       "  ISSRTL_THREADS      worker threads when [threads] is absent\n"
@@ -45,28 +54,48 @@ int help() {
       "                      0 disables the ladder. Bit-identical results\n"
       "                      either way.\n"
       "  ISSRTL_CKPT_MB      ladder byte cap in MiB (default 256)\n"
+      "  ISSRTL_BATCH        replica lanes for batched lockstep fault\n"
+      "                      evaluation (default 1 = serial; results are\n"
+      "                      bit-identical at every batch size)\n"
       "\n"
       "Prints per-model Pf, outcome breakdown, per-functional-unit P_mf\n"
-      "with the alpha_m area weights (Eq. 1), the replay-economics\n"
-      "counters, and dumps faulty_run.vcd for the first failing run.\n");
+      "with the alpha_m area weights (Eq. 1) and the replay-economics\n"
+      "counters.\n");
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
-                   std::strcmp(argv[1], "-h") == 0)) {
-    return help();
+int main(int argc, char** argv) try {
+  // Split --vcd off first; everything else is positional as before.
+  std::string vcd_path;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
+      return help();
+    if (std::strcmp(argv[i], "--vcd") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --vcd needs a path argument\n");
+        return 2;
+      }
+      vcd_path = argv[++i];
+      continue;
+    }
+    pos.push_back(argv[i]);
   }
-  const std::string workload = argc > 1 ? argv[1] : "rspeed";
-  const std::size_t samples =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 120;
+  const std::string workload = pos.size() > 0 ? pos[0] : "rspeed";
+  const long long samples_arg = pos.size() > 1 ? std::atoll(pos[1]) : 120;
+  if (samples_arg < 0) {
+    // Would wrap to a ~1.8e19-site campaign via size_t.
+    std::fprintf(stderr, "error: [samples] must be non-negative\n");
+    return 2;
+  }
+  const std::size_t samples = static_cast<std::size_t>(samples_arg);
   // Negative or garbage thread counts fall back to 0 (= all hardware).
-  const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 0;
+  const int threads_arg = pos.size() > 2 ? std::atoi(pos[2]) : 0;
   const unsigned threads =
       threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
-  const long long instants_arg = argc > 4 ? std::atoll(argv[4]) : 1;
+  const long long instants_arg = pos.size() > 3 ? std::atoll(pos[3]) : 1;
 
   const auto prog = workloads::build(workload, {.iterations = 1});
 
@@ -75,10 +104,14 @@ int main(int argc, char** argv) {
   cfg.models = {rtl::FaultModel::kStuckAt1, rtl::FaultModel::kStuckAt0,
                 rtl::FaultModel::kOpenLine};
   cfg.samples = samples;
-  if (instants_arg > 1) {
-    cfg.instants_per_site = static_cast<std::size_t>(instants_arg);
-    cfg.inject_time = fault::InjectTime::kUniformRandom;
+  if (instants_arg < 0) {
+    std::fprintf(stderr, "error: [instants] must be a positive integer\n");
+    return 2;
   }
+  // 0 is passed through: build_fault_list rejects it loudly instead of
+  // this front end silently resizing the campaign.
+  cfg.instants_per_site = static_cast<std::size_t>(instants_arg);
+  if (instants_arg > 1) cfg.inject_time = fault::InjectTime::kUniformRandom;
   engine::EngineOptions opts = engine::options_from_env();
   if (threads != 0) opts.threads = threads;
   opts.on_progress = engine::stderr_progress();
@@ -139,25 +172,39 @@ int main(int argc, char** argv) {
               "mixes models; per-model tables above)\n\n",
               fault::TextTable::pct(eq1).c_str());
 
-  // Waveform of the first failing run, for inspection in GTKWave.
-  for (const auto& run : r.runs) {
-    if (run.outcome != fault::Outcome::kFailure) continue;
-    Memory mem;
-    rtlcore::Leon3Core core(mem);
-    core.load(prog);
-    rtl::VcdWriter vcd("faulty_run.vcd", core.sim());
-    for (u64 c = 0; c < run.site.inject_cycle; ++c) core.step();
-    core.sim().arm_fault(run.site.node, run.site.model, run.site.bit);
-    for (int c = 0; c < 400 &&
-                    core.halt_reason() == iss::HaltReason::kRunning; ++c) {
-      core.step();
-      vcd.sample(core.cycles());
+  // Waveform of the first failing run, for inspection in GTKWave — only
+  // when a destination was requested (an unsolicited dump used to litter
+  // the working directory with faulty_run.vcd files).
+  if (!vcd_path.empty()) {
+    bool wrote = false;
+    for (const auto& run : r.runs) {
+      if (run.outcome != fault::Outcome::kFailure) continue;
+      Memory mem;
+      rtlcore::Leon3Core core(mem);
+      core.load(prog);
+      rtl::VcdWriter vcd(vcd_path, core.sim());
+      for (u64 c = 0; c < run.site.inject_cycle; ++c) core.step();
+      core.sim().arm_fault(run.site.node, run.site.model, run.site.bit);
+      for (int c = 0; c < 400 &&
+                      core.halt_reason() == iss::HaltReason::kRunning; ++c) {
+        core.step();
+        vcd.sample(core.cycles());
+      }
+      std::printf("wrote %s: %s %s bit %u (first 400 cycles after "
+                  "injection)\n",
+                  vcd_path.c_str(),
+                  std::string(rtl::fault_model_name(run.site.model)).c_str(),
+                  run.node_name.c_str(), run.site.bit);
+      wrote = true;
+      break;
     }
-    std::printf("wrote faulty_run.vcd: %s %s bit %u (first 400 cycles after "
-                "injection)\n",
-                std::string(rtl::fault_model_name(run.site.model)).c_str(),
-                run.node_name.c_str(), run.site.bit);
-    break;
+    if (!wrote) {
+      std::printf("no failing run to dump: %s not written\n",
+                  vcd_path.c_str());
+    }
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -81,7 +81,10 @@ int help() {
       "                      0 disables the ladder (rolling checkpoint\n"
       "                      only). Results are bit-identical either way.\n"
       "  ISSRTL_CKPT_MB      ladder byte cap in MiB (default 256); rungs\n"
-      "                      are evicted oldest-first beyond it\n");
+      "                      are evicted oldest-first beyond it\n"
+      "  ISSRTL_BATCH        replica lanes for batched lockstep fault\n"
+      "                      evaluation (default 1 = serial path; results\n"
+      "                      are bit-identical at every batch size)\n");
   return 0;
 }
 
@@ -268,12 +271,23 @@ int main(int argc, char** argv) {
     if (cmd == "campaign" && argc >= 6) {
       // Negative or garbage thread counts fall back to 0 (= all hardware).
       const int threads = argc > 6 ? std::atoi(argv[6]) : 0;
+      const long long samples = std::atoll(argv[5]);
       const long long instants = argc > 7 ? std::atoll(argv[7]) : 1;
+      if (samples < 0) {
+        // Would wrap to a ~1.8e19-site campaign via size_t.
+        std::printf("error: <n> must be non-negative\n");
+        return 2;
+      }
+      if (instants < 0) {
+        std::printf("error: [instants] must be a positive integer\n");
+        return 2;
+      }
+      // 0 instants is passed through: build_fault_list rejects it loudly
+      // instead of this front end silently resizing the campaign.
       return cmd_campaign(argv[2], argv[3], argv[4],
-                          static_cast<std::size_t>(std::atoll(argv[5])),
+                          static_cast<std::size_t>(samples),
                           threads > 0 ? static_cast<unsigned>(threads) : 0,
-                          instants > 1 ? static_cast<std::size_t>(instants)
-                                       : 1);
+                          static_cast<std::size_t>(instants));
     }
     if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
     if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);

@@ -1,10 +1,40 @@
 #include "engine/engine.hpp"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace issrtl::engine {
+
+namespace {
+
+/// Strict full-string parse of an ISSRTL_* environment value: plain decimal
+/// digits only (no sign, no whitespace, no trailing junk — strtoull happily
+/// wraps "-4" to 18446744073709551612 and stops at the 'x' of "4x", both of
+/// which would silently run a campaign with a mangled configuration), and
+/// the result must fit `max_value`. Throws std::invalid_argument naming the
+/// variable otherwise.
+u64 parse_env_u64(const char* name, const char* value, u64 max_value) {
+  const auto reject = [&](const char* why) {
+    throw std::invalid_argument(std::string(name) + ": invalid value '" +
+                                value + "' (" + why + ")");
+  };
+  if (value[0] < '0' || value[0] > '9') {
+    reject("expected an unsigned decimal integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*end != '\0') reject("trailing junk after the number");
+  if (errno == ERANGE || parsed > max_value) reject("value out of range");
+  return static_cast<u64>(parsed);
+}
+
+}  // namespace
 
 unsigned resolve_threads(unsigned requested, std::size_t sites) {
   unsigned threads =
@@ -27,16 +57,23 @@ Xoshiro256 shard_stream(u64 seed, unsigned shard) {
 
 EngineOptions options_from_env(EngineOptions base) {
   if (const char* v = std::getenv("ISSRTL_THREADS"); v != nullptr && *v) {
-    base.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    base.threads =
+        static_cast<unsigned>(parse_env_u64("ISSRTL_THREADS", v, UINT_MAX));
   }
   if (const char* v = std::getenv("ISSRTL_CKPT_STRIDE"); v != nullptr && *v) {
-    base.ladder_stride = std::strcmp(v, "auto") == 0
-                             ? kLadderStrideAuto
-                             : std::strtoull(v, nullptr, 10);
+    base.ladder_stride =
+        std::strcmp(v, "auto") == 0
+            ? kLadderStrideAuto
+            : parse_env_u64("ISSRTL_CKPT_STRIDE", v, ~0ull);
   }
   if (const char* v = std::getenv("ISSRTL_CKPT_MB"); v != nullptr && *v) {
-    base.ladder_max_bytes =
-        static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) << 20;
+    base.ladder_max_bytes = static_cast<std::size_t>(parse_env_u64(
+                                "ISSRTL_CKPT_MB", v, SIZE_MAX >> 20))
+                            << 20;
+  }
+  if (const char* v = std::getenv("ISSRTL_BATCH"); v != nullptr && *v) {
+    base.batch_lanes = static_cast<unsigned>(
+        parse_env_u64("ISSRTL_BATCH", v, kMaxBatchLanes));
   }
   return base;
 }

@@ -25,6 +25,19 @@
 //   u64 site_instant(std::size_t i) const; // injection instant of site i
 //   std::unique_ptr<W> make_worker(unsigned shard);  // thread-safe
 //     // where W::run_site(std::size_t i) -> Record, deterministic per i
+//
+// Optionally a backend exposes batched evaluation:
+//
+//   std::size_t batch_size() const;        // max sites per worker batch
+//     // where W::run_batch(const std::vector<std::size_t>& sites)
+//     //   -> std::vector<Record> (parallel to `sites`), deterministic per
+//     //   site and bit-identical to run_site outcome-wise
+//
+// When batch_size() > 1 the engine hands each worker its shard's
+// instant-sorted site list in consecutive groups of that size (the tail
+// group is smaller); same-instant sites are adjacent in that order, so
+// they land in the same batch naturally. Records still land in site-index
+// slots, so batching never changes the result layout.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +47,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -85,17 +99,41 @@ struct EngineOptions {
   /// are already decided. Permanent faults never take this path (their
   /// armed overlay keeps perturbing the state). Requires the ladder.
   bool converge_cutoff = true;
+  /// Replica lanes per worker for the RTL backend's batched evaluation
+  /// mode: each worker groups up to this many instant-sorted sites per
+  /// batch, pays the golden-prefix positioning (rung restore + fast-
+  /// forward) once on a shared fault-free cursor lane, clones a replica
+  /// lane per site, and steps the faulty replicas in lockstep, retiring
+  /// each lane individually. <= 1 selects the per-site serial path (the
+  /// reference implementation). Outcomes are bit-identical at every batch
+  /// size. Programmatic values above kMaxBatchLanes are clamped by the
+  /// backend; the ISSRTL_BATCH environment path rejects them outright
+  /// (options_from_env throws, so a typo cannot silently become the cap).
+  /// Backends without batch support ignore this field.
+  unsigned batch_lanes = 1;
   /// Called (serialised) as injections finish; every worker reports at
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
   std::size_t progress_stride = 64;
 };
 
+/// Upper bound on EngineOptions::batch_lanes: far beyond the useful range
+/// (a batch spanning more distinct instants than this just fragments the
+/// lockstep rounds) and small enough that the per-lane node/trace/memory
+/// replicas stay a negligible allocation.
+inline constexpr unsigned kMaxBatchLanes = 1024;
+
 /// `base` with the ISSRTL_* environment knobs folded in: ISSRTL_THREADS
 /// (worker threads), ISSRTL_CKPT_STRIDE ("auto", or rung spacing in
-/// instants; 0 disables the ladder) and ISSRTL_CKPT_MB (ladder byte cap in
-/// MiB). Unset variables leave the corresponding field of `base` untouched;
-/// front ends apply explicit command-line arguments on top.
+/// instants; 0 disables the ladder), ISSRTL_CKPT_MB (ladder byte cap in
+/// MiB) and ISSRTL_BATCH (replica lanes for batched RTL evaluation; 0/1 =
+/// serial path). Unset or empty variables leave the corresponding field of
+/// `base` untouched; front ends apply explicit command-line arguments on
+/// top. A set variable must parse in full — plain decimal digits (plus the
+/// literal "auto" for ISSRTL_CKPT_STRIDE) with no sign, whitespace or
+/// trailing junk — and fit the target field; anything else throws
+/// std::invalid_argument naming the offending variable, rather than
+/// silently running a campaign with a mangled configuration.
 EngineOptions options_from_env(EngineOptions base = {});
 
 /// Threads actually used for `sites` fault sites under `requested`.
@@ -128,6 +166,10 @@ class CampaignEngine {
     std::vector<typename Backend::Record> records(total);
     if (total == 0) return records;
     const unsigned threads = resolve_threads(opts_.threads, total);
+    std::size_t group = 1;
+    if constexpr (requires { backend.batch_size(); }) {
+      group = std::max<std::size_t>(std::size_t{1}, backend.batch_size());
+    }
 
     std::atomic<std::size_t> completed{0};
     std::mutex progress_mu;
@@ -146,10 +188,9 @@ class CampaignEngine {
                                   backend.site_instant(b);
                          });
         std::size_t unreported = 0;
-        for (const std::size_t i : mine) {
-          records[i] = worker->run_site(i);
-          const std::size_t done = completed.fetch_add(1) + 1;
-          ++unreported;
+        auto report_done = [&](std::size_t n) {
+          const std::size_t done = completed.fetch_add(n) + n;
+          unreported += n;
           if (opts_.on_progress &&
               (unreported >= opts_.progress_stride || done == total)) {
             unreported = 0;
@@ -163,6 +204,31 @@ class CampaignEngine {
               opts_.on_progress({now, total});
             }
           }
+        };
+        using WorkerT = std::remove_reference_t<decltype(*worker)>;
+        constexpr bool kHasBatch =
+            requires(WorkerT& w, const std::vector<std::size_t>& v) {
+              w.run_batch(v);
+            };
+        if constexpr (kHasBatch) {
+          if (group > 1) {
+            for (std::size_t pos = 0; pos < mine.size(); pos += group) {
+              const std::size_t n = std::min(group, mine.size() - pos);
+              const std::vector<std::size_t> chunk(
+                  mine.begin() + static_cast<std::ptrdiff_t>(pos),
+                  mine.begin() + static_cast<std::ptrdiff_t>(pos + n));
+              auto chunk_records = worker->run_batch(chunk);
+              for (std::size_t j = 0; j < n; ++j) {
+                records[chunk[j]] = std::move(chunk_records[j]);
+              }
+              report_done(n);
+            }
+            return;
+          }
+        }
+        for (const std::size_t i : mine) {
+          records[i] = worker->run_site(i);
+          report_done(1);
         }
       } catch (...) {
         errors[shard] = std::current_exception();

@@ -1,5 +1,7 @@
 #include "engine/rtl_backend.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -31,6 +33,47 @@ bool states_match(const rtlcore::Leon3Core& faulty,
 std::size_t snapshot_bytes(const RtlCampaignBackend::GoldenSnapshot& s) {
   return s.core.node_values.size() * sizeof(u32) +
          s.mem.allocated_pages() * 64 + sizeof(s);
+}
+
+/// Cycles each live replica lane advances per lockstep round. Small enough
+/// that lanes stay within one round of each other (bounded skew — lanes are
+/// independent after arming, so any skew is outcome-neutral), large enough
+/// that the per-round lane switch (a handful of scalar copies and O(1)
+/// trace/memory swaps) is amortised over many simulated cycles.
+constexpr u64 kLockstepChunk = 128;
+
+/// Suffix-aware equivalent of OffCoreTrace::compare_writes: the faulty
+/// trace is conceptually (golden prefix of length `prefix`) + `suffix`, but
+/// only the suffix was materialised — the prefix was inherited from the
+/// fault-free cursor, whose records equal the golden ones by construction
+/// and therefore need no storage and no comparison. Returns the same
+/// {diverged, index, cycle} a full-trace compare_writes would (indices are
+/// golden-absolute), which is what keeps batched classification and
+/// latencies bit-identical to the serial path.
+TraceDivergence compare_suffix_writes(const std::vector<BusRecord>& golden,
+                                      std::size_t prefix,
+                                      const std::vector<BusRecord>& suffix) {
+  const std::size_t mine_total = prefix + suffix.size();
+  const std::size_t n = std::min(mine_total, golden.size());
+  for (std::size_t i = prefix; i < n; ++i) {
+    if (!suffix[i - prefix].same_payload(golden[i])) {
+      return {true, i, suffix[i - prefix].cycle, {}};
+    }
+  }
+  if (mine_total != golden.size()) {
+    u64 cycle = 0;
+    if (mine_total > golden.size()) {
+      // Extra write(s): n >= prefix because the golden run contains the
+      // whole inherited prefix.
+      cycle = suffix[n - prefix].cycle;
+    } else if (!suffix.empty()) {
+      cycle = suffix.back().cycle;
+    } else if (prefix != 0) {
+      cycle = golden[prefix - 1].cycle;  // last (golden) write we emitted
+    }
+    return {true, n, cycle, {}};
+  }
+  return {};
 }
 
 }  // namespace
@@ -273,6 +316,214 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
     result.outcome = fault::Outcome::kLatent;
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Batched lockstep evaluation.
+
+void RtlCampaignBackend::Worker::cursor_seek(u64 inject_cycle) {
+  // Precondition: the cursor lane (0) is active and fault-free.
+  const auto* rung =
+      b_.opts_.checkpoint ? b_.ladder_.best_at_or_below(inject_cycle) : nullptr;
+  const bool cursor_usable =
+      b_.opts_.checkpoint && cursor_valid_ && core_.cycles() <= inject_cycle;
+  if (cursor_usable && (rung == nullptr || rung->instant <= core_.cycles())) {
+    // The cursor itself is the rolling checkpoint: just keep stepping.
+    b_.rolling_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else if (rung != nullptr) {
+    // checkpoint_lite snapshots carry an empty trace, so this restore is
+    // O(nodes) — the golden-prefix trace exists only as the length
+    // counters below, never as a per-restore O(instant) copy.
+    core_.restore(rung->snap->core);
+    mem_ = rung->snap->mem.clone();
+    cursor_writes_ = rung->snap->writes;
+    cursor_reads_ = rung->snap->reads;
+    b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mem_ = b_.initial_mem_.clone();
+    core_.reset(b_.prog_.entry);
+    cursor_writes_ = 0;
+    cursor_reads_ = 0;
+    b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cursor_valid_ = true;
+  u64 stepped = 0;
+  while (core_.cycles() < inject_cycle &&
+         core_.halt_reason() == iss::HaltReason::kRunning) {
+    core_.step();
+    ++stepped;
+  }
+  if (stepped != 0) {
+    b_.fast_forward_cycles_.fetch_add(stepped, std::memory_order_relaxed);
+  }
+  // Fault-free records stepped over are golden records: fold them into the
+  // prefix counters and drop them.
+  core_.drain_trace_counts(cursor_writes_, cursor_reads_);
+}
+
+void RtlCampaignBackend::Worker::spawn_lane(unsigned lane,
+                                            const fault::FaultSite& site) {
+  cursor_seek(site.inject_cycle);
+  core_.clone_active_lane_to(lane);
+  LaneRun& run = lane_runs_[lane - 1];
+  std::vector<u32> probe = std::move(run.probe_nodes);  // keep the buffer
+  run = LaneRun{};
+  run.probe_nodes = std::move(probe);
+  run.site = site;
+  run.prefix_writes = cursor_writes_;
+  run.matched = cursor_writes_;
+  run.converge = b_.opts_.converge_cutoff && b_.ladder_.enabled() &&
+                 site.model == rtl::FaultModel::kTransientBitFlip;
+  run.track_writes = b_.opts_.early_stop || run.converge;
+  run.record.site = site;
+  core_.select_lane(lane);
+  core_.sim().arm_fault(site.node, site.model, site.bit);
+  run.budget =
+      b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 0;
+  core_.select_lane(0);
+}
+
+bool RtlCampaignBackend::Worker::step_lane(LaneRun& run, u64 max_cycles) {
+  const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
+  const u64 rung_stride = b_.ladder_.stride();
+  iss::HaltReason halt = core_.halt_reason();
+  for (u64 k = 0; k < max_cycles; ++k) {
+    if (run.budget == 0 || halt != iss::HaltReason::kRunning ||
+        run.definite_divergence) {
+      break;
+    }
+    core_.step();
+    --run.budget;
+    halt = core_.halt_reason();
+    if (run.track_writes) {
+      // The lane's own trace holds only the faulty suffix; `matched` is a
+      // golden-absolute index, offset by the inherited prefix length.
+      const std::vector<BusRecord>& writes = core_.offcore().writes();
+      while (!run.write_mismatch &&
+             run.matched < run.prefix_writes + writes.size()) {
+        const BusRecord& mine = writes[run.matched - run.prefix_writes];
+        if (run.matched >= golden_writes.size() ||
+            !mine.same_payload(golden_writes[run.matched])) {
+          run.write_mismatch = true;
+          if (b_.opts_.early_stop) run.definite_divergence = true;
+        } else {
+          ++run.matched;
+        }
+      }
+    }
+    if (run.converge && !run.write_mismatch &&
+        halt == iss::HaltReason::kRunning &&
+        core_.cycles() % rung_stride == 0) {
+      if (const auto* rung = b_.ladder_.at(core_.cycles())) {
+        const GoldenSnapshot& g = *rung->snap;
+        const rtlcore::CoreActivityScalars sc = core_.activity_scalars();
+        if (sc.instret == g.core.instret && sc.slot_seq == g.core.slot_seq &&
+            sc.next_fetch_seq == g.core.next_fetch_seq &&
+            sc.redirect_after_seq == g.core.redirect_after_seq &&
+            sc.annul_seq == g.core.annul_seq &&
+            run.prefix_writes + sc.bus_writes == g.writes &&
+            core_.node_values_equal(g.core.node_values) &&
+            core_.memory().equals(g.mem)) {
+          b_.convergence_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+          run.record.outcome = fault::Outcome::kSilent;
+          run.record.halt = iss::HaltReason::kHalted;
+          run.done = true;
+          return true;
+        }
+      }
+    }
+    if (b_.opts_.hang_fast_forward && halt == iss::HaltReason::kRunning &&
+        core_.cycles() > b_.golden_cycles_) {
+      const rtlcore::CoreActivityScalars scalars = core_.activity_scalars();
+      if (!run.scalars_valid || !(scalars == run.scalars_prev)) {
+        run.scalars_prev = scalars;
+        run.scalars_valid = true;
+        run.nodes_valid = false;
+      } else if (!run.nodes_valid) {
+        core_.save_node_values(run.probe_nodes);
+        run.nodes_valid = true;
+      } else if (core_.node_values_equal(run.probe_nodes)) {
+        halt = iss::HaltReason::kStepLimit;  // stuck: watchdog is certain
+        break;
+      } else {
+        core_.save_node_values(run.probe_nodes);
+      }
+    }
+  }
+  if (run.budget == 0 || halt != iss::HaltReason::kRunning ||
+      run.definite_divergence) {
+    classify_lane(run, halt);
+    run.done = true;
+    return true;
+  }
+  return false;  // round over, lane still in flight
+}
+
+void RtlCampaignBackend::Worker::classify_lane(LaneRun& run,
+                                               iss::HaltReason halt) {
+  if (halt == iss::HaltReason::kRunning && !run.definite_divergence) {
+    halt = iss::HaltReason::kStepLimit;  // watchdog expired
+  }
+  run.record.halt = halt;
+  const std::vector<BusRecord>& suffix = core_.offcore().writes();
+  const TraceDivergence div = compare_suffix_writes(
+      b_.golden_trace_.writes(), run.prefix_writes, suffix);
+  if (div.diverged) {
+    run.record.outcome = halt == iss::HaltReason::kStepLimit &&
+                                 div.index >= run.prefix_writes + suffix.size()
+                             ? fault::Outcome::kHang
+                             : fault::Outcome::kFailure;
+    run.record.latency_cycles = div.cycle > run.site.inject_cycle
+                                    ? div.cycle - run.site.inject_cycle
+                                    : 0;
+  } else if (halt == iss::HaltReason::kStepLimit) {
+    run.record.outcome = fault::Outcome::kHang;
+    run.record.latency_cycles = b_.watchdog_ - run.site.inject_cycle;
+  } else if (states_match(core_, b_.golden_state_, b_.golden_mem_,
+                          b_.cfg_.compare_memory)) {
+    run.record.outcome = fault::Outcome::kSilent;
+  } else {
+    run.record.outcome = fault::Outcome::kLatent;
+  }
+}
+
+std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
+    const std::vector<std::size_t>& indices) {
+  std::vector<Record> records;
+  records.reserve(indices.size());
+  if (b_.batch_size() <= 1) {  // batching off: plain per-site loop
+    for (const std::size_t i : indices) records.push_back(run_site(i));
+    return records;
+  }
+  if (!lanes_ready_) {
+    // Lane 0 is the cursor; one replica lane per potential batch slot.
+    core_.enable_lanes(static_cast<unsigned>(b_.batch_size()) + 1);
+    lane_runs_.resize(b_.batch_size());
+    lanes_ready_ = true;
+  }
+  // Spawn phase: one monotonic cursor pass over the batch's instants
+  // (the engine hands them sorted), one replica clone + arm per site.
+  const unsigned n = static_cast<unsigned>(indices.size());
+  for (unsigned j = 0; j < n; ++j) {
+    spawn_lane(j + 1, b_.sites_[indices[j]]);
+  }
+  // Lockstep rounds: every live lane advances kLockstepChunk cycles per
+  // round; lanes retire individually (divergence / convergence / halt /
+  // hang / watchdog), so a straggler never holds its batch-mates.
+  unsigned live = n;
+  while (live != 0) {
+    for (unsigned j = 0; j < n; ++j) {
+      LaneRun& run = lane_runs_[j];
+      if (run.done) continue;
+      core_.select_lane(j + 1);
+      if (step_lane(run, kLockstepChunk)) --live;
+    }
+  }
+  core_.select_lane(0);  // leave the cursor live for the next batch
+  for (unsigned j = 0; j < n; ++j) {
+    records.push_back(std::move(lane_runs_[j].record));
+  }
+  return records;
 }
 
 fault::CampaignResult RtlCampaignBackend::finish(

@@ -44,6 +44,14 @@ class RtlCampaignBackend {
   u64 site_instant(std::size_t i) const noexcept {
     return sites_[i].inject_cycle;
   }
+
+  /// Sites the engine hands a worker per run_batch call: opts.batch_lanes
+  /// (clamped to kMaxBatchLanes), or 1 — the per-site serial path — when
+  /// batching is off. See Worker::run_batch for the batched algorithm.
+  std::size_t batch_size() const noexcept {
+    const unsigned lanes = std::min(opts_.batch_lanes, kMaxBatchLanes);
+    return lanes > 1 ? lanes : 1;
+  }
   const std::vector<fault::FaultSite>& sites() const noexcept {
     return sites_;
   }
@@ -59,11 +67,69 @@ class RtlCampaignBackend {
     Worker(const RtlCampaignBackend& backend, unsigned shard);
     Record run_site(std::size_t index);
 
+    /// Batched lockstep evaluation of `indices` (the engine passes them
+    /// sorted by injection instant; records come back in the same order).
+    /// Lane 0 of the core is a fault-free *cursor* that walks the golden
+    /// prefix once for the whole batch — restored from the best ladder
+    /// rung (or carried over from the previous batch, the rolling-
+    /// checkpoint analogue) and fast-forwarded monotonically through the
+    /// batch's instants. At each site's instant the cursor state is cloned
+    /// into a replica lane (per-lane node arrays + COW memory; the lane's
+    /// trace starts empty, its golden prefix tracked by length) and the
+    /// site's fault armed on that lane only. The replicas then step in
+    /// lockstep rounds of kLockstepChunk cycles; each lane retires
+    /// individually — on definite write divergence (early stop), golden-
+    /// state convergence at a rung (transients), halt, hang fast-forward
+    /// or watchdog — so one straggler never holds the batch. Outcomes,
+    /// latencies and fault::outcome_hash are bit-identical to run_site's.
+    /// With opts.batch_lanes <= 1 this simply loops run_site.
+    std::vector<Record> run_batch(const std::vector<std::size_t>& indices);
+
    private:
+    /// One in-flight replica lane of a batch: the classification state
+    /// run_site keeps in locals, plus the golden-trace prefix lengths the
+    /// lane inherited from the cursor (its own OffCoreTrace records only
+    /// the faulty suffix).
+    struct LaneRun {
+      fault::FaultSite site;
+      u64 budget = 0;                 ///< remaining faulty-suffix cycles
+      std::size_t prefix_writes = 0;  ///< golden writes before the clone
+      std::size_t matched = 0;        ///< golden-absolute matched writes
+      bool track_writes = false;
+      bool converge = false;
+      bool write_mismatch = false;
+      bool definite_divergence = false;
+      bool scalars_valid = false;
+      bool nodes_valid = false;
+      rtlcore::CoreActivityScalars scalars_prev;
+      std::vector<u32> probe_nodes;
+      bool done = false;
+      Record record;
+    };
+
     /// Position core_ (fault-free) exactly at `inject_cycle`: from the
     /// rolling shard checkpoint or the best ladder rung — whichever is not
     /// ahead of us and closer — or from reset when neither exists.
     void prepare(u64 inject_cycle);
+
+    /// Batched counterpart of prepare(): position the fault-free cursor
+    /// (lane 0, which must be active) at `inject_cycle`, restoring from a
+    /// ladder rung when one is closer than the cursor's current cycle.
+    /// Folds stepped-over trace records into the cursor prefix counters.
+    void cursor_seek(u64 inject_cycle);
+
+    /// Clone the cursor into replica lane `lane`, arm `site`'s fault there
+    /// and initialise its LaneRun. Leaves the cursor lane active.
+    void spawn_lane(unsigned lane, const fault::FaultSite& site);
+
+    /// Step the (active) replica lane of `run` by up to `max_cycles`,
+    /// applying the per-cycle divergence / convergence / hang-probe logic.
+    /// Returns true when the lane retired (run.record is final).
+    bool step_lane(LaneRun& run, u64 max_cycles);
+
+    /// Classify a lane whose stepping loop ended (mirrors run_site's
+    /// epilogue, with the write comparison done suffix-aware).
+    void classify_lane(LaneRun& run, iss::HaltReason halt);
 
     // Stochastic per-run behaviour (none today) must draw from
     // engine::shard_stream(cfg.seed, shard) to stay reshard-stable.
@@ -81,6 +147,18 @@ class RtlCampaignBackend {
     std::size_t checkpoint_reads_ = 0;
     // Scratch buffer for the hang fast-forward fixed-point probe.
     std::vector<u32> probe_nodes_;
+    // Batched mode (lazy: allocated on the first run_batch call). The
+    // cursor is valid once it has been positioned; its golden-trace prefix
+    // lengths stand in for the O(instant) trace the serial path rebuilds
+    // per restore.
+    bool lanes_ready_ = false;
+    bool cursor_valid_ = false;
+    std::size_t cursor_writes_ = 0;
+    // Tracked for parity with the serial rolling checkpoint's bookkeeping,
+    // but never consulted: classification deliberately ignores bus reads
+    // (past reads are diagnostics, not state the core evolves from).
+    std::size_t cursor_reads_ = 0;
+    std::vector<LaneRun> lane_runs_;  ///< slot j drives core lane j + 1
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;

@@ -62,7 +62,15 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
   // drawn back-to-back so the K == 1 draw order (and therefore every
   // pinned single-instant fault list) is bit-identical to the historical
   // one-draw-per-site behaviour.
-  const std::size_t instants = std::max<std::size_t>(1, cfg.instants_per_site);
+  if (cfg.instants_per_site == 0) {
+    // Historically clamped to 1, which let a mistyped CLI argument quietly
+    // shrink the campaign to a different size than requested. 0 trials per
+    // site is never what anyone means — reject it loudly.
+    throw std::invalid_argument(
+        "CampaignConfig::instants_per_site must be >= 1 (every sampled site "
+        "needs at least one injection instant)");
+  }
+  const std::size_t instants = cfg.instants_per_site;
   if (instants > 1 && cfg.inject_time != InjectTime::kUniformRandom) {
     // A deterministic instant would replicate each site K times verbatim:
     // K-fold cost, zero extra information, and per-model stats built from

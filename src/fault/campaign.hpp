@@ -73,8 +73,10 @@ struct CampaignConfig {
   /// study the checkpoint ladder makes affordable. Requires
   /// InjectTime::kUniformRandom when > 1 (build_fault_list throws
   /// otherwise: a deterministic instant would just duplicate each site K
-  /// times). With 1 the fault-list draw order is bit-identical to the
-  /// pre-multi-instant campaigns.
+  /// times). 0 is a configuration error (build_fault_list throws rather
+  /// than silently clamping a mistyped argument to 1). With 1 the
+  /// fault-list draw order is bit-identical to the pre-multi-instant
+  /// campaigns.
   std::size_t instants_per_site = 1;
   u64 seed = 2015;
   InjectTime inject_time = InjectTime::kEarly;

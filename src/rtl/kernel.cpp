@@ -39,6 +39,10 @@ u32 FaultOverlay::apply(u32 raw, u32 bridge_raw) const noexcept {
 
 Sig SimContext::make(const std::string& name, const std::string& unit,
                      u8 width, NodeKind kind) {
+  if (replicas_ != 1) {
+    throw std::logic_error(
+        "SimContext::make: registry is frozen while replicas() > 1");
+  }
   const NodeId id = static_cast<NodeId>(meta_.size());
   meta_.push_back(NodeMeta{name, unit, width, kind});
   by_name_.try_emplace(name, id);  // first registration wins on duplicates
@@ -46,17 +50,75 @@ Sig SimContext::make(const std::string& name, const std::string& unit,
   nxt_.push_back(0);
   mask_.push_back(static_cast<u32>(low_mask64(width)));
   flags_.push_back(0);
+  if (kind == NodeKind::kReg) {
+    if (!commit_spans_.empty() && commit_spans_.back().second == id) {
+      commit_spans_.back().second = id + 1;  // extend the adjacent span
+    } else {
+      commit_spans_.emplace_back(id, id + 1);
+    }
+  }
+  rebind_lane();  // push_back may have reallocated the arrays
   return Sig(this, id);
+}
+
+void SimContext::set_replicas(std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("set_replicas: need at least one lane");
+  }
+  for (const std::vector<ArmedFault>& lane : armed_) {
+    if (!lane.empty()) {
+      throw std::logic_error(
+          "set_replicas: clear all armed faults on every lane first");
+    }
+  }
+  const std::size_t n = meta_.size();
+  cur_.resize(count * n);
+  nxt_.resize(count * n);
+  flags_.resize(count * n);
+  // New lanes start as copies of lane 0 (typically the reset state).
+  if (n != 0) {
+    for (std::size_t lane = replicas_; lane < count; ++lane) {
+      std::memcpy(cur_.data() + lane * n, cur_.data(), n * sizeof(u32));
+      std::memcpy(nxt_.data() + lane * n, nxt_.data(), n * sizeof(u32));
+      std::memset(flags_.data() + lane * n, 0, n);
+    }
+  }
+  replicas_ = count;
+  armed_.resize(count);
+  active_ = 0;
+  rebind_lane();
+}
+
+void SimContext::set_active_lane(std::size_t lane) {
+  if (lane >= replicas_) {
+    throw std::out_of_range("set_active_lane: no such lane");
+  }
+  active_ = lane;
+  rebind_lane();
+}
+
+void SimContext::copy_lane(std::size_t dst, std::size_t src) {
+  if (dst >= replicas_ || src >= replicas_) {
+    throw std::out_of_range("copy_lane: no such lane");
+  }
+  if (dst == src) return;
+  const std::size_t n = meta_.size();
+  if (n != 0) {
+    std::memcpy(cur_.data() + dst * n, cur_.data() + src * n, n * sizeof(u32));
+    std::memcpy(nxt_.data() + dst * n, nxt_.data() + src * n, n * sizeof(u32));
+    std::memcpy(flags_.data() + dst * n, flags_.data() + src * n, n);
+  }
+  armed_[dst] = armed_[src];
 }
 
 u32 SimContext::raw_value(NodeId id) const {
   check_id(id);
-  if (flags_[id] & kFlagOverlay) {
-    for (const ArmedFault& f : armed_) {
+  if (flags_l_[id] & kFlagOverlay) {
+    for (const ArmedFault& f : armed()) {
       if (f.id == id) return f.shadow;
     }
   }
-  return cur_[id];
+  return cur_l_[id];
 }
 
 u64 SimContext::injectable_bits(const std::string& unit_prefix) const {
@@ -90,33 +152,38 @@ u32 SimContext::apply_overlay(const ArmedFault& f) const noexcept {
 }
 
 void SimContext::write_slow(NodeId id, u32 masked) noexcept {
-  nxt_[id] = masked;
-  if (flags_[id] & kFlagOverlay) {
-    for (ArmedFault& f : armed_) {
+  nxt_l_[id] = masked;
+  if (flags_l_[id] & kFlagOverlay) {
+    for (ArmedFault& f : armed()) {
       if (f.id == id) {
         f.shadow = masked;
-        cur_[id] = apply_overlay(f);
+        cur_l_[id] = apply_overlay(f);
         break;
       }
     }
   } else {
-    cur_[id] = masked;
+    cur_l_[id] = masked;
   }
-  if (flags_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
+  if (flags_l_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
 }
 
 void SimContext::refresh_bridges_from(NodeId aggressor) noexcept {
-  for (const ArmedFault& f : armed_) {
-    if (f.overlay.bridge_src == aggressor) cur_[f.id] = apply_overlay(f);
+  for (const ArmedFault& f : armed()) {
+    if (f.overlay.bridge_src == aggressor) cur_l_[f.id] = apply_overlay(f);
   }
 }
 
 void SimContext::reapply_overlays() noexcept {
-  // Two passes: cur_ holds raw values for every armed node right after a
-  // bulk copy/clear, so capture all shadows first, then patch — bridge
-  // overlays then read consistent aggressor raw values via raw_value().
-  for (ArmedFault& f : armed_) f.shadow = cur_[f.id];
-  for (const ArmedFault& f : armed_) cur_[f.id] = apply_overlay(f);
+  // Two passes: capture all shadows first, then patch — bridge overlays
+  // then read consistent aggressor raw values via raw_value(). Shadows are
+  // read from the next-value array, which holds every node's *raw* value
+  // at each bulk-operation boundary (commit copies it into cur for
+  // registers; wires keep nxt == raw by the write-through discipline; the
+  // zero/load bulk ops fill both arrays) — the current-value slot of an
+  // armed wire still carries the overlay at this point and must not leak
+  // into its shadow.
+  for (ArmedFault& f : armed()) f.shadow = nxt_l_[f.id];
+  for (const ArmedFault& f : armed()) cur_l_[f.id] = apply_overlay(f);
 }
 
 void SimContext::arm_fault(NodeId id, FaultModel model, u8 bit) {
@@ -134,27 +201,27 @@ void SimContext::arm_fault_mask(NodeId id, FaultModel model, u32 mask) {
   if (mask == 0 || (mask & ~mask_[id]) != 0) {
     throw std::out_of_range("arm_fault_mask: mask outside node width");
   }
-  if (flags_[id] & kFlagOverlay) {
+  if (flags_l_[id] & kFlagOverlay) {
     throw std::logic_error("arm_fault: node already has a fault: " + name(id));
   }
   if (model == FaultModel::kTransientBitFlip) {
     // One-shot: disturb the stored value (and the pending next value for
     // registers, as a particle strike would hit the flop master+slave).
-    cur_[id] ^= mask;
-    nxt_[id] ^= mask;
-    if (flags_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
+    cur_l_[id] ^= mask;
+    nxt_l_[id] ^= mask;
+    if (flags_l_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
     return;
   }
   ArmedFault f;
   f.id = id;
-  f.shadow = cur_[id];  // unfaulted until now: cur_ holds the raw value
+  f.shadow = cur_l_[id];  // unfaulted until now: the lane holds the raw value
   f.overlay.model = model;
   f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
   f.overlay.mask = mask;
   f.overlay.frozen = f.shadow & mask;
-  flags_[id] |= kFlagOverlay;
-  cur_[id] = apply_overlay(f);
-  armed_.push_back(f);
+  flags_l_[id] |= kFlagOverlay;
+  cur_l_[id] = apply_overlay(f);
+  armed().push_back(f);
 }
 
 void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
@@ -166,32 +233,32 @@ void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
   if (mask == 0 || (mask & ~mask_[victim]) != 0) {
     throw std::out_of_range("arm_bridge: mask outside victim width");
   }
-  if (flags_[victim] & kFlagOverlay) {
+  if (flags_l_[victim] & kFlagOverlay) {
     throw std::logic_error("arm_bridge: node already has a fault: " +
                            name(victim));
   }
   ArmedFault f;
   f.id = victim;
-  f.shadow = cur_[victim];
+  f.shadow = cur_l_[victim];
   f.overlay.model = FaultModel::kBridge;
   f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
   f.overlay.mask = mask;
   f.overlay.bridge_src = aggressor;
-  flags_[victim] |= kFlagOverlay;
-  flags_[aggressor] |= kFlagBridgeSrc;
-  armed_.push_back(f);
-  cur_[victim] = apply_overlay(armed_.back());
+  flags_l_[victim] |= kFlagOverlay;
+  flags_l_[aggressor] |= kFlagBridgeSrc;
+  armed().push_back(f);
+  cur_l_[victim] = apply_overlay(armed().back());
 }
 
 void SimContext::clear_faults() {
-  for (const ArmedFault& f : armed_) {
-    cur_[f.id] = f.shadow;  // restore the raw value
-    flags_[f.id] &= static_cast<u8>(~kFlagOverlay);
+  for (const ArmedFault& f : armed()) {
+    cur_l_[f.id] = f.shadow;  // restore the raw value
+    flags_l_[f.id] &= static_cast<u8>(~kFlagOverlay);
     if (f.overlay.bridge_src != kNoNode) {
-      flags_[f.overlay.bridge_src] &= static_cast<u8>(~kFlagBridgeSrc);
+      flags_l_[f.overlay.bridge_src] &= static_cast<u8>(~kFlagBridgeSrc);
     }
   }
-  armed_.clear();
+  armed().clear();
 }
 
 std::vector<u32> SimContext::save_values() const {
@@ -201,22 +268,22 @@ std::vector<u32> SimContext::save_values() const {
 }
 
 void SimContext::save_values_into(std::vector<u32>& out) const {
-  out.resize(cur_.size());
-  if (!cur_.empty()) {
-    std::memcpy(out.data(), cur_.data(), cur_.size() * sizeof(u32));
+  out.resize(meta_.size());
+  if (!meta_.empty()) {
+    std::memcpy(out.data(), cur_l_, meta_.size() * sizeof(u32));
   }
 }
 
 void SimContext::load_values(const std::vector<u32>& values) {
-  if (values.size() != cur_.size()) {
+  if (values.size() != meta_.size()) {
     throw std::invalid_argument(
         "load_values: checkpoint taken on a different registry");
   }
-  if (!cur_.empty()) {
-    std::memcpy(cur_.data(), values.data(), cur_.size() * sizeof(u32));
-    std::memcpy(nxt_.data(), values.data(), nxt_.size() * sizeof(u32));
+  if (!meta_.empty()) {
+    std::memcpy(cur_l_, values.data(), meta_.size() * sizeof(u32));
+    std::memcpy(nxt_l_, values.data(), meta_.size() * sizeof(u32));
   }
-  if (!armed_.empty()) reapply_overlays();
+  if (!armed().empty()) reapply_overlays();
 }
 
 }  // namespace issrtl::rtl

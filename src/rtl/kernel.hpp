@@ -9,9 +9,11 @@
 // Storage is structure-of-arrays: the hot per-node state (current value, next
 // value, width mask) lives in three contiguous u32 arrays indexed by NodeId,
 // while names/units/kinds/widths sit in a cold side table. That makes the
-// per-cycle work a dense array problem: commit_all() is a single memcpy of
-// the next-value array, and the checkpoint / hang-fast-forward probes
-// (save_values / values_equal) are memcpy/memcmp over one 4·N-byte array.
+// per-cycle work a dense array problem: commit_all() is a handful of memcpys
+// over the register-covering spans of the next-value array (wires hold
+// cur == nxt by the write-through discipline and need no copy), and the
+// checkpoint / hang-fast-forward probes (save_values / values_equal) are
+// memcpy/memcmp over one 4·N-byte array.
 //
 // Simulation discipline: single-pass combinational evaluation per cycle in
 // module-defined dataflow order, followed by a register commit (two-phase,
@@ -23,12 +25,24 @@
 // write-through at every point the raw value can change (w/poke on the node,
 // writes to a bridge aggressor, commit_all, zero_all, load_values). A faulted
 // node corrupts every consumer, whether wire or flop, exactly as before.
+//
+// Replica lanes: the hot state optionally carries a batch dimension. A
+// context with R replicas stores R lane-major copies of the cur/nxt/flags
+// arrays (lane l's node id occupies slot l*N + id) while the cold side
+// table, the name index and the width mask stay shared. Exactly one lane is
+// *active* at a time; every accessor — Sig reads and writes, commit_all,
+// save/load/compare, fault arming — addresses the active lane through a
+// cached base pointer, so the unfaulted hot path is still a single indexed
+// load. Armed faults are per-lane (each lane has its own overlay list and
+// flag slice), which is what lets a batched campaign evaluate N different
+// fault sites against replicas of the same netlist in lockstep.
 #pragma once
 
 #include <cstring>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -60,9 +74,6 @@ class Sig {
   /// Schedule a register's next value (visible after commit_all()).
   void n(u32 v) noexcept;
 
-  /// Copy current (possibly faulted) value of `src` into this reg's next.
-  void n_from(const Sig& src) noexcept { n(src.r()); }
-
   /// Raw (un-faulted) value — used by state inspection only.
   u32 raw() const noexcept;
 
@@ -90,7 +101,9 @@ class SimContext {
 
   /// Create a node. `unit` is a hierarchical tag like "iu.alu" or
   /// "cmem.dcache"; the top-level component (before the dot) groups nodes
-  /// for the IU/CMEM campaigns and for α_m computation.
+  /// for the IU/CMEM campaigns and for α_m computation. The registry is
+  /// frozen while replicas() > 1 (throws std::logic_error): growing it
+  /// would re-stride every lane.
   Sig make(const std::string& name, const std::string& unit, u8 width,
            NodeKind kind);
 
@@ -102,6 +115,34 @@ class SimContext {
   }
 
   std::size_t node_count() const noexcept { return meta_.size(); }
+
+  // ---- replica lanes (batched evaluation) ----------------------------------
+
+  /// Number of replica lanes (1 unless set_replicas() grew the context).
+  std::size_t replicas() const noexcept { return replicas_; }
+
+  /// Lane all accessors currently address.
+  std::size_t active_lane() const noexcept { return active_; }
+
+  /// Grow (or shrink) the hot state to `count` replica lanes. Every lane
+  /// starts as a copy of lane 0's current values; the cold side table and
+  /// the width masks stay shared. Requires a fully built registry with no
+  /// armed fault on any lane (throws std::logic_error otherwise — an
+  /// overlay's shadow slot is lane state and must not be duplicated
+  /// implicitly); node registration is frozen while replicas() > 1. The
+  /// active lane is reset to 0.
+  void set_replicas(std::size_t count);
+
+  /// Switch every accessor (Sig reads/writes, commit/save/load/compare,
+  /// fault arming) to lane `lane`. O(1): swaps the cached lane base
+  /// pointers. Throws std::out_of_range on a bad lane.
+  void set_active_lane(std::size_t lane);
+
+  /// Overwrite lane `dst` with a full copy of lane `src`: current and next
+  /// values, flags and the armed-overlay list (shadow slots included), so
+  /// `dst` becomes bit-identical to `src` — including any armed faults.
+  /// The active lane is unchanged. Throws std::out_of_range on bad lanes.
+  void copy_lane(std::size_t dst, std::size_t src);
 
   /// Handle to an existing node; throws std::out_of_range on a bad id.
   Sig node(NodeId id) {
@@ -115,8 +156,12 @@ class SimContext {
   u8 width(NodeId id) const { return meta_.at(id).width; }
   NodeKind kind(NodeId id) const { return meta_.at(id).kind; }
 
-  /// Node value as consumers see it / raw (unfaulted) node value.
-  u32 value(NodeId id) const { return cur_.at(id); }
+  /// Node value as consumers see it / raw (unfaulted) node value, read from
+  /// the active lane.
+  u32 value(NodeId id) const {
+    check_id(id);
+    return cur_l_[id];
+  }
   u32 raw_value(NodeId id) const;
 
   /// Total injectable bits in nodes whose unit starts with `unit_prefix`
@@ -138,10 +183,12 @@ class SimContext {
   /// and no overlay stays armed, which is what makes the engine's
   /// golden-state convergence cut-off sound for transients).
   ///
-  /// Single-armed-fault invariant: at most one overlay per node — arming a
-  /// node that already carries one throws std::logic_error. The write-
-  /// through patching scheme stores exactly one shadow raw value per armed
-  /// node; a second overlay would corrupt the shadow on clear. Campaign
+  /// Single-armed-fault invariant: at most one overlay per node *per lane*
+  /// — arming a node that already carries one in the active lane throws
+  /// std::logic_error. The write-through patching scheme stores exactly one
+  /// shadow raw value per armed node; a second overlay would corrupt the
+  /// shadow on clear. Faults armed on one lane are invisible to every other
+  /// lane (each lane has its own flag slice and overlay list). Campaign
   /// code upholds the stronger form (one armed fault per *run*, cleared
   /// via clear_faults() before the next prepare), matching the paper's
   /// single-fault assumption.
@@ -156,32 +203,37 @@ class SimContext {
   /// that requires saboteur instrumentation in VHDL flows [2].
   void arm_bridge(NodeId victim, NodeId aggressor, u32 mask);
 
-  /// Remove all armed faults (between campaign runs).
+  /// Remove all faults armed on the active lane (between campaign runs).
   void clear_faults();
 
-  /// Commit every register (clock edge). The next-value array mirrors the
-  /// current-value array for wires, so the whole commit is one memcpy; armed
-  /// overlays are re-applied afterwards (the copy exposes raw next values).
+  /// Commit every register of the active lane (clock edge). Wires always
+  /// satisfy cur == nxt — w()/poke() write through both arrays, and n() is
+  /// meaningful only for registers — so the commit copies just the
+  /// register-covering NodeId spans (registers cluster by construction
+  /// order, so this is a handful of memcpys over a fraction of the array
+  /// instead of one full-array copy). The lane's armed overlays are
+  /// re-applied afterwards (the copy exposes raw next values).
   void commit_all() noexcept {
-    if (!cur_.empty()) {
-      std::memcpy(cur_.data(), nxt_.data(), cur_.size() * sizeof(u32));
+    for (const auto& [begin, end] : commit_spans_) {
+      std::memcpy(cur_l_ + begin, nxt_l_ + begin,
+                  (end - begin) * sizeof(u32));
     }
-    if (!armed_.empty()) reapply_overlays();
+    if (!armed().empty()) reapply_overlays();
   }
 
-  /// Reset all node values to zero (does not clear faults).
+  /// Reset the active lane's node values to zero (does not clear faults).
   void zero_all() noexcept {
-    if (!cur_.empty()) {
-      std::memset(cur_.data(), 0, cur_.size() * sizeof(u32));
-      std::memset(nxt_.data(), 0, nxt_.size() * sizeof(u32));
+    if (!meta_.empty()) {
+      std::memset(cur_l_, 0, meta_.size() * sizeof(u32));
+      std::memset(nxt_l_, 0, meta_.size() * sizeof(u32));
     }
-    if (!armed_.empty()) reapply_overlays();
+    if (!armed().empty()) reapply_overlays();
   }
 
-  /// Values of every node in registry order — the node half of a core
-  /// checkpoint. Meaningful only at a cycle boundary (after commit_all),
-  /// where registers satisfy cur == nxt. With no fault armed (the
-  /// checkpoint contract) these are raw values; with faults armed the
+  /// Values of every node of the active lane in registry order — the node
+  /// half of a core checkpoint. Meaningful only at a cycle boundary (after
+  /// commit_all), where registers satisfy cur == nxt. With no fault armed
+  /// (the checkpoint contract) these are raw values; with faults armed the
   /// armed nodes' entries are their as-read values, which is exactly what
   /// the per-cycle fixed-point probe wants to compare.
   std::vector<u32> save_values() const;
@@ -189,18 +241,38 @@ class SimContext {
   /// Allocation-free variant for per-cycle probing (hang fast-forward).
   void save_values_into(std::vector<u32>& out) const;
 
-  /// Comparison against a save_values() capture: one memcmp, no copy.
-  /// A size mismatch (foreign registry) compares unequal.
+  /// Comparison of the active lane against a save_values() capture: one
+  /// per-lane memcmp, no copy. A size mismatch (foreign registry) compares
+  /// unequal.
   bool values_equal(const std::vector<u32>& values) const noexcept {
-    return values.size() == cur_.size() &&
-           (cur_.empty() ||
-            std::memcmp(values.data(), cur_.data(),
-                        cur_.size() * sizeof(u32)) == 0);
+    return values.size() == meta_.size() &&
+           (meta_.empty() ||
+            std::memcmp(values.data(), cur_l_,
+                        meta_.size() * sizeof(u32)) == 0);
   }
 
-  /// Restore node values captured by save_values() on an identical registry
-  /// (same module construction order). Does not touch armed faults; callers
-  /// clear_faults() first. Throws std::invalid_argument on a size mismatch.
+  /// Schedule a ranged register copy on the active lane: nxt[dst+i] =
+  /// cur[src+i] for i in [0, count). Equivalent to count next(dst+i,
+  /// cur[src+i]) calls for module layouts where the two ranges pair nodes
+  /// of equal width (current values are always within their width mask, so
+  /// no re-masking is needed) — the pipeline-latch copy, vectorized.
+  /// Reads see the source's fault overlay (cur is the as-consumed value);
+  /// an overlay on a destination register is re-applied at commit exactly
+  /// like for next(). Bounds-checked; width pairing is the caller's
+  /// contract.
+  void copy_next_range(NodeId dst, NodeId src, std::size_t count) {
+    if (count == 0) return;
+    check_id(static_cast<NodeId>(dst + count - 1));
+    check_id(static_cast<NodeId>(src + count - 1));
+    for (std::size_t i = 0; i < count; ++i) {
+      nxt_l_[dst + i] = cur_l_[src + i];
+    }
+  }
+
+  /// Restore the active lane's node values from a save_values() capture
+  /// taken on an identical registry (same module construction order). Does
+  /// not touch armed faults; callers clear_faults() first. Throws
+  /// std::invalid_argument on a size mismatch.
   void load_values(const std::vector<u32>& values);
 
  private:
@@ -225,38 +297,65 @@ class SimContext {
 
   void check_id(NodeId id) const { (void)meta_.at(id); }
 
+  /// Armed-overlay list of the active lane.
+  std::vector<ArmedFault>& armed() noexcept { return armed_[active_]; }
+  const std::vector<ArmedFault>& armed() const noexcept {
+    return armed_[active_];
+  }
+
+  /// Re-derive the cached active-lane base pointers (after registration,
+  /// reallocation, or a lane switch).
+  void rebind_lane() noexcept {
+    const std::size_t base = active_ * meta_.size();
+    cur_l_ = cur_.data() + base;
+    nxt_l_ = nxt_.data() + base;
+    flags_l_ = flags_.data() + base;
+  }
+
   // Hot per-node write: fast path is two stores; only armed nodes and
-  // bridge aggressors (flags_ != 0) take the overlay slow path.
+  // bridge aggressors (flags != 0 in the active lane) take the overlay
+  // slow path.
   void write(NodeId id, u32 v) noexcept {
     v &= mask_[id];
-    if (flags_[id] != 0) [[unlikely]] {
+    if (flags_l_[id] != 0) [[unlikely]] {
       write_slow(id, v);
       return;
     }
-    cur_[id] = v;
-    nxt_[id] = v;
+    cur_l_[id] = v;
+    nxt_l_[id] = v;
   }
-  void next(NodeId id, u32 v) noexcept { nxt_[id] = v & mask_[id]; }
+  void next(NodeId id, u32 v) noexcept { nxt_l_[id] = v & mask_[id]; }
 
   void write_slow(NodeId id, u32 masked) noexcept;
   void reapply_overlays() noexcept;
   void refresh_bridges_from(NodeId aggressor) noexcept;
   u32 apply_overlay(const ArmedFault& f) const noexcept;
 
-  // Hot structure-of-arrays state, indexed by NodeId.
+  // Hot structure-of-arrays state: replicas_ lane-major copies, lane l's
+  // node id at slot l*N + id. The *_l_ pointers cache the active lane's
+  // base so the unfaulted read path stays a single indexed load.
   std::vector<u32> cur_;   ///< value consumers see (overlay pre-applied)
   std::vector<u32> nxt_;   ///< raw next value (mirrors cur_ for wires)
-  std::vector<u32> mask_;  ///< low_mask64(width)
   std::vector<u8> flags_;
+  std::vector<u32> mask_;  ///< low_mask64(width); shared by every lane
+  u32* cur_l_ = nullptr;
+  u32* nxt_l_ = nullptr;
+  u8* flags_l_ = nullptr;
+  std::size_t replicas_ = 1;
+  std::size_t active_ = 0;
 
-  // Cold side table + name index.
+  // Cold side table + name index (shared by every lane).
   std::vector<NodeMeta> meta_;
   std::unordered_map<std::string, NodeId> by_name_;
 
-  std::vector<ArmedFault> armed_;
+  // Register-covering [begin, end) NodeId spans, maintained by make():
+  // the only part of the value arrays a clock edge must copy.
+  std::vector<std::pair<NodeId, NodeId>> commit_spans_;
+
+  std::vector<std::vector<ArmedFault>> armed_{1};  ///< one list per lane
 };
 
-inline u32 Sig::r() const noexcept { return ctx_->cur_[id_]; }
+inline u32 Sig::r() const noexcept { return ctx_->cur_l_[id_]; }
 inline void Sig::w(u32 v) noexcept { ctx_->write(id_, v); }
 inline void Sig::n(u32 v) noexcept { ctx_->next(id_, v); }
 inline u32 Sig::raw() const noexcept { return ctx_->raw_value(id_); }

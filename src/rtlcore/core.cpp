@@ -1,5 +1,8 @@
 #include "rtlcore/core.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace issrtl::rtlcore {
 
 using isa::DecodedInst;
@@ -15,35 +18,29 @@ PipeSlot PipeSlot::create(rtl::SimContext& ctx, const std::string& stage) {
   auto sig = [&](const char* n, u8 w) -> rtl::Sig {
     return ctx.reg(stage + "_" + n, u, w);
   };
-  return PipeSlot{
+  PipeSlot slot{
       sig("valid", 1), sig("pc", 32),    sig("inst", 32),  sig("a", 32),
       sig("b", 32),    sig("sdata", 32), sig("sdata2", 32), sig("dphys", 8),
       sig("dphys2", 8), sig("wreg", 1),  sig("wreg2", 1),  sig("res", 32),
       sig("res2", 32), sig("addr", 32),  sig("trap", 4),   sig("tcode", 8),
       0};
+  // load_from copies the latch as one kFieldCount-node range starting at
+  // valid — a field added, removed or registered out of line would make
+  // that ranged copy silently latch the wrong window. Fail construction
+  // instead.
+  if (slot.tcode.id() != slot.valid.id() + kFieldCount - 1) {
+    throw std::logic_error("PipeSlot::create: field layout does not span "
+                           "kFieldCount consecutive nodes");
+  }
+  return slot;
 }
 
 void PipeSlot::bubble() { valid.n(0); }
 
 void PipeSlot::hold() { /* registers hold by default (nxt == cur) */ }
 
-void PipeSlot::load_from(const PipeSlot& src) {
-  valid.n_from(src.valid);
-  pc.n_from(src.pc);
-  inst.n_from(src.inst);
-  a.n_from(src.a);
-  b.n_from(src.b);
-  sdata.n_from(src.sdata);
-  sdata2.n_from(src.sdata2);
-  dphys.n_from(src.dphys);
-  dphys2.n_from(src.dphys2);
-  wreg.n_from(src.wreg);
-  wreg2.n_from(src.wreg2);
-  res.n_from(src.res);
-  res2.n_from(src.res2);
-  addr.n_from(src.addr);
-  trap.n_from(src.trap);
-  tcode.n_from(src.tcode);
+void PipeSlot::load_from(rtl::SimContext& ctx, const PipeSlot& src) {
+  ctx.copy_next_range(valid.id(), src.valid.id(), kFieldCount);
   seq = src.seq;
 }
 
@@ -82,6 +79,10 @@ Leon3Core::Leon3Core(Memory& mem, const CoreConfig& cfg)
   rf_ = std::make_unique<RegFile>(ctx_);
   icache_ = std::make_unique<Cache>(ctx_, "cmem.icache", cfg.icache, mem_, bus_);
   dcache_ = std::make_unique<Cache>(ctx_, "cmem.dcache", cfg.dcache, mem_, bus_);
+  // Seed the decode memo so the all-zero entries are genuine (word 0 is a
+  // real encoding — UNIMP — and must not alias the default-constructed
+  // DecodedInst).
+  for (DecodeEntry& e : decode_cache_) e.inst = isa::decode(0);
 }
 
 void Leon3Core::load(const isa::Program& prog) {
@@ -189,7 +190,7 @@ bool Leon3Core::eval_xc() {
       }
       return false;
     }
-    wb_.load_from(xc_);
+    wb_.load_from(ctx_, xc_);
   } else {
     wb_.bubble();
   }
@@ -205,14 +206,14 @@ void Leon3Core::eval_me(bool /*xc_free*/) {
     me_stalled_ = false;
     return;
   }
-  const DecodedInst d = isa::decode(me_.inst.r());
+  const DecodedInst& d = decode_cached(me_.inst.r());
   const bool is_mem =
       me_.trap.r() == 0 &&
       (d.iclass == InstClass::kLoad || d.iclass == InstClass::kStore ||
        d.iclass == InstClass::kAtomic);
 
   if (!is_mem) {
-    xc_.load_from(me_);
+    xc_.load_from(ctx_, me_);
     me_stalled_ = false;
     return;
   }
@@ -254,7 +255,7 @@ void Leon3Core::eval_me(bool /*xc_free*/) {
     }
   };
 
-  xc_.load_from(me_);
+  xc_.load_from(ctx_, me_);
   switch (d.opcode) {
     case Opcode::kLD: xc_.res.n(w0); break;
     case Opcode::kLDUB: xc_.res.n(lane8(w0)); break;
@@ -610,7 +611,7 @@ void Leon3Core::eval_ex(bool me_free) {
     ex_free_ = false;
     return;
   }
-  const DecodedInst d = isa::decode(ex_.inst.r());
+  const DecodedInst& d = decode_cached(ex_.inst.r());
 
   // Multicycle execute (mul/div occupy EX for several cycles).
   if (ex_.trap.r() == 0 && is_multicycle(d)) {
@@ -634,7 +635,7 @@ void Leon3Core::eval_ex(bool me_free) {
     }
   }
 
-  me_.load_from(ex_);
+  me_.load_from(ctx_, ex_);
   if (ex_.trap.r() == 0) {
     do_ex_compute(ex_, d);
   }
@@ -703,13 +704,16 @@ void Leon3Core::eval_ra(bool ex_free) {
     return;
   }
 
-  const DecodedInst d = isa::decode(ra_.inst.r());
+  // By value: the interlock below performs a second memo lookup (EX's
+  // word), which may evict this entry from the direct-mapped cache while
+  // `d` is still needed.
+  const DecodedInst d = decode_cached(ra_.inst.r());
   const unsigned cwp = cwp_.r();
 
   // Interlocks: pending CWP update (save/restore in EX) serialises register
   // access; scoreboard covers RAW hazards against all in-flight writers.
   if (ex_.valid.rb() && ex_.trap.r() == 0) {
-    const DecodedInst dex = isa::decode(ex_.inst.r());
+    const DecodedInst& dex = decode_cached(ex_.inst.r());
     if (dex.iclass == InstClass::kSaveRestore) {
       ex_.bubble();
       ra_consumed_ = false;
@@ -726,7 +730,7 @@ void Leon3Core::eval_ra(bool ex_free) {
   }
 
   // Read operands and resolve destination mapping.
-  ex_.load_from(ra_);
+  ex_.load_from(ctx_, ra_);
   ex_.a.n(rf_->read(d.rs1, cwp));
   ex_.b.n(d.uses_imm ? static_cast<u32>(d.simm13) : rf_->read(d.rs2, cwp));
   if (d.iclass == InstClass::kStore || d.iclass == InstClass::kAtomic) {
@@ -781,7 +785,7 @@ void Leon3Core::eval_de(bool ra_free) {
     de_consumed_ = true;
     return;
   }
-  ra_.load_from(de_);
+  ra_.load_from(ctx_, de_);
   de_consumed_ = true;
 }
 
@@ -944,6 +948,93 @@ void Leon3Core::restore(const CoreCheckpoint& ck) {
   ex_free_ = false;
   ra_consumed_ = false;
   de_consumed_ = false;
+}
+
+void Leon3Core::enable_lanes(unsigned count) {
+  ctx_.set_replicas(count);  // validates count >= 1 and no armed faults
+  lanes_.resize(count);
+  active_lane_ = 0;
+}
+
+void Leon3Core::save_lane_scalars(CoreLaneState& slot) const {
+  slot.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+  slot.cycle = cycle_;
+  slot.instret = instret_;
+  slot.next_fetch_seq = next_fetch_seq_;
+  slot.redirect_after_seq = redirect_after_seq_;
+  slot.annul_seq = annul_seq_;
+  slot.halt = halt_;
+  slot.trap_code = trap_code_;
+  slot.icache_hits = icache_->hits();
+  slot.icache_misses = icache_->misses();
+  slot.dcache_hits = dcache_->hits();
+  slot.dcache_misses = dcache_->misses();
+}
+
+void Leon3Core::park_lane(CoreLaneState& slot) {
+  save_lane_scalars(slot);
+  // Swaps, not copies: the slot's previous trace/memory contents are the
+  // stale leftovers of this lane's last unpark and are dead either way.
+  std::swap(slot.bus, bus_);
+  std::swap(slot.mem, mem_);
+}
+
+void Leon3Core::unpark_lane(CoreLaneState& slot) {
+  de_.seq = slot.slot_seq[0];
+  ra_.seq = slot.slot_seq[1];
+  ex_.seq = slot.slot_seq[2];
+  me_.seq = slot.slot_seq[3];
+  xc_.seq = slot.slot_seq[4];
+  wb_.seq = slot.slot_seq[5];
+  cycle_ = slot.cycle;
+  instret_ = slot.instret;
+  next_fetch_seq_ = slot.next_fetch_seq;
+  redirect_after_seq_ = slot.redirect_after_seq;
+  annul_seq_ = slot.annul_seq;
+  halt_ = slot.halt;
+  trap_code_ = slot.trap_code;
+  icache_->restore_stats(slot.icache_hits, slot.icache_misses);
+  dcache_->restore_stats(slot.dcache_hits, slot.dcache_misses);
+  std::swap(slot.bus, bus_);
+  std::swap(slot.mem, mem_);
+}
+
+void Leon3Core::select_lane(unsigned lane) {
+  if (lane >= lanes_.size() && !(lane == 0 && lanes_.empty())) {
+    throw std::out_of_range("select_lane: no such lane");
+  }
+  if (lane == active_lane_) return;
+  park_lane(lanes_[active_lane_]);
+  unpark_lane(lanes_[lane]);
+  ctx_.set_active_lane(lane);
+  active_lane_ = lane;
+  // Per-cycle handshake scratch: recomputed at the top of every step();
+  // cleared like restore() so a lane switch lands on a clean cycle boundary.
+  kill_valid_ = false;
+  annul_exact_valid_ = false;
+  immediate_redirect_ = false;
+  me_stalled_ = false;
+  ex_free_ = false;
+  ra_consumed_ = false;
+  de_consumed_ = false;
+}
+
+void Leon3Core::clone_active_lane_to(unsigned dst) {
+  if (dst >= lanes_.size()) {
+    throw std::out_of_range("clone_active_lane_to: no such lane");
+  }
+  if (dst == active_lane_) return;
+  ctx_.copy_lane(dst, active_lane_);
+  CoreLaneState& slot = lanes_[dst];
+  save_lane_scalars(slot);
+  slot.bus.clear();
+  slot.mem = mem_.clone();
+}
+
+void Leon3Core::drain_trace_counts(std::size_t& writes, std::size_t& reads) {
+  writes += bus_.writes().size();
+  reads += bus_.reads().size();
+  bus_.clear();
 }
 
 CoreActivityScalars Leon3Core::activity_scalars() const {

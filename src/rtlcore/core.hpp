@@ -15,6 +15,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bus.hpp"
 #include "common/memory.hpp"
@@ -71,8 +72,14 @@ struct PipeSlot {
 
   static PipeSlot create(rtl::SimContext& ctx, const std::string& stage);
   void bubble();               ///< schedule this latch to be empty next cycle
-  void load_from(const PipeSlot& src);  ///< schedule copy of src's packet
+  /// Schedule a copy of src's packet. The 16 latch fields are consecutive
+  /// registry nodes in identical order (create() registers them
+  /// back-to-back), so the copy is one ranged next-array write.
+  void load_from(rtl::SimContext& ctx, const PipeSlot& src);
   void hold();                 ///< keep current contents next cycle
+
+  /// Latch fields per slot (consecutive NodeIds starting at valid.id()).
+  static constexpr std::size_t kFieldCount = 16;
 };
 
 /// Copyable checkpoint of a Leon3Core at a cycle boundary: every node value
@@ -116,6 +123,27 @@ struct CoreActivityScalars {
   std::size_t bus_reads = 0;
 
   bool operator==(const CoreActivityScalars&) const = default;
+};
+
+/// Host-side half of one replica lane for batched evaluation: everything a
+/// Leon3Core cycle reads besides the node registry — the bookkeeping
+/// scalars, the per-lane off-core trace and the per-lane memory image. The
+/// node half lives in the rtl::SimContext's replica arrays. Inactive lanes
+/// park their trace/memory here; select_lane() swaps them with the core's
+/// live members in O(1).
+struct CoreLaneState {
+  std::array<u64, 6> slot_seq{};  ///< fetch-order tags of de/ra/ex/me/xc/wb
+  u64 cycle = 0;
+  u64 instret = 0;
+  u64 next_fetch_seq = 1;
+  u64 redirect_after_seq = 0;
+  u64 annul_seq = 0;
+  iss::HaltReason halt = iss::HaltReason::kRunning;
+  u8 trap_code = 0;
+  u64 icache_hits = 0, icache_misses = 0;
+  u64 dcache_hits = 0, dcache_misses = 0;
+  OffCoreTrace bus;  ///< parked per-lane trace (suffix since the lane clone)
+  Memory mem;        ///< parked per-lane memory image
 };
 
 /// The RTL core + CMEM + bus, executing the same programs as iss::Emulator.
@@ -172,8 +200,48 @@ class Leon3Core {
   void restore(const CoreCheckpoint& ck, const OffCoreTrace& trace_src,
                std::size_t writes, std::size_t reads);
 
-  /// The cheap half of the activity fingerprint (no node traversal).
+  /// The cheap half of the activity fingerprint (no node traversal). In
+  /// batched mode the bus counters are relative to the active lane's trace,
+  /// which holds only the records since the lane was cloned; callers that
+  /// compare against golden-absolute counts add the lane's prefix length.
   CoreActivityScalars activity_scalars() const;
+
+  // ---- batched lockstep evaluation (replica lanes) -------------------------
+
+  /// Grow the core to `count` replica lanes (node state in the SimContext's
+  /// replica arrays, host state in CoreLaneState slots). Lane 0 stays
+  /// active and keeps the current state; new lanes start as copies of it
+  /// with an empty trace and an empty parked memory image — populate them
+  /// with clone_active_lane_to(). Requires no armed fault on any lane.
+  void enable_lanes(unsigned count);
+
+  /// Number of replica lanes (1 unless enable_lanes() grew the core).
+  unsigned lane_count() const noexcept {
+    return static_cast<unsigned>(ctx_.replicas());
+  }
+
+  /// Lane the core currently evaluates.
+  unsigned active_lane() const noexcept { return active_lane_; }
+
+  /// Park the active lane's host state and switch evaluation to `lane`:
+  /// O(1) scalar copies plus trace/memory swaps — no node copy (the
+  /// SimContext just rebases its lane pointers). The per-cycle handshake
+  /// scratch is cleared, exactly as restore() does.
+  void select_lane(unsigned lane);
+
+  /// Make lane `dst` a replica of the active lane: node values and armed
+  /// faults via rtl::SimContext::copy_lane, host scalars copied, memory
+  /// COW-cloned — but the replica's trace starts *empty*. The caller owns
+  /// the prefix bookkeeping: a lane cloned from a fault-free cursor at
+  /// cycle C has, by construction, the golden trace prefix at C, so only
+  /// its length needs remembering (same argument as checkpoint_lite()).
+  void clone_active_lane_to(unsigned dst);
+
+  /// Fold the active lane's recorded trace into the caller's prefix
+  /// counters and clear it. Only meaningful while the lane's history is a
+  /// golden-trace prefix (fault-free cursor lanes); used by the batch
+  /// scheduler to keep cursor traces O(1) instead of O(instant).
+  void drain_trace_counts(std::size_t& writes, std::size_t& reads);
 
   /// Node half of the fingerprint: capture into / compare against a reused
   /// buffer. node_values_equal early-exits without copying.
@@ -243,6 +311,27 @@ class Leon3Core {
   std::unique_ptr<Cache> icache_;
   std::unique_ptr<Cache> dcache_;
 
+  // Decode memo: isa::decode is a pure function of the instruction word,
+  // and the pipeline re-derives the decode in RA/EX/ME every cycle, so a
+  // small direct-mapped cache turns the per-stage decode into a lookup.
+  // Shared by every replica lane (word -> decode is lane-independent) and
+  // deterministic: a hit returns byte-identical fields to a fresh decode.
+  struct DecodeEntry {
+    u32 word = 0;
+    isa::DecodedInst inst;
+  };
+  static constexpr std::size_t kDecodeCacheSize = 256;  // power of two
+  std::array<DecodeEntry, kDecodeCacheSize> decode_cache_{};
+  const isa::DecodedInst& decode_cached(u32 word) {
+    DecodeEntry& e =
+        decode_cache_[(word ^ (word >> 10)) & (kDecodeCacheSize - 1)];
+    if (e.word != word) [[unlikely]] {
+      e.word = word;
+      e.inst = isa::decode(word);
+    }
+    return e.inst;
+  }
+
   // Host bookkeeping.
   u64 cycle_ = 0;
   u64 instret_ = 0;
@@ -262,6 +351,15 @@ class Leon3Core {
 
   iss::HaltReason halt_ = iss::HaltReason::kRunning;
   u8 trap_code_ = 0;
+
+  // Replica-lane parking slots (batched mode); lanes_[active_lane_]'s
+  // trace/memory members hold stale garbage while that lane is live.
+  std::vector<CoreLaneState> lanes_;
+  unsigned active_lane_ = 0;
+
+  void save_lane_scalars(CoreLaneState& slot) const;
+  void park_lane(CoreLaneState& slot);
+  void unpark_lane(CoreLaneState& slot);
 };
 
 }  // namespace issrtl::rtlcore

@@ -1,0 +1,156 @@
+// Batched lockstep fault evaluation: the batch scheduler (replica lanes
+// over the SoA kernel, engine::EngineOptions::batch_lanes) must be a pure
+// performance feature — outcome counts, per-run outcomes/latencies and the
+// canonical fault::outcome_hash stay bit-identical to the serial per-site
+// path at every batch size and thread count, including batches that retire
+// lanes through different exits (write divergence, hang, convergence /
+// silent) and tail batches smaller than the lane count.
+#include <gtest/gtest.h>
+
+#include "engine/rtl_backend.hpp"
+#include "fault/campaign.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::engine {
+namespace {
+
+using fault::CampaignConfig;
+using fault::CampaignResult;
+using fault::outcome_hash;
+
+isa::Program small_workload() {
+  return workloads::build("a2time_x", {.iterations = 1, .data_seed = 1});
+}
+
+/// Mixed-retirement campaign: exhaustive fetch-unit injection (the hang
+/// factory) with stuck-at-0 and transient models at 3 instants per site —
+/// the serial reference classifies silent, failing *and* hanging runs, so
+/// batches mix all retirement paths (and the transient convergence cut-off
+/// fires alongside them).
+CampaignConfig mixed_config() {
+  CampaignConfig cfg;
+  cfg.unit_prefix = "iu.fe";
+  cfg.samples = 0;  // exhaustive: every (node, bit) of the fetch unit
+  cfg.instants_per_site = 3;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip,
+                rtl::FaultModel::kStuckAt0};
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+  return cfg;
+}
+
+void expect_same_outcomes(const CampaignResult& a, const CampaignResult& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << label;
+  EXPECT_EQ(outcome_hash(a), outcome_hash(b)) << label;
+  ASSERT_EQ(a.per_model.size(), b.per_model.size()) << label;
+  for (std::size_t m = 0; m < a.per_model.size(); ++m) {
+    EXPECT_EQ(a.per_model[m].failures, b.per_model[m].failures) << label;
+    EXPECT_EQ(a.per_model[m].hangs, b.per_model[m].hangs) << label;
+    EXPECT_EQ(a.per_model[m].latent, b.per_model[m].latent) << label;
+    EXPECT_EQ(a.per_model[m].silent, b.per_model[m].silent) << label;
+  }
+}
+
+TEST(Batch, BitIdenticalToSerialAcrossBatchSizesAndThreads) {
+  const auto prog = small_workload();
+  const CampaignConfig cfg = mixed_config();
+
+  EngineOptions serial;
+  serial.threads = 1;  // batch_lanes 1: the per-site reference path
+  const CampaignResult reference = run_rtl_campaign(prog, cfg, {}, serial);
+
+  // The reference must actually exercise every retirement path, or the
+  // "mixed batch" claim below is vacuous.
+  std::size_t failures = 0, hangs = 0, silent = 0;
+  for (const auto& run : reference.runs) {
+    failures += run.outcome == fault::Outcome::kFailure;
+    hangs += run.outcome == fault::Outcome::kHang;
+    silent += run.outcome == fault::Outcome::kSilent;
+  }
+  ASSERT_GT(failures, 0u);
+  ASSERT_GT(hangs, 0u);
+  ASSERT_GT(silent, 0u);
+  ASSERT_GT(reference.replay.convergence_cutoffs, 0u)
+      << "transient cut-off should fire in the reference too";
+
+  // Batch 1 re-runs the serial path; 4 and 7 give many batches per shard
+  // (7 also misaligns with the shard sizes, forcing tail batches); 32
+  // exceeds a 3-thread shard's site count in places, so whole batches run
+  // below capacity.
+  for (const unsigned threads : {1u, 3u}) {
+    for (const unsigned batch : {1u, 4u, 7u, 32u}) {
+      EngineOptions opts;
+      opts.threads = threads;
+      opts.batch_lanes = batch;
+      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+      expect_same_outcomes(reference, r,
+                           "threads=" + std::to_string(threads) +
+                               " batch=" + std::to_string(batch));
+    }
+  }
+}
+
+// Per-run fields (not just the aggregate hash): outcome, latency and site
+// must match slot-for-slot, since batching must not even reorder records.
+TEST(Batch, RecordsMatchSlotForSlot) {
+  const auto prog = small_workload();
+  CampaignConfig cfg = mixed_config();
+  cfg.samples = 20;  // sampled flavour for variety
+
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions batched;
+  batched.threads = 2;
+  batched.batch_lanes = 5;
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, serial);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, batched);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].site.node, b.runs[i].site.node) << i;
+    EXPECT_EQ(a.runs[i].site.inject_cycle, b.runs[i].site.inject_cycle) << i;
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << i;
+    EXPECT_EQ(a.runs[i].latency_cycles, b.runs[i].latency_cycles) << i;
+    EXPECT_EQ(a.runs[i].node_name, b.runs[i].node_name) << i;
+  }
+}
+
+// Batching composes with every engine fast path being disabled: no ladder,
+// no early stop, no hang fast-forward — lanes then run their full suffix
+// budget, and outcomes must still pin to the equally-configured serial run.
+TEST(Batch, ComposesWithDisabledFastPaths) {
+  const auto prog = small_workload();
+  CampaignConfig cfg = mixed_config();
+  cfg.samples = 12;
+
+  EngineOptions slow_serial;
+  slow_serial.threads = 1;
+  slow_serial.ladder_stride = 0;
+  slow_serial.early_stop = false;
+  slow_serial.hang_fast_forward = false;
+
+  EngineOptions slow_batched = slow_serial;
+  slow_batched.batch_lanes = 4;
+
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, slow_serial);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, slow_batched);
+  expect_same_outcomes(a, b, "fast paths disabled");
+}
+
+// A batch larger than the whole campaign: one under-filled batch per shard.
+TEST(Batch, BatchLargerThanCampaign) {
+  const auto prog = small_workload();
+  CampaignConfig cfg = mixed_config();
+  cfg.samples = 3;
+
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions batched;
+  batched.threads = 1;
+  batched.batch_lanes = 64;
+  const CampaignResult a = run_rtl_campaign(prog, cfg, {}, serial);
+  const CampaignResult b = run_rtl_campaign(prog, cfg, {}, batched);
+  expect_same_outcomes(a, b, "batch > campaign");
+}
+
+}  // namespace
+}  // namespace issrtl::engine

@@ -4,6 +4,10 @@
 // (checkpointing, early divergence cut-off) with the naive serial algorithm.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
 #include "engine/engine.hpp"
 #include "engine/iss_backend.hpp"
 #include "engine/rtl_backend.hpp"
@@ -345,6 +349,110 @@ TEST(Engine, ResolveThreadsClampsToSites) {
   EXPECT_EQ(resolve_threads(8, 3), 3u);
   EXPECT_EQ(resolve_threads(2, 100), 2u);
   EXPECT_GE(resolve_threads(0, 100), 1u);
+}
+
+// RAII helper: set an environment variable for one test, restore after.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(Engine, OptionsFromEnvParsesValidValues) {
+  ScopedEnv t("ISSRTL_THREADS", "6");
+  ScopedEnv s("ISSRTL_CKPT_STRIDE", "977");
+  ScopedEnv m("ISSRTL_CKPT_MB", "64");
+  ScopedEnv b("ISSRTL_BATCH", "16");
+  const EngineOptions opts = options_from_env();
+  EXPECT_EQ(opts.threads, 6u);
+  EXPECT_EQ(opts.ladder_stride, 977u);
+  EXPECT_EQ(opts.ladder_max_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(opts.batch_lanes, 16u);
+}
+
+TEST(Engine, OptionsFromEnvAcceptsAutoStrideAndZero) {
+  {
+    ScopedEnv s("ISSRTL_CKPT_STRIDE", "auto");
+    EXPECT_EQ(options_from_env().ladder_stride, kLadderStrideAuto);
+  }
+  {
+    ScopedEnv s("ISSRTL_CKPT_STRIDE", "0");
+    EXPECT_EQ(options_from_env().ladder_stride, 0u);
+  }
+}
+
+TEST(Engine, OptionsFromEnvLeavesUnsetAndEmptyAlone) {
+  ScopedEnv t("ISSRTL_THREADS", nullptr);
+  ScopedEnv s("ISSRTL_CKPT_STRIDE", "");
+  EngineOptions base;
+  base.threads = 3;
+  base.ladder_stride = 55;
+  const EngineOptions opts = options_from_env(base);
+  EXPECT_EQ(opts.threads, 3u);
+  EXPECT_EQ(opts.ladder_stride, 55u);
+}
+
+TEST(Engine, OptionsFromEnvRejectsMalformedValues) {
+  // strtoul-style parsing used to fold all of these into 0 or a wrapped
+  // huge number and silently run a misconfigured campaign.
+  const char* bad[] = {"abc", "-4", "4x", " 4", "+4", "0x10",
+                       "99999999999999999999999999"};
+  for (const char* v : bad) {
+    ScopedEnv t("ISSRTL_THREADS", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+  {
+    ScopedEnv s("ISSRTL_CKPT_STRIDE", "fast");  // only "auto" is special
+    EXPECT_THROW(options_from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv m("ISSRTL_CKPT_MB", "12MB");
+    EXPECT_THROW(options_from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv b("ISSRTL_BATCH", "lots");
+    EXPECT_THROW(options_from_env(), std::invalid_argument);
+  }
+  {
+    // Error messages must name the offending variable, or the user cannot
+    // tell which of the four knobs to fix.
+    ScopedEnv t("ISSRTL_THREADS", "abc");
+    try {
+      options_from_env();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("ISSRTL_THREADS"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Engine, OptionsFromEnvRejectsOversizedBatch) {
+  ScopedEnv b("ISSRTL_BATCH", "1000000");
+  EXPECT_THROW(options_from_env(), std::invalid_argument);
 }
 
 TEST(Engine, AccumulatorMergeMatchesSequential) {

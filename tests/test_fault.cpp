@@ -91,6 +91,19 @@ TEST(FaultList, UnknownUnitThrows) {
                std::invalid_argument);
 }
 
+TEST(FaultList, ZeroInstantsPerSiteRejected) {
+  // Used to be silently clamped to 1 — a mistyped CLI argument would
+  // quietly run a campaign of a different size than requested.
+  Memory mem;
+  rtlcore::Leon3Core core(mem);
+  CampaignConfig cfg;
+  cfg.unit_prefix = "iu";
+  cfg.instants_per_site = 0;
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+  EXPECT_THROW(build_fault_list(core.sim(), cfg, 1000),
+               std::invalid_argument);
+}
+
 // ---- campaign classification ------------------------------------------------------
 
 TEST(Campaign, OutcomesPartitionRuns) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "rtl/kernel.hpp"
 #include "rtl/vcd.hpp"
@@ -205,6 +206,110 @@ TEST(Kernel, FindNodeUsesFirstRegistration) {
   EXPECT_EQ(*id, 0u);  // linear-scan semantics: first registered wins
   EXPECT_EQ(ctx.unit(*id), "cmem.icache");
   EXPECT_FALSE(ctx.find_node("nonexistent").has_value());
+}
+
+// ---- replica lanes (batched evaluation) ----------------------------------
+
+TEST(Lanes, NewLanesStartAsCopiesOfLaneZero) {
+  SimContext ctx;
+  Sig w = ctx.wire("w", "iu.alu", 32);
+  Sig r = ctx.reg("r", "iu.special", 32);
+  w.w(7);
+  r.poke(9);
+  ctx.set_replicas(3);
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    ctx.set_active_lane(lane);
+    EXPECT_EQ(w.r(), 7u) << lane;
+    EXPECT_EQ(r.r(), 9u) << lane;
+  }
+}
+
+TEST(Lanes, LanesEvolveIndependently) {
+  SimContext ctx;
+  Sig r = ctx.reg("r", "iu.special", 32);
+  ctx.set_replicas(2);
+  r.n(11);
+  ctx.commit_all();  // commits the active lane (0) only
+  EXPECT_EQ(r.r(), 11u);
+  ctx.set_active_lane(1);
+  EXPECT_EQ(r.r(), 0u) << "lane 1 must not see lane 0's commit";
+  r.n(22);
+  ctx.commit_all();
+  EXPECT_EQ(r.r(), 22u);
+  ctx.set_active_lane(0);
+  EXPECT_EQ(r.r(), 11u);
+}
+
+TEST(Lanes, FaultsArePerLane) {
+  SimContext ctx;
+  Sig w = ctx.wire("w", "iu.alu", 8);
+  ctx.set_replicas(2);
+  w.w(0);
+  ctx.set_active_lane(1);
+  w.w(0);
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 3);
+  EXPECT_EQ(w.r(), 0x08u);
+  ctx.set_active_lane(0);
+  EXPECT_EQ(w.r(), 0u) << "lane 0 must not see lane 1's overlay";
+  w.w(0xFF);  // write-through on the unfaulted lane
+  EXPECT_EQ(w.r(), 0xFFu);
+  ctx.set_active_lane(1);
+  EXPECT_EQ(w.r(), 0x08u) << "lane 1's overlay survives lane 0 writes";
+  ctx.clear_faults();  // clears the active lane's faults only
+  EXPECT_EQ(w.r(), 0u);
+}
+
+TEST(Lanes, CopyLaneReplicatesValuesAndOverlays) {
+  SimContext ctx;
+  Sig w = ctx.wire("w", "iu.alu", 8);
+  ctx.set_replicas(2);
+  w.w(0x0F);
+  ctx.arm_fault(0, FaultModel::kStuckAt0, 0);
+  EXPECT_EQ(w.r(), 0x0Eu);
+  ctx.copy_lane(1, 0);
+  ctx.set_active_lane(1);
+  EXPECT_EQ(w.r(), 0x0Eu) << "overlay must ride along with the copy";
+  w.w(0xFF);
+  EXPECT_EQ(w.r(), 0xFEu) << "copied overlay stays armed in the new lane";
+  ctx.clear_faults();
+  EXPECT_EQ(w.r(), 0xFFu);
+  ctx.set_active_lane(0);
+  EXPECT_EQ(w.r(), 0x0Eu) << "source lane untouched by the copy";
+}
+
+TEST(Lanes, SaveLoadCompareActOnActiveLane) {
+  SimContext ctx;
+  Sig r = ctx.reg("r", "iu.special", 32);
+  ctx.set_replicas(2);
+  r.poke(5);
+  const auto snap = ctx.save_values();
+  ctx.set_active_lane(1);
+  EXPECT_FALSE(ctx.values_equal(snap));
+  ctx.load_values(snap);
+  EXPECT_TRUE(ctx.values_equal(snap));
+  EXPECT_EQ(r.r(), 5u);
+}
+
+TEST(Lanes, RegistryFrozenWhileReplicated) {
+  SimContext ctx;
+  ctx.wire("w", "iu.alu", 32);
+  ctx.set_replicas(2);
+  EXPECT_THROW(ctx.wire("late", "iu.alu", 32), std::logic_error);
+  ctx.set_replicas(1);  // shrink back: registration reopens
+  ctx.wire("late", "iu.alu", 32);
+  EXPECT_EQ(ctx.node_count(), 2u);
+}
+
+TEST(Lanes, SetReplicasRejectsArmedFaults) {
+  SimContext ctx;
+  ctx.wire("w", "iu.alu", 32);
+  ctx.arm_fault(0, FaultModel::kStuckAt1, 0);
+  EXPECT_THROW(ctx.set_replicas(2), std::logic_error);
+  ctx.clear_faults();
+  ctx.set_replicas(2);
+  EXPECT_EQ(ctx.replicas(), 2u);
+  EXPECT_THROW(ctx.set_active_lane(2), std::out_of_range);
+  EXPECT_THROW(ctx.copy_lane(2, 0), std::out_of_range);
 }
 
 TEST(Vcd, ProducesParsableFile) {
