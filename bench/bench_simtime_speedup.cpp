@@ -112,12 +112,17 @@ struct BenchMetrics {
   double ladder_s = 0.0;
   double ladder_vs_noladder_ratio = 0.0;
   bool ladder_identical = false;  ///< counts + hash, at 1/3/bench threads
-  // Batched section (same sweep, replica-lane lockstep scheduler).
+  // Batched section (same sweep, replica-lane lockstep scheduler with the
+  // SIMD lane-slice rounds off — the PR 4 configuration).
   unsigned batch_lanes = 0;
   double batch_serial_s = 0.0;   ///< per-site ladder path, this tree
-  double batch_batched_s = 0.0;  ///< batched scheduler, this tree
+  double batch_batched_s = 0.0;  ///< batched scheduler (SIMD off), this tree
   double batched_vs_serial_ratio = 0.0;
   bool batch_identical = false;  ///< counts + hash, batches x threads
+  // SIMD section (same sweep, lane-interleaved tiles + step-lanes rounds).
+  double simd_s = 0.0;           ///< batched scheduler, SIMD rounds on
+  double simd_vs_batched_ratio = 0.0;  ///< SIMD on vs off, same tree
+  bool simd_identical = false;   ///< counts + hash, simd on/off x threads
 };
 
 /// Direct wall-clock comparison: same workload, same number of "injection
@@ -348,6 +353,7 @@ void report_batched_speedup(BenchMetrics& m) {
 
   engine::EngineOptions batched = serial;
   batched.batch_lanes = batch;
+  batched.simd_lanes = false;  // PR 4 path: flat lanes, chunked stepping
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto base = engine::run_rtl_campaign(prog(), cfg, {}, serial);
@@ -388,6 +394,74 @@ void report_batched_speedup(BenchMetrics& m) {
               m.batched_vs_serial_ratio, identical ? "yes" : "NO");
 }
 
+/// SIMD lane-slice evaluation on the same sweep: the batch scheduler with
+/// the interleaved-tile lockstep rounds on (ISSRTL_SIMD=1, the default)
+/// against the PR 4 flat chunked path timed in report_batched_speedup.
+/// Outcomes must pin bit-identically across SIMD on/off at several thread
+/// counts; the wall-clock ratio is recorded either way — the dense rounds
+/// share one commit_lanes pass per cycle, the sparse straggler tail falls
+/// back to the scalar flat path, and the whole tree additionally carries
+/// this PR's cycle-primitive work (pre-scaled slot handles, sparse
+/// register-file commit, memory page caches), which is what the
+/// vs-committed-PR-4 comparison in the JSON captures.
+void report_simd_speedup(BenchMetrics& m) {
+  const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
+  const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const unsigned batch =
+      static_cast<unsigned>(bench::env_size("ISSRTL_BATCH", 16));
+  const char* unit_env = std::getenv("ISSRTL_UNIT");
+  const std::string unit =
+      unit_env != nullptr && unit_env[0] != '\0' ? unit_env : "iu.ex";
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  cfg.samples = sites;
+  cfg.instants_per_site = instants;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  engine::EngineOptions simd = engine::options_from_env();
+  simd.threads = threads;
+  simd.batch_lanes = batch;
+  simd.simd_lanes = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fast = engine::run_rtl_campaign(prog(), cfg, {}, simd);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  engine::EngineOptions flat = simd;
+  flat.simd_lanes = false;
+  bool identical = true;
+  for (const unsigned t : {1u, 3u}) {
+    engine::EngineOptions a = simd, b = flat;
+    a.threads = b.threads = t;
+    identical = identical &&
+                same_outcomes(engine::run_rtl_campaign(prog(), cfg, {}, a),
+                              engine::run_rtl_campaign(prog(), cfg, {}, b));
+  }
+  (void)fast;
+
+  m.simd_s = std::chrono::duration<double>(t1 - t0).count();
+  m.simd_vs_batched_ratio =
+      m.simd_s > 0 ? m.batch_batched_s / m.simd_s : 0.0;
+  m.simd_identical = identical;
+
+  std::printf("\n--- SIMD lane-slice rounds vs flat chunked batching "
+              "(rspeed, %zu sites x %zu instants, transient flips @ %s) "
+              "---\n",
+              sites, instants, unit.c_str());
+  std::printf("flat batched (simd off, %u thr): %.3f s\n", threads,
+              m.batch_batched_s);
+  std::printf("simd batched (simd on,  %u thr): %.3f s\n", threads,
+              m.simd_s);
+  std::printf("in-tree simd/flat: %.2fx   outcomes+hash bit-identical "
+              "(simd on/off x threads {1,3}): %s\n",
+              m.simd_vs_batched_ratio, identical ? "yes" : "NO");
+}
+
 /// The PR 1 engine's numbers on this bench's headline section (200 samples,
 /// 4 threads, rspeed, default seed), measured on the reference dev box
 /// immediately before the SoA-kernel/COW-memory rewrite. Only comparable to
@@ -405,6 +479,12 @@ constexpr double kPr1RtlNsPerCycle = 158.7;
 /// box, so it is emitted solely under ISSRTL_BENCH_BASELINE=pr1 and only
 /// for the default sweep shape.
 constexpr double kPr3LadderS = 0.069;
+
+/// The PR 4 tree's batched_section wall-clock on the same default sweep
+/// (reference dev box, 4 threads, 16 lanes), from the committed
+/// BENCH_kernel.json immediately before this PR's SIMD lane-slice and
+/// cycle-primitive work. Reference-box-only, like the blocks above.
+constexpr double kPr4BatchedS = 0.036;
 
 /// Write the collected metrics to $ISSRTL_BENCH_JSON (if set) so CI archives
 /// a machine-readable point on the kernel perf trajectory per commit.
@@ -486,6 +566,33 @@ void write_bench_json(const BenchMetrics& m) {
                  kPr3LadderS, kPr3LadderS / m.batch_batched_s);
   }
   std::fprintf(f, "\n  }");
+  std::fprintf(f,
+               ",\n"
+               "  \"simd_section\": {\n"
+               "    \"unit\": \"%s\",\n"
+               "    \"sites\": %zu,\n"
+               "    \"instants_per_site\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"batch_lanes\": %u,\n"
+               "    \"flat_batched_s\": %.3f,\n"
+               "    \"simd_s\": %.3f,\n"
+               "    \"simd_vs_batched_ratio\": %.2f,\n"
+               "    \"outcomes_identical_simd_on_off_threads_1_3\": %s",
+               m.ladder_unit.c_str(), m.ladder_sites, m.ladder_instants,
+               m.ladder_threads, m.batch_lanes, m.batch_batched_s, m.simd_s,
+               m.simd_vs_batched_ratio, m.simd_identical ? "true" : "false");
+  if (on_reference_box && m.ladder_sites == 25 && m.ladder_instants == 8 &&
+      m.ladder_threads == 4 && m.simd_s > 0) {
+    // Tree-over-tree: the committed PR 4 batched_section wall-clock on this
+    // exact sweep vs this tree's SIMD-enabled run (which also carries the
+    // pre-scaled handles / sparse-commit / page-cache cycle work).
+    std::fprintf(f,
+                 ",\n"
+                 "    \"pr4_batched_s\": %.3f,\n"
+                 "    \"simd_vs_pr4_batched_ratio\": %.2f",
+                 kPr4BatchedS, kPr4BatchedS / m.simd_s);
+  }
+  std::fprintf(f, "\n  }");
   if (baseline != nullptr && std::string_view(baseline) == "pr1" &&
       m.samples == 200 && m.threads == 4) {
     std::fprintf(f,
@@ -517,6 +624,7 @@ int main(int argc, char** argv) try {
   report_engine_speedup(metrics);
   report_ladder_speedup(metrics);
   report_batched_speedup(metrics);
+  report_simd_speedup(metrics);
   write_bench_json(metrics);
   return 0;
 } catch (const std::exception& e) {

@@ -4,7 +4,7 @@
 // Optionally dumps a waveform of one faulty run.
 //
 //   ./examples/campaign_report [workload] [samples] [threads] [instants]
-//                              [--vcd <path>]
+//                              [window] [--vcd <path>]
 //   ./examples/campaign_report rspeed 200 4
 //   ./examples/campaign_report rspeed 120 0 1 --vcd /tmp/fault.vcd
 //   ./examples/campaign_report --help
@@ -35,7 +35,7 @@ int help() {
       "campaign_report — full RTL fault-injection campaign report\n"
       "\n"
       "usage: campaign_report [workload] [samples] [threads] [instants]\n"
-      "                       [--vcd <path>]\n"
+      "                       [window] [--vcd <path>]\n"
       "  workload   registry name (issrtl_cli list); default rspeed\n"
       "  samples    injection trials per fault model; default 120\n"
       "  threads    engine worker threads; 0 or absent = all hardware\n"
@@ -43,6 +43,10 @@ int help() {
       "  instants   injection instants per sampled (node, bit); default 1.\n"
       "             >1 sweeps every site over time (samples*instants\n"
       "             trials per model, uniform-random instants)\n"
+      "  window     uniform-random instant window: 'half' (default;\n"
+      "             bug-compatible [1, golden/2] draw that keeps historical\n"
+      "             fault lists bit-identical) or 'full' ([1, golden] —\n"
+      "             also samples late-pipeline/drain states)\n"
       "  --vcd <path>  write a GTKWave waveform of the first failing run\n"
       "             to <path> (off by default: no files are dropped into\n"
       "             the working directory unless asked)\n"
@@ -57,6 +61,9 @@ int help() {
       "  ISSRTL_BATCH        replica lanes for batched lockstep fault\n"
       "                      evaluation (default 1 = serial; results are\n"
       "                      bit-identical at every batch size)\n"
+      "  ISSRTL_SIMD         1 (default) = SIMD lane-slice lockstep rounds,\n"
+      "                      0 = flat per-lane chunked stepping; results\n"
+      "                      are bit-identical either way\n"
       "\n"
       "Prints per-model Pf, outcome breakdown, per-functional-unit P_mf\n"
       "with the alpha_m area weights (Eq. 1) and the replay-economics\n"
@@ -112,6 +119,14 @@ int main(int argc, char** argv) try {
   // this front end silently resizing the campaign.
   cfg.instants_per_site = static_cast<std::size_t>(instants_arg);
   if (instants_arg > 1) cfg.inject_time = fault::InjectTime::kUniformRandom;
+  if (pos.size() > 4) {
+    const std::string w = pos[4];
+    if (w == "full") cfg.instant_window = fault::InstantWindow::kFull;
+    else if (w != "half") {
+      std::fprintf(stderr, "error: [window] must be 'half' or 'full'\n");
+      return 2;
+    }
+  }
   engine::EngineOptions opts = engine::options_from_env();
   if (threads != 0) opts.threads = threads;
   opts.on_progress = engine::stderr_progress();

@@ -40,7 +40,7 @@ int usage() {
       "usage: issrtl_cli <command> [...]\n"
       "  list | run <wl> [iters] | rtl <wl> [iters] | diversity <wl>\n"
       "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n> "
-      "[threads] [instants]\n"
+      "[threads] [instants] [window]\n"
       "  avf <wl> | asm <file.s> | nodes [unit] | help\n"
       "run 'issrtl_cli help' for the full flag and environment reference\n");
   return 2;
@@ -68,6 +68,10 @@ int help() {
       "                  threads (results identical at any count)\n"
       "      [instants]  injection instants per sampled (node, bit);\n"
       "                  default 1, >1 sweeps each site over time\n"
+      "      [window]    uniform-random instant window: 'half' (default;\n"
+      "                  bug-compatible [1, golden/2] draw that keeps\n"
+      "                  historical fault lists bit-identical) or 'full'\n"
+      "                  ([1, golden] — covers late-pipeline/drain states)\n"
       "  avf <wl>                  register-file AVF\n"
       "  asm <file.s>              assemble + run a text program\n"
       "  nodes [unit]              list injectable RTL nodes\n"
@@ -84,7 +88,11 @@ int help() {
       "                      are evicted oldest-first beyond it\n"
       "  ISSRTL_BATCH        replica lanes for batched lockstep fault\n"
       "                      evaluation (default 1 = serial path; results\n"
-      "                      are bit-identical at every batch size)\n");
+      "                      are bit-identical at every batch size)\n"
+      "  ISSRTL_SIMD         1 (default) steps batched replicas through the\n"
+      "                      SIMD lane-slice rounds, 0 forces the flat\n"
+      "                      per-lane chunked path; results are\n"
+      "                      bit-identical either way\n");
   return 0;
 }
 
@@ -169,11 +177,13 @@ int cmd_disasm(const std::string& name) {
 
 int cmd_campaign(const std::string& name, const std::string& unit,
                  const std::string& model, std::size_t samples,
-                 unsigned threads, std::size_t instants) {
+                 unsigned threads, std::size_t instants,
+                 fault::InstantWindow window) {
   fault::CampaignConfig cfg;
   cfg.unit_prefix = unit;
   cfg.samples = samples;
   cfg.instants_per_site = instants;
+  cfg.instant_window = window;
   if (instants > 1) cfg.inject_time = fault::InjectTime::kUniformRandom;
   if (model == "sa0") cfg.models = {rtl::FaultModel::kStuckAt0};
   else if (model == "sa1") cfg.models = {rtl::FaultModel::kStuckAt1};
@@ -282,12 +292,21 @@ int main(int argc, char** argv) {
         std::printf("error: [instants] must be a positive integer\n");
         return 2;
       }
+      fault::InstantWindow window = fault::InstantWindow::kLegacyHalf;
+      if (argc > 8) {
+        const std::string w = argv[8];
+        if (w == "full") window = fault::InstantWindow::kFull;
+        else if (w != "half") {
+          std::printf("error: [window] must be 'half' or 'full'\n");
+          return 2;
+        }
+      }
       // 0 instants is passed through: build_fault_list rejects it loudly
       // instead of this front end silently resizing the campaign.
       return cmd_campaign(argv[2], argv[3], argv[4],
                           static_cast<std::size_t>(samples),
                           threads > 0 ? static_cast<unsigned>(threads) : 0,
-                          static_cast<std::size_t>(instants));
+                          static_cast<std::size_t>(instants), window);
     }
     if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
     if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);

@@ -2,6 +2,7 @@
 # Run the RTL-kernel perf benchmark and emit a BENCH_kernel.json point.
 #
 # Usage: scripts/bench_kernel.sh [build-dir] [output-json]
+#        scripts/bench_kernel.sh --check [build-dir] [output-json] [ref-json]
 #
 # The default output lands inside the (gitignored) build dir so a run never
 # dirties the committed reference snapshot at the repo root; pass an explicit
@@ -9,12 +10,30 @@
 # that snapshot. Knobs (env): ISSRTL_SAMPLES (default 200 — the headline
 # engine section), ISSRTL_THREADS (default 4), ISSRTL_SEED, and for the
 # checkpoint-ladder section ISSRTL_SITES x ISSRTL_INSTANTS (default 25 x 8)
-# plus ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB. CI runs this on a fixed small
-# workload and archives the JSON as the per-commit perf trajectory point.
+# plus ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB / ISSRTL_BATCH / ISSRTL_SIMD. CI
+# runs this on a fixed small workload and archives the JSON as the
+# per-commit perf trajectory point.
+#
+# --check mode additionally compares the fresh run against the committed
+# reference snapshot (default: BENCH_kernel.json at the repo root) and fails
+# loudly when the kernel regressed past tolerance: rtl_ns_per_cycle may not
+# exceed reference * (1 + ISSRTL_BENCH_TOL), and the batched/serial and
+# simd/batched ratios may not fall below reference * (1 - ISSRTL_BENCH_TOL).
+# The default tolerance (ISSRTL_BENCH_TOL=0.5) is deliberately loose — CI
+# boxes are noisy and differ from the reference box — so only a real
+# regression (a silently-serialised batch path, a kernel slowdown of 1.5x+)
+# trips it, not run-to-run jitter.
 set -euo pipefail
+
+check=0
+if [[ "${1:-}" == "--check" ]]; then
+  check=1
+  shift
+fi
 
 build_dir="${1:-build}"
 out_json="${2:-${build_dir}/BENCH_kernel.json}"
+ref_json="${3:-BENCH_kernel.json}"
 bench="${build_dir}/bench_simtime_speedup"
 
 if [[ ! -x "${bench}" ]]; then
@@ -25,3 +44,62 @@ fi
 ISSRTL_BENCH_JSON="${out_json}" "${bench}" --benchmark_filter=nomatch
 echo "--- ${out_json} ---"
 cat "${out_json}"
+
+if [[ "${check}" == "1" ]]; then
+  if [[ ! -f "${ref_json}" ]]; then
+    echo "error: reference snapshot ${ref_json} not found" >&2
+    exit 1
+  fi
+  echo "--- check against ${ref_json} (tol ${ISSRTL_BENCH_TOL:-0.5}) ---"
+  python3 - "${out_json}" "${ref_json}" <<'PY'
+import json
+import os
+import sys
+
+out_path, ref_path = sys.argv[1], sys.argv[2]
+tol = float(os.environ.get("ISSRTL_BENCH_TOL", "0.5"))
+out = json.load(open(out_path))
+ref = json.load(open(ref_path))
+
+failures = []
+
+def ceil_check(name, got, reference):
+    bound = reference * (1.0 + tol)
+    ok = got <= bound
+    print(f"  {name}: {got:.3f} (ref {reference:.3f}, max {bound:.3f})"
+          f" {'ok' if ok else 'REGRESSED'}")
+    if not ok:
+        failures.append(name)
+
+def floor_check(name, got, reference):
+    bound = reference * (1.0 - tol)
+    ok = got >= bound
+    print(f"  {name}: {got:.2f} (ref {reference:.2f}, min {bound:.2f})"
+          f" {'ok' if ok else 'REGRESSED'}")
+    if not ok:
+        failures.append(name)
+
+ceil_check("rtl_ns_per_cycle", out["rtl_ns_per_cycle"],
+           ref["rtl_ns_per_cycle"])
+floor_check("batched_section.batched_vs_serial_ratio",
+            out["batched_section"]["batched_vs_serial_ratio"],
+            ref["batched_section"]["batched_vs_serial_ratio"])
+if "simd_section" in ref:
+    floor_check("simd_section.simd_vs_batched_ratio",
+                out["simd_section"]["simd_vs_batched_ratio"],
+                ref["simd_section"]["simd_vs_batched_ratio"])
+
+for section, key in (("batched_section",
+                      "outcomes_identical_batches_4_32_threads_1_3"),
+                     ("simd_section",
+                      "outcomes_identical_simd_on_off_threads_1_3")):
+    if section in out and not out[section].get(key, True):
+        print(f"  {section}.{key}: false — determinism broke")
+        failures.append(f"{section}.{key}")
+
+if failures:
+    print("bench check FAILED:", ", ".join(failures))
+    sys.exit(1)
+print("bench check passed")
+PY
+fi

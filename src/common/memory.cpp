@@ -4,18 +4,27 @@
 
 namespace issrtl {
 
-const Memory::Page* Memory::find_page(u32 addr) const noexcept {
-  const auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.get();
+const Memory::Page* Memory::find_page_slow(u32 addr) const noexcept {
+  const u32 index = addr >> kPageBits;
+  const auto it = pages_.find(index);
+  if (it == pages_.end()) return nullptr;  // absence is never cached
+  cached_index_ = index;
+  read_page_ = it->second.get();
+  write_page_.store(nullptr, std::memory_order_relaxed);  // unknown unique
+  return read_page_;
 }
 
-Memory::Page& Memory::page_for_write(u32 addr) {
-  auto [it, inserted] = pages_.try_emplace(addr >> kPageBits);
+Memory::Page& Memory::page_for_write_slow(u32 addr) {
+  const u32 index = addr >> kPageBits;
+  auto [it, inserted] = pages_.try_emplace(index);
   if (inserted) {
     it->second = std::make_shared<Page>();  // value-initialised: zeroed
   } else if (it->second.use_count() > 1) {
     it->second = std::make_shared<Page>(*it->second);  // un-share on write
   }
+  cached_index_ = index;
+  read_page_ = it->second.get();
+  write_page_.store(it->second.get(), std::memory_order_relaxed);
   return *it->second;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -37,6 +38,46 @@ class Memory {
   static constexpr u32 kPageSize = 1u << kPageBits;
 
   Memory() = default;
+
+  // Copy/move keep the page table but reset the one-entry page caches: a
+  // copy shares every page with its source, so the *source's* write cache
+  // must drop too — its cached page is no longer uniquely owned and the
+  // next store must re-run the COW unshare check. Read caches stay valid
+  // on the source (reads never unshare) and are simply dropped on the
+  // destination.
+  Memory(const Memory& other) : pages_(other.pages_) {
+    other.write_page_.store(nullptr, std::memory_order_relaxed);
+  }
+  Memory(Memory&& other) noexcept
+      : pages_(std::move(other.pages_)),
+        cached_index_(other.cached_index_),
+        read_page_(other.read_page_),
+        write_page_(other.write_page_.load(std::memory_order_relaxed)) {
+    other.cached_index_ = kNoPage;
+    other.read_page_ = nullptr;
+    other.write_page_.store(nullptr, std::memory_order_relaxed);
+  }
+  Memory& operator=(const Memory& other) {
+    if (this != &other) {
+      pages_ = other.pages_;
+      cached_index_ = kNoPage;
+      read_page_ = nullptr;
+      write_page_.store(nullptr, std::memory_order_relaxed);
+      other.write_page_.store(nullptr, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Memory& operator=(Memory&& other) noexcept {
+    pages_ = std::move(other.pages_);
+    cached_index_ = other.cached_index_;
+    read_page_ = other.read_page_;
+    write_page_.store(other.write_page_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.cached_index_ = kNoPage;
+    other.read_page_ = nullptr;
+    other.write_page_.store(nullptr, std::memory_order_relaxed);
+    return *this;
+  }
 
   // Byte accessors. Unwritten memory reads as zero.
   u8 load_u8(u32 addr) const;
@@ -76,9 +117,11 @@ class Memory {
   ///  * mutating an image never affects any clone taken from it earlier —
   ///    a snapshot is immutable history, not a view;
   ///  * concurrent use is safe as long as each *image* stays on one
-  ///    thread: the atomic shared_ptr control blocks make it fine for
-  ///    many worker threads to clone from (and read) one golden image,
-  ///    e.g. the checkpoint-ladder rungs shared by every worker.
+  ///    thread; additionally, many worker threads may clone() from — and
+  ///    equals() against — one shared golden image (e.g. the checkpoint-
+  ///    ladder rungs), which is what the engine does. Concurrent load_*
+  ///    calls on one shared image are NOT safe (they maintain a one-entry
+  ///    page cache); clone first, reads on the clone are free anyway.
   Memory clone() const { return *this; }
 
   /// True if every allocated byte matches `other` (zero pages are equal to
@@ -90,13 +133,39 @@ class Memory {
   using Page = std::array<u8, kPageSize>;
   using PageRef = std::shared_ptr<Page>;
 
-  const Page* find_page(u32 addr) const noexcept;
+  static constexpr u32 kNoPage = ~0u;  // page indices are < 2^20
+
+  /// Slow paths behind the one-entry caches below.
+  const Page* find_page_slow(u32 addr) const noexcept;
+  Page& page_for_write_slow(u32 addr);
+
+  /// One-entry page cache: memory traffic is heavily page-local (stack,
+  /// write-through data region, line fills), and the hash lookup per access
+  /// is visible in campaign profiles. `read_page_` stays valid as long as
+  /// this image holds its shared_ptr; `write_page_` additionally asserts
+  /// unique ownership, which cloning breaks — see the copy constructor.
+  const Page* find_page(u32 addr) const noexcept {
+    const u32 index = addr >> kPageBits;
+    if (index == cached_index_ && read_page_ != nullptr) return read_page_;
+    return find_page_slow(addr);
+  }
 
   /// Page backing `addr`, private to this image: allocated (zeroed) on first
   /// touch, and un-shared (bytes copied) on first write to a shared page.
-  Page& page_for_write(u32 addr);
+  Page& page_for_write(u32 addr) {
+    const u32 index = addr >> kPageBits;
+    Page* cached = write_page_.load(std::memory_order_relaxed);
+    if (index == cached_index_ && cached != nullptr) return *cached;
+    return page_for_write_slow(addr);
+  }
 
   std::unordered_map<u32, PageRef> pages_;
+  mutable u32 cached_index_ = kNoPage;
+  mutable const Page* read_page_ = nullptr;  ///< addr-cache, read side
+  /// Same page when uniquely owned; atomic because clone() — legal from
+  /// many threads on one shared source, e.g. ladder rungs — must revoke
+  /// the source's uniqueness assumption without a data race.
+  mutable std::atomic<Page*> write_page_{nullptr};
 };
 
 }  // namespace issrtl

@@ -75,6 +75,9 @@ EngineOptions options_from_env(EngineOptions base) {
     base.batch_lanes = static_cast<unsigned>(
         parse_env_u64("ISSRTL_BATCH", v, kMaxBatchLanes));
   }
+  if (const char* v = std::getenv("ISSRTL_SIMD"); v != nullptr && *v) {
+    base.simd_lanes = parse_env_u64("ISSRTL_SIMD", v, 1) != 0;
+  }
   return base;
 }
 

@@ -111,6 +111,18 @@ struct EngineOptions {
   /// (options_from_env throws, so a typo cannot silently become the cap).
   /// Backends without batch support ignore this field.
   unsigned batch_lanes = 1;
+  /// Drive the batched RTL replicas through the SIMD lane-slice path: the
+  /// kernel stores replica lanes as lane-interleaved tiles
+  /// (rtl::LaneLayout::kTiled, cur[node][lane] contiguous) and the batch
+  /// scheduler rotates every live lane through one evaluation per simulated
+  /// cycle, clocking all lanes with a single rtl::SimContext::commit_lanes()
+  /// pass per round (vectorizable u32×8 strips). false selects the flat
+  /// lane-major layout with per-lane chunked stepping (the PR 4 scheduler),
+  /// which is also what lanes fall back to when a round has a single
+  /// survivor. Outcomes, latencies and fault::outcome_hash are bit-identical
+  /// either way; only the wall-clock differs. No effect unless
+  /// batch_lanes > 1.
+  bool simd_lanes = true;
   /// Called (serialised) as injections finish; every worker reports at
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
@@ -126,8 +138,10 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// `base` with the ISSRTL_* environment knobs folded in: ISSRTL_THREADS
 /// (worker threads), ISSRTL_CKPT_STRIDE ("auto", or rung spacing in
 /// instants; 0 disables the ladder), ISSRTL_CKPT_MB (ladder byte cap in
-/// MiB) and ISSRTL_BATCH (replica lanes for batched RTL evaluation; 0/1 =
-/// serial path). Unset or empty variables leave the corresponding field of
+/// MiB), ISSRTL_BATCH (replica lanes for batched RTL evaluation; 0/1 =
+/// serial path) and ISSRTL_SIMD (1 = lane-interleaved SIMD lockstep
+/// stepping, 0 = flat per-lane chunked stepping; any other value is
+/// rejected). Unset or empty variables leave the corresponding field of
 /// `base` untouched; front ends apply explicit command-line arguments on
 /// top. A set variable must parse in full — plain decimal digits (plus the
 /// literal "auto" for ISSRTL_CKPT_STRIDE) with no sign, whitespace or

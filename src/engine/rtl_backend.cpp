@@ -42,6 +42,12 @@ std::size_t snapshot_bytes(const RtlCampaignBackend::GoldenSnapshot& s) {
 /// trace/memory swaps) is amortised over many simulated cycles.
 constexpr u64 kLockstepChunk = 128;
 
+/// Live-lane count at which the SIMD rotation hands the batch to the scalar
+/// chunked loop. One tile's worth: below this the interleaved layout's
+/// per-access footprint blow-up (a lone lane touches kLaneTile times its own
+/// bytes) costs more than the shared commit pass recovers.
+constexpr unsigned kSimdMinLive = rtl::kLaneTile;
+
 /// Suffix-aware equivalent of OffCoreTrace::compare_writes: the faulty
 /// trace is conceptually (golden prefix of length `prefix`) + `suffix`, but
 /// only the suffix was materialised — the prefix was inherited from the
@@ -487,6 +493,119 @@ void RtlCampaignBackend::Worker::classify_lane(LaneRun& run,
   }
 }
 
+unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n) {
+  // Evaluation pass: one cycle per live lane. The commit is deferred — a
+  // lane's evaluation only reads and writes its own slices, so clocking
+  // every lane after the pass is indistinguishable from per-lane commits.
+  stepped_.assign(core_.lane_count(), 0);
+  for (unsigned j = 0; j < n; ++j) {
+    LaneRun& run = lane_runs_[j];
+    if (run.done || run.definite_divergence || run.budget == 0) continue;
+    if (core_.lane_state(j + 1).halt != iss::HaltReason::kRunning) continue;
+    core_.select_lane(j + 1);
+    core_.step_no_commit();
+    stepped_[j + 1] = 1;
+    --run.budget;
+  }
+  // Parking the cursor stages out the last-evaluated lane's sequence tags,
+  // so the bookkeeping pass can read every replica's state directly.
+  core_.select_lane(0);
+  core_.sim().commit_lanes(stepped_);  // one tile pass clocks the live set
+  unsigned retired = 0;
+  for (unsigned j = 0; j < n; ++j) {
+    LaneRun& run = lane_runs_[j];
+    if (run.done) continue;
+    if (bookkeep_lane(run, j + 1)) ++retired;
+  }
+  return retired;
+}
+
+bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
+  const rtlcore::CoreLaneState& ls = core_.lane_state(lane);
+  const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
+  iss::HaltReason halt = ls.halt;
+  if (run.track_writes) {
+    // The lane's own trace holds only the faulty suffix; `matched` is a
+    // golden-absolute index, offset by the inherited prefix length.
+    const std::vector<BusRecord>& writes = ls.bus.writes();
+    while (!run.write_mismatch &&
+           run.matched < run.prefix_writes + writes.size()) {
+      const BusRecord& mine = writes[run.matched - run.prefix_writes];
+      if (run.matched >= golden_writes.size() ||
+          !mine.same_payload(golden_writes[run.matched])) {
+        run.write_mismatch = true;
+        if (b_.opts_.early_stop) run.definite_divergence = true;
+      } else {
+        ++run.matched;
+      }
+    }
+  }
+  // The cheap scalar half of the fingerprints, rebuilt from the parked lane
+  // state (identical to activity_scalars() with the lane active).
+  auto scalars_of = [&ls]() {
+    rtlcore::CoreActivityScalars sc;
+    sc.slot_seq = ls.slot_seq;
+    sc.next_fetch_seq = ls.next_fetch_seq;
+    sc.redirect_after_seq = ls.redirect_after_seq;
+    sc.annul_seq = ls.annul_seq;
+    sc.instret = ls.instret;
+    sc.bus_writes = ls.bus.writes().size();
+    sc.bus_reads = ls.bus.reads().size();
+    return sc;
+  };
+  if (run.converge && !run.write_mismatch &&
+      halt == iss::HaltReason::kRunning &&
+      ls.cycle % b_.ladder_.stride() == 0) {
+    if (const auto* rung = b_.ladder_.at(ls.cycle)) {
+      const GoldenSnapshot& g = *rung->snap;
+      const rtlcore::CoreActivityScalars sc = scalars_of();
+      if (sc.instret == g.core.instret && sc.slot_seq == g.core.slot_seq &&
+          sc.next_fetch_seq == g.core.next_fetch_seq &&
+          sc.redirect_after_seq == g.core.redirect_after_seq &&
+          sc.annul_seq == g.core.annul_seq &&
+          run.prefix_writes + sc.bus_writes == g.writes) {
+        core_.select_lane(lane);  // node/memory probes need the lane live
+        if (core_.node_values_equal(g.core.node_values) &&
+            core_.memory().equals(g.mem)) {
+          b_.convergence_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+          run.record.outcome = fault::Outcome::kSilent;
+          run.record.halt = iss::HaltReason::kHalted;
+          run.done = true;
+          return true;
+        }
+      }
+    }
+  }
+  if (b_.opts_.hang_fast_forward && halt == iss::HaltReason::kRunning &&
+      ls.cycle > b_.golden_cycles_) {
+    const rtlcore::CoreActivityScalars scalars = scalars_of();
+    if (!run.scalars_valid || !(scalars == run.scalars_prev)) {
+      run.scalars_prev = scalars;
+      run.scalars_valid = true;
+      run.nodes_valid = false;
+    } else if (!run.nodes_valid) {
+      core_.select_lane(lane);
+      core_.save_node_values(run.probe_nodes);
+      run.nodes_valid = true;
+    } else {
+      core_.select_lane(lane);
+      if (core_.node_values_equal(run.probe_nodes)) {
+        halt = iss::HaltReason::kStepLimit;  // stuck: watchdog is certain
+      } else {
+        core_.save_node_values(run.probe_nodes);
+      }
+    }
+  }
+  if (run.budget == 0 || halt != iss::HaltReason::kRunning ||
+      run.definite_divergence) {
+    core_.select_lane(lane);  // classification reads trace + state + memory
+    classify_lane(run, halt);
+    run.done = true;
+    return true;
+  }
+  return false;
+}
+
 std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
     const std::vector<std::size_t>& indices) {
   std::vector<Record> records;
@@ -496,7 +615,9 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
     return records;
   }
   if (!lanes_ready_) {
-    // Lane 0 is the cursor; one replica lane per potential batch slot.
+    // Lane 0 is the cursor; one replica lane per potential batch slot. The
+    // spawn phase (cursor fast-forward) always runs lane-major; the SIMD
+    // driver re-tiles around its dense rounds below.
     core_.enable_lanes(static_cast<unsigned>(b_.batch_size()) + 1);
     lane_runs_.resize(b_.batch_size());
     lanes_ready_ = true;
@@ -507,10 +628,25 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
   for (unsigned j = 0; j < n; ++j) {
     spawn_lane(j + 1, b_.sites_[indices[j]]);
   }
-  // Lockstep rounds: every live lane advances kLockstepChunk cycles per
-  // round; lanes retire individually (divergence / convergence / halt /
-  // hang / watchdog), so a straggler never holds its batch-mates.
   unsigned live = n;
+  if (b_.opts_.simd_lanes && live > kSimdMinLive) {
+    // SIMD lane-slice rounds over interleaved tiles: every live lane
+    // advances one cycle, all lanes are clocked by one commit_lanes() pass,
+    // and lanes retire individually (divergence / convergence / halt /
+    // hang / watchdog). Interleaved storage only pays while the tiles are
+    // densely occupied — a sparse survivor set touches kLaneTile times its
+    // own footprint per access — so once the batch thins past kSimdMinLive
+    // the lanes transpose back to lane-major and the scalar chunked loop
+    // below finishes the stragglers.
+    core_.set_lane_layout(rtl::LaneLayout::kTiled);
+    while (live > kSimdMinLive) {
+      live -= step_lanes_round(n);
+    }
+    core_.set_lane_layout(rtl::LaneLayout::kFlat);
+  }
+  // Scalar per-lane stepping: the whole batch when the SIMD path is off,
+  // the straggler tail otherwise. Rounds of kLockstepChunk cycles per lane;
+  // a straggler never holds its batch-mates.
   while (live != 0) {
     for (unsigned j = 0; j < n; ++j) {
       LaneRun& run = lane_runs_[j];

@@ -127,6 +127,21 @@ class RtlCampaignBackend {
     /// Returns true when the lane retired (run.record is final).
     bool step_lane(LaneRun& run, u64 max_cycles);
 
+    /// One SIMD lockstep round over lanes 1..n: every live lane evaluates
+    /// one cycle (step_no_commit), all lanes are clocked together by a
+    /// single rtl::SimContext::commit_lanes() tile pass, then every live
+    /// lane's divergence / convergence / hang-probe bookkeeping runs at the
+    /// new cycle boundary. Returns the number of lanes that retired this
+    /// round. Per lane the cycle/check sequence is exactly step_lane's, so
+    /// outcomes stay bit-identical to the chunked path.
+    unsigned step_lanes_round(unsigned n);
+
+    /// The per-cycle bookkeeping of step_lane, factored so the lockstep
+    /// round can run it from the parked lane state without switching lanes
+    /// (the node-array and memory probes switch on demand). Returns true
+    /// when the lane retired.
+    bool bookkeep_lane(LaneRun& run, unsigned lane);
+
     /// Classify a lane whose stepping loop ended (mirrors run_site's
     /// epilogue, with the write comparison done suffix-aware).
     void classify_lane(LaneRun& run, iss::HaltReason halt);
@@ -159,6 +174,7 @@ class RtlCampaignBackend {
     // (past reads are diagnostics, not state the core evolves from).
     std::size_t cursor_reads_ = 0;
     std::vector<LaneRun> lane_runs_;  ///< slot j drives core lane j + 1
+    std::vector<u8> stepped_;         ///< per-round live mask (by core lane)
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;

@@ -51,8 +51,15 @@ std::vector<FaultSite> build_fault_list(const rtl::SimContext& ctx,
   auto pick_cycle = [&]() -> u64 {
     switch (cfg.inject_time) {
       case InjectTime::kEarly: return std::max<u64>(1, golden_cycles / 100);
-      case InjectTime::kUniformRandom:
-        return 1 + rng.next_below(std::max<u64>(1, golden_cycles / 2));
+      case InjectTime::kUniformRandom: {
+        // kLegacyHalf reproduces the historical first-half-only draw so
+        // pinned fault lists stay bit-identical; kFull samples the whole
+        // golden run (see InstantWindow).
+        const u64 span = cfg.instant_window == InstantWindow::kFull
+                             ? golden_cycles
+                             : golden_cycles / 2;
+        return 1 + rng.next_below(std::max<u64>(1, span));
+      }
       case InjectTime::kFixedCycle: return cfg.fixed_cycle;
     }
     return 1;

@@ -1,9 +1,11 @@
 #include "fault/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace issrtl::fault {
 
@@ -11,11 +13,23 @@ TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
-  cells.resize(header_.size());
+  if (cells.size() > header_.size()) {
+    // Historically the extra cells were silently truncated, which turned a
+    // caller's mismatched header/row into a report that *looked* complete.
+    throw std::invalid_argument(
+        "TextTable::add_row: row has " + std::to_string(cells.size()) +
+        " cells but the header has " + std::to_string(header_.size()));
+  }
+  cells.resize(header_.size());  // short rows pad with empty cells
   rows_.push_back(std::move(cells));
 }
 
 std::string TextTable::pct(double fraction, int decimals) {
+  if (!std::isfinite(fraction)) {
+    // 0-sample campaigns produce NaN fractions (0/0); "nan%" in a report
+    // reads like a formatting bug rather than an empty population.
+    return "n/a";
+  }
   std::ostringstream os;
   os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
   return os.str();

@@ -12,10 +12,14 @@ class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 
+  /// Append a row. Rows shorter than the header pad with empty cells; rows
+  /// *wider* than the header throw std::invalid_argument (they used to be
+  /// silently truncated, hiding caller bugs).
   void add_row(std::vector<std::string> cells);
   std::string render() const;
 
-  /// Helpers for numeric cells.
+  /// Helpers for numeric cells. pct renders non-finite fractions (e.g. the
+  /// NaN a 0-sample campaign yields) as "n/a".
   static std::string pct(double fraction, int decimals = 1);
   static std::string num(double v, int decimals = 2);
 

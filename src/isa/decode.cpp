@@ -217,7 +217,9 @@ DecodedInst decode(u32 word) {
     }
   }
 
-  d.iclass = opcode_info(d.opcode).iclass;
+  const OpcodeInfo& info = opcode_info(d.opcode);
+  d.iclass = info.iclass;
+  d.sets_icc = info.sets_icc;
   return d;
 }
 

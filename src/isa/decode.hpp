@@ -26,6 +26,10 @@ struct DecodedInst {
   bool annul = false;      ///< Bicc a-bit
   i32 disp = 0;            ///< Bicc/CALL displacement in bytes
   u8 trap_num = 0;         ///< software trap number for TA (rs2/simm7)
+  bool sets_icc = false;   ///< opcode_info(opcode).sets_icc, pre-resolved —
+                           ///< the execute stages test this every
+                           ///< instruction and the table indirection was
+                           ///< visible in campaign profiles
 
   bool valid() const noexcept { return opcode != Opcode::kInvalid; }
 };

@@ -245,7 +245,7 @@ HaltReason Emulator::step() {
     case InstClass::kAlu: {
       u32 r = 0;
       Icc icc = state_.icc;
-      bool write_icc = isa::opcode_info(d.opcode).sets_icc;
+      bool write_icc = d.sets_icc;
       switch (d.opcode) {
         case Opcode::kADD: case Opcode::kADDCC:
           r = a + b;
@@ -349,7 +349,7 @@ HaltReason Emulator::step() {
       const u32 lo = static_cast<u32>(prod);
       state_.y = static_cast<u32>(prod >> 32);
       state_.set_reg(d.rd, lo);
-      if (isa::opcode_info(d.opcode).sets_icc) {
+      if (d.sets_icc) {
         state_.icc = logic_flags(lo);  // V=C=0, N/Z from the low word
       }
       advance_pc();
@@ -375,7 +375,7 @@ HaltReason Emulator::step() {
         else q = static_cast<u32>(uq);
       }
       state_.set_reg(d.rd, q);
-      if (isa::opcode_info(d.opcode).sets_icc) {
+      if (d.sets_icc) {
         state_.icc = Icc::make((q >> 31) & 1, q == 0, overflow, false);
       }
       advance_pc();

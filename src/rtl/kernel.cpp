@@ -39,29 +39,78 @@ u32 FaultOverlay::apply(u32 raw, u32 bridge_raw) const noexcept {
 
 Sig SimContext::make(const std::string& name, const std::string& unit,
                      u8 width, NodeKind kind) {
-  if (replicas_ != 1) {
+  if (replicas_ != 1 || layout_ != LaneLayout::kFlat) {
     throw std::logic_error(
-        "SimContext::make: registry is frozen while replicas() > 1");
+        "SimContext::make: registry is frozen while replicated or tiled");
   }
   const NodeId id = static_cast<NodeId>(meta_.size());
-  meta_.push_back(NodeMeta{name, unit, width, kind});
+  const auto [uit, uinserted] =
+      unit_index_.try_emplace(unit, static_cast<u32>(units_.size()));
+  if (uinserted) units_.push_back(unit);
+  meta_.push_back(NodeMeta{name, uit->second, width, kind});
   by_name_.try_emplace(name, id);  // first registration wins on duplicates
   cur_.push_back(0);
   nxt_.push_back(0);
   mask_.push_back(static_cast<u32>(low_mask64(width)));
   flags_.push_back(0);
-  if (kind == NodeKind::kReg) {
+  if (kind == NodeKind::kReg && !sparse_pending_) {
     if (!commit_spans_.empty() && commit_spans_.back().second == id) {
       commit_spans_.back().second = id + 1;  // extend the adjacent span
     } else {
       commit_spans_.emplace_back(id, id + 1);
     }
   }
+  sparse_pending_ = false;
   rebind_lane();  // push_back may have reallocated the arrays
-  return Sig(this, id);
+  return Sig(this, id, id);  // flat at registration: slot == id
 }
 
-void SimContext::set_replicas(std::size_t count) {
+void SimContext::retile(std::size_t keep, LaneLayout layout) {
+  // Rebuild the hot arrays under `layout`, preserving the first `keep`
+  // lanes' values and flags; every other slot (new lanes, tile padding) is
+  // a copy of lane 0 with clean flags. Armed-overlay lists are untouched —
+  // NodeIds and shadow values are layout-independent.
+  const std::size_t n = meta_.size();
+
+  // Capture the old slot geometry before switching.
+  const LaneLayout old_layout = layout_;
+  auto old_base = [&](std::size_t lane) {
+    if (old_layout == LaneLayout::kFlat) return lane * n;
+    return (lane / kLaneTile) * (n * kLaneTile) + (lane % kLaneTile);
+  };
+  const std::size_t old_shift =
+      old_layout == LaneLayout::kFlat ? 0 : std::countr_zero(kLaneTile);
+
+  layout_ = layout;
+  lane_shift_ = layout == LaneLayout::kFlat
+                    ? 0
+                    : static_cast<u8>(std::countr_zero(kLaneTile));
+  const std::size_t total = storage_lanes() * n;
+
+  std::vector<u32> cur(total), nxt(total);
+  std::vector<u8> flags(total);
+  if (n != 0) {
+    for (std::size_t lane = 0; lane < storage_lanes(); ++lane) {
+      const std::size_t src = lane < keep ? lane : 0;
+      const std::size_t sb = old_base(src);
+      const std::size_t db = lane_base(lane);
+      for (NodeId id = 0; id < n; ++id) {
+        const std::size_t ss = sb + (static_cast<std::size_t>(id)
+                                     << old_shift);
+        const std::size_t ds = db + slot(id);
+        cur[ds] = cur_[ss];
+        nxt[ds] = nxt_[ss];
+        flags[ds] = lane < keep ? flags_[ss] : 0;
+      }
+    }
+  }
+  cur_ = std::move(cur);
+  nxt_ = std::move(nxt);
+  flags_ = std::move(flags);
+  rebind_lane();
+}
+
+void SimContext::set_replicas(std::size_t count, LaneLayout layout) {
   if (count == 0) {
     throw std::invalid_argument("set_replicas: need at least one lane");
   }
@@ -72,21 +121,47 @@ void SimContext::set_replicas(std::size_t count) {
     }
   }
   const std::size_t n = meta_.size();
-  cur_.resize(count * n);
-  nxt_.resize(count * n);
-  flags_.resize(count * n);
-  // New lanes start as copies of lane 0 (typically the reset state).
-  if (n != 0) {
-    for (std::size_t lane = replicas_; lane < count; ++lane) {
-      std::memcpy(cur_.data() + lane * n, cur_.data(), n * sizeof(u32));
-      std::memcpy(nxt_.data() + lane * n, nxt_.data(), n * sizeof(u32));
-      std::memset(flags_.data() + lane * n, 0, n);
+  const std::size_t old_count = replicas_;
+
+  if (layout == layout_ && layout == LaneLayout::kFlat) {
+    // Fast path: lane-major resize in place, exactly the historical
+    // behaviour (existing lanes preserved, new lanes copied from lane 0).
+    replicas_ = count;
+    const std::size_t total = storage_lanes() * n;
+    cur_.resize(total);
+    nxt_.resize(total);
+    flags_.resize(total);
+    if (n != 0) {
+      for (std::size_t lane = old_count; lane < count; ++lane) {
+        std::memcpy(cur_.data() + lane * n, cur_.data(), n * sizeof(u32));
+        std::memcpy(nxt_.data() + lane * n, nxt_.data(), n * sizeof(u32));
+        std::memset(flags_.data() + lane * n, 0, n);
+      }
     }
+  } else {
+    // Recorded sparse-commit slots are layout-relative: drain them under
+    // the *old* geometry before re-tiling (the callers' contract is a
+    // drained cycle boundary anyway, but a stale flat slot applied to
+    // tiled arrays would silently write the wrong node — see the lane
+    // fuzz test).
+    drain_sparse_all_lanes();
+    replicas_ = count;
+    retile(std::min(old_count, count), layout);
   }
-  replicas_ = count;
   armed_.resize(count);
+  sparse_dirty_.resize(count);
   active_ = 0;
   rebind_lane();
+}
+
+void SimContext::set_lane_layout(LaneLayout layout) {
+  if (layout == layout_) return;
+  // Layout changes happen at cycle boundaries, where every pending sparse
+  // commit has been drained already; recorded slots are layout-relative,
+  // so drain any stragglers under the old geometry rather than rescale or
+  // drop them.
+  drain_sparse_all_lanes();
+  retile(replicas_, layout);
 }
 
 void SimContext::set_active_lane(std::size_t lane) {
@@ -104,27 +179,40 @@ void SimContext::copy_lane(std::size_t dst, std::size_t src) {
   if (dst == src) return;
   const std::size_t n = meta_.size();
   if (n != 0) {
-    std::memcpy(cur_.data() + dst * n, cur_.data() + src * n, n * sizeof(u32));
-    std::memcpy(nxt_.data() + dst * n, nxt_.data() + src * n, n * sizeof(u32));
-    std::memcpy(flags_.data() + dst * n, flags_.data() + src * n, n);
+    if (layout_ == LaneLayout::kFlat) {
+      std::memcpy(cur_.data() + dst * n, cur_.data() + src * n,
+                  n * sizeof(u32));
+      std::memcpy(nxt_.data() + dst * n, nxt_.data() + src * n,
+                  n * sizeof(u32));
+      std::memcpy(flags_.data() + dst * n, flags_.data() + src * n, n);
+    } else {
+      const std::size_t db = lane_base(dst), sb = lane_base(src);
+      for (NodeId id = 0; id < n; ++id) {
+        const std::size_t s = slot(id);
+        cur_[db + s] = cur_[sb + s];
+        nxt_[db + s] = nxt_[sb + s];
+        flags_[db + s] = flags_[sb + s];
+      }
+    }
   }
   armed_[dst] = armed_[src];
+  sparse_dirty_[dst] = sparse_dirty_[src];
 }
 
 u32 SimContext::raw_value(NodeId id) const {
   check_id(id);
-  if (flags_l_[id] & kFlagOverlay) {
+  if (flags_l_[slot(id)] & kFlagOverlay) {
     for (const ArmedFault& f : armed()) {
       if (f.id == id) return f.shadow;
     }
   }
-  return cur_l_[id];
+  return cur_l_[slot(id)];
 }
 
 u64 SimContext::injectable_bits(const std::string& unit_prefix) const {
   u64 bits = 0;
   for (const NodeMeta& m : meta_) {
-    if (unit_matches(m.unit, unit_prefix)) bits += m.width;
+    if (unit_matches(units_[m.unit], unit_prefix)) bits += m.width;
   }
   return bits;
 }
@@ -133,7 +221,7 @@ std::vector<NodeId> SimContext::nodes_in_unit(
     const std::string& unit_prefix) const {
   std::vector<NodeId> ids;
   for (NodeId i = 0; i < meta_.size(); ++i) {
-    if (unit_matches(meta_[i].unit, unit_prefix)) ids.push_back(i);
+    if (unit_matches(units_[meta_[i].unit], unit_prefix)) ids.push_back(i);
   }
   return ids;
 }
@@ -152,24 +240,27 @@ u32 SimContext::apply_overlay(const ArmedFault& f) const noexcept {
 }
 
 void SimContext::write_slow(NodeId id, u32 masked) noexcept {
-  nxt_l_[id] = masked;
-  if (flags_l_[id] & kFlagOverlay) {
+  const std::size_t s = slot(id);
+  nxt_l_[s] = masked;
+  if (flags_l_[s] & kFlagOverlay) {
     for (ArmedFault& f : armed()) {
       if (f.id == id) {
         f.shadow = masked;
-        cur_l_[id] = apply_overlay(f);
+        cur_l_[s] = apply_overlay(f);
         break;
       }
     }
   } else {
-    cur_l_[id] = masked;
+    cur_l_[s] = masked;
   }
-  if (flags_l_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
+  if (flags_l_[s] & kFlagBridgeSrc) refresh_bridges_from(id);
 }
 
 void SimContext::refresh_bridges_from(NodeId aggressor) noexcept {
   for (const ArmedFault& f : armed()) {
-    if (f.overlay.bridge_src == aggressor) cur_l_[f.id] = apply_overlay(f);
+    if (f.overlay.bridge_src == aggressor) {
+      cur_l_[slot(f.id)] = apply_overlay(f);
+    }
   }
 }
 
@@ -182,8 +273,123 @@ void SimContext::reapply_overlays() noexcept {
   // zero/load bulk ops fill both arrays) — the current-value slot of an
   // armed wire still carries the overlay at this point and must not leak
   // into its shadow.
-  for (ArmedFault& f : armed()) f.shadow = nxt_l_[f.id];
-  for (const ArmedFault& f : armed()) cur_l_[f.id] = apply_overlay(f);
+  for (ArmedFault& f : armed()) f.shadow = nxt_l_[slot(f.id)];
+  for (const ArmedFault& f : armed()) {
+    cur_l_[slot(f.id)] = apply_overlay(f);
+  }
+}
+
+void SimContext::reapply_overlays_for(std::size_t lane) noexcept {
+  // Lane-addressed variant of reapply_overlays() for the all-lane commit:
+  // identical two-pass discipline, but indexing lane's slice directly
+  // instead of the cached active-lane base. Bridge aggressor raw values are
+  // read from the same lane (a bridge and its aggressor are lane-local).
+  std::vector<ArmedFault>& lane_armed = armed_[lane];
+  if (lane_armed.empty()) return;
+  const std::size_t base = lane_base(lane);
+  for (ArmedFault& f : lane_armed) f.shadow = nxt_[base + slot(f.id)];
+  for (const ArmedFault& f : lane_armed) {
+    u32 bridge_raw = 0;
+    if (f.overlay.bridge_src != kNoNode) {
+      const std::size_t bs = base + slot(f.overlay.bridge_src);
+      bridge_raw = nxt_[bs];  // raw value of the aggressor in this lane
+    }
+    cur_[base + slot(f.id)] = f.overlay.apply(f.shadow, bridge_raw);
+  }
+}
+
+void SimContext::commit_lanes() noexcept {
+  if (meta_.empty()) return;
+  if (layout_ == LaneLayout::kTiled) {
+    const std::size_t tiles = storage_lanes() / kLaneTile;
+    const std::size_t tile_words = meta_.size() * kLaneTile;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const std::size_t tb = t * tile_words;
+      for (const auto& [begin, end] : commit_spans_) {
+        std::memcpy(cur_.data() + tb + (begin * kLaneTile),
+                    nxt_.data() + tb + (begin * kLaneTile),
+                    (end - begin) * kLaneTile * sizeof(u32));
+      }
+    }
+  } else {
+    for (std::size_t lane = 0; lane < replicas_; ++lane) {
+      const std::size_t base = lane * meta_.size();
+      for (const auto& [begin, end] : commit_spans_) {
+        std::memcpy(cur_.data() + base + begin, nxt_.data() + base + begin,
+                    (end - begin) * sizeof(u32));
+      }
+    }
+  }
+  drain_sparse_all_lanes();
+  for (std::size_t lane = 0; lane < replicas_; ++lane) {
+    reapply_overlays_for(lane);
+  }
+}
+
+void SimContext::commit_lanes(const std::vector<u8>& live) noexcept {
+  if (meta_.empty()) return;
+  if (layout_ == LaneLayout::kTiled) {
+    const std::size_t tiles = storage_lanes() / kLaneTile;
+    const std::size_t tile_words = meta_.size() * kLaneTile;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const std::size_t lane0 = t * kLaneTile;
+      bool any = false;
+      for (std::size_t l = lane0; l < lane0 + kLaneTile && l < replicas_;
+           ++l) {
+        if (l < live.size() && live[l]) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      const std::size_t tb = t * tile_words;
+      for (const auto& [begin, end] : commit_spans_) {
+        std::memcpy(cur_.data() + tb + (begin * kLaneTile),
+                    nxt_.data() + tb + (begin * kLaneTile),
+                    (end - begin) * kLaneTile * sizeof(u32));
+      }
+    }
+    // Sparse commits drain before overlays re-apply — an armed node may
+    // itself carry a pending sparse write, and the overlay patch must land
+    // on top of the freshly committed raw value.
+    drain_sparse_all_lanes();
+    for (std::size_t lane = 0; lane < replicas_; ++lane) {
+      const std::size_t t0 = (lane / kLaneTile) * kLaneTile;
+      bool tile_live = false;
+      for (std::size_t l = t0; l < t0 + kLaneTile && l < replicas_; ++l) {
+        if (l < live.size() && live[l]) {
+          tile_live = true;
+          break;
+        }
+      }
+      if (tile_live) reapply_overlays_for(lane);
+    }
+  } else {
+    for (std::size_t lane = 0; lane < replicas_; ++lane) {
+      if (lane >= live.size() || !live[lane]) continue;
+      const std::size_t base = lane * meta_.size();
+      for (const auto& [begin, end] : commit_spans_) {
+        std::memcpy(cur_.data() + base + begin, nxt_.data() + base + begin,
+                    (end - begin) * sizeof(u32));
+      }
+    }
+    drain_sparse_all_lanes();
+    for (std::size_t lane = 0; lane < replicas_; ++lane) {
+      if (lane < live.size() && live[lane]) reapply_overlays_for(lane);
+    }
+  }
+}
+
+void SimContext::drain_sparse_all_lanes() noexcept {
+  // A lane with pending sparse commits necessarily evaluated this round, so
+  // draining every lane is both safe and equivalent to a masked drain.
+  for (std::size_t lane = 0; lane < replicas_; ++lane) {
+    std::vector<u32>& dirty = sparse_dirty_[lane];
+    if (dirty.empty()) continue;
+    const std::size_t base = lane_base(lane);
+    for (const u32 s : dirty) cur_[base + s] = nxt_[base + s];
+    dirty.clear();
+  }
 }
 
 void SimContext::arm_fault(NodeId id, FaultModel model, u8 bit) {
@@ -201,26 +407,27 @@ void SimContext::arm_fault_mask(NodeId id, FaultModel model, u32 mask) {
   if (mask == 0 || (mask & ~mask_[id]) != 0) {
     throw std::out_of_range("arm_fault_mask: mask outside node width");
   }
-  if (flags_l_[id] & kFlagOverlay) {
+  const std::size_t s = slot(id);
+  if (flags_l_[s] & kFlagOverlay) {
     throw std::logic_error("arm_fault: node already has a fault: " + name(id));
   }
   if (model == FaultModel::kTransientBitFlip) {
     // One-shot: disturb the stored value (and the pending next value for
     // registers, as a particle strike would hit the flop master+slave).
-    cur_l_[id] ^= mask;
-    nxt_l_[id] ^= mask;
-    if (flags_l_[id] & kFlagBridgeSrc) refresh_bridges_from(id);
+    cur_l_[s] ^= mask;
+    nxt_l_[s] ^= mask;
+    if (flags_l_[s] & kFlagBridgeSrc) refresh_bridges_from(id);
     return;
   }
   ArmedFault f;
   f.id = id;
-  f.shadow = cur_l_[id];  // unfaulted until now: the lane holds the raw value
+  f.shadow = cur_l_[s];  // unfaulted until now: the lane holds the raw value
   f.overlay.model = model;
   f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
   f.overlay.mask = mask;
   f.overlay.frozen = f.shadow & mask;
-  flags_l_[id] |= kFlagOverlay;
-  cur_l_[id] = apply_overlay(f);
+  flags_l_[s] |= kFlagOverlay;
+  cur_l_[s] = apply_overlay(f);
   armed().push_back(f);
 }
 
@@ -233,32 +440,49 @@ void SimContext::arm_bridge(NodeId victim, NodeId aggressor, u32 mask) {
   if (mask == 0 || (mask & ~mask_[victim]) != 0) {
     throw std::out_of_range("arm_bridge: mask outside victim width");
   }
-  if (flags_l_[victim] & kFlagOverlay) {
+  const std::size_t vs = slot(victim);
+  if (flags_l_[vs] & kFlagOverlay) {
     throw std::logic_error("arm_bridge: node already has a fault: " +
                            name(victim));
   }
   ArmedFault f;
   f.id = victim;
-  f.shadow = cur_l_[victim];
+  f.shadow = cur_l_[vs];
   f.overlay.model = FaultModel::kBridge;
   f.overlay.bit = static_cast<u8>(std::countr_zero(mask));
   f.overlay.mask = mask;
   f.overlay.bridge_src = aggressor;
-  flags_l_[victim] |= kFlagOverlay;
-  flags_l_[aggressor] |= kFlagBridgeSrc;
+  flags_l_[vs] |= kFlagOverlay;
+  flags_l_[slot(aggressor)] |= kFlagBridgeSrc;
   armed().push_back(f);
-  cur_l_[victim] = apply_overlay(armed().back());
+  cur_l_[vs] = apply_overlay(armed().back());
 }
 
 void SimContext::clear_faults() {
   for (const ArmedFault& f : armed()) {
-    cur_l_[f.id] = f.shadow;  // restore the raw value
-    flags_l_[f.id] &= static_cast<u8>(~kFlagOverlay);
+    cur_l_[slot(f.id)] = f.shadow;  // restore the raw value
+    flags_l_[slot(f.id)] &= static_cast<u8>(~kFlagOverlay);
     if (f.overlay.bridge_src != kNoNode) {
-      flags_l_[f.overlay.bridge_src] &= static_cast<u8>(~kFlagBridgeSrc);
+      flags_l_[slot(f.overlay.bridge_src)] &=
+          static_cast<u8>(~kFlagBridgeSrc);
     }
   }
   armed().clear();
+}
+
+void SimContext::zero_all() noexcept {
+  if (!meta_.empty()) {
+    if (lane_shift_ == 0) {
+      std::memset(cur_l_, 0, meta_.size() * sizeof(u32));
+      std::memset(nxt_l_, 0, meta_.size() * sizeof(u32));
+    } else {
+      for (NodeId id = 0; id < meta_.size(); ++id) {
+        cur_l_[slot(id)] = 0;
+        nxt_l_[slot(id)] = 0;
+      }
+    }
+  }
+  if (!armed().empty()) reapply_overlays();
 }
 
 std::vector<u32> SimContext::save_values() const {
@@ -269,8 +493,13 @@ std::vector<u32> SimContext::save_values() const {
 
 void SimContext::save_values_into(std::vector<u32>& out) const {
   out.resize(meta_.size());
-  if (!meta_.empty()) {
+  if (meta_.empty()) return;
+  if (lane_shift_ == 0) {
     std::memcpy(out.data(), cur_l_, meta_.size() * sizeof(u32));
+  } else {
+    for (NodeId id = 0; id < meta_.size(); ++id) {
+      out[id] = cur_l_[slot(id)];
+    }
   }
 }
 
@@ -280,8 +509,15 @@ void SimContext::load_values(const std::vector<u32>& values) {
         "load_values: checkpoint taken on a different registry");
   }
   if (!meta_.empty()) {
-    std::memcpy(cur_l_, values.data(), meta_.size() * sizeof(u32));
-    std::memcpy(nxt_l_, values.data(), meta_.size() * sizeof(u32));
+    if (lane_shift_ == 0) {
+      std::memcpy(cur_l_, values.data(), meta_.size() * sizeof(u32));
+      std::memcpy(nxt_l_, values.data(), meta_.size() * sizeof(u32));
+    } else {
+      for (NodeId id = 0; id < meta_.size(); ++id) {
+        cur_l_[slot(id)] = values[id];
+        nxt_l_[slot(id)] = values[id];
+      }
+    }
   }
   if (!armed().empty()) reapply_overlays();
 }

@@ -26,16 +26,32 @@
 // writes to a bridge aggressor, commit_all, zero_all, load_values). A faulted
 // node corrupts every consumer, whether wire or flop, exactly as before.
 //
-// Replica lanes: the hot state optionally carries a batch dimension. A
-// context with R replicas stores R lane-major copies of the cur/nxt/flags
-// arrays (lane l's node id occupies slot l*N + id) while the cold side
-// table, the name index and the width mask stay shared. Exactly one lane is
-// *active* at a time; every accessor — Sig reads and writes, commit_all,
-// save/load/compare, fault arming — addresses the active lane through a
-// cached base pointer, so the unfaulted hot path is still a single indexed
-// load. Armed faults are per-lane (each lane has its own overlay list and
-// flag slice), which is what lets a batched campaign evaluate N different
-// fault sites against replicas of the same netlist in lockstep.
+// Replica lanes: the hot state optionally carries a batch dimension, in one
+// of two layouts.
+//
+//  * kFlat (lane-major): a context with R replicas stores R lane-major
+//    copies of the cur/nxt/flags arrays (lane l's node id occupies slot
+//    l*N + id). Per-lane bulk operations (commit, save/load/compare) stay
+//    contiguous, which favours stepping one lane for a long stretch.
+//  * kTiled (lane-interleaved tiles): lanes are grouped in tiles of
+//    kLaneTile = 8; within a tile the R lane values of one node are
+//    adjacent (slot = tile_base + id*8 + lane%8, i.e. cur[node][lane] is
+//    contiguous). A register-covering span [b, e) of one tile occupies the
+//    contiguous u32 range [b*8, e*8), so commit_lanes() clocks *every* lane
+//    of the design in a single auto-vectorizable pass per span — the
+//    lane-slice evaluation the batched lockstep scheduler drives — and the
+//    probe primitives compare eight lane values of a node from one cache
+//    line.
+//
+// In both layouts the cold side table, the name index and the width masks
+// stay shared, exactly one lane is *active* at a time, and every accessor —
+// Sig reads and writes, commit_all, save/load/compare, fault arming —
+// addresses the active lane through a cached base pointer plus a per-context
+// lane shift (0 when flat, 3 when tiled), so the unfaulted hot path is one
+// shifted indexed load. Armed faults are per-lane (each lane has its own
+// overlay list and flag slice), which is what lets a batched campaign
+// evaluate N different fault sites against replicas of the same netlist in
+// lockstep.
 #pragma once
 
 #include <cstring>
@@ -52,12 +68,30 @@ namespace issrtl::rtl {
 
 enum class NodeKind : u8 { kWire, kReg };
 
+/// Replica-lane storage layout (see the file comment).
+enum class LaneLayout : u8 { kFlat, kTiled };
+
+/// Lanes per interleave tile in LaneLayout::kTiled: eight u32 lane slices =
+/// one 32-byte strip, the natural width for both compiler auto-vectorization
+/// and explicit u32×8 passes, and half a cache line so two nodes' lane
+/// groups share a line.
+inline constexpr std::size_t kLaneTile = 8;
+
 class SimContext;
 
-/// Lightweight handle to a single W<=32-bit node: a (context, NodeId) pair.
-/// Copyable and 16 bytes; modules store handles by value. All accessors
-/// index the SimContext's packed value arrays — the unfaulted read path is
-/// a single array load with no branches.
+/// Lightweight handle to a single W<=32-bit node: a (context, NodeId) pair
+/// plus the node's pre-scaled slot offset in the current lane layout (id
+/// when flat, id * kLaneTile when tiled). Copyable and 16 bytes; modules
+/// store handles by value. All accessors index the SimContext's packed
+/// value arrays through the pre-scaled offset — the unfaulted read path is
+/// a single array load with no branches and no per-access stride math,
+/// whatever the layout.
+///
+/// Handle invalidation: because the scale is baked in at mint time, a lane
+/// layout change (set_replicas with a different layout, set_lane_layout)
+/// invalidates outstanding handles — re-mint them via SimContext::node().
+/// Leon3Core refreshes its module handles internally, so core users never
+/// observe this; it only concerns code driving a raw SimContext.
 class Sig {
  public:
   Sig() = default;
@@ -74,6 +108,11 @@ class Sig {
   /// Schedule a register's next value (visible after commit_all()).
   void n(u32 v) noexcept;
 
+  /// Schedule a sparse-commit register's next value (SimContext::reg_sparse
+  /// nodes): like n(), plus records the pending slot on the active lane's
+  /// dirty list so the clock edge commits it outside the span copies.
+  void ns(u32 v) noexcept;
+
   /// Raw (un-faulted) value — used by state inspection only.
   u32 raw() const noexcept;
 
@@ -84,10 +123,12 @@ class Sig {
 
  private:
   friend class SimContext;
-  Sig(SimContext* ctx, NodeId id) noexcept : ctx_(ctx), id_(id) {}
+  Sig(SimContext* ctx, NodeId id, u32 scaled) noexcept
+      : ctx_(ctx), id_(id), scaled_(scaled) {}
 
   SimContext* ctx_ = nullptr;
   NodeId id_ = 0;
+  u32 scaled_ = 0;  ///< id << lane_shift at mint time (slot offset)
 };
 
 /// Registry of all nodes plus the armed-fault bookkeeping.
@@ -114,6 +155,19 @@ class SimContext {
     return make(name, unit, width, NodeKind::kReg);
   }
 
+  /// A register committed through the per-cycle dirty list instead of the
+  /// span copy: writers must use Sig::ns() (next-sparse) so the pending
+  /// slot is recorded. The right choice for large, rarely written arrays —
+  /// the register file's 136 entries see at most two writes per cycle, and
+  /// copying the whole span every clock edge was the single largest share
+  /// of commit_all(). Reads, faults, checkpoints and probes behave exactly
+  /// like reg() nodes.
+  Sig reg_sparse(const std::string& name, const std::string& unit,
+                 u8 width = 32) {
+    sparse_pending_ = true;
+    return make(name, unit, width, NodeKind::kReg);
+  }
+
   std::size_t node_count() const noexcept { return meta_.size(); }
 
   // ---- replica lanes (batched evaluation) ----------------------------------
@@ -124,14 +178,32 @@ class SimContext {
   /// Lane all accessors currently address.
   std::size_t active_lane() const noexcept { return active_; }
 
-  /// Grow (or shrink) the hot state to `count` replica lanes. Every lane
-  /// starts as a copy of lane 0's current values; the cold side table and
-  /// the width masks stay shared. Requires a fully built registry with no
-  /// armed fault on any lane (throws std::logic_error otherwise — an
-  /// overlay's shadow slot is lane state and must not be duplicated
-  /// implicitly); node registration is frozen while replicas() > 1. The
-  /// active lane is reset to 0.
-  void set_replicas(std::size_t count);
+  /// Storage layout of the replica dimension.
+  LaneLayout lane_layout() const noexcept { return layout_; }
+
+  /// Grow (or shrink) the hot state to `count` replica lanes in `layout`.
+  /// Existing lanes (below the old count) keep their values across both a
+  /// resize and a layout change; new lanes start as copies of lane 0; the
+  /// cold side table and the width masks stay shared. Requires a fully
+  /// built registry with no armed fault on any lane (throws
+  /// std::logic_error otherwise — an overlay's shadow slot is lane state
+  /// and must not be duplicated implicitly); node registration is frozen
+  /// while replicas() > 1. The active lane is reset to 0. With kTiled the
+  /// storage is padded to a whole number of kLaneTile-lane tiles; padding
+  /// lanes hold copies of lane 0, are never addressable, and exist so the
+  /// tile passes below are unconditional full-strip operations.
+  void set_replicas(std::size_t count, LaneLayout layout = LaneLayout::kFlat);
+
+  /// Re-tile the existing lanes into `layout` without changing the lane
+  /// count: a pure representation transpose. Every lane's values, flags and
+  /// armed-overlay lists (NodeIds and shadows are layout-independent) are
+  /// preserved exactly, as is the active lane — no observable behaviour
+  /// changes, only the memory order of the hot arrays. The batch scheduler
+  /// uses this to run the dense phase of a batch on interleaved tiles and
+  /// the sparse straggler tail on the flat layout (a lone lane's working
+  /// set in tiled storage spans kLaneTile times the cache footprint, which
+  /// is exactly when lane-major wins). Cost: O(nodes * lanes) word copies.
+  void set_lane_layout(LaneLayout layout);
 
   /// Switch every accessor (Sig reads/writes, commit/save/load/compare,
   /// fault arming) to lane `lane`. O(1): swaps the cached lane base
@@ -144,15 +216,19 @@ class SimContext {
   /// The active lane is unchanged. Throws std::out_of_range on bad lanes.
   void copy_lane(std::size_t dst, std::size_t src);
 
-  /// Handle to an existing node; throws std::out_of_range on a bad id.
+  /// Handle to an existing node in the *current* lane layout; throws
+  /// std::out_of_range on a bad id. Handles minted before a layout change
+  /// are stale — re-mint them here (see the Sig class comment).
   Sig node(NodeId id) {
     check_id(id);
-    return Sig(this, id);
+    return Sig(this, id, static_cast<u32>(slot(id)));
   }
 
   // ---- cold metadata (side table, never touched by the simulation loop) ----
   const std::string& name(NodeId id) const { return meta_.at(id).name; }
-  const std::string& unit(NodeId id) const { return meta_.at(id).unit; }
+  const std::string& unit(NodeId id) const {
+    return units_[meta_.at(id).unit];
+  }
   u8 width(NodeId id) const { return meta_.at(id).width; }
   NodeKind kind(NodeId id) const { return meta_.at(id).kind; }
 
@@ -160,9 +236,21 @@ class SimContext {
   /// the active lane.
   u32 value(NodeId id) const {
     check_id(id);
-    return cur_l_[id];
+    return cur_l_[slot(id)];
   }
   u32 raw_value(NodeId id) const;
+
+  /// Pre-scaled slot offset of `id` in the current lane layout — lets a
+  /// module with a dense Sig array (e.g. the cache tag/data nodes, which
+  /// are registered consecutively) precompute base offsets and read via
+  /// value_at() without per-access handle loads. Offsets go stale on a
+  /// lane-layout change, exactly like Sig handles.
+  u32 slot_of(NodeId id) const noexcept {
+    return static_cast<u32>(slot(id));
+  }
+
+  /// Unchecked active-lane read by pre-scaled slot offset (see slot_of).
+  u32 value_at(u32 scaled) const noexcept { return cur_l_[scaled]; }
 
   /// Total injectable bits in nodes whose unit starts with `unit_prefix`
   /// (empty prefix = whole design). This is the paper's "number of fault
@@ -211,23 +299,67 @@ class SimContext {
   /// meaningful only for registers — so the commit copies just the
   /// register-covering NodeId spans (registers cluster by construction
   /// order, so this is a handful of memcpys over a fraction of the array
-  /// instead of one full-array copy). The lane's armed overlays are
-  /// re-applied afterwards (the copy exposes raw next values).
+  /// instead of one full-array copy; in the tiled layout the same spans are
+  /// strided per lane). The lane's armed overlays are re-applied afterwards
+  /// (the copy exposes raw next values).
   void commit_all() noexcept {
-    for (const auto& [begin, end] : commit_spans_) {
-      std::memcpy(cur_l_ + begin, nxt_l_ + begin,
-                  (end - begin) * sizeof(u32));
+    if (lane_shift_ == 0) {
+      for (const auto& [begin, end] : commit_spans_) {
+        std::memcpy(cur_l_ + begin, nxt_l_ + begin,
+                    (end - begin) * sizeof(u32));
+      }
+    } else {
+      for (const auto& [begin, end] : commit_spans_) {
+        for (NodeId id = begin; id < end; ++id) {
+          cur_l_[slot(id)] = nxt_l_[slot(id)];
+        }
+      }
+    }
+    std::vector<u32>& dirty = sparse_dirty_[active_];
+    if (!dirty.empty()) {
+      for (const u32 s : dirty) cur_l_[s] = nxt_l_[s];
+      dirty.clear();
     }
     if (!armed().empty()) reapply_overlays();
   }
 
+  /// Clock edge for *every* lane at once — the per-cycle primitive of the
+  /// batched lockstep driver. In the tiled layout a register span [b, e) of
+  /// one tile is the contiguous u32 range [b*8, e*8), so this is one
+  /// full-width memcpy per span per tile, vectorized across all eight lane
+  /// slices; in the flat layout it loops the per-lane span copies. Safe to
+  /// include lanes that did not evaluate this round: an idle lane sits at a
+  /// cycle boundary where every register already satisfies cur == nxt, so
+  /// re-committing it is the identity. Each committed lane's armed overlays
+  /// are re-applied into its own slice afterwards.
+  void commit_lanes() noexcept;
+
+  /// Masked variant: clock only the lanes marked in `live` (indexed by
+  /// lane, size >= replicas()). In the tiled layout whole tiles are the
+  /// commit grain, so every lane sharing a tile with a live lane is
+  /// committed too (idle-lane commits are the identity, see above); tiles
+  /// with no live lane are skipped entirely, which is what keeps the
+  /// per-round cost proportional to the surviving batch, not the batch
+  /// capacity. Overlays are re-applied for every lane the pass committed.
+  void commit_lanes(const std::vector<u8>& live) noexcept;
+
   /// Reset the active lane's node values to zero (does not clear faults).
-  void zero_all() noexcept {
-    if (!meta_.empty()) {
-      std::memset(cur_l_, 0, meta_.size() * sizeof(u32));
-      std::memset(nxt_l_, 0, meta_.size() * sizeof(u32));
+  void zero_all() noexcept;
+
+  /// Schedule zero into `count` registers starting at `begin` on the active
+  /// lane: nxt[begin+i] = 0 — equivalent to count n(0) calls (zero is
+  /// within every width mask). One memset in the flat layout, a strided
+  /// pass in the tiled one. Bounds-checked.
+  void zero_next_range(NodeId begin, std::size_t count) {
+    if (count == 0) return;
+    check_id(static_cast<NodeId>(begin + count - 1));
+    if (lane_shift_ == 0) {
+      std::memset(nxt_l_ + begin, 0, count * sizeof(u32));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        nxt_l_[slot(static_cast<NodeId>(begin + i))] = 0;
+      }
     }
-    if (!armed().empty()) reapply_overlays();
   }
 
   /// Values of every node of the active lane in registry order — the node
@@ -242,20 +374,27 @@ class SimContext {
   void save_values_into(std::vector<u32>& out) const;
 
   /// Comparison of the active lane against a save_values() capture: one
-  /// per-lane memcmp, no copy. A size mismatch (foreign registry) compares
-  /// unequal.
+  /// per-lane memcmp (flat) or an early-exit strided pass (tiled), no copy.
+  /// A size mismatch (foreign registry) compares unequal.
   bool values_equal(const std::vector<u32>& values) const noexcept {
-    return values.size() == meta_.size() &&
-           (meta_.empty() ||
-            std::memcmp(values.data(), cur_l_,
-                        meta_.size() * sizeof(u32)) == 0);
+    if (values.size() != meta_.size()) return false;
+    if (meta_.empty()) return true;
+    if (lane_shift_ == 0) {
+      return std::memcmp(values.data(), cur_l_,
+                         meta_.size() * sizeof(u32)) == 0;
+    }
+    for (NodeId id = 0; id < meta_.size(); ++id) {
+      if (cur_l_[slot(id)] != values[id]) return false;
+    }
+    return true;
   }
 
   /// Schedule a ranged register copy on the active lane: nxt[dst+i] =
   /// cur[src+i] for i in [0, count). Equivalent to count next(dst+i,
   /// cur[src+i]) calls for module layouts where the two ranges pair nodes
   /// of equal width (current values are always within their width mask, so
-  /// no re-masking is needed) — the pipeline-latch copy, vectorized.
+  /// no re-masking is needed) — the pipeline-latch copy, vectorized in the
+  /// flat layout and strided (still branch-free) in the tiled one.
   /// Reads see the source's fault overlay (cur is the as-consumed value);
   /// an overlay on a destination register is re-applied at commit exactly
   /// like for next(). Bounds-checked; width pairing is the caller's
@@ -264,8 +403,15 @@ class SimContext {
     if (count == 0) return;
     check_id(static_cast<NodeId>(dst + count - 1));
     check_id(static_cast<NodeId>(src + count - 1));
-    for (std::size_t i = 0; i < count; ++i) {
-      nxt_l_[dst + i] = cur_l_[src + i];
+    if (lane_shift_ == 0) {
+      for (std::size_t i = 0; i < count; ++i) {
+        nxt_l_[dst + i] = cur_l_[src + i];
+      }
+    } else {
+      const std::size_t d0 = slot(dst), s0 = slot(src);
+      for (std::size_t i = 0; i < count; ++i) {
+        nxt_l_[d0 + (i << lane_shift_)] = cur_l_[s0 + (i << lane_shift_)];
+      }
     }
   }
 
@@ -284,7 +430,7 @@ class SimContext {
 
   struct NodeMeta {
     std::string name;
-    std::string unit;
+    u32 unit;  ///< index into units_ (unit strings repeat heavily)
     u8 width;
     NodeKind kind;
   };
@@ -303,10 +449,23 @@ class SimContext {
     return armed_[active_];
   }
 
+  /// Offset of node `id` relative to the active-lane base pointers: the
+  /// plain id when flat, id * kLaneTile when tiled.
+  std::size_t slot(NodeId id) const noexcept {
+    return static_cast<std::size_t>(id) << lane_shift_;
+  }
+
+  /// Start of lane `lane`'s slice relative to the start of the arrays.
+  std::size_t lane_base(std::size_t lane) const noexcept {
+    if (layout_ == LaneLayout::kFlat) return lane * meta_.size();
+    return (lane / kLaneTile) * (meta_.size() * kLaneTile) +
+           (lane % kLaneTile);
+  }
+
   /// Re-derive the cached active-lane base pointers (after registration,
   /// reallocation, or a lane switch).
   void rebind_lane() noexcept {
-    const std::size_t base = active_ * meta_.size();
+    const std::size_t base = lane_base(active_);
     cur_l_ = cur_.data() + base;
     nxt_l_ = nxt_.data() + base;
     flags_l_ = flags_.data() + base;
@@ -314,26 +473,43 @@ class SimContext {
 
   // Hot per-node write: fast path is two stores; only armed nodes and
   // bridge aggressors (flags != 0 in the active lane) take the overlay
-  // slow path.
-  void write(NodeId id, u32 v) noexcept {
+  // slow path. `scaled` is the caller's pre-scaled slot offset (Sig bakes
+  // it in at mint time so the fast path has no stride math).
+  void write_at(NodeId id, u32 scaled, u32 v) noexcept {
     v &= mask_[id];
-    if (flags_l_[id] != 0) [[unlikely]] {
+    if (flags_l_[scaled] != 0) [[unlikely]] {
       write_slow(id, v);
       return;
     }
-    cur_l_[id] = v;
-    nxt_l_[id] = v;
+    cur_l_[scaled] = v;
+    nxt_l_[scaled] = v;
   }
-  void next(NodeId id, u32 v) noexcept { nxt_l_[id] = v & mask_[id]; }
+  void next_at(NodeId id, u32 scaled, u32 v) noexcept {
+    nxt_l_[scaled] = v & mask_[id];
+  }
+  void next_sparse_at(NodeId id, u32 scaled, u32 v) noexcept {
+    nxt_l_[scaled] = v & mask_[id];
+    sparse_dirty_[active_].push_back(scaled);
+  }
 
+  void retile(std::size_t keep, LaneLayout layout);
+  void drain_sparse_all_lanes() noexcept;
   void write_slow(NodeId id, u32 masked) noexcept;
   void reapply_overlays() noexcept;
+  void reapply_overlays_for(std::size_t lane) noexcept;
   void refresh_bridges_from(NodeId aggressor) noexcept;
   u32 apply_overlay(const ArmedFault& f) const noexcept;
 
-  // Hot structure-of-arrays state: replicas_ lane-major copies, lane l's
-  // node id at slot l*N + id. The *_l_ pointers cache the active lane's
-  // base so the unfaulted read path stays a single indexed load.
+  /// Lanes the hot arrays are sized for (replicas_, rounded up to whole
+  /// tiles when tiled).
+  std::size_t storage_lanes() const noexcept {
+    if (layout_ == LaneLayout::kFlat) return replicas_;
+    return (replicas_ + kLaneTile - 1) / kLaneTile * kLaneTile;
+  }
+
+  // Hot structure-of-arrays state: storage_lanes() lane slices in layout_
+  // order (see lane_base). The *_l_ pointers cache the active lane's base
+  // so the unfaulted read path stays one shifted indexed load.
   std::vector<u32> cur_;   ///< value consumers see (overlay pre-applied)
   std::vector<u32> nxt_;   ///< raw next value (mirrors cur_ for wires)
   std::vector<u8> flags_;
@@ -343,9 +519,15 @@ class SimContext {
   u8* flags_l_ = nullptr;
   std::size_t replicas_ = 1;
   std::size_t active_ = 0;
+  LaneLayout layout_ = LaneLayout::kFlat;
+  u8 lane_shift_ = 0;  ///< 0 flat, log2(kLaneTile) tiled
 
-  // Cold side table + name index (shared by every lane).
+  // Cold side table + name index (shared by every lane). Unit strings are
+  // interned: a design has ~dozen distinct units across ~1k nodes, and
+  // registration cost is visible in campaign setup.
   std::vector<NodeMeta> meta_;
+  std::vector<std::string> units_;
+  std::unordered_map<std::string, u32> unit_index_;
   std::unordered_map<std::string, NodeId> by_name_;
 
   // Register-covering [begin, end) NodeId spans, maintained by make():
@@ -353,12 +535,19 @@ class SimContext {
   std::vector<std::pair<NodeId, NodeId>> commit_spans_;
 
   std::vector<std::vector<ArmedFault>> armed_{1};  ///< one list per lane
+  /// Pending sparse-register commits (pre-scaled slots), one list per lane;
+  /// drained by every commit flavour.
+  std::vector<std::vector<u32>> sparse_dirty_{1};
+  bool sparse_pending_ = false;  ///< next make() call is a sparse register
 };
 
-inline u32 Sig::r() const noexcept { return ctx_->cur_l_[id_]; }
-inline void Sig::w(u32 v) noexcept { ctx_->write(id_, v); }
-inline void Sig::n(u32 v) noexcept { ctx_->next(id_, v); }
+inline u32 Sig::r() const noexcept { return ctx_->cur_l_[scaled_]; }
+inline void Sig::w(u32 v) noexcept { ctx_->write_at(id_, scaled_, v); }
+inline void Sig::n(u32 v) noexcept { ctx_->next_at(id_, scaled_, v); }
+inline void Sig::ns(u32 v) noexcept {
+  ctx_->next_sparse_at(id_, scaled_, v);
+}
 inline u32 Sig::raw() const noexcept { return ctx_->raw_value(id_); }
-inline void Sig::poke(u32 v) noexcept { ctx_->write(id_, v); }
+inline void Sig::poke(u32 v) noexcept { ctx_->write_at(id_, scaled_, v); }
 
 }  // namespace issrtl::rtl

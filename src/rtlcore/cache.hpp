@@ -26,6 +26,19 @@ class Cache {
   Cache(rtl::SimContext& ctx, const std::string& unit, const CacheConfig& cfg,
         Memory& mem, OffCoreTrace& bus);
 
+  /// Re-point the cache at another memory image / bus trace — the replica-
+  /// lane switch. O(1): the tag/valid/data arrays live in the node registry
+  /// and follow the SimContext's active lane on their own; only the
+  /// off-core side needs rebinding.
+  void rebind(Memory& mem, OffCoreTrace& bus) noexcept {
+    mem_ = &mem;
+    bus_ = &bus;
+  }
+
+  /// Re-mint the tag/valid/data/busy handles after a lane-layout change
+  /// (pre-scaled slot offsets go stale — see the rtl::Sig class comment).
+  void refresh(rtl::SimContext& ctx);
+
   /// Advance one cycle while an access is pending. Returns true when the
   /// pending (or newly issued) access at `addr` completes this cycle, with
   /// the loaded 32-bit word in `out`. Pass the core cycle for bus records.
@@ -62,15 +75,22 @@ class Cache {
   bool hit(u32 addr) const;
   void fill_line(u64 cycle, u32 addr);
   u32 read_word(u32 addr) const;
+  void recompute_slot_bases();
 
   CacheConfig cfg_;
-  Memory& mem_;
-  OffCoreTrace& bus_;
+  rtl::SimContext* ctx_;
+  Memory* mem_;
+  OffCoreTrace* bus_;
   u32 lines_;
   u32 words_per_line_;
   std::vector<rtl::Sig> tags_;
   std::vector<rtl::Sig> valids_;
   std::vector<rtl::Sig> data_;
+  // Pre-scaled slot bases for the hit/read fast path: the tag/valid pairs
+  // and the data words are registered consecutively, so a lookup is one
+  // value_at() with a strided offset instead of a Sig-handle load per node.
+  // Recomputed with the handles on a lane-layout change.
+  u32 tag0s_ = 0, valid0s_ = 0, data0s_ = 0, s1_ = 1;
   rtl::Sig busy_;
   rtl::Sig pending_addr_;
   u64 hits_ = 0;

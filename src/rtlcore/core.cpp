@@ -35,6 +35,13 @@ PipeSlot PipeSlot::create(rtl::SimContext& ctx, const std::string& stage) {
   return slot;
 }
 
+void PipeSlot::refresh(rtl::SimContext& ctx) {
+  rtl::Sig* fields[] = {&valid, &pc,     &inst, &a,     &b,    &sdata,
+                        &sdata2, &dphys, &dphys2, &wreg, &wreg2, &res,
+                        &res2,   &addr,  &trap, &tcode};
+  for (rtl::Sig* f : fields) *f = ctx.node(f->id());
+}
+
 void PipeSlot::bubble() { valid.n(0); }
 
 void PipeSlot::hold() { /* registers hold by default (nxt == cur) */ }
@@ -48,7 +55,7 @@ void PipeSlot::load_from(rtl::SimContext& ctx, const PipeSlot& src) {
 // Construction / reset
 
 Leon3Core::Leon3Core(Memory& mem, const CoreConfig& cfg)
-    : mem_(mem),
+    : ext_mem_(mem),
       cfg_(cfg),
       icc_(ctx_.reg("icc", "iu.special", 4)),
       y_(ctx_.reg("y", "iu.special", 32)),
@@ -76,9 +83,16 @@ Leon3Core::Leon3Core(Memory& mem, const CoreConfig& cfg)
       me_(PipeSlot::create(ctx_, "me")),
       xc_(PipeSlot::create(ctx_, "xc")),
       wb_(PipeSlot::create(ctx_, "wb")) {
+  lanes_.resize(1);
+  lane_ = &lanes_[0];
+  mem_ = &ext_mem_;
   rf_ = std::make_unique<RegFile>(ctx_);
-  icache_ = std::make_unique<Cache>(ctx_, "cmem.icache", cfg.icache, mem_, bus_);
-  dcache_ = std::make_unique<Cache>(ctx_, "cmem.dcache", cfg.dcache, mem_, bus_);
+  icache_ =
+      std::make_unique<Cache>(ctx_, "cmem.icache", cfg.icache, *mem_,
+                              lane_->bus);
+  dcache_ =
+      std::make_unique<Cache>(ctx_, "cmem.dcache", cfg.dcache, *mem_,
+                              lane_->bus);
   // Seed the decode memo so the all-zero entries are genuine (word 0 is a
   // real encoding — UNIMP — and must not alias the default-constructed
   // DecodedInst).
@@ -86,7 +100,7 @@ Leon3Core::Leon3Core(Memory& mem, const CoreConfig& cfg)
 }
 
 void Leon3Core::load(const isa::Program& prog) {
-  prog.load_into(mem_);
+  prog.load_into(*mem_);
   reset(prog.entry);
 }
 
@@ -94,19 +108,20 @@ void Leon3Core::reset(u32 entry) {
   ctx_.zero_all();
   icache_->invalidate_all();
   dcache_->invalidate_all();
-  bus_.clear();
+  lane_->bus.clear();
   rf_->poke_phys(isa::phys_reg_index(isa::reg_num(isa::kSp), 0),
                  isa::kDefaultStackTop);
   fetch_pc_.poke(entry);
-  cycle_ = 0;
-  instret_ = 0;
-  next_fetch_seq_ = 1;
-  redirect_after_seq_ = 0;
-  annul_seq_ = 0;
+  lane_->cycle = 0;
+  lane_->instret = 0;
+  lane_->next_fetch_seq = 1;
+  lane_->redirect_after_seq = 0;
+  lane_->annul_seq = 0;
+  lane_->halt = HaltReason::kRunning;
+  lane_->trap_code = 0;
+  de_.seq = ra_.seq = ex_.seq = me_.seq = xc_.seq = wb_.seq = 0;
   kill_valid_ = false;
   annul_exact_valid_ = false;
-  halt_ = HaltReason::kRunning;
-  trap_code_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -150,8 +165,8 @@ u8 mem_align(const DecodedInst& d) {
 }  // namespace
 
 void Leon3Core::halt_with(HaltReason r, u8 code) {
-  halt_ = r;
-  trap_code_ = code;
+  lane_->halt = r;
+  lane_->trap_code = code;
 }
 
 // ---------------------------------------------------------------------------
@@ -161,7 +176,7 @@ void Leon3Core::eval_wb() {
   if (!wb_.valid.rb()) return;
   if (wb_.wreg.rb()) rf_->write_phys(wb_.dphys.r(), wb_.res.r());
   if (wb_.wreg2.rb()) rf_->write_phys(wb_.dphys2.r(), wb_.res2.r());
-  ++instret_;
+  ++lane_->instret;
 }
 
 // ---------------------------------------------------------------------------
@@ -171,7 +186,7 @@ bool Leon3Core::eval_xc() {
   if (xc_.valid.rb()) {
     const auto trap = static_cast<TrapKind>(xc_.trap.r());
     if (trap != TrapKind::kNone) {
-      ++instret_;  // the trapping instruction executed (ISS counts it too)
+      ++lane_->instret;  // the trapping instruction executed (ISS counts it)
       switch (trap) {
         case TrapKind::kHalt: halt_with(HaltReason::kHalted, 0); break;
         case TrapKind::kSoftTrap:
@@ -231,10 +246,10 @@ void Leon3Core::eval_me(bool /*xc_free*/) {
   const bool needs_load = d.iclass != InstClass::kStore;
   if (needs_load) {
     if (io) {
-      w0 = mem_.load_u32(word_addr);
-      bus_.record_read(cycle_, word_addr, 4, w0);
+      w0 = mem_->load_u32(word_addr);
+      lane_->bus.record_read(lane_->cycle, word_addr, 4, w0);
     } else {
-      done = dcache_->step_load(cycle_, word_addr, w0);
+      done = dcache_->step_load(lane_->cycle, word_addr, w0);
     }
   }
   if (!done) {
@@ -246,12 +261,13 @@ void Leon3Core::eval_me(bool /*xc_free*/) {
 
   auto dstore = [&](u32 saddr, u8 size, u32 val) {
     if (saddr >= isa::kIoBase) {
-      bus_.record_write(cycle_, saddr, size, val & low_mask64(8u * size));
-      if (size == 1) mem_.store_u8(saddr, static_cast<u8>(val));
-      else if (size == 2) mem_.store_u16(saddr, static_cast<u16>(val));
-      else mem_.store_u32(saddr, val);
+      lane_->bus.record_write(lane_->cycle, saddr, size,
+                              val & low_mask64(8u * size));
+      if (size == 1) mem_->store_u8(saddr, static_cast<u8>(val));
+      else if (size == 2) mem_->store_u16(saddr, static_cast<u16>(val));
+      else mem_->store_u32(saddr, val);
     } else {
-      dcache_->store(cycle_, saddr, size, val);
+      dcache_->store(lane_->cycle, saddr, size, val);
     }
   };
 
@@ -269,10 +285,10 @@ void Leon3Core::eval_me(bool /*xc_free*/) {
     case Opcode::kLDD: {
       u32 w1 = 0;
       if (io) {
-        w1 = mem_.load_u32(word_addr + 4);
-        bus_.record_read(cycle_, word_addr + 4, 4, w1);
+        w1 = mem_->load_u32(word_addr + 4);
+        lane_->bus.record_read(lane_->cycle, word_addr + 4, 4, w1);
       } else {
-        dcache_->step_load(cycle_, word_addr + 4, w1);  // same line: hit
+        dcache_->step_load(lane_->cycle, word_addr + 4, w1);  // same line: hit
       }
       xc_.res.n(w0);
       xc_.res2.n(w1);
@@ -309,7 +325,7 @@ void Leon3Core::resolve_cti(const DecodedInst& d, u32 /*pc*/, bool taken,
   const bool eff_taken = br_taken_.rb();
   const u32 eff_target = br_target_.r();
   const u64 ds = ex_.seq + 1;  // sequence number of the delay slot
-  const bool ds_issued = next_fetch_seq_ > ds;
+  const bool ds_issued = lane_->next_fetch_seq > ds;
   const bool ba_annul = d.opcode == Opcode::kBA && d.annul;
 
   if (ba_annul) {
@@ -330,7 +346,7 @@ void Leon3Core::resolve_cti(const DecodedInst& d, u32 /*pc*/, bool taken,
     } else {
       redirect_pending_.n(1);
       redirect_target_.n(eff_target);
-      redirect_after_seq_ = ds;
+      lane_->redirect_after_seq = ds;
     }
     return;
   }
@@ -341,7 +357,7 @@ void Leon3Core::resolve_cti(const DecodedInst& d, u32 /*pc*/, bool taken,
       annul_exact_seq_ = ds;
     } else {
       annul_pending_.n(1);
-      annul_seq_ = ds;
+      lane_->annul_seq = ds;
     }
   }
 }
@@ -371,7 +387,7 @@ void Leon3Core::do_ex_compute(PipeSlot& s, const DecodedInst& d) {
       icc_.n(alu_cc_.r());
     }
   };
-  const bool wcc = isa::opcode_info(d.opcode).sets_icc;
+  const bool wcc = d.sets_icc;
 
   switch (d.iclass) {
     case InstClass::kInvalid:
@@ -704,14 +720,11 @@ void Leon3Core::eval_ra(bool ex_free) {
     return;
   }
 
-  // By value: the interlock below performs a second memo lookup (EX's
-  // word), which may evict this entry from the direct-mapped cache while
-  // `d` is still needed.
-  const DecodedInst d = decode_cached(ra_.inst.r());
-  const unsigned cwp = cwp_.r();
-
-  // Interlocks: pending CWP update (save/restore in EX) serialises register
-  // access; scoreboard covers RAW hazards against all in-flight writers.
+  // Interlock first: pending CWP update (save/restore in EX) serialises
+  // register access. Resolving it before RA's own decode lets `d` below be
+  // a reference — this is the last memo lookup of the cycle, so the entry
+  // cannot be evicted while in use (the copy this replaces was the
+  // second-hottest line of the stage).
   if (ex_.valid.rb() && ex_.trap.r() == 0) {
     const DecodedInst& dex = decode_cached(ex_.inst.r());
     if (dex.iclass == InstClass::kSaveRestore) {
@@ -720,6 +733,8 @@ void Leon3Core::eval_ra(bool ex_free) {
       return;
     }
   }
+  const DecodedInst& d = decode_cached(ra_.inst.r());
+  const unsigned cwp = cwp_.r();
   std::array<unsigned, 4> srcs{};
   unsigned nsrc = 0;
   gather_sources(d, cwp, srcs, nsrc);
@@ -806,15 +821,15 @@ void Leon3Core::eval_fe(bool de_free) {
 
   const u32 pc = fetch_pc_.r();
   u32 word = 0;
-  if (!icache_->step_load(cycle_, pc, word)) {
+  if (!icache_->step_load(lane_->cycle, pc, word)) {
     de_.bubble();
     return;
   }
 
-  const u64 seq = next_fetch_seq_++;
+  const u64 seq = lane_->next_fetch_seq++;
   bool valid = true;
   if (kill_valid_ && seq >= kill_min_seq_) valid = false;
-  if (annul_pending_.rb() && seq == annul_seq_) {
+  if (annul_pending_.rb() && seq == lane_->annul_seq) {
     valid = false;
     annul_pending_.n(0);
   }
@@ -823,22 +838,14 @@ void Leon3Core::eval_fe(bool de_free) {
   de_.valid.n(valid ? 1 : 0);
   de_.pc.n(pc);
   de_.inst.n(word);
-  de_.a.n(0);
-  de_.b.n(0);
-  de_.sdata.n(0);
-  de_.sdata2.n(0);
-  de_.dphys.n(0);
-  de_.dphys2.n(0);
-  de_.wreg.n(0);
-  de_.wreg2.n(0);
-  de_.res.n(0);
-  de_.res2.n(0);
-  de_.addr.n(0);
-  de_.trap.n(0);
-  de_.tcode.n(0);
+  // The remaining 13 operand/result/trap fields of a freshly fetched packet
+  // are all zero and occupy consecutive registry slots (a..tcode follow
+  // valid/pc/inst in PipeSlot::create's layout): one ranged zero instead of
+  // thirteen masked stores.
+  ctx_.zero_next_range(de_.a.id(), PipeSlot::kFieldCount - 3);
   de_.seq = seq;
 
-  if (redirect_pending_.rb() && seq == redirect_after_seq_) {
+  if (redirect_pending_.rb() && seq == lane_->redirect_after_seq) {
     fetch_pc_.n(redirect_target_.r());
     redirect_pending_.n(0);
   } else {
@@ -856,9 +863,8 @@ void Leon3Core::icache_abort_() {
 // ---------------------------------------------------------------------------
 // Top-level cycle.
 
-void Leon3Core::step() {
-  if (halt_ != HaltReason::kRunning) return;
-  ++cycle_;
+void Leon3Core::step_eval() {
+  ++lane_->cycle;
   kill_valid_ = false;
   annul_exact_valid_ = false;
   immediate_redirect_ = false;
@@ -868,31 +874,26 @@ void Leon3Core::step() {
   de_consumed_ = false;
 
   eval_wb();
-  if (!eval_xc()) {
-    ctx_.commit_all();
-    return;
-  }
+  if (!eval_xc()) return;  // halted this cycle; caller commits
   eval_me(true);
   eval_ex(!me_stalled_);
   eval_ra(ex_free_);
   eval_de(ra_consumed_ || !ra_.valid.rb());
   eval_fe(de_consumed_ || !de_.valid.rb());
-
-  ctx_.commit_all();
 }
 
 HaltReason Leon3Core::run(u64 max_cycles) {
   for (u64 i = 0; i < max_cycles; ++i) {
-    if (halt_ != HaltReason::kRunning) return halt_;
+    if (lane_->halt != HaltReason::kRunning) return lane_->halt;
     step();
   }
-  if (halt_ == HaltReason::kRunning) halt_ = HaltReason::kStepLimit;
-  return halt_;
+  if (lane_->halt == HaltReason::kRunning) lane_->halt = HaltReason::kStepLimit;
+  return lane_->halt;
 }
 
 CoreCheckpoint Leon3Core::checkpoint() const {
   CoreCheckpoint ck = checkpoint_lite();
-  ck.offcore = bus_;
+  ck.offcore = lane_->bus;
   return ck;
 }
 
@@ -900,13 +901,13 @@ CoreCheckpoint Leon3Core::checkpoint_lite() const {
   CoreCheckpoint ck;
   ck.node_values = ctx_.save_values();
   ck.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
-  ck.cycle = cycle_;
-  ck.instret = instret_;
-  ck.next_fetch_seq = next_fetch_seq_;
-  ck.redirect_after_seq = redirect_after_seq_;
-  ck.annul_seq = annul_seq_;
-  ck.halt = halt_;
-  ck.trap_code = trap_code_;
+  ck.cycle = lane_->cycle;
+  ck.instret = lane_->instret;
+  ck.next_fetch_seq = lane_->next_fetch_seq;
+  ck.redirect_after_seq = lane_->redirect_after_seq;
+  ck.annul_seq = lane_->annul_seq;
+  ck.halt = lane_->halt;
+  ck.trap_code = lane_->trap_code;
   ck.icache_hits = icache_->hits();
   ck.icache_misses = icache_->misses();
   ck.dcache_hits = dcache_->hits();
@@ -917,7 +918,7 @@ CoreCheckpoint Leon3Core::checkpoint_lite() const {
 void Leon3Core::restore(const CoreCheckpoint& ck, const OffCoreTrace& trace_src,
                         std::size_t writes, std::size_t reads) {
   restore(ck);
-  bus_.assign_prefix(trace_src, writes, reads);
+  lane_->bus.assign_prefix(trace_src, writes, reads);
 }
 
 void Leon3Core::restore(const CoreCheckpoint& ck) {
@@ -928,95 +929,85 @@ void Leon3Core::restore(const CoreCheckpoint& ck) {
   me_.seq = ck.slot_seq[3];
   xc_.seq = ck.slot_seq[4];
   wb_.seq = ck.slot_seq[5];
-  cycle_ = ck.cycle;
-  instret_ = ck.instret;
-  next_fetch_seq_ = ck.next_fetch_seq;
-  redirect_after_seq_ = ck.redirect_after_seq;
-  annul_seq_ = ck.annul_seq;
-  halt_ = ck.halt;
-  trap_code_ = ck.trap_code;
+  lane_->cycle = ck.cycle;
+  lane_->instret = ck.instret;
+  lane_->next_fetch_seq = ck.next_fetch_seq;
+  lane_->redirect_after_seq = ck.redirect_after_seq;
+  lane_->annul_seq = ck.annul_seq;
+  lane_->halt = ck.halt;
+  lane_->trap_code = ck.trap_code;
   icache_->restore_stats(ck.icache_hits, ck.icache_misses);
   dcache_->restore_stats(ck.dcache_hits, ck.dcache_misses);
-  bus_ = ck.offcore;
+  lane_->bus = ck.offcore;
   // Per-cycle handshake scratch: recomputed at the top of every step();
   // cleared here so a restored core is indistinguishable from one that
   // reached this cycle by stepping.
-  kill_valid_ = false;
-  annul_exact_valid_ = false;
-  immediate_redirect_ = false;
-  me_stalled_ = false;
-  ex_free_ = false;
-  ra_consumed_ = false;
-  de_consumed_ = false;
+  clear_cycle_scratch();
 }
 
-void Leon3Core::enable_lanes(unsigned count) {
-  ctx_.set_replicas(count);  // validates count >= 1 and no armed faults
+void Leon3Core::rebind_active() noexcept {
+  lane_ = &lanes_[active_lane_];
+  mem_ = &lane_memory(active_lane_);
+  icache_->rebind(*mem_, lane_->bus);
+  dcache_->rebind(*mem_, lane_->bus);
+}
+
+void Leon3Core::refresh_node_handles() {
+  rtl::Sig* named[] = {&icc_,    &y_,       &cwp_,      &wdepth_,
+                       &fetch_pc_, &redirect_pending_, &redirect_target_,
+                       &annul_pending_, &alu_a_, &alu_b_, &alu_res_,
+                       &alu_cc_, &sh_res_,  &mul_lo_,   &mul_hi_,
+                       &div_q_,  &br_taken_, &br_target_, &agu_addr_,
+                       &ex_busy_};
+  for (rtl::Sig* s : named) *s = ctx_.node(s->id());
+  de_.refresh(ctx_);
+  ra_.refresh(ctx_);
+  ex_.refresh(ctx_);
+  me_.refresh(ctx_);
+  xc_.refresh(ctx_);
+  wb_.refresh(ctx_);
+  rf_->refresh(ctx_);
+  icache_->refresh(ctx_);
+  dcache_->refresh(ctx_);
+}
+
+void Leon3Core::enable_lanes(unsigned count, rtl::LaneLayout layout) {
+  const rtl::LaneLayout before = ctx_.lane_layout();
+  ctx_.set_replicas(count, layout);  // validates count>=1, no armed faults
+  if (layout != before) refresh_node_handles();
   lanes_.resize(count);
   active_lane_ = 0;
-}
-
-void Leon3Core::save_lane_scalars(CoreLaneState& slot) const {
-  slot.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
-  slot.cycle = cycle_;
-  slot.instret = instret_;
-  slot.next_fetch_seq = next_fetch_seq_;
-  slot.redirect_after_seq = redirect_after_seq_;
-  slot.annul_seq = annul_seq_;
-  slot.halt = halt_;
-  slot.trap_code = trap_code_;
-  slot.icache_hits = icache_->hits();
-  slot.icache_misses = icache_->misses();
-  slot.dcache_hits = dcache_->hits();
-  slot.dcache_misses = dcache_->misses();
-}
-
-void Leon3Core::park_lane(CoreLaneState& slot) {
-  save_lane_scalars(slot);
-  // Swaps, not copies: the slot's previous trace/memory contents are the
-  // stale leftovers of this lane's last unpark and are dead either way.
-  std::swap(slot.bus, bus_);
-  std::swap(slot.mem, mem_);
-}
-
-void Leon3Core::unpark_lane(CoreLaneState& slot) {
-  de_.seq = slot.slot_seq[0];
-  ra_.seq = slot.slot_seq[1];
-  ex_.seq = slot.slot_seq[2];
-  me_.seq = slot.slot_seq[3];
-  xc_.seq = slot.slot_seq[4];
-  wb_.seq = slot.slot_seq[5];
-  cycle_ = slot.cycle;
-  instret_ = slot.instret;
-  next_fetch_seq_ = slot.next_fetch_seq;
-  redirect_after_seq_ = slot.redirect_after_seq;
-  annul_seq_ = slot.annul_seq;
-  halt_ = slot.halt;
-  trap_code_ = slot.trap_code;
-  icache_->restore_stats(slot.icache_hits, slot.icache_misses);
-  dcache_->restore_stats(slot.dcache_hits, slot.dcache_misses);
-  std::swap(slot.bus, bus_);
-  std::swap(slot.mem, mem_);
+  rebind_active();  // lanes_ may have reallocated
 }
 
 void Leon3Core::select_lane(unsigned lane) {
-  if (lane >= lanes_.size() && !(lane == 0 && lanes_.empty())) {
+  if (lane >= lanes_.size()) {
     throw std::out_of_range("select_lane: no such lane");
   }
   if (lane == active_lane_) return;
-  park_lane(lanes_[active_lane_]);
-  unpark_lane(lanes_[lane]);
-  ctx_.set_active_lane(lane);
+  // Stage out the evaluation-path copies of the outgoing lane's state: the
+  // pipe-slot sequence tags and the cache counters. Everything else already
+  // lives in its CoreLaneState slot.
+  CoreLaneState& out = lanes_[active_lane_];
+  out.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+  out.icache_hits = icache_->hits();
+  out.icache_misses = icache_->misses();
+  out.dcache_hits = dcache_->hits();
+  out.dcache_misses = dcache_->misses();
   active_lane_ = lane;
+  rebind_active();
+  de_.seq = lane_->slot_seq[0];
+  ra_.seq = lane_->slot_seq[1];
+  ex_.seq = lane_->slot_seq[2];
+  me_.seq = lane_->slot_seq[3];
+  xc_.seq = lane_->slot_seq[4];
+  wb_.seq = lane_->slot_seq[5];
+  icache_->restore_stats(lane_->icache_hits, lane_->icache_misses);
+  dcache_->restore_stats(lane_->dcache_hits, lane_->dcache_misses);
+  ctx_.set_active_lane(lane);
   // Per-cycle handshake scratch: recomputed at the top of every step();
   // cleared like restore() so a lane switch lands on a clean cycle boundary.
-  kill_valid_ = false;
-  annul_exact_valid_ = false;
-  immediate_redirect_ = false;
-  me_stalled_ = false;
-  ex_free_ = false;
-  ra_consumed_ = false;
-  de_consumed_ = false;
+  clear_cycle_scratch();
 }
 
 void Leon3Core::clone_active_lane_to(unsigned dst) {
@@ -1026,26 +1017,41 @@ void Leon3Core::clone_active_lane_to(unsigned dst) {
   if (dst == active_lane_) return;
   ctx_.copy_lane(dst, active_lane_);
   CoreLaneState& slot = lanes_[dst];
-  save_lane_scalars(slot);
+  // Live values, not the active lane's (stale) parked copies.
+  slot.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+  slot.cycle = lane_->cycle;
+  slot.instret = lane_->instret;
+  slot.next_fetch_seq = lane_->next_fetch_seq;
+  slot.redirect_after_seq = lane_->redirect_after_seq;
+  slot.annul_seq = lane_->annul_seq;
+  slot.halt = lane_->halt;
+  slot.trap_code = lane_->trap_code;
+  slot.icache_hits = icache_->hits();
+  slot.icache_misses = icache_->misses();
+  slot.dcache_hits = dcache_->hits();
+  slot.dcache_misses = dcache_->misses();
   slot.bus.clear();
-  slot.mem = mem_.clone();
+  // Through lane_memory, not slot.mem: lane 0's image is the externally
+  // owned Memory, and cloning into its (unused) slot instead would leave a
+  // lane whose registers reflect the source but whose loads see stale data.
+  lane_memory(dst) = mem_->clone();
 }
 
 void Leon3Core::drain_trace_counts(std::size_t& writes, std::size_t& reads) {
-  writes += bus_.writes().size();
-  reads += bus_.reads().size();
-  bus_.clear();
+  writes += lane_->bus.writes().size();
+  reads += lane_->bus.reads().size();
+  lane_->bus.clear();
 }
 
 CoreActivityScalars Leon3Core::activity_scalars() const {
   CoreActivityScalars s;
   s.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
-  s.next_fetch_seq = next_fetch_seq_;
-  s.redirect_after_seq = redirect_after_seq_;
-  s.annul_seq = annul_seq_;
-  s.instret = instret_;
-  s.bus_writes = bus_.writes().size();
-  s.bus_reads = bus_.reads().size();
+  s.next_fetch_seq = lane_->next_fetch_seq;
+  s.redirect_after_seq = lane_->redirect_after_seq;
+  s.annul_seq = lane_->annul_seq;
+  s.instret = lane_->instret;
+  s.bus_writes = lane_->bus.writes().size();
+  s.bus_reads = lane_->bus.reads().size();
   return s;
 }
 

@@ -10,6 +10,14 @@
 // cache array entry is a named node in a rtl::SimContext, so the whole
 // design is a fault-injection surface comparable to a structural VHDL
 // description of the Leon3 IU + CMEM (paper Fig. 2).
+//
+// Replica lanes: the per-lane half of the core state that is *not* in the
+// node registry — cycle/instret counters, fetch bookkeeping, halt status,
+// the off-core trace and the memory image — lives in CoreLaneState slots,
+// and the evaluation path reads it through one active-lane pointer. A lane
+// switch is therefore a handful of pointer rebinds plus the pipe-slot
+// sequence tags and cache counters (a dozen scalar copies), cheap enough
+// for the batched driver to rotate lanes every simulated cycle.
 #pragma once
 
 #include <array>
@@ -71,6 +79,9 @@ struct PipeSlot {
   u64 seq = 0;
 
   static PipeSlot create(rtl::SimContext& ctx, const std::string& stage);
+  /// Re-mint the 16 field handles after a lane-layout change (pre-scaled
+  /// slot offsets go stale — see the rtl::Sig class comment).
+  void refresh(rtl::SimContext& ctx);
   void bubble();               ///< schedule this latch to be empty next cycle
   /// Schedule a copy of src's packet. The 16 latch fields are consecutive
   /// registry nodes in identical order (create() registers them
@@ -125,12 +136,16 @@ struct CoreActivityScalars {
   bool operator==(const CoreActivityScalars&) const = default;
 };
 
-/// Host-side half of one replica lane for batched evaluation: everything a
-/// Leon3Core cycle reads besides the node registry — the bookkeeping
-/// scalars, the per-lane off-core trace and the per-lane memory image. The
-/// node half lives in the rtl::SimContext's replica arrays. Inactive lanes
-/// park their trace/memory here; select_lane() swaps them with the core's
-/// live members in O(1).
+/// Host-side half of one replica lane: everything a Leon3Core cycle reads
+/// besides the node registry. The active lane's slot is *live* — the core
+/// reads and writes it in place through its active-lane pointer — so
+/// scheduler code may inspect any lane's scalars and trace without
+/// switching lanes. Exceptions: the six pipe-slot sequence tags and the
+/// cache hit/miss counters are staged in the evaluation hot path (PipeSlot
+/// / Cache members) and are copied in and out on a lane switch, so
+/// slot_seq / *_hits / *_misses of the *active* lane's slot are stale
+/// between switches. `mem` backs every lane except lane 0, which stays
+/// bound to the externally owned Memory passed to the constructor.
 struct CoreLaneState {
   std::array<u64, 6> slot_seq{};  ///< fetch-order tags of de/ra/ex/me/xc/wb
   u64 cycle = 0;
@@ -142,8 +157,8 @@ struct CoreLaneState {
   u8 trap_code = 0;
   u64 icache_hits = 0, icache_misses = 0;
   u64 dcache_hits = 0, dcache_misses = 0;
-  OffCoreTrace bus;  ///< parked per-lane trace (suffix since the lane clone)
-  Memory mem;        ///< parked per-lane memory image
+  OffCoreTrace bus;  ///< per-lane trace (suffix since the lane clone)
+  Memory mem;        ///< per-lane memory image (unused for lane 0)
 };
 
 /// The RTL core + CMEM + bus, executing the same programs as iss::Emulator.
@@ -155,19 +170,33 @@ class Leon3Core {
   void reset(u32 entry);
 
   /// Advance one clock cycle.
-  void step();
+  void step() {
+    if (lane_->halt != iss::HaltReason::kRunning) return;
+    step_eval();
+    ctx_.commit_all();
+  }
+
+  /// Advance one clock cycle *without* the register commit — the batched
+  /// lockstep driver evaluates every live lane first and then clocks all
+  /// lanes in one rtl::SimContext::commit_lanes() pass. The caller owns the
+  /// commit; every observable (trace, halt, counters, node values after the
+  /// deferred commit) is bit-identical to step().
+  void step_no_commit() {
+    if (lane_->halt != iss::HaltReason::kRunning) return;
+    step_eval();
+  }
 
   /// Run until halt or the cycle watchdog expires.
   iss::HaltReason run(u64 max_cycles = 50'000'000);
 
   // ---- observers ----------------------------------------------------------
-  iss::HaltReason halt_reason() const noexcept { return halt_; }
-  u8 trap_code() const noexcept { return trap_code_; }
-  u64 cycles() const noexcept { return cycle_; }
-  u64 instret() const noexcept { return instret_; }
-  const OffCoreTrace& offcore() const noexcept { return bus_; }
-  Memory& memory() noexcept { return mem_; }
-  const Memory& memory() const noexcept { return mem_; }
+  iss::HaltReason halt_reason() const noexcept { return lane_->halt; }
+  u8 trap_code() const noexcept { return lane_->trap_code; }
+  u64 cycles() const noexcept { return lane_->cycle; }
+  u64 instret() const noexcept { return lane_->instret; }
+  const OffCoreTrace& offcore() const noexcept { return lane_->bus; }
+  Memory& memory() noexcept { return *mem_; }
+  const Memory& memory() const noexcept { return *mem_; }
   rtl::SimContext& sim() noexcept { return ctx_; }
   const rtl::SimContext& sim() const noexcept { return ctx_; }
   const Cache& icache() const noexcept { return *icache_; }
@@ -209,11 +238,27 @@ class Leon3Core {
   // ---- batched lockstep evaluation (replica lanes) -------------------------
 
   /// Grow the core to `count` replica lanes (node state in the SimContext's
-  /// replica arrays, host state in CoreLaneState slots). Lane 0 stays
-  /// active and keeps the current state; new lanes start as copies of it
-  /// with an empty trace and an empty parked memory image — populate them
-  /// with clone_active_lane_to(). Requires no armed fault on any lane.
-  void enable_lanes(unsigned count);
+  /// replica arrays under `layout`, host state in CoreLaneState slots).
+  /// Lane 0 stays active and keeps the current state; new lanes start as
+  /// copies of it with an empty trace and an empty memory image — populate
+  /// them with clone_active_lane_to(). Requires no armed fault on any lane.
+  /// rtl::LaneLayout::kTiled selects the lane-interleaved tile layout whose
+  /// commit_lanes() pass the step-lanes driver amortises; kFlat keeps the
+  /// lane-major layout that favours long per-lane stretches.
+  void enable_lanes(unsigned count,
+                    rtl::LaneLayout layout = rtl::LaneLayout::kFlat);
+
+  /// Re-tile the replica storage (rtl::SimContext::set_lane_layout): a pure
+  /// representation change preserving every lane's node values, armed
+  /// faults, host state and the active lane. The batch scheduler switches
+  /// to tiles for the dense lockstep rounds and back to flat for the
+  /// straggler tail. Re-mints every module's node handles (their pre-scaled
+  /// slot offsets change with the layout).
+  void set_lane_layout(rtl::LaneLayout layout) {
+    if (layout == ctx_.lane_layout()) return;
+    ctx_.set_lane_layout(layout);
+    refresh_node_handles();
+  }
 
   /// Number of replica lanes (1 unless enable_lanes() grew the core).
   unsigned lane_count() const noexcept {
@@ -223,11 +268,21 @@ class Leon3Core {
   /// Lane the core currently evaluates.
   unsigned active_lane() const noexcept { return active_lane_; }
 
-  /// Park the active lane's host state and switch evaluation to `lane`:
-  /// O(1) scalar copies plus trace/memory swaps — no node copy (the
-  /// SimContext just rebases its lane pointers). The per-cycle handshake
-  /// scratch is cleared, exactly as restore() does.
+  /// Switch evaluation to `lane`: rebind the active-lane pointer, the cache
+  /// memory/bus bindings and the SimContext lane base, and stage the six
+  /// pipe-slot sequence tags plus the cache counters — about two dozen
+  /// scalar moves, no node or trace copy. Cheap enough to rotate lanes
+  /// every simulated cycle (the step-lanes driver's requirement). The
+  /// per-cycle handshake scratch is cleared, exactly as restore() does.
   void select_lane(unsigned lane);
+
+  /// Direct read-only view of any lane's host state (see CoreLaneState for
+  /// the staleness caveats on the active lane's staged fields). Lets the
+  /// batch scheduler track every lane's trace and halt status without
+  /// switching lanes between bookkeeping passes.
+  const CoreLaneState& lane_state(unsigned lane) const {
+    return lanes_.at(lane);
+  }
 
   /// Make lane `dst` a replica of the active lane: node values and armed
   /// faults via rtl::SimContext::copy_lane, host scalars copied, memory
@@ -253,6 +308,9 @@ class Leon3Core {
   }
 
  private:
+  /// Handshake reset + the seven stage evaluators (commit excluded).
+  void step_eval();
+
   // Stage evaluators, called in reverse pipeline order each cycle.
   void eval_wb();
   bool eval_xc();   // returns false when the core halted this cycle
@@ -271,10 +329,33 @@ class Leon3Core {
   void do_ex_compute(PipeSlot& s, const isa::DecodedInst& d);
   void icache_abort_();
 
-  Memory& mem_;
+  /// Memory image backing `lane` (lane 0 is the external one).
+  Memory& lane_memory(unsigned lane) noexcept {
+    return lane == 0 ? ext_mem_ : lanes_[lane].mem;
+  }
+
+  /// Re-derive lane_/mem_/cache bindings after lanes_ may have moved.
+  void rebind_active() noexcept;
+
+  /// Re-mint every module's Sig handles after a lane-layout change.
+  void refresh_node_handles();
+
+  /// Clear the per-cycle handshake scratch (recomputed at the top of every
+  /// step(); cleared after restore / lane switch so a resumed core is
+  /// indistinguishable from one that reached this cycle by stepping).
+  void clear_cycle_scratch() noexcept {
+    kill_valid_ = false;
+    annul_exact_valid_ = false;
+    immediate_redirect_ = false;
+    me_stalled_ = false;
+    ex_free_ = false;
+    ra_consumed_ = false;
+    de_consumed_ = false;
+  }
+
+  Memory& ext_mem_;  ///< caller-owned image, permanently bound to lane 0
   CoreConfig cfg_;
   rtl::SimContext ctx_;
-  OffCoreTrace bus_;
 
   // Architectural / special registers.
   std::unique_ptr<RegFile> rf_;
@@ -287,9 +368,7 @@ class Leon3Core {
   rtl::Sig fetch_pc_;
   rtl::Sig redirect_pending_;
   rtl::Sig redirect_target_;
-  u64 redirect_after_seq_ = 0;
   rtl::Sig annul_pending_;
-  u64 annul_seq_ = 0;
 
   // Datapath wires (EX stage).
   rtl::Sig alu_a_;
@@ -332,10 +411,13 @@ class Leon3Core {
     return e.inst;
   }
 
-  // Host bookkeeping.
-  u64 cycle_ = 0;
-  u64 instret_ = 0;
-  u64 next_fetch_seq_ = 1;
+  // Per-lane host state; lane_ points at the active slot, mem_ at the
+  // active image. Always at least one lane (serial mode = lane 0 only).
+  std::vector<CoreLaneState> lanes_;
+  CoreLaneState* lane_ = nullptr;
+  Memory* mem_ = nullptr;
+  unsigned active_lane_ = 0;
+
   // Kill decisions made by EX this cycle, consumed by younger stages.
   bool kill_valid_ = false;
   u64 kill_min_seq_ = 0;
@@ -348,18 +430,6 @@ class Leon3Core {
   bool ex_free_ = false;
   bool ra_consumed_ = false;
   bool de_consumed_ = false;
-
-  iss::HaltReason halt_ = iss::HaltReason::kRunning;
-  u8 trap_code_ = 0;
-
-  // Replica-lane parking slots (batched mode); lanes_[active_lane_]'s
-  // trace/memory members hold stale garbage while that lane is live.
-  std::vector<CoreLaneState> lanes_;
-  unsigned active_lane_ = 0;
-
-  void save_lane_scalars(CoreLaneState& slot) const;
-  void park_lane(CoreLaneState& slot);
-  void unpark_lane(CoreLaneState& slot);
 };
 
 }  // namespace issrtl::rtlcore

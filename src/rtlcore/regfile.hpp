@@ -14,12 +14,21 @@ class RegFile {
   explicit RegFile(rtl::SimContext& ctx) {
     regs_.reserve(iss_phys_count());
     for (unsigned i = 0; i < iss_phys_count(); ++i) {
-      regs_.push_back(ctx.reg(entry_name(i), "iu.regfile", 32));
+      // Sparse-commit registers: at most two of the 136 entries are written
+      // per cycle (the WB ports), so the clock edge commits them from the
+      // dirty list instead of copying the whole file every cycle.
+      regs_.push_back(ctx.reg_sparse(entry_name(i), "iu.regfile", 32));
     }
   }
 
   static constexpr unsigned iss_phys_count() {
     return 8 + isa::kWindowedRegs;
+  }
+
+  /// Re-mint the register handles after a lane-layout change (pre-scaled
+  /// slot offsets go stale — see the rtl::Sig class comment).
+  void refresh(rtl::SimContext& ctx) {
+    for (rtl::Sig& s : regs_) s = ctx.node(s.id());
   }
 
   /// Combinational read port (fault overlay applied). `phys` can carry a
@@ -39,7 +48,7 @@ class RegFile {
   void write_phys(unsigned phys, u32 value) {
     phys = wrap(phys);
     if (phys == 0) return;  // %g0
-    regs_[phys].n(value);
+    regs_[phys].ns(value);  // sparse-commit: record the pending slot
   }
 
   /// Backdoor initialisation (reset state), bypassing the clock.

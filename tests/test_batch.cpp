@@ -5,6 +5,7 @@
 // path at every batch size and thread count, including batches that retire
 // lanes through different exits (write divergence, hang, convergence /
 // silent) and tail batches smaller than the lane count.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "engine/rtl_backend.hpp"
@@ -74,18 +75,25 @@ TEST(Batch, BitIdenticalToSerialAcrossBatchSizesAndThreads) {
       << "transient cut-off should fire in the reference too";
 
   // Batch 1 re-runs the serial path; 4 and 7 give many batches per shard
-  // (7 also misaligns with the shard sizes, forcing tail batches); 32
-  // exceeds a 3-thread shard's site count in places, so whole batches run
-  // below capacity.
+  // (7, a non-power-of-two, also misaligns with both the shard sizes and
+  // the kLaneTile interleave tiles, forcing tail batches and part-empty
+  // tiles); 32 exceeds a 3-thread shard's site count in places, so whole
+  // batches run below capacity. Every cell is pinned with the SIMD
+  // lane-slice rounds on (interleaved tiles + commit_lanes) and off (flat
+  // per-lane chunked stepping).
   for (const unsigned threads : {1u, 3u}) {
     for (const unsigned batch : {1u, 4u, 7u, 32u}) {
-      EngineOptions opts;
-      opts.threads = threads;
-      opts.batch_lanes = batch;
-      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
-      expect_same_outcomes(reference, r,
-                           "threads=" + std::to_string(threads) +
-                               " batch=" + std::to_string(batch));
+      for (const bool simd : {false, true}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.batch_lanes = batch;
+        opts.simd_lanes = simd;
+        const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+        expect_same_outcomes(reference, r,
+                             "threads=" + std::to_string(threads) +
+                                 " batch=" + std::to_string(batch) +
+                                 " simd=" + std::to_string(simd));
+      }
     }
   }
 }
@@ -150,6 +158,44 @@ TEST(Batch, BatchLargerThanCampaign) {
   const CampaignResult a = run_rtl_campaign(prog, cfg, {}, serial);
   const CampaignResult b = run_rtl_campaign(prog, cfg, {}, batched);
   expect_same_outcomes(a, b, "batch > campaign");
+}
+
+// The full-window instant draw (InstantWindow::kFull) must reach the second
+// half of the golden run — the states the legacy half-window draw could
+// never sample — while the default keeps the historical draw bit-identical.
+TEST(Batch, InstantWindowFullReachesSecondHalf) {
+  const auto prog = small_workload();
+  CampaignConfig cfg = mixed_config();
+  cfg.samples = 40;
+
+  EngineOptions opts;
+  opts.threads = 1;
+
+  CampaignConfig full = cfg;
+  full.instant_window = fault::InstantWindow::kFull;
+  const CampaignResult rh = run_rtl_campaign(prog, cfg, {}, opts);
+  const CampaignResult rf = run_rtl_campaign(prog, full, {}, opts);
+
+  u64 half_max = 0, full_max = 0;
+  for (const auto& run : rh.runs) {
+    half_max = std::max(half_max, run.site.inject_cycle);
+  }
+  for (const auto& run : rf.runs) {
+    full_max = std::max(full_max, run.site.inject_cycle);
+  }
+  // Legacy window: never past golden/2. Full window: each of the ~240
+  // draws lands in the second half with probability 1/2.
+  EXPECT_LE(half_max, rh.golden_cycles / 2);
+  EXPECT_GT(full_max, rf.golden_cycles / 2);
+  // Full-window campaigns stay bit-identical across the batch/SIMD matrix
+  // too — late instants must not break the lockstep scheduler.
+  for (const bool simd : {false, true}) {
+    EngineOptions b = opts;
+    b.batch_lanes = 7;
+    b.simd_lanes = simd;
+    expect_same_outcomes(rf, run_rtl_campaign(prog, full, {}, b),
+                         "full window, simd=" + std::to_string(simd));
+  }
 }
 
 }  // namespace

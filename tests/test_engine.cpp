@@ -455,6 +455,27 @@ TEST(Engine, OptionsFromEnvRejectsOversizedBatch) {
   EXPECT_THROW(options_from_env(), std::invalid_argument);
 }
 
+TEST(Engine, OptionsFromEnvParsesSimdFlag) {
+  {
+    ScopedEnv s("ISSRTL_SIMD", "0");
+    EXPECT_FALSE(options_from_env().simd_lanes);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD", "1");
+    EXPECT_TRUE(options_from_env().simd_lanes);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD", nullptr);
+    EngineOptions base;
+    base.simd_lanes = false;
+    EXPECT_FALSE(options_from_env(base).simd_lanes);  // unset: untouched
+  }
+  for (const char* v : {"2", "yes", "on", "-1", "true"}) {
+    ScopedEnv s("ISSRTL_SIMD", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
 TEST(Engine, AccumulatorMergeMatchesSequential) {
   OutcomeAccumulator all;
   OutcomeAccumulator a, b;

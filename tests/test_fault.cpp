@@ -3,6 +3,8 @@
 // campaigns and the lockstep checker.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fault/campaign.hpp"
 #include "fault/iss_campaign.hpp"
 #include "fault/lockstep.hpp"
@@ -318,6 +320,35 @@ TEST(Report, NumberFormatting) {
   EXPECT_EQ(TextTable::pct(0.5), "50.0%");
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Report, PctRendersNonFiniteAsNa) {
+  // A 0-sample campaign divides 0/0: the table must say "n/a", not "nan%"
+  // or "-nan%" (which read as formatting bugs in a report).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(TextTable::pct(nan), "n/a");
+  EXPECT_EQ(TextTable::pct(-nan), "n/a");
+  EXPECT_EQ(TextTable::pct(inf), "n/a");
+  EXPECT_EQ(TextTable::pct(-inf), "n/a");
+  // A zeroed CampaignStats (runs == 0) renders cleanly end to end.
+  CampaignStats zero;
+  TextTable t({"model", "Pf"});
+  t.add_row({"none", TextTable::pct(zero.pf())});
+  EXPECT_NE(t.render().find("0.0%"), std::string::npos);
+  TextTable u({"model", "Pf"});
+  u.add_row({"none", TextTable::pct(0.0 / static_cast<double>(zero.runs))});
+  EXPECT_NE(u.render().find("n/a"), std::string::npos);
+}
+
+TEST(Report, AddRowRejectsRowsWiderThanHeader) {
+  TextTable t({"a", "b"});
+  t.add_row({"1"});            // short rows pad
+  t.add_row({"1", "2"});       // exact rows fine
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  // The two good rows survive; render still aligns.
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 // two-phase register semantics and VCD output.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "rtl/kernel.hpp"
 #include "rtl/vcd.hpp"
 
@@ -310,6 +313,217 @@ TEST(Lanes, SetReplicasRejectsArmedFaults) {
   EXPECT_EQ(ctx.replicas(), 2u);
   EXPECT_THROW(ctx.set_active_lane(2), std::out_of_range);
   EXPECT_THROW(ctx.copy_lane(2, 0), std::out_of_range);
+}
+
+TEST(Lanes, LayoutChangeDrainsPendingSparseCommits) {
+  // Recorded sparse-commit slots are layout-relative. A pending Sig::ns()
+  // write at set_replicas/set_lane_layout time must land (drained under
+  // the old geometry), not vanish or be applied to a re-tiled array where
+  // the stale flat slot addresses a different node entirely.
+  SimContext ctx;
+  ctx.wire("pad0", "iu.alu", 32);  // displace the sparse reg from slot 0
+  ctx.wire("pad1", "iu.alu", 32);
+  Sig r = ctx.reg_sparse("r", "iu.regfile", 32);
+  r.ns(0xDEADBEEFu);
+  ctx.set_replicas(9, LaneLayout::kTiled);  // layout change, pending write
+  Sig r2 = ctx.node(r.id());                // handles re-mint on re-tile
+  EXPECT_EQ(r2.r(), 0xDEADBEEFu);
+  for (std::size_t lane = 1; lane < 9; ++lane) {
+    ctx.set_active_lane(lane);
+    EXPECT_EQ(ctx.node(r.id()).r(), 0xDEADBEEFu) << lane;  // copied lane 0
+  }
+  ctx.set_active_lane(0);
+  ctx.node(r.id()).ns(0x1234u);
+  ctx.set_lane_layout(LaneLayout::kFlat);  // pending write again
+  EXPECT_EQ(ctx.node(r.id()).r(), 0x1234u);
+}
+
+// ---- differential fuzz: tiled lane-slice primitives vs the flat path -----
+//
+// Two contexts with identical registries, one replicated flat and one as
+// lane-interleaved tiles, driven by one random operation stream (writes,
+// sparse commits, ranged copies/zeroes, per-lane and masked all-lane
+// commits, lane clones, every fault model, save/load/compare probes). After
+// every commit, every lane of the tiled context must be bit-identical to
+// the flat one — the vectorized commit_lanes pass, the strided probes and
+// the overlay re-application may differ only in memory order, never in
+// value.
+TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
+  constexpr std::size_t kLanes = 11;   // crosses a tile boundary, odd count
+  constexpr std::size_t kBlock = 16;   // contiguous 32-bit regs (latch-like)
+  constexpr int kSteps = 400;
+
+  struct Ctx {
+    SimContext sim;
+    std::vector<NodeId> regs, wires, sparse;
+    NodeId block0 = 0;
+  };
+  auto build = [&](Ctx& c) {
+    for (unsigned i = 0; i < 6; ++i) {
+      c.wires.push_back(
+          c.sim.wire("w" + std::to_string(i), "iu.alu", i % 2 ? 32 : 9).id());
+    }
+    Sig b0 = c.sim.reg("blk0", "iu.ex", 32);
+    c.block0 = b0.id();
+    c.regs.push_back(b0.id());
+    for (unsigned i = 1; i < kBlock; ++i) {
+      c.regs.push_back(c.sim.reg("blk" + std::to_string(i), "iu.ex", 32).id());
+    }
+    for (unsigned i = 0; i < 5; ++i) {
+      c.sparse.push_back(
+          c.sim.reg_sparse("sp" + std::to_string(i), "iu.regfile", 32).id());
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+      c.regs.push_back(
+          c.sim.reg("r" + std::to_string(i), "iu.special", i % 2 ? 32 : 5)
+              .id());
+    }
+  };
+  Ctx flat, tiled;
+  build(flat);
+  build(tiled);
+  flat.sim.set_replicas(kLanes, LaneLayout::kFlat);
+  tiled.sim.set_replicas(kLanes, LaneLayout::kTiled);
+  ASSERT_EQ(tiled.sim.lane_layout(), LaneLayout::kTiled);
+
+  Xoshiro256 rng(0xF00DF00Dull);
+  auto pick = [&](std::size_t n) {
+    return static_cast<std::size_t>(rng.next_below(n));
+  };
+
+  std::vector<std::vector<u32>> snaps(kLanes);  // shared probe captures
+  auto check_all_lanes = [&](int step) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      flat.sim.set_active_lane(l);
+      tiled.sim.set_active_lane(l);
+      const auto a = flat.sim.save_values();
+      const auto b = tiled.sim.save_values();
+      ASSERT_EQ(a, b) << "lane " << l << " diverged at step " << step;
+      // The probe primitive itself must agree with the capture on both.
+      EXPECT_TRUE(flat.sim.values_equal(a));
+      EXPECT_TRUE(tiled.sim.values_equal(a));
+    }
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    const std::size_t lane = pick(kLanes);
+    flat.sim.set_active_lane(lane);
+    tiled.sim.set_active_lane(lane);
+    // A burst of mutations on the active lane, mirrored on both contexts.
+    for (int op = 0; op < 6; ++op) {
+      const u32 v = static_cast<u32>(rng.next());
+      switch (pick(8)) {
+        case 0: {  // wire write-through
+          const NodeId id = flat.wires[pick(flat.wires.size())];
+          flat.sim.node(id).w(v);
+          tiled.sim.node(id).w(v);
+          break;
+        }
+        case 1: {  // register next
+          const NodeId id = flat.regs[pick(flat.regs.size())];
+          flat.sim.node(id).n(v);
+          tiled.sim.node(id).n(v);
+          break;
+        }
+        case 2: {  // sparse-register next (dirty-list commit path)
+          const NodeId id = flat.sparse[pick(flat.sparse.size())];
+          flat.sim.node(id).ns(v);
+          tiled.sim.node(id).ns(v);
+          break;
+        }
+        case 3: {  // ranged latch copy within the 32-bit block
+          const std::size_t count = 1 + pick(kBlock / 2);
+          const NodeId dst = flat.block0 + static_cast<NodeId>(pick(kBlock - count));
+          const NodeId src = flat.block0 + static_cast<NodeId>(pick(kBlock - count));
+          flat.sim.copy_next_range(dst, src, count);
+          tiled.sim.copy_next_range(dst, src, count);
+          break;
+        }
+        case 4: {  // ranged zero within the block
+          const std::size_t count = 1 + pick(kBlock - 1);
+          const NodeId at = flat.block0 + static_cast<NodeId>(pick(kBlock - count));
+          flat.sim.zero_next_range(at, count);
+          tiled.sim.zero_next_range(at, count);
+          break;
+        }
+        case 5: {  // arm a random fault model (if the slot is free)
+          const bool on_wire = pick(2) == 0;
+          const NodeId id = on_wire ? flat.wires[pick(flat.wires.size())]
+                                    : flat.regs[pick(flat.regs.size())];
+          const u8 bit = static_cast<u8>(pick(flat.sim.width(id)));
+          const auto model =
+              std::array{FaultModel::kStuckAt0, FaultModel::kStuckAt1,
+                         FaultModel::kOpenLine,
+                         FaultModel::kTransientBitFlip}[pick(4)];
+          try {
+            flat.sim.arm_fault(id, model, bit);
+          } catch (const std::logic_error&) {
+            break;  // already armed on this lane: skip on both
+          }
+          tiled.sim.arm_fault(id, model, bit);
+          break;
+        }
+        case 6: {  // bridge fault wire -> block reg
+          const NodeId victim = flat.wires[pick(flat.wires.size())];
+          const NodeId aggressor =
+              flat.block0 + static_cast<NodeId>(pick(kBlock));
+          const u32 mask =
+              (v & flat.sim.width(victim)) != 0 ? (1u << pick(flat.sim.width(victim))) : 1u;
+          try {
+            flat.sim.arm_bridge(victim, aggressor, mask);
+          } catch (const std::logic_error&) {
+            break;
+          }
+          tiled.sim.arm_bridge(victim, aggressor, mask);
+          break;
+        }
+        default: {  // clear the active lane's faults
+          flat.sim.clear_faults();
+          tiled.sim.clear_faults();
+          break;
+        }
+      }
+    }
+    // Clock edge: alternate the three commit flavours.
+    switch (step % 3) {
+      case 0: {
+        flat.sim.commit_all();
+        tiled.sim.commit_all();
+        break;
+      }
+      case 1: {  // masked all-lane pass over a random live set
+        std::vector<u8> live(kLanes, 0);
+        live[lane] = 1;
+        live[pick(kLanes)] = 1;
+        flat.sim.commit_lanes(live);
+        tiled.sim.commit_lanes(live);
+        break;
+      }
+      default: {
+        flat.sim.commit_lanes();
+        tiled.sim.commit_lanes();
+        break;
+      }
+    }
+    // Occasionally clone lanes / round-trip snapshots, mirrored.
+    if (step % 17 == 0) {
+      const std::size_t dst = pick(kLanes), src = pick(kLanes);
+      flat.sim.copy_lane(dst, src);
+      tiled.sim.copy_lane(dst, src);
+    }
+    if (step % 23 == 0) {
+      flat.sim.save_values_into(snaps[lane]);
+      ASSERT_TRUE(tiled.sim.values_equal(snaps[lane]))
+          << "tiled lane must equal the flat capture";
+    }
+    check_all_lanes(step);
+  }
+
+  // Finally: a layout round-trip (tiled -> flat -> tiled) must preserve
+  // every lane and every armed overlay bit-for-bit.
+  tiled.sim.set_lane_layout(LaneLayout::kFlat);
+  tiled.sim.set_lane_layout(LaneLayout::kTiled);
+  check_all_lanes(kSteps);
 }
 
 TEST(Vcd, ProducesParsableFile) {
