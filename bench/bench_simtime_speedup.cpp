@@ -120,9 +120,17 @@ struct BenchMetrics {
   double batched_vs_serial_ratio = 0.0;
   bool batch_identical = false;  ///< counts + hash, batches x threads
   // SIMD section (same sweep, lane-interleaved tiles + step-lanes rounds).
-  double simd_s = 0.0;           ///< batched scheduler, SIMD rounds on
+  double simd_flat_s = 0.0;      ///< flat chunked baseline, re-timed here
+  double simd_s = 0.0;           ///< lane-pool scheduler, SIMD rounds on
   double simd_vs_batched_ratio = 0.0;  ///< SIMD on vs off, same tree
   bool simd_identical = false;   ///< counts + hash, simd on/off x threads
+  // Lane-pool occupancy of the timed SIMD run (fault::ReplayCounters).
+  std::size_t lane_tile = 0;     ///< resolved tile width (env or CPUID)
+  u64 simd_rounds = 0;
+  u64 simd_scalar_rounds = 0;
+  u64 simd_refills = 0;
+  u64 simd_compactions = 0;
+  double simd_mean_live = 0.0;   ///< live_lane_rounds / simd_rounds
 };
 
 /// Direct wall-clock comparison: same workload, same number of "injection
@@ -355,11 +363,25 @@ void report_batched_speedup(BenchMetrics& m) {
   batched.batch_lanes = batch;
   batched.simd_lanes = false;  // PR 4 path: flat lanes, chunked stepping
 
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto base = engine::run_rtl_campaign(prog(), cfg, {}, serial);
-  const auto t1 = std::chrono::steady_clock::now();
-  const auto fast = engine::run_rtl_campaign(prog(), cfg, {}, batched);
-  const auto t2 = std::chrono::steady_clock::now();
+  // Alternating min-of-N timing: the two configs run interleaved and each
+  // keeps its fastest rep, so slow clock drift (turbo decay, a neighbour
+  // stealing the core) biases neither side — a single-shot pair read the
+  // drift as a ratio swing of up to ±30% on the reference box.
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
+  fault::CampaignResult base, fast;
+  double serial_best = 0.0, batched_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    base = engine::run_rtl_campaign(prog(), cfg, {}, serial);
+    const auto t1 = std::chrono::steady_clock::now();
+    fast = engine::run_rtl_campaign(prog(), cfg, {}, batched);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    const double b = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || s < serial_best) serial_best = s;
+    if (r == 0 || b < batched_best) batched_best = b;
+  }
 
   bool identical = same_outcomes(base, fast);
   // Determinism spot-check across batch sizes and thread counts (untimed).
@@ -375,8 +397,8 @@ void report_batched_speedup(BenchMetrics& m) {
   }
 
   m.batch_lanes = batch;
-  m.batch_serial_s = std::chrono::duration<double>(t1 - t0).count();
-  m.batch_batched_s = std::chrono::duration<double>(t2 - t1).count();
+  m.batch_serial_s = serial_best;
+  m.batch_batched_s = batched_best;
   m.batched_vs_serial_ratio =
       m.batch_batched_s > 0 ? m.batch_serial_s / m.batch_batched_s : 0.0;
   m.batch_identical = identical;
@@ -398,12 +420,12 @@ void report_batched_speedup(BenchMetrics& m) {
 /// the interleaved-tile lockstep rounds on (ISSRTL_SIMD=1, the default)
 /// against the PR 4 flat chunked path timed in report_batched_speedup.
 /// Outcomes must pin bit-identically across SIMD on/off at several thread
-/// counts; the wall-clock ratio is recorded either way — the dense rounds
-/// share one commit_lanes pass per cycle, the sparse straggler tail falls
-/// back to the scalar flat path, and the whole tree additionally carries
-/// this PR's cycle-primitive work (pre-scaled slot handles, sparse
-/// register-file commit, memory page caches), which is what the
-/// vs-committed-PR-4 comparison in the JSON captures.
+/// counts; the wall-clock ratio is recorded either way — the lockstep
+/// rounds share one commit_lanes pass per cycle, the lane pool keeps the
+/// tiles dense through continuous refill and survivor compaction, and only
+/// the final sub-tile stragglers fall back to the scalar flat path. The
+/// occupancy the scheduler actually achieved (mean live lanes per round,
+/// refills, compactions) is recorded alongside the ratio.
 void report_simd_speedup(BenchMetrics& m) {
   const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
   const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
@@ -428,12 +450,37 @@ void report_simd_speedup(BenchMetrics& m) {
   simd.batch_lanes = batch;
   simd.simd_lanes = true;
 
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto fast = engine::run_rtl_campaign(prog(), cfg, {}, simd);
-  const auto t1 = std::chrono::steady_clock::now();
-
+  // Baseline: the fixed-batch scheduler this PR replaced — flat lane-major
+  // chunked stepping over batch-sized pieces whose failure tails thin the
+  // pool (lane_refill off reproduces it in-tree, bit-identically). The
+  // ratio therefore measures the lane-pool tentpole end to end: continuous
+  // refill + dense 16-wide tiles vs per-batch occupancy decay.
   engine::EngineOptions flat = simd;
   flat.simd_lanes = false;
+  flat.lane_refill = false;
+
+  // Alternating min-of-N, same scheme (and rationale) as the batched
+  // section — and the flat baseline is re-timed *here*, interleaved with
+  // the SIMD runs, rather than reusing the batched section's number from
+  // minutes earlier: the ratio of two adjacent reps survives clock drift
+  // that the ratio of two distant sections does not.
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
+  fault::CampaignResult fast;
+  double flat_best = 0.0, simd_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto flat_run = engine::run_rtl_campaign(prog(), cfg, {}, flat);
+    const auto t1 = std::chrono::steady_clock::now();
+    fast = engine::run_rtl_campaign(prog(), cfg, {}, simd);
+    const auto t2 = std::chrono::steady_clock::now();
+    (void)flat_run;
+    const double f = std::chrono::duration<double>(t1 - t0).count();
+    const double s = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || f < flat_best) flat_best = f;
+    if (r == 0 || s < simd_best) simd_best = s;
+  }
+
   bool identical = true;
   for (const unsigned t : {1u, 3u}) {
     engine::EngineOptions a = simd, b = flat;
@@ -442,24 +489,39 @@ void report_simd_speedup(BenchMetrics& m) {
                 same_outcomes(engine::run_rtl_campaign(prog(), cfg, {}, a),
                               engine::run_rtl_campaign(prog(), cfg, {}, b));
   }
-  (void)fast;
-
-  m.simd_s = std::chrono::duration<double>(t1 - t0).count();
-  m.simd_vs_batched_ratio =
-      m.simd_s > 0 ? m.batch_batched_s / m.simd_s : 0.0;
+  m.simd_flat_s = flat_best;
+  m.simd_s = simd_best;
+  m.simd_vs_batched_ratio = m.simd_s > 0 ? m.simd_flat_s / m.simd_s : 0.0;
   m.simd_identical = identical;
+  m.lane_tile =
+      simd.simd_tile != 0 ? simd.simd_tile : rtl::preferred_lane_tile();
+  m.simd_rounds = fast.replay.simd_rounds;
+  m.simd_scalar_rounds = fast.replay.scalar_rounds;
+  m.simd_refills = fast.replay.lane_refills;
+  m.simd_compactions = fast.replay.lane_compactions;
+  m.simd_mean_live =
+      fast.replay.simd_rounds > 0
+          ? static_cast<double>(fast.replay.live_lane_rounds) /
+                static_cast<double>(fast.replay.simd_rounds)
+          : 0.0;
 
-  std::printf("\n--- SIMD lane-slice rounds vs flat chunked batching "
+  std::printf("\n--- SIMD lane pool vs fixed-batch flat scheduling "
               "(rspeed, %zu sites x %zu instants, transient flips @ %s) "
               "---\n",
               sites, instants, unit.c_str());
-  std::printf("flat batched (simd off, %u thr): %.3f s\n", threads,
-              m.batch_batched_s);
-  std::printf("simd batched (simd on,  %u thr): %.3f s\n", threads,
-              m.simd_s);
-  std::printf("in-tree simd/flat: %.2fx   outcomes+hash bit-identical "
-              "(simd on/off x threads {1,3}): %s\n",
+  std::printf("fixed batches (simd off, refill off, %u thr): %.3f s\n",
+              threads, m.simd_flat_s);
+  std::printf("lane pool     (simd on,  refill on,  %u thr): %.3f s\n",
+              threads, m.simd_s);
+  std::printf("in-tree pool/fixed: %.2fx   outcomes+hash bit-identical "
+              "(pool vs fixed x threads {1,3}): %s\n",
               m.simd_vs_batched_ratio, identical ? "yes" : "NO");
+  std::printf("lane pool: %llu simd rounds (mean %.1f live lanes), "
+              "%llu scalar rounds, %llu refills, %llu compactions\n",
+              (unsigned long long)m.simd_rounds, m.simd_mean_live,
+              (unsigned long long)m.simd_scalar_rounds,
+              (unsigned long long)m.simd_refills,
+              (unsigned long long)m.simd_compactions);
 }
 
 /// The PR 1 engine's numbers on this bench's headline section (200 samples,
@@ -485,6 +547,13 @@ constexpr double kPr3LadderS = 0.069;
 /// BENCH_kernel.json immediately before this PR's SIMD lane-slice and
 /// cycle-primitive work. Reference-box-only, like the blocks above.
 constexpr double kPr4BatchedS = 0.036;
+
+/// The PR 5 tree's simd_section wall-clock on the same default sweep
+/// (reference dev box, 4 threads, 16 lanes), from the committed
+/// BENCH_kernel.json immediately before this PR's lane-pool scheduler
+/// (continuous refill + survivor compaction + runtime tile width).
+/// Reference-box-only, like the blocks above.
+constexpr double kPr5SimdS = 0.026;
 
 /// Write the collected metrics to $ISSRTL_BENCH_JSON (if set) so CI archives
 /// a machine-readable point on the kernel perf trajectory per commit.
@@ -574,23 +643,41 @@ void write_bench_json(const BenchMetrics& m) {
                "    \"instants_per_site\": %zu,\n"
                "    \"threads\": %u,\n"
                "    \"batch_lanes\": %u,\n"
+               "    \"flat_mode\": \"fixed batches, simd+refill off "
+               "(the pre-pool scheduler, reproduced in-tree via "
+               "lane_refill=false)\",\n"
                "    \"flat_batched_s\": %.3f,\n"
                "    \"simd_s\": %.3f,\n"
                "    \"simd_vs_batched_ratio\": %.2f,\n"
+               "    \"lane_tile\": %zu,\n"
+               "    \"simd_rounds\": %llu,\n"
+               "    \"scalar_rounds\": %llu,\n"
+               "    \"lane_refills\": %llu,\n"
+               "    \"lane_compactions\": %llu,\n"
+               "    \"mean_live_lanes\": %.1f,\n"
                "    \"outcomes_identical_simd_on_off_threads_1_3\": %s",
                m.ladder_unit.c_str(), m.ladder_sites, m.ladder_instants,
-               m.ladder_threads, m.batch_lanes, m.batch_batched_s, m.simd_s,
-               m.simd_vs_batched_ratio, m.simd_identical ? "true" : "false");
+               m.ladder_threads, m.batch_lanes, m.simd_flat_s, m.simd_s,
+               m.simd_vs_batched_ratio, m.lane_tile,
+               (unsigned long long)m.simd_rounds,
+               (unsigned long long)m.simd_scalar_rounds,
+               (unsigned long long)m.simd_refills,
+               (unsigned long long)m.simd_compactions, m.simd_mean_live,
+               m.simd_identical ? "true" : "false");
   if (on_reference_box && m.ladder_sites == 25 && m.ladder_instants == 8 &&
       m.ladder_threads == 4 && m.simd_s > 0) {
     // Tree-over-tree: the committed PR 4 batched_section wall-clock on this
     // exact sweep vs this tree's SIMD-enabled run (which also carries the
-    // pre-scaled handles / sparse-commit / page-cache cycle work).
+    // pre-scaled handles / sparse-commit / page-cache cycle work), and the
+    // committed PR 5 simd_section wall-clock vs this tree's lane-pool run.
     std::fprintf(f,
                  ",\n"
                  "    \"pr4_batched_s\": %.3f,\n"
-                 "    \"simd_vs_pr4_batched_ratio\": %.2f",
-                 kPr4BatchedS, kPr4BatchedS / m.simd_s);
+                 "    \"simd_vs_pr4_batched_ratio\": %.2f,\n"
+                 "    \"pr5_simd_s\": %.3f,\n"
+                 "    \"simd_vs_pr5_simd_ratio\": %.2f",
+                 kPr4BatchedS, kPr4BatchedS / m.simd_s, kPr5SimdS,
+                 kPr5SimdS / m.simd_s);
   }
   std::fprintf(f, "\n  }");
   if (baseline != nullptr && std::string_view(baseline) == "pr1" &&

@@ -139,7 +139,7 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(r.golden_instret));
   std::printf("replay: ladder %llu rungs (%.1f KiB, %llu evicted), restores "
               "%llu ladder / %llu rolling / %llu cold, fast-forward %llu "
-              "cycles, %llu convergence cutoffs\n\n",
+              "cycles, %llu convergence cutoffs\n",
               static_cast<unsigned long long>(r.replay.ladder_rungs),
               r.replay.ladder_bytes / 1024.0,
               static_cast<unsigned long long>(r.replay.ladder_evicted),
@@ -148,6 +148,19 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(r.replay.cold_resets),
               static_cast<unsigned long long>(r.replay.fast_forward_cycles),
               static_cast<unsigned long long>(r.replay.convergence_cutoffs));
+  if (r.replay.simd_rounds != 0 || r.replay.scalar_rounds != 0) {
+    std::printf("scheduler: %llu simd rounds (mean %.1f live lanes), "
+                "%llu scalar rounds, %llu refills, %llu compactions\n",
+                static_cast<unsigned long long>(r.replay.simd_rounds),
+                r.replay.simd_rounds != 0
+                    ? static_cast<double>(r.replay.live_lane_rounds) /
+                          static_cast<double>(r.replay.simd_rounds)
+                    : 0.0,
+                static_cast<unsigned long long>(r.replay.scalar_rounds),
+                static_cast<unsigned long long>(r.replay.lane_refills),
+                static_cast<unsigned long long>(r.replay.lane_compactions));
+  }
+  std::printf("\n");
 
   fault::TextTable t({"model", "Pf", "failures", "hangs", "latent", "silent",
                       "max latency", "mean latency"});

@@ -215,6 +215,17 @@ int cmd_campaign(const std::string& name, const std::string& unit,
               (unsigned long long)rc.cold_resets,
               (unsigned long long)rc.fast_forward_cycles,
               (unsigned long long)rc.convergence_cutoffs);
+  if (rc.simd_rounds != 0 || rc.scalar_rounds != 0) {
+    std::printf("scheduler: %llu simd rounds (mean %.1f live lanes), "
+                "%llu scalar rounds, %llu refills, %llu compactions\n",
+                (unsigned long long)rc.simd_rounds,
+                rc.simd_rounds != 0
+                    ? double(rc.live_lane_rounds) / double(rc.simd_rounds)
+                    : 0.0,
+                (unsigned long long)rc.scalar_rounds,
+                (unsigned long long)rc.lane_refills,
+                (unsigned long long)rc.lane_compactions);
+  }
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <bit>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -77,6 +78,27 @@ EngineOptions options_from_env(EngineOptions base) {
   }
   if (const char* v = std::getenv("ISSRTL_SIMD"); v != nullptr && *v) {
     base.simd_lanes = parse_env_u64("ISSRTL_SIMD", v, 1) != 0;
+  }
+  if (const char* v = std::getenv("ISSRTL_REFILL"); v != nullptr && *v) {
+    base.lane_refill = parse_env_u64("ISSRTL_REFILL", v, 1) != 0;
+  }
+  if (const char* v = std::getenv("ISSRTL_SIMD_MIN_LIVE");
+      v != nullptr && *v) {
+    base.simd_min_live = static_cast<unsigned>(
+        parse_env_u64("ISSRTL_SIMD_MIN_LIVE", v, kMaxBatchLanes));
+  }
+  if (const char* v = std::getenv("ISSRTL_SIMD_TILE"); v != nullptr && *v) {
+    if (std::strcmp(v, "auto") == 0) {
+      base.simd_tile = 0;
+    } else {
+      const u64 tile = parse_env_u64("ISSRTL_SIMD_TILE", v, 64);
+      if (tile != 0 && (tile < 2 || !std::has_single_bit(tile))) {
+        throw std::invalid_argument(
+            "ISSRTL_SIMD_TILE: invalid value '" + std::string(v) +
+            "' (expected auto, 0, or a power of two in [2, 64])");
+      }
+      base.simd_tile = static_cast<unsigned>(tile);
+    }
   }
   return base;
 }

@@ -26,18 +26,20 @@
 //   std::unique_ptr<W> make_worker(unsigned shard);  // thread-safe
 //     // where W::run_site(std::size_t i) -> Record, deterministic per i
 //
-// Optionally a backend exposes batched evaluation:
+// Optionally a backend exposes batched (lane-pool) evaluation:
 //
-//   std::size_t batch_size() const;        // max sites per worker batch
-//     // where W::run_batch(const std::vector<std::size_t>& sites)
+//   std::size_t batch_size() const;        // replica-lane pool cap
+//     // where W::run_batch(const std::vector<std::size_t>& sites,
+//     //                    const std::function<void(std::size_t)>& on_done)
 //     //   -> std::vector<Record> (parallel to `sites`), deterministic per
-//     //   site and bit-identical to run_site outcome-wise
+//     //   site and bit-identical to run_site outcome-wise; on_done(n) is
+//     //   invoked as sites finish, for streaming progress
 //
-// When batch_size() > 1 the engine hands each worker its shard's
-// instant-sorted site list in consecutive groups of that size (the tail
-// group is smaller); same-instant sites are adjacent in that order, so
-// they land in the same batch naturally. Records still land in site-index
-// slots, so batching never changes the result layout.
+// When batch_size() > 1 the engine hands each worker its *whole* shard in
+// one run_batch call — the worker owns the scheduling (it feeds a lane
+// pool from the instant-sorted queue, refilling retired lanes so SIMD
+// tiles stay dense across what used to be batch boundaries). Records still
+// land in site-index slots, so batching never changes the result layout.
 #pragma once
 
 #include <algorithm>
@@ -99,15 +101,16 @@ struct EngineOptions {
   /// are already decided. Permanent faults never take this path (their
   /// armed overlay keeps perturbing the state). Requires the ladder.
   bool converge_cutoff = true;
-  /// Replica lanes per worker for the RTL backend's batched evaluation
-  /// mode: each worker groups up to this many instant-sorted sites per
-  /// batch, pays the golden-prefix positioning (rung restore + fast-
-  /// forward) once on a shared fault-free cursor lane, clones a replica
-  /// lane per site, and steps the faulty replicas in lockstep, retiring
-  /// each lane individually. <= 1 selects the per-site serial path (the
-  /// reference implementation). Outcomes are bit-identical at every batch
-  /// size. Programmatic values above kMaxBatchLanes are clamped by the
-  /// backend; the ISSRTL_BATCH environment path rejects them outright
+  /// Replica-lane pool size per worker for the RTL backend's batched
+  /// evaluation mode: the worker keeps up to this many faulty replica
+  /// lanes in flight (plus one shared fault-free cursor lane that pays the
+  /// golden-prefix positioning — rung restore + fast-forward — once per
+  /// refill), feeding the pool from its shard's instant-sorted work queue
+  /// and refilling each retired lane immediately so the lockstep rounds
+  /// stay dense for the whole shard. <= 1 selects the per-site serial path
+  /// (the reference implementation). Outcomes are bit-identical at every
+  /// pool size. Programmatic values above kMaxBatchLanes are clamped by
+  /// the backend; the ISSRTL_BATCH environment path rejects them outright
   /// (options_from_env throws, so a typo cannot silently become the cap).
   /// Backends without batch support ignore this field.
   unsigned batch_lanes = 1;
@@ -116,13 +119,44 @@ struct EngineOptions {
   /// (rtl::LaneLayout::kTiled, cur[node][lane] contiguous) and the batch
   /// scheduler rotates every live lane through one evaluation per simulated
   /// cycle, clocking all lanes with a single rtl::SimContext::commit_lanes()
-  /// pass per round (vectorizable u32×8 strips). false selects the flat
-  /// lane-major layout with per-lane chunked stepping (the PR 4 scheduler),
-  /// which is also what lanes fall back to when a round has a single
-  /// survivor. Outcomes, latencies and fault::outcome_hash are bit-identical
-  /// either way; only the wall-clock differs. No effect unless
-  /// batch_lanes > 1.
+  /// pass per round (vectorizable u32×8 or u32×16 strips, see simd_tile).
+  /// false selects the flat lane-major layout with per-lane chunked
+  /// stepping (the PR 4 scheduler), which is also what the final
+  /// stragglers fall back to. Outcomes, latencies and fault::outcome_hash
+  /// are bit-identical either way; only the wall-clock differs. No effect
+  /// unless batch_lanes > 1.
   bool simd_lanes = true;
+  /// Continuous lane refill: true (the default) feeds each worker's pool
+  /// from its shard-local instant-sorted queue, respawning every retired
+  /// lane so occupancy stays dense across what used to be batch
+  /// boundaries. false restores the fixed-batch scheduling of the earlier
+  /// batched mode — the shard is sliced into batch_lanes-sized batches and
+  /// each batch drains completely (its failure tail thinning the pool)
+  /// before the next one spawns. Exists as the A/B baseline for the
+  /// lane-pool scheduler (bench_simtime_speedup's simd section) and as a
+  /// determinism axis: fault::outcome_hash is bit-identical either way.
+  /// ISSRTL_REFILL=0/1 is the environment path. No effect unless
+  /// batch_lanes > 1.
+  bool lane_refill = true;
+  /// Live-lane floor for the SIMD lane-slice rounds: while the work queue
+  /// still holds sites, retired lanes are refilled and the tiles stay
+  /// dense; once the queue drains and a round leaves fewer than this many
+  /// live lanes, the scheduler transposes the survivors back to flat
+  /// storage and finishes them with scalar per-lane stepping (a thinner
+  /// round first compacts survivors into dense tiles, see the RTL
+  /// backend). 0 = auto: one interleave tile (simd_tile lanes). The
+  /// ISSRTL_SIMD_MIN_LIVE environment knob accepts [0, kMaxBatchLanes];
+  /// outcomes are bit-identical at every value — the floor only moves the
+  /// SIMD/scalar boundary.
+  unsigned simd_min_live = 0;
+  /// Lanes per SIMD interleave tile. 0 = auto: runtime CPUID dispatch
+  /// picks 16 (u32×16 strips, one AVX-512 register wide) on hosts
+  /// reporting AVX-512F and the portable 8 elsewhere
+  /// (rtl::preferred_lane_tile). An explicit power of two in [2, 64]
+  /// forces that width — ISSRTL_SIMD_TILE=8 pins the portable path on
+  /// wide hosts (the CI dispatch-fallback smoke). Outcomes are
+  /// bit-identical at every width.
+  unsigned simd_tile = 0;
   /// Called (serialised) as injections finish; every worker reports at
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
@@ -138,10 +172,15 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// `base` with the ISSRTL_* environment knobs folded in: ISSRTL_THREADS
 /// (worker threads), ISSRTL_CKPT_STRIDE ("auto", or rung spacing in
 /// instants; 0 disables the ladder), ISSRTL_CKPT_MB (ladder byte cap in
-/// MiB), ISSRTL_BATCH (replica lanes for batched RTL evaluation; 0/1 =
-/// serial path) and ISSRTL_SIMD (1 = lane-interleaved SIMD lockstep
+/// MiB), ISSRTL_BATCH (replica-lane pool size for batched RTL evaluation;
+/// 0/1 = serial path), ISSRTL_SIMD (1 = lane-interleaved SIMD lockstep
 /// stepping, 0 = flat per-lane chunked stepping; any other value is
-/// rejected). Unset or empty variables leave the corresponding field of
+/// rejected), ISSRTL_REFILL (1 = continuous pool refill from the shard
+/// queue, 0 = fixed batch_lanes-sized batches; any other value is
+/// rejected), ISSRTL_SIMD_MIN_LIVE (live-lane floor before the scalar
+/// tail, [0, kMaxBatchLanes]; 0 = auto) and ISSRTL_SIMD_TILE ("auto" or 0
+/// = CPUID dispatch, else a power of two in [2, 64] forcing the interleave
+/// width). Unset or empty variables leave the corresponding field of
 /// `base` untouched; front ends apply explicit command-line arguments on
 /// top. A set variable must parse in full — plain decimal digits (plus the
 /// literal "auto" for ISSRTL_CKPT_STRIDE) with no sign, whitespace or
@@ -221,21 +260,21 @@ class CampaignEngine {
         };
         using WorkerT = std::remove_reference_t<decltype(*worker)>;
         constexpr bool kHasBatch =
-            requires(WorkerT& w, const std::vector<std::size_t>& v) {
-              w.run_batch(v);
+            requires(WorkerT& w, const std::vector<std::size_t>& v,
+                     const std::function<void(std::size_t)>& f) {
+              w.run_batch(v, f);
             };
         if constexpr (kHasBatch) {
           if (group > 1) {
-            for (std::size_t pos = 0; pos < mine.size(); pos += group) {
-              const std::size_t n = std::min(group, mine.size() - pos);
-              const std::vector<std::size_t> chunk(
-                  mine.begin() + static_cast<std::ptrdiff_t>(pos),
-                  mine.begin() + static_cast<std::ptrdiff_t>(pos + n));
-              auto chunk_records = worker->run_batch(chunk);
-              for (std::size_t j = 0; j < n; ++j) {
-                records[chunk[j]] = std::move(chunk_records[j]);
-              }
-              report_done(n);
+            // Whole-shard handout: the worker schedules the instant-sorted
+            // queue over its lane pool itself, reporting sites as they
+            // retire. Records come back parallel to `mine` and are
+            // scattered to their site-index slots, so the result layout is
+            // identical to the per-site path.
+            auto shard_records = worker->run_batch(
+                mine, [&](std::size_t n) { report_done(n); });
+            for (std::size_t j = 0; j < mine.size(); ++j) {
+              records[mine[j]] = std::move(shard_records[j]);
             }
             return;
           }

@@ -42,11 +42,22 @@ std::size_t snapshot_bytes(const RtlCampaignBackend::GoldenSnapshot& s) {
 /// trace/memory swaps) is amortised over many simulated cycles.
 constexpr u64 kLockstepChunk = 128;
 
-/// Live-lane count at which the SIMD rotation hands the batch to the scalar
-/// chunked loop. One tile's worth: below this the interleaved layout's
-/// per-access footprint blow-up (a lone lane touches kLaneTile times its own
-/// bytes) costs more than the shared commit pass recovers.
-constexpr unsigned kSimdMinLive = rtl::kLaneTile;
+/// Resolve EngineOptions::simd_tile: 0 = auto (runtime CPUID dispatch via
+/// rtl::preferred_lane_tile — 16-lane u32×16 strips on AVX-512F hosts, the
+/// portable 8 elsewhere); explicit values are passed through (the kernel
+/// validates them).
+std::size_t resolve_simd_tile(unsigned requested) {
+  return requested != 0 ? requested : rtl::preferred_lane_tile();
+}
+
+/// Resolve EngineOptions::simd_min_live, the live-lane floor below which
+/// the SIMD rotation hands the drained-queue survivors to the scalar
+/// chunked loop: 0 = auto (one tile's worth — below that the interleaved
+/// layout's per-access footprint blow-up costs more than the shared commit
+/// pass recovers).
+unsigned resolve_simd_min_live(unsigned requested, std::size_t tile) {
+  return requested != 0 ? requested : static_cast<unsigned>(tile);
+}
 
 /// Suffix-aware equivalent of OffCoreTrace::compare_writes: the faulty
 /// trace is conceptually (golden prefix of length `prefix`) + `suffix`, but
@@ -493,31 +504,94 @@ void RtlCampaignBackend::Worker::classify_lane(LaneRun& run,
   }
 }
 
-unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n) {
+unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
+                                                      u64 cursor_target) {
   // Evaluation pass: one cycle per live lane. The commit is deferred — a
   // lane's evaluation only reads and writes its own slices, so clocking
   // every lane after the pass is indistinguishable from per-lane commits.
   stepped_.assign(core_.lane_count(), 0);
+  unsigned evaluated = 0;
+  if (cursor_target != 0 && core_.lane_state(0).cycle < cursor_target &&
+      core_.lane_state(0).halt == iss::HaltReason::kRunning) {
+    // The cursor rides the tiles toward the next pending instant: one more
+    // lane in the shared commit is nearly free, and every cycle it gains
+    // here is a strided single-lane fast-forward cycle the next refill no
+    // longer pays. It never passes the instant, so cursor_seek's monotonic
+    // precondition — and the cursor's golden trajectory — are untouched.
+    core_.select_lane_fast(0);
+    core_.step_no_commit();
+    stepped_[0] = 1;
+    ++stat_cursor_ride_cycles_;
+  }
   for (unsigned j = 0; j < n; ++j) {
     LaneRun& run = lane_runs_[j];
     if (run.done || run.definite_divergence || run.budget == 0) continue;
     if (core_.lane_state(j + 1).halt != iss::HaltReason::kRunning) continue;
-    core_.select_lane(j + 1);
+    core_.select_lane_fast(j + 1);
     core_.step_no_commit();
     stepped_[j + 1] = 1;
+    ++evaluated;
     --run.budget;
   }
   // Parking the cursor stages out the last-evaluated lane's sequence tags,
   // so the bookkeeping pass can read every replica's state directly.
-  core_.select_lane(0);
+  core_.select_lane_fast(0);
   core_.sim().commit_lanes(stepped_);  // one tile pass clocks the live set
+  ++stat_simd_rounds_;
+  stat_live_lane_rounds_ += evaluated;
+  retired_slots_.clear();
   unsigned retired = 0;
   for (unsigned j = 0; j < n; ++j) {
     LaneRun& run = lane_runs_[j];
     if (run.done) continue;
-    if (bookkeep_lane(run, j + 1)) ++retired;
+    if (bookkeep_lane(run, j + 1)) {
+      ++retired;
+      retired_slots_.push_back(j);
+    }
   }
   return retired;
+}
+
+bool RtlCampaignBackend::Worker::compact_lanes(unsigned n) {
+  const std::size_t tile = core_.sim().lane_tile();
+  const std::size_t lanes = core_.lane_count();
+  std::vector<std::size_t> live_lanes;
+  for (unsigned j = 0; j < n; ++j) {
+    if (!lane_runs_[j].done) live_lanes.push_back(j + 1);
+  }
+  // Tiles the masked commit currently touches (cursor tile 0 included) vs
+  // the minimum that could hold the survivors.
+  std::vector<u8> tile_used((lanes + tile - 1) / tile, 0);
+  tile_used[0] = 1;
+  for (const std::size_t l : live_lanes) tile_used[l / tile] = 1;
+  std::size_t used_tiles = 0;
+  for (const u8 u : tile_used) used_tiles += u;
+  const std::size_t needed_tiles = (live_lanes.size() + 1 + tile - 1) / tile;
+  if (needed_tiles >= used_tiles) return false;
+  // Permutation: cursor stays at lane 0, survivors pack into lanes
+  // 1..live in slot order, displaced dead lanes fill the vacated slots.
+  std::vector<std::size_t> src_of(lanes);
+  std::vector<u8> taken(lanes, 0);
+  src_of[0] = 0;
+  taken[0] = 1;
+  std::size_t dst = 1;
+  for (const std::size_t l : live_lanes) {
+    src_of[dst++] = l;
+    taken[l] = 1;
+  }
+  for (std::size_t l = 1; l < lanes; ++l) {
+    if (!taken[l]) src_of[dst++] = l;
+  }
+  core_.select_lane(0);
+  core_.permute_lanes(src_of);
+  // Pool slot j drives core lane j + 1: reorder the runs to match.
+  std::vector<LaneRun> runs(n);
+  for (unsigned j = 0; j < n; ++j) {
+    runs[j] = std::move(lane_runs_[src_of[j + 1] - 1]);
+  }
+  lane_runs_ = std::move(runs);
+  ++stat_compactions_;
+  return true;
 }
 
 bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
@@ -607,58 +681,192 @@ bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
 }
 
 std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
-    const std::vector<std::size_t>& indices) {
-  std::vector<Record> records;
-  records.reserve(indices.size());
+    const std::vector<std::size_t>& indices,
+    const std::function<void(std::size_t)>& on_done) {
+  std::vector<Record> records(indices.size());
   if (b_.batch_size() <= 1) {  // batching off: plain per-site loop
-    for (const std::size_t i : indices) records.push_back(run_site(i));
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      records[j] = run_site(indices[j]);
+      if (on_done) on_done(1);
+    }
     return records;
   }
-  if (!lanes_ready_) {
-    // Lane 0 is the cursor; one replica lane per potential batch slot. The
-    // spawn phase (cursor fast-forward) always runs lane-major; the SIMD
-    // driver re-tiles around its dense rounds below.
-    core_.enable_lanes(static_cast<unsigned>(b_.batch_size()) + 1);
-    lane_runs_.resize(b_.batch_size());
+  if (!b_.opts_.lane_refill && indices.size() > b_.batch_size()) {
+    // Fixed-batch scheduling (lane_refill off): slice the shard into
+    // batch-sized pieces and drain each one completely before the next
+    // spawns — a piece never has queue left over, so the pool scheduler
+    // below runs it as one fixed batch whose failure tail thins the pool,
+    // exactly the pre-pool behaviour. The cursor still rides the shared
+    // ladder monotonically (instants arrive sorted across the whole
+    // shard), and outcomes are bit-identical to continuous refill: the
+    // knob only reshapes the schedule.
+    records.clear();
+    records.reserve(indices.size());
+    for (std::size_t at = 0; at < indices.size(); at += b_.batch_size()) {
+      const std::size_t end =
+          std::min(indices.size(), at + b_.batch_size());
+      std::vector<Record> part = run_batch(
+          std::vector<std::size_t>(indices.begin() + static_cast<long>(at),
+                                   indices.begin() + static_cast<long>(end)),
+          on_done);
+      for (Record& r : part) records.push_back(std::move(r));
+    }
+    return records;
+  }
+  const std::size_t tile = resolve_simd_tile(b_.opts_.simd_tile);
+  const unsigned min_live =
+      resolve_simd_min_live(b_.opts_.simd_min_live, tile);
+  // Lane 0 is the cursor; the pool holds one replica lane per concurrent
+  // site, sized to the shard's actual need — a short shard never allocates
+  // (or COW-clones) lanes it cannot spawn. The spawn phase (cursor
+  // fast-forward) starts lane-major; the SIMD driver re-tiles around its
+  // dense rounds below.
+  unsigned pool = static_cast<unsigned>(
+      std::min<std::size_t>(b_.batch_size(), indices.size()));
+  // Tile-align the pool for the SIMD rounds: the shared commit copies whole
+  // tiles, so a pool whose lane count (cursor + pool replicas) straddles a
+  // tile boundary pays a full extra tile's memcpy every round for the few
+  // lanes that spill over (e.g. 17 lanes in two 16-wide tiles copies 32
+  // slots per node to clock 17). Trim to the largest size where the lane
+  // count fills tiles exactly; pools smaller than one tile keep their
+  // natural size (the overcopy is then bounded by a single tile).
+  if (b_.opts_.simd_lanes && pool + 1 > tile) {
+    pool = static_cast<unsigned>((pool + 1) / tile * tile - 1);
+  }
+  if (!lanes_ready_ || core_.lane_count() != pool + 1) {
+    if (lanes_ready_) {
+      // Re-sizing an existing pool: retired lanes may still carry armed
+      // overlays (a respawn normally wipes them via the cursor clone), and
+      // enable_lanes rejects those.
+      for (unsigned l = 1; l < core_.lane_count(); ++l) {
+        core_.select_lane(l);
+        core_.sim().clear_faults();
+      }
+      core_.select_lane(0);
+    }
+    core_.enable_lanes(pool + 1, rtl::LaneLayout::kFlat, tile);
+    lane_runs_.assign(pool, LaneRun{});
     lanes_ready_ = true;
   }
-  // Spawn phase: one monotonic cursor pass over the batch's instants
-  // (the engine hands them sorted), one replica clone + arm per site.
-  const unsigned n = static_cast<unsigned>(indices.size());
-  for (unsigned j = 0; j < n; ++j) {
-    spawn_lane(j + 1, b_.sites_[indices[j]]);
+  // Initial fill: one monotonic cursor pass over the first `pool` instants
+  // (the engine hands the whole shard sorted by instant), one replica
+  // clone + arm per site.
+  std::size_t next_item = 0;
+  for (unsigned j = 0; j < pool; ++j) {
+    spawn_lane(j + 1, b_.sites_[indices[next_item]]);
+    lane_runs_[j].item = next_item;
+    ++next_item;
   }
-  unsigned live = n;
-  if (b_.opts_.simd_lanes && live > kSimdMinLive) {
+  unsigned live = pool;
+  auto finalize = [&](unsigned slot) {
+    LaneRun& run = lane_runs_[slot];
+    records[run.item] = std::move(run.record);
+  };
+  if (b_.opts_.simd_lanes &&
+      (next_item < indices.size() || live > min_live)) {
     // SIMD lane-slice rounds over interleaved tiles: every live lane
-    // advances one cycle, all lanes are clocked by one commit_lanes() pass,
-    // and lanes retire individually (divergence / convergence / halt /
-    // hang / watchdog). Interleaved storage only pays while the tiles are
-    // densely occupied — a sparse survivor set touches kLaneTile times its
-    // own footprint per access — so once the batch thins past kSimdMinLive
-    // the lanes transpose back to lane-major and the scalar chunked loop
-    // below finishes the stragglers.
-    core_.set_lane_layout(rtl::LaneLayout::kTiled);
-    while (live > kSimdMinLive) {
-      live -= step_lanes_round(n);
+    // advances one cycle, all lanes are clocked by one commit_lanes()
+    // pass, and lanes retire individually (divergence / convergence /
+    // halt / hang / watchdog). Interleaved storage only pays while the
+    // tiles are densely occupied, so the scheduler keeps them that way:
+    // every retired lane is refilled from the work queue immediately
+    // (restore-nearest-rung cursor seek + clone + arm into the freed
+    // slot), and once the queue drains the thinning survivors are
+    // compacted into the lowest tiles. Only when the queue is empty and
+    // fewer than min_live lanes survive do the lanes transpose back to
+    // lane-major for the scalar chunk loop below.
+    core_.set_lane_layout(rtl::LaneLayout::kTiled, tile);
+    // Retired slots awaiting a refill. A freed slot is not respawned the
+    // instant it opens: in the tiled layout a cursor_seek that has to
+    // restore a rung or fast-forward solo is a strided scatter (one cache
+    // line per node), so the scheduler lets the cursor *ride* there inside
+    // the shared rounds instead — nearly free — and only spawns once the
+    // cursor has reached the instant. Gaps beyond kRideWindow cycles are
+    // jumped via the rung restore as before (riding 1 cycle/round would
+    // idle the free slots longer than the strided restore costs). Which
+    // path positions the cursor is outcome-invisible (restore-source
+    // invisibility), so this is purely a scheduling choice.
+    constexpr u64 kRideWindow = 4 * kLockstepChunk;
+    std::vector<unsigned> free_slots;
+    while (live > min_live || (next_item < indices.size() && live != 0)) {
+      const u64 cursor_target =
+          next_item < indices.size()
+              ? b_.sites_[indices[next_item]].inject_cycle
+              : 0;
+      const unsigned retired = step_lanes_round(pool, cursor_target);
+      live -= retired;
+      for (const unsigned slot : retired_slots_) finalize(slot);
+      if (retired != 0 && on_done) on_done(retired);
+      free_slots.insert(free_slots.end(), retired_slots_.begin(),
+                        retired_slots_.end());
+      if (next_item < indices.size()) {
+        // Continuous refill: freed slots take the next queued sites, so
+        // the tiles stay dense across what used to be batch boundaries.
+        // Instants arrive sorted, so the cursor only moves forward.
+        while (!free_slots.empty() && next_item < indices.size()) {
+          const u64 inject = b_.sites_[indices[next_item]].inject_cycle;
+          const u64 at = core_.lane_state(0).cycle;
+          const bool arrived =
+              at >= inject ||
+              core_.lane_state(0).halt != iss::HaltReason::kRunning;
+          if (!arrived && inject - at <= kRideWindow) break;  // keep riding
+          const unsigned slot = free_slots.front();
+          free_slots.erase(free_slots.begin());
+          core_.select_lane(0);
+          spawn_lane(slot + 1, b_.sites_[indices[next_item]]);
+          lane_runs_[slot].item = next_item;
+          ++next_item;
+          ++live;
+          ++stat_refills_;
+        }
+      } else if (live > min_live) {
+        // Queue drained and survivors thinning: pack them into dense
+        // tiles so the masked commit keeps skipping dead tiles instead of
+        // dragging half-empty strips (outcome-neutral, see
+        // Leon3Core::permute_lanes).
+        compact_lanes(pool);
+      }
     }
     core_.set_lane_layout(rtl::LaneLayout::kFlat);
   }
-  // Scalar per-lane stepping: the whole batch when the SIMD path is off,
-  // the straggler tail otherwise. Rounds of kLockstepChunk cycles per lane;
-  // a straggler never holds its batch-mates.
-  while (live != 0) {
-    for (unsigned j = 0; j < n; ++j) {
-      LaneRun& run = lane_runs_[j];
-      if (run.done) continue;
+  // Scalar per-lane stepping: the whole shard when the SIMD path is off
+  // (still queue-fed, so the pool stays busy), the final < min_live
+  // stragglers otherwise. Rounds of kLockstepChunk cycles per lane; a
+  // straggler never holds its pool-mates.
+  while (live != 0 || next_item < indices.size()) {
+    for (unsigned j = 0; j < pool; ++j) {
+      if (lane_runs_[j].done) {
+        if (next_item >= indices.size()) continue;
+        core_.select_lane(0);
+        spawn_lane(j + 1, b_.sites_[indices[next_item]]);
+        lane_runs_[j].item = next_item;
+        ++next_item;
+        ++live;
+        ++stat_refills_;
+      }
       core_.select_lane(j + 1);
-      if (step_lane(run, kLockstepChunk)) --live;
+      ++stat_scalar_rounds_;
+      if (step_lane(lane_runs_[j], kLockstepChunk)) {
+        --live;
+        finalize(j);
+        if (on_done) on_done(1);
+      }
     }
   }
-  core_.select_lane(0);  // leave the cursor live for the next batch
-  for (unsigned j = 0; j < n; ++j) {
-    records.push_back(std::move(lane_runs_[j].record));
-  }
+  core_.select_lane(0);  // leave the cursor live (parks the lane's tags)
+  // Flush the occupancy tallies once per shard (relaxed: informational).
+  b_.simd_rounds_.fetch_add(stat_simd_rounds_, std::memory_order_relaxed);
+  b_.scalar_rounds_.fetch_add(stat_scalar_rounds_,
+                              std::memory_order_relaxed);
+  b_.lane_refills_.fetch_add(stat_refills_, std::memory_order_relaxed);
+  b_.lane_compactions_.fetch_add(stat_compactions_,
+                                 std::memory_order_relaxed);
+  b_.live_lane_rounds_.fetch_add(stat_live_lane_rounds_,
+                                 std::memory_order_relaxed);
+  b_.fast_forward_cycles_.fetch_add(stat_cursor_ride_cycles_,
+                                    std::memory_order_relaxed);
+  stat_simd_rounds_ = stat_scalar_rounds_ = stat_refills_ = 0;
+  stat_compactions_ = stat_live_lane_rounds_ = stat_cursor_ride_cycles_ = 0;
   return records;
 }
 
@@ -677,6 +885,11 @@ fault::CampaignResult RtlCampaignBackend::finish(
   result.replay.cold_resets = cold_resets_.load();
   result.replay.fast_forward_cycles = fast_forward_cycles_.load();
   result.replay.convergence_cutoffs = convergence_cutoffs_.load();
+  result.replay.simd_rounds = simd_rounds_.load();
+  result.replay.scalar_rounds = scalar_rounds_.load();
+  result.replay.lane_refills = lane_refills_.load();
+  result.replay.lane_compactions = lane_compactions_.load();
+  result.replay.live_lane_rounds = live_lane_rounds_.load();
   result.runs = std::move(records);
   for (fault::InjectionResult& run : result.runs) {
     run.node_name = node_names_[run.site.node];

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,9 +46,10 @@ class RtlCampaignBackend {
     return sites_[i].inject_cycle;
   }
 
-  /// Sites the engine hands a worker per run_batch call: opts.batch_lanes
-  /// (clamped to kMaxBatchLanes), or 1 — the per-site serial path — when
-  /// batching is off. See Worker::run_batch for the batched algorithm.
+  /// Replica-lane pool cap per worker: opts.batch_lanes (clamped to
+  /// kMaxBatchLanes), or 1 — the per-site serial path — when batching is
+  /// off. Workers size their actual pool to min(batch_size(),
+  /// shard size); see Worker::run_batch for the lane-pool algorithm.
   std::size_t batch_size() const noexcept {
     const unsigned lanes = std::min(opts_.batch_lanes, kMaxBatchLanes);
     return lanes > 1 ? lanes : 1;
@@ -67,23 +69,33 @@ class RtlCampaignBackend {
     Worker(const RtlCampaignBackend& backend, unsigned shard);
     Record run_site(std::size_t index);
 
-    /// Batched lockstep evaluation of `indices` (the engine passes them
-    /// sorted by injection instant; records come back in the same order).
-    /// Lane 0 of the core is a fault-free *cursor* that walks the golden
-    /// prefix once for the whole batch — restored from the best ladder
-    /// rung (or carried over from the previous batch, the rolling-
-    /// checkpoint analogue) and fast-forwarded monotonically through the
-    /// batch's instants. At each site's instant the cursor state is cloned
-    /// into a replica lane (per-lane node arrays + COW memory; the lane's
-    /// trace starts empty, its golden prefix tracked by length) and the
-    /// site's fault armed on that lane only. The replicas then step in
-    /// lockstep rounds of kLockstepChunk cycles; each lane retires
+    /// Lane-pool lockstep evaluation of a whole shard (the engine passes
+    /// `indices` sorted by injection instant; records come back in the
+    /// same order; `on_done(n)` streams completion counts as sites
+    /// retire). Lane 0 of the core is a fault-free *cursor* that walks
+    /// the golden prefix once for the whole shard — restored from the
+    /// best ladder rung when that is closer than its current cycle (the
+    /// rolling-checkpoint analogue) and fast-forwarded monotonically
+    /// through the shard's instants. The pool holds min(batch_size(),
+    /// shard size) replica lanes: each spawn clones the cursor into a
+    /// lane (per-lane node arrays + COW memory; the lane's trace starts
+    /// empty, its golden prefix tracked by length) and arms the site's
+    /// fault on that lane only. Lanes step in lockstep rounds and retire
     /// individually — on definite write divergence (early stop), golden-
     /// state convergence at a rung (transients), halt, hang fast-forward
-    /// or watchdog — so one straggler never holds the batch. Outcomes,
-    /// latencies and fault::outcome_hash are bit-identical to run_site's.
-    /// With opts.batch_lanes <= 1 this simply loops run_site.
-    std::vector<Record> run_batch(const std::vector<std::size_t>& indices);
+    /// or watchdog — and every retired lane is refilled from the queue
+    /// *immediately*, so the SIMD tiles stay dense across what used to be
+    /// batch boundaries. Once the queue drains and survivors thin below
+    /// the needed tile count, live lanes are compacted into fresh
+    /// contiguous tiles (Leon3Core::permute_lanes); only the final
+    /// < simd_min_live stragglers (and the simd-off mode) run the flat
+    /// scalar chunk loop. Outcomes, latencies and fault::outcome_hash are
+    /// bit-identical to run_site's for every pool size, tile width,
+    /// min-live floor and thread count. With opts.batch_lanes <= 1 this
+    /// simply loops run_site.
+    std::vector<Record> run_batch(
+        const std::vector<std::size_t>& indices,
+        const std::function<void(std::size_t)>& on_done);
 
    private:
     /// One in-flight replica lane of a batch: the classification state
@@ -92,6 +104,7 @@ class RtlCampaignBackend {
     /// the faulty suffix).
     struct LaneRun {
       fault::FaultSite site;
+      std::size_t item = 0;           ///< index into the shard's site list
       u64 budget = 0;                 ///< remaining faulty-suffix cycles
       std::size_t prefix_writes = 0;  ///< golden writes before the clone
       std::size_t matched = 0;        ///< golden-absolute matched writes
@@ -131,10 +144,27 @@ class RtlCampaignBackend {
     /// one cycle (step_no_commit), all lanes are clocked together by a
     /// single rtl::SimContext::commit_lanes() tile pass, then every live
     /// lane's divergence / convergence / hang-probe bookkeeping runs at the
-    /// new cycle boundary. Returns the number of lanes that retired this
-    /// round. Per lane the cycle/check sequence is exactly step_lane's, so
-    /// outcomes stay bit-identical to the chunked path.
-    unsigned step_lanes_round(unsigned n);
+    /// new cycle boundary. When `cursor_target` is nonzero and the cursor
+    /// (lane 0) sits below it, the cursor *rides the round* — evaluates one
+    /// fault-free cycle and joins the shared commit — so it approaches the
+    /// next pending instant at tile cost instead of paying a strided
+    /// single-lane fast-forward at refill time; it never steps past the
+    /// target, preserving cursor_seek's monotonic precondition. Returns the
+    /// number of lanes that retired this round and records their pool slots
+    /// in retired_slots_ (for the refill). Per lane the cycle/check
+    /// sequence is exactly step_lane's, so outcomes stay bit-identical to
+    /// the chunked path. Accumulates the occupancy counters (one simd
+    /// round, live-lane count).
+    unsigned step_lanes_round(unsigned n, u64 cursor_target);
+
+    /// Survivor compaction: when the sparse live set occupies more tiles
+    /// than ceil((live + 1) / tile) — cursor included, it shares tile 0 —
+    /// permute the live lanes (in slot order) into the lowest lanes via
+    /// Leon3Core::permute_lanes, reorder lane_runs_ to match, and return
+    /// true. Purely representational: per-lane state, armed overlays and
+    /// record slots move as units, so outcomes are unchanged; only the
+    /// masked-commit grain gets denser.
+    bool compact_lanes(unsigned n);
 
     /// The per-cycle bookkeeping of step_lane, factored so the lockstep
     /// round can run it from the parked lane state without switching lanes
@@ -175,6 +205,15 @@ class RtlCampaignBackend {
     std::size_t cursor_reads_ = 0;
     std::vector<LaneRun> lane_runs_;  ///< slot j drives core lane j + 1
     std::vector<u8> stepped_;         ///< per-round live mask (by core lane)
+    std::vector<unsigned> retired_slots_;  ///< pool slots retired this round
+    // Scheduler-occupancy tallies, accumulated locally and flushed into the
+    // backend atomics once per run_batch (informational only).
+    u64 stat_simd_rounds_ = 0;
+    u64 stat_cursor_ride_cycles_ = 0;  ///< folded into fast_forward_cycles
+    u64 stat_scalar_rounds_ = 0;
+    u64 stat_refills_ = 0;
+    u64 stat_compactions_ = 0;
+    u64 stat_live_lane_rounds_ = 0;
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;
@@ -210,6 +249,12 @@ class RtlCampaignBackend {
   mutable std::atomic<u64> cold_resets_{0};
   mutable std::atomic<u64> fast_forward_cycles_{0};
   mutable std::atomic<u64> convergence_cutoffs_{0};
+  // Lane-pool scheduler occupancy (see fault::ReplayCounters).
+  mutable std::atomic<u64> simd_rounds_{0};
+  mutable std::atomic<u64> scalar_rounds_{0};
+  mutable std::atomic<u64> lane_refills_{0};
+  mutable std::atomic<u64> lane_compactions_{0};
+  mutable std::atomic<u64> live_lane_rounds_{0};
 };
 
 /// Full engine-backed RTL campaign. fault::run_campaign is the serial thin

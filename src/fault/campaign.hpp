@@ -142,6 +142,15 @@ struct ReplayCounters {
   u64 cold_resets = 0;         ///< resumes that had to re-simulate from 0
   u64 fast_forward_cycles = 0; ///< fault-free instants stepped after restore
   u64 convergence_cutoffs = 0; ///< transient runs proven silent at a rung
+  // Lane-pool scheduler occupancy (batched RTL mode; zero otherwise):
+  // whether the SIMD tiles actually ran dense, observable directly instead
+  // of inferred from wall clock.
+  u64 simd_rounds = 0;         ///< lockstep tile rounds (one cycle per lane)
+  u64 scalar_rounds = 0;       ///< flat per-lane chunk calls (straggler tail)
+  u64 lane_refills = 0;        ///< retired lanes respawned from the queue
+  u64 lane_compactions = 0;    ///< survivor packs into dense tiles
+  u64 live_lane_rounds = 0;    ///< sum of live lanes over all simd rounds
+                               ///  (mean occupancy = / simd_rounds)
 };
 
 struct CampaignResult {

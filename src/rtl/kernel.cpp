@@ -5,6 +5,13 @@
 
 namespace issrtl::rtl {
 
+std::size_t preferred_lane_tile() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f")) return 16;
+#endif
+  return kLaneTile;
+}
+
 std::string_view fault_model_name(FaultModel m) {
   switch (m) {
     case FaultModel::kStuckAt0: return "stuck-at-0";
@@ -65,55 +72,159 @@ Sig SimContext::make(const std::string& name, const std::string& unit,
   return Sig(this, id, id);  // flat at registration: slot == id
 }
 
-void SimContext::retile(std::size_t keep, LaneLayout layout) {
-  // Rebuild the hot arrays under `layout`, preserving the first `keep`
-  // lanes' values and flags; every other slot (new lanes, tile padding) is
-  // a copy of lane 0 with clean flags. Armed-overlay lists are untouched —
-  // NodeIds and shadow values are layout-independent.
+void SimContext::retile(std::size_t keep, LaneLayout layout,
+                        std::size_t tile) {
+  // Rebuild the hot arrays under `layout` with `tile` lanes per interleave
+  // tile, preserving the first `keep` lanes' values and flags; every other
+  // slot (new lanes, tile padding) is a copy of lane 0 with clean flags.
+  // Armed-overlay lists are untouched — NodeIds and shadow values are
+  // layout-independent.
   const std::size_t n = meta_.size();
 
   // Capture the old slot geometry before switching.
   const LaneLayout old_layout = layout_;
+  const std::size_t old_tile = tile_;
   auto old_base = [&](std::size_t lane) {
     if (old_layout == LaneLayout::kFlat) return lane * n;
-    return (lane / kLaneTile) * (n * kLaneTile) + (lane % kLaneTile);
+    return (lane / old_tile) * (n * old_tile) + (lane % old_tile);
   };
   const std::size_t old_shift =
-      old_layout == LaneLayout::kFlat ? 0 : std::countr_zero(kLaneTile);
+      old_layout == LaneLayout::kFlat ? 0 : std::countr_zero(old_tile);
 
   layout_ = layout;
+  tile_ = tile;
   lane_shift_ = layout == LaneLayout::kFlat
                     ? 0
-                    : static_cast<u8>(std::countr_zero(kLaneTile));
+                    : static_cast<u8>(std::countr_zero(tile_));
   const std::size_t total = storage_lanes() * n;
 
-  std::vector<u32> cur(total), nxt(total);
-  std::vector<u8> flags(total);
-  if (n != 0) {
+  // Build the transposed arrays in the member scratch (swapped back in at
+  // the end, so the evicted storage becomes next flip's scratch): every
+  // slot below is written, so stale scratch content never leaks. The
+  // per-lane loop hoists both geometries' strides — the transpose is a
+  // constant-stride copy per lane, and the per-element slot()/shift
+  // arithmetic of the naive form roughly doubled its cost.
+  retile_cur_.resize(total);
+  retile_nxt_.resize(total);
+  retile_flags_.resize(total);
+  const bool to_tiled = layout == LaneLayout::kTiled;
+  const bool from_tiled = old_layout == LaneLayout::kTiled;
+  if (n != 0 && to_tiled != from_tiled) {
+    // flat <-> tiled: stream along the tiled side. A lane-at-a-time copy
+    // touches a different cache line per element on whichever side is
+    // interleaved (stride = tile * 4 bytes), re-fetching every line tile
+    // times; iterating nodes outermost and the tile slot innermost makes
+    // the interleaved side contiguous and turns the flat side into tile
+    // parallel streams — every line moves exactly once each way.
+    const std::size_t T = to_tiled ? tile_ : old_tile;
+    for (std::size_t g = 0; g * T < storage_lanes(); ++g) {
+      const std::size_t lmax = std::min(T, storage_lanes() - g * T);
+      const u32* csrc[kMaxLaneTile];
+      const u32* xsrc[kMaxLaneTile];
+      const u8* fsrc[kMaxLaneTile];
+      bool keepf[kMaxLaneTile];
+      for (std::size_t l = 0; l < lmax; ++l) {
+        const std::size_t lane = g * T + l;
+        const std::size_t src = lane < keep ? lane : 0;
+        const std::size_t sb = old_base(src);
+        csrc[l] = cur_.data() + sb;
+        xsrc[l] = nxt_.data() + sb;
+        fsrc[l] = flags_.data() + sb;
+        keepf[l] = lane < keep;
+      }
+      const std::size_t tb = g * n * T;  // the tiled side's group base
+      // Block the node dimension so the interleaved side's working set for
+      // one (block, lane) pass is a ~kRetileBlock*T*4-byte strip that stays
+      // in L1 across all lmax lanes, while the flat side is one sequential
+      // stream per lane — each cache line moves once in each direction
+      // instead of tile times.
+      constexpr std::size_t kRetileBlock = 16;
+      if (to_tiled) {
+        for (std::size_t id0 = 0; id0 < n; id0 += kRetileBlock) {
+          const std::size_t idm = std::min(n, id0 + kRetileBlock);
+          for (std::size_t l = 0; l < lmax; ++l) {
+            const u32* cs = csrc[l];
+            const u32* xs = xsrc[l];
+            const u8* fs = fsrc[l];
+            const bool kf = keepf[l];
+            for (std::size_t id = id0; id < idm; ++id) {
+              const std::size_t ds = tb + id * T + l;
+              retile_cur_[ds] = cs[id];
+              retile_nxt_[ds] = xs[id];
+              retile_flags_[ds] = kf ? fs[id] : u8{0};
+            }
+          }
+        }
+      } else {
+        u32* cdst[kMaxLaneTile];
+        u32* xdst[kMaxLaneTile];
+        u8* fdst[kMaxLaneTile];
+        for (std::size_t l = 0; l < lmax; ++l) {
+          const std::size_t db = lane_base(g * T + l);
+          cdst[l] = retile_cur_.data() + db;
+          xdst[l] = retile_nxt_.data() + db;
+          fdst[l] = retile_flags_.data() + db;
+        }
+        for (std::size_t id0 = 0; id0 < n; id0 += kRetileBlock) {
+          const std::size_t idm = std::min(n, id0 + kRetileBlock);
+          for (std::size_t l = 0; l < lmax; ++l) {
+            const u32* cs = csrc[l];  // the lane's tiled slice, stride T
+            const u32* xs = xsrc[l];
+            const u8* fs = fsrc[l];
+            const bool kf = keepf[l];
+            for (std::size_t id = id0; id < idm; ++id) {
+              cdst[l][id] = cs[id * T];
+              xdst[l][id] = xs[id * T];
+              fdst[l][id] = kf ? fs[id * T] : u8{0};
+            }
+          }
+        }
+      }
+    }
+  } else if (n != 0) {
+    // Same-layout re-tile (tiled width change): the general constant-
+    // stride copy per lane.
+    const std::size_t sstep = old_shift == 0 ? 1 : old_tile;
+    const std::size_t dstep = lane_shift_ == 0 ? 1 : tile_;
     for (std::size_t lane = 0; lane < storage_lanes(); ++lane) {
       const std::size_t src = lane < keep ? lane : 0;
-      const std::size_t sb = old_base(src);
-      const std::size_t db = lane_base(lane);
-      for (NodeId id = 0; id < n; ++id) {
-        const std::size_t ss = sb + (static_cast<std::size_t>(id)
-                                     << old_shift);
-        const std::size_t ds = db + slot(id);
-        cur[ds] = cur_[ss];
-        nxt[ds] = nxt_[ss];
-        flags[ds] = lane < keep ? flags_[ss] : 0;
+      const bool copy_flags = lane < keep;
+      std::size_t ss = old_base(src);
+      std::size_t ds = lane_base(lane);
+      for (NodeId id = 0; id < n; ++id, ss += sstep, ds += dstep) {
+        retile_cur_[ds] = cur_[ss];
+        retile_nxt_[ds] = nxt_[ss];
+        retile_flags_[ds] = copy_flags ? flags_[ss] : u8{0};
       }
     }
   }
-  cur_ = std::move(cur);
-  nxt_ = std::move(nxt);
-  flags_ = std::move(flags);
+  cur_.swap(retile_cur_);
+  nxt_.swap(retile_nxt_);
+  flags_.swap(retile_flags_);
   rebind_lane();
 }
 
-void SimContext::set_replicas(std::size_t count, LaneLayout layout) {
+namespace {
+/// Resolve a caller-supplied tile width against the context's current one:
+/// 0 keeps the current width; anything else must be a power of two in
+/// [2, kMaxLaneTile].
+std::size_t resolve_tile(std::size_t requested, std::size_t current) {
+  if (requested == 0) return current;
+  if (requested < 2 || requested > kMaxLaneTile ||
+      !std::has_single_bit(requested)) {
+    throw std::invalid_argument(
+        "lane tile must be a power of two in [2, 64]");
+  }
+  return requested;
+}
+}  // namespace
+
+void SimContext::set_replicas(std::size_t count, LaneLayout layout,
+                              std::size_t tile) {
   if (count == 0) {
     throw std::invalid_argument("set_replicas: need at least one lane");
   }
+  const std::size_t new_tile = resolve_tile(tile, tile_);
   for (const std::vector<ArmedFault>& lane : armed_) {
     if (!lane.empty()) {
       throw std::logic_error(
@@ -126,6 +237,9 @@ void SimContext::set_replicas(std::size_t count, LaneLayout layout) {
   if (layout == layout_ && layout == LaneLayout::kFlat) {
     // Fast path: lane-major resize in place, exactly the historical
     // behaviour (existing lanes preserved, new lanes copied from lane 0).
+    // The tile width has no geometric effect while flat; record it for the
+    // next transpose.
+    tile_ = new_tile;
     replicas_ = count;
     const std::size_t total = storage_lanes() * n;
     cur_.resize(total);
@@ -146,7 +260,7 @@ void SimContext::set_replicas(std::size_t count, LaneLayout layout) {
     // fuzz test).
     drain_sparse_all_lanes();
     replicas_ = count;
-    retile(std::min(old_count, count), layout);
+    retile(std::min(old_count, count), layout, new_tile);
   }
   armed_.resize(count);
   sparse_dirty_.resize(count);
@@ -154,14 +268,92 @@ void SimContext::set_replicas(std::size_t count, LaneLayout layout) {
   rebind_lane();
 }
 
-void SimContext::set_lane_layout(LaneLayout layout) {
-  if (layout == layout_) return;
+void SimContext::set_lane_layout(LaneLayout layout, std::size_t tile) {
+  const std::size_t new_tile = resolve_tile(tile, tile_);
+  if (layout == layout_ && new_tile == tile_) return;
+  if (layout == layout_ && layout == LaneLayout::kFlat) {
+    tile_ = new_tile;  // no geometric effect while flat
+    return;
+  }
   // Layout changes happen at cycle boundaries, where every pending sparse
   // commit has been drained already; recorded slots are layout-relative,
   // so drain any stragglers under the old geometry rather than rescale or
   // drop them.
   drain_sparse_all_lanes();
-  retile(replicas_, layout);
+  retile(replicas_, layout, new_tile);
+}
+
+void SimContext::permute_lanes(const std::vector<std::size_t>& src_of) {
+  if (src_of.size() != replicas_) {
+    throw std::invalid_argument(
+        "permute_lanes: permutation size must equal replicas()");
+  }
+  std::vector<u8> seen(replicas_, 0);
+  for (const std::size_t src : src_of) {
+    if (src >= replicas_ || seen[src]) {
+      throw std::invalid_argument(
+          "permute_lanes: src_of is not a permutation of the lanes");
+    }
+    seen[src] = 1;
+  }
+  // Pending sparse-commit slots are lane-relative and identical across
+  // lanes under one layout, so the lists could move with their lanes — but
+  // compaction runs at a cycle boundary where they are drained anyway;
+  // drain stragglers so the moved slices are self-consistent.
+  drain_sparse_all_lanes();
+
+  const std::size_t n = meta_.size();
+  if (n != 0) {
+    // Gather into fresh arrays: dst lane <- src_of[dst], moving cur, nxt
+    // and flags wholesale so overlay-patched values, shadows (in armed_)
+    // and flag bits stay mutually consistent. Padding lanes (tiled storage
+    // beyond replicas_) are refilled from the new lane 0's source so the
+    // unconditional tile passes keep operating on valid values.
+    std::vector<u32> cur(cur_.size()), nxt(nxt_.size());
+    std::vector<u8> flags(flags_.size());
+    for (std::size_t dst = 0; dst < storage_lanes(); ++dst) {
+      const std::size_t src = dst < replicas_ ? src_of[dst] : src_of[0];
+      const std::size_t sb = lane_base(src);
+      const std::size_t db = lane_base(dst);
+      if (layout_ == LaneLayout::kFlat) {
+        std::memcpy(cur.data() + db, cur_.data() + sb, n * sizeof(u32));
+        std::memcpy(nxt.data() + db, nxt_.data() + sb, n * sizeof(u32));
+        std::memcpy(flags.data() + db, flags_.data() + sb, n);
+      } else {
+        for (NodeId id = 0; id < n; ++id) {
+          const std::size_t s = slot(id);
+          cur[db + s] = cur_[sb + s];
+          nxt[db + s] = nxt_[sb + s];
+          flags[db + s] = flags_[sb + s];
+        }
+      }
+    }
+    cur_ = std::move(cur);
+    nxt_ = std::move(nxt);
+    flags_ = std::move(flags);
+  }
+  std::vector<std::vector<ArmedFault>> armed(replicas_);
+  std::vector<std::vector<u32>> dirty(replicas_);
+  for (std::size_t dst = 0; dst < replicas_; ++dst) {
+    armed[dst] = std::move(armed_[src_of[dst]]);
+    dirty[dst] = std::move(sparse_dirty_[src_of[dst]]);
+  }
+  armed_ = std::move(armed);
+  sparse_dirty_ = std::move(dirty);
+  // The active lane follows its content.
+  for (std::size_t dst = 0; dst < replicas_; ++dst) {
+    if (src_of[dst] == active_) {
+      active_ = dst;
+      break;
+    }
+  }
+  rebind_lane();
+  // Re-assert every moved lane's overlays at their destination (the copy
+  // is exact, but this keeps the shadow-from-nxt bulk-operation discipline
+  // uniform with the commit paths).
+  for (std::size_t lane = 0; lane < replicas_; ++lane) {
+    reapply_overlays_for(lane);
+  }
 }
 
 void SimContext::set_active_lane(std::size_t lane) {
@@ -301,14 +493,14 @@ void SimContext::reapply_overlays_for(std::size_t lane) noexcept {
 void SimContext::commit_lanes() noexcept {
   if (meta_.empty()) return;
   if (layout_ == LaneLayout::kTiled) {
-    const std::size_t tiles = storage_lanes() / kLaneTile;
-    const std::size_t tile_words = meta_.size() * kLaneTile;
+    const std::size_t tiles = storage_lanes() / tile_;
+    const std::size_t tile_words = meta_.size() * tile_;
     for (std::size_t t = 0; t < tiles; ++t) {
       const std::size_t tb = t * tile_words;
       for (const auto& [begin, end] : commit_spans_) {
-        std::memcpy(cur_.data() + tb + (begin * kLaneTile),
-                    nxt_.data() + tb + (begin * kLaneTile),
-                    (end - begin) * kLaneTile * sizeof(u32));
+        std::memcpy(cur_.data() + tb + (begin * tile_),
+                    nxt_.data() + tb + (begin * tile_),
+                    (end - begin) * tile_ * sizeof(u32));
       }
     }
   } else {
@@ -329,12 +521,12 @@ void SimContext::commit_lanes() noexcept {
 void SimContext::commit_lanes(const std::vector<u8>& live) noexcept {
   if (meta_.empty()) return;
   if (layout_ == LaneLayout::kTiled) {
-    const std::size_t tiles = storage_lanes() / kLaneTile;
-    const std::size_t tile_words = meta_.size() * kLaneTile;
+    const std::size_t tiles = storage_lanes() / tile_;
+    const std::size_t tile_words = meta_.size() * tile_;
     for (std::size_t t = 0; t < tiles; ++t) {
-      const std::size_t lane0 = t * kLaneTile;
+      const std::size_t lane0 = t * tile_;
       bool any = false;
-      for (std::size_t l = lane0; l < lane0 + kLaneTile && l < replicas_;
+      for (std::size_t l = lane0; l < lane0 + tile_ && l < replicas_;
            ++l) {
         if (l < live.size() && live[l]) {
           any = true;
@@ -344,9 +536,9 @@ void SimContext::commit_lanes(const std::vector<u8>& live) noexcept {
       if (!any) continue;
       const std::size_t tb = t * tile_words;
       for (const auto& [begin, end] : commit_spans_) {
-        std::memcpy(cur_.data() + tb + (begin * kLaneTile),
-                    nxt_.data() + tb + (begin * kLaneTile),
-                    (end - begin) * kLaneTile * sizeof(u32));
+        std::memcpy(cur_.data() + tb + (begin * tile_),
+                    nxt_.data() + tb + (begin * tile_),
+                    (end - begin) * tile_ * sizeof(u32));
       }
     }
     // Sparse commits drain before overlays re-apply — an armed node may
@@ -354,9 +546,9 @@ void SimContext::commit_lanes(const std::vector<u8>& live) noexcept {
     // on top of the freshly committed raw value.
     drain_sparse_all_lanes();
     for (std::size_t lane = 0; lane < replicas_; ++lane) {
-      const std::size_t t0 = (lane / kLaneTile) * kLaneTile;
+      const std::size_t t0 = (lane / tile_) * tile_;
       bool tile_live = false;
-      for (std::size_t l = t0; l < t0 + kLaneTile && l < replicas_; ++l) {
+      for (std::size_t l = t0; l < t0 + tile_ && l < replicas_; ++l) {
         if (l < live.size() && live[l]) {
           tile_live = true;
           break;

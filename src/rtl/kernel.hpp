@@ -33,15 +33,16 @@
 //    copies of the cur/nxt/flags arrays (lane l's node id occupies slot
 //    l*N + id). Per-lane bulk operations (commit, save/load/compare) stay
 //    contiguous, which favours stepping one lane for a long stretch.
-//  * kTiled (lane-interleaved tiles): lanes are grouped in tiles of
-//    kLaneTile = 8; within a tile the R lane values of one node are
-//    adjacent (slot = tile_base + id*8 + lane%8, i.e. cur[node][lane] is
-//    contiguous). A register-covering span [b, e) of one tile occupies the
-//    contiguous u32 range [b*8, e*8), so commit_lanes() clocks *every* lane
-//    of the design in a single auto-vectorizable pass per span — the
-//    lane-slice evaluation the batched lockstep scheduler drives — and the
-//    probe primitives compare eight lane values of a node from one cache
-//    line.
+//  * kTiled (lane-interleaved tiles): lanes are grouped in tiles of T =
+//    lane_tile() lanes (T = kLaneTile = 8 by default; 16 where the host's
+//    vector width warrants it, see preferred_lane_tile()); within a tile
+//    the T lane values of one node are adjacent (slot = tile_base + id*T +
+//    lane%T, i.e. cur[node][lane] is contiguous). A register-covering span
+//    [b, e) of one tile occupies the contiguous u32 range [b*T, e*T), so
+//    commit_lanes() clocks *every* lane of the design in a single
+//    auto-vectorizable pass per span — the lane-slice evaluation the
+//    batched lockstep scheduler drives — and the probe primitives compare
+//    a full tile's lane values of a node from adjacent cache lines.
 //
 // In both layouts the cold side table, the name index and the width masks
 // stay shared, exactly one lane is *active* at a time, and every accessor —
@@ -71,25 +72,39 @@ enum class NodeKind : u8 { kWire, kReg };
 /// Replica-lane storage layout (see the file comment).
 enum class LaneLayout : u8 { kFlat, kTiled };
 
-/// Lanes per interleave tile in LaneLayout::kTiled: eight u32 lane slices =
-/// one 32-byte strip, the natural width for both compiler auto-vectorization
-/// and explicit u32×8 passes, and half a cache line so two nodes' lane
-/// groups share a line.
+/// Default lanes per interleave tile in LaneLayout::kTiled: eight u32 lane
+/// slices = one 32-byte strip, the natural width for both compiler
+/// auto-vectorization and explicit u32×8 passes, and half a cache line so
+/// two nodes' lane groups share a line. The tile width is a runtime
+/// property of the context (SimContext::lane_tile()); 16 widens the strip
+/// to a full u32×16 (one AVX-512 register) where that pays.
 inline constexpr std::size_t kLaneTile = 8;
+
+/// Widest tile the kernel accepts (one strip must stay a small bounded
+/// number of cache lines; the lane-shift fits comfortably in u8).
+inline constexpr std::size_t kMaxLaneTile = 64;
+
+/// Tile width the host's SIMD units favour: 16 (u32×16, one 512-bit
+/// register per strip) when the CPU reports AVX-512F at runtime, else the
+/// portable default kLaneTile. Pure CPUID dispatch — the binary carries no
+/// AVX-512 code paths, it just widens the memcpy strips the compiler
+/// already vectorizes.
+std::size_t preferred_lane_tile() noexcept;
 
 class SimContext;
 
 /// Lightweight handle to a single W<=32-bit node: a (context, NodeId) pair
 /// plus the node's pre-scaled slot offset in the current lane layout (id
-/// when flat, id * kLaneTile when tiled). Copyable and 16 bytes; modules
+/// when flat, id * lane_tile() when tiled). Copyable and 16 bytes; modules
 /// store handles by value. All accessors index the SimContext's packed
 /// value arrays through the pre-scaled offset — the unfaulted read path is
 /// a single array load with no branches and no per-access stride math,
 /// whatever the layout.
 ///
 /// Handle invalidation: because the scale is baked in at mint time, a lane
-/// layout change (set_replicas with a different layout, set_lane_layout)
-/// invalidates outstanding handles — re-mint them via SimContext::node().
+/// layout change (set_replicas with a different layout or tile width,
+/// set_lane_layout) invalidates outstanding handles — re-mint them via
+/// SimContext::node().
 /// Leon3Core refreshes its module handles internally, so core users never
 /// observe this; it only concerns code driving a raw SimContext.
 class Sig {
@@ -181,6 +196,10 @@ class SimContext {
   /// Storage layout of the replica dimension.
   LaneLayout lane_layout() const noexcept { return layout_; }
 
+  /// Lanes per interleave tile in the kTiled layout (kLaneTile unless a
+  /// wider tile was requested via set_replicas / set_lane_layout).
+  std::size_t lane_tile() const noexcept { return tile_; }
+
   /// Grow (or shrink) the hot state to `count` replica lanes in `layout`.
   /// Existing lanes (below the old count) keep their values across both a
   /// resize and a layout change; new lanes start as copies of lane 0; the
@@ -189,26 +208,58 @@ class SimContext {
   /// std::logic_error otherwise — an overlay's shadow slot is lane state
   /// and must not be duplicated implicitly); node registration is frozen
   /// while replicas() > 1. The active lane is reset to 0. With kTiled the
-  /// storage is padded to a whole number of kLaneTile-lane tiles; padding
-  /// lanes hold copies of lane 0, are never addressable, and exist so the
-  /// tile passes below are unconditional full-strip operations.
-  void set_replicas(std::size_t count, LaneLayout layout = LaneLayout::kFlat);
+  /// storage is padded to a whole number of lane_tile()-lane tiles;
+  /// padding lanes hold copies of lane 0, are never addressable, and exist
+  /// so the tile passes below are unconditional full-strip operations.
+  /// `tile` selects the interleave width: 0 keeps the current tile,
+  /// otherwise a power of two in [2, kMaxLaneTile] (throws
+  /// std::invalid_argument). The tile width participates in the slot
+  /// scaling, so changing it invalidates handles like a layout change.
+  void set_replicas(std::size_t count, LaneLayout layout = LaneLayout::kFlat,
+                    std::size_t tile = 0);
 
-  /// Re-tile the existing lanes into `layout` without changing the lane
-  /// count: a pure representation transpose. Every lane's values, flags and
+  /// Re-tile the existing lanes into `layout` (and optionally a new tile
+  /// width; 0 keeps the current one) without changing the lane count: a
+  /// pure representation transpose. Every lane's values, flags and
   /// armed-overlay lists (NodeIds and shadows are layout-independent) are
   /// preserved exactly, as is the active lane — no observable behaviour
   /// changes, only the memory order of the hot arrays. The batch scheduler
   /// uses this to run the dense phase of a batch on interleaved tiles and
   /// the sparse straggler tail on the flat layout (a lone lane's working
-  /// set in tiled storage spans kLaneTile times the cache footprint, which
-  /// is exactly when lane-major wins). Cost: O(nodes * lanes) word copies.
-  void set_lane_layout(LaneLayout layout);
+  /// set in tiled storage spans lane_tile() times the cache footprint,
+  /// which is exactly when lane-major wins). Cost: O(nodes * lanes) word
+  /// copies.
+  void set_lane_layout(LaneLayout layout, std::size_t tile = 0);
+
+  /// Rearrange whole lanes in place: after the call, lane `dst` holds
+  /// exactly what lane `src_of[dst]` held before — current and next
+  /// values, flags, armed-overlay list (shadows included) and pending
+  /// sparse commits move as a unit, so armed faults stay attached to their
+  /// lane's state. `src_of` must be a true permutation of [0, replicas())
+  /// of size replicas() (throws std::invalid_argument otherwise). The
+  /// active lane follows its content (active becomes the slot its old
+  /// content moved to). Layout and tile width are unchanged; handles stay
+  /// valid. This is the survivor-compaction primitive: the lane-pool
+  /// scheduler permutes thinning live lanes into the low tiles so the
+  /// masked commit keeps operating on dense strips. Each moved lane's
+  /// overlays are re-applied into its destination slice afterwards
+  /// (reapply_overlays_for), preserving the shadow-from-nxt discipline at
+  /// the cycle boundary where compaction runs. Cost: O(nodes * lanes).
+  void permute_lanes(const std::vector<std::size_t>& src_of);
 
   /// Switch every accessor (Sig reads/writes, commit/save/load/compare,
   /// fault arming) to lane `lane`. O(1): swaps the cached lane base
   /// pointers. Throws std::out_of_range on a bad lane.
   void set_active_lane(std::size_t lane);
+
+  /// Unchecked set_active_lane for the lockstep round loop, which switches
+  /// lanes every evaluated cycle: the scheduler validates its pool once, so
+  /// the per-switch bounds check (and its throw path, which blocks inlining
+  /// here) is pure overhead. `lane` must be < replicas().
+  void set_active_lane_fast(std::size_t lane) noexcept {
+    active_ = lane;
+    rebind_lane();
+  }
 
   /// Overwrite lane `dst` with a full copy of lane `src`: current and next
   /// values, flags and the armed-overlay list (shadow slots included), so
@@ -325,9 +376,10 @@ class SimContext {
 
   /// Clock edge for *every* lane at once — the per-cycle primitive of the
   /// batched lockstep driver. In the tiled layout a register span [b, e) of
-  /// one tile is the contiguous u32 range [b*8, e*8), so this is one
-  /// full-width memcpy per span per tile, vectorized across all eight lane
-  /// slices; in the flat layout it loops the per-lane span copies. Safe to
+  /// one tile is the contiguous u32 range [b*T, e*T) for T = lane_tile(),
+  /// so this is one full-width memcpy per span per tile, vectorized across
+  /// all T lane slices; in the flat layout it loops the per-lane span
+  /// copies. Safe to
   /// include lanes that did not evaluate this round: an idle lane sits at a
   /// cycle boundary where every register already satisfies cur == nxt, so
   /// re-committing it is the identity. Each committed lane's armed overlays
@@ -450,7 +502,7 @@ class SimContext {
   }
 
   /// Offset of node `id` relative to the active-lane base pointers: the
-  /// plain id when flat, id * kLaneTile when tiled.
+  /// plain id when flat, id * lane_tile() when tiled.
   std::size_t slot(NodeId id) const noexcept {
     return static_cast<std::size_t>(id) << lane_shift_;
   }
@@ -458,8 +510,7 @@ class SimContext {
   /// Start of lane `lane`'s slice relative to the start of the arrays.
   std::size_t lane_base(std::size_t lane) const noexcept {
     if (layout_ == LaneLayout::kFlat) return lane * meta_.size();
-    return (lane / kLaneTile) * (meta_.size() * kLaneTile) +
-           (lane % kLaneTile);
+    return (lane / tile_) * (meta_.size() * tile_) + (lane % tile_);
   }
 
   /// Re-derive the cached active-lane base pointers (after registration,
@@ -492,7 +543,7 @@ class SimContext {
     sparse_dirty_[active_].push_back(scaled);
   }
 
-  void retile(std::size_t keep, LaneLayout layout);
+  void retile(std::size_t keep, LaneLayout layout, std::size_t tile);
   void drain_sparse_all_lanes() noexcept;
   void write_slow(NodeId id, u32 masked) noexcept;
   void reapply_overlays() noexcept;
@@ -504,7 +555,7 @@ class SimContext {
   /// tiles when tiled).
   std::size_t storage_lanes() const noexcept {
     if (layout_ == LaneLayout::kFlat) return replicas_;
-    return (replicas_ + kLaneTile - 1) / kLaneTile * kLaneTile;
+    return (replicas_ + tile_ - 1) / tile_ * tile_;
   }
 
   // Hot structure-of-arrays state: storage_lanes() lane slices in layout_
@@ -514,13 +565,20 @@ class SimContext {
   std::vector<u32> nxt_;   ///< raw next value (mirrors cur_ for wires)
   std::vector<u8> flags_;
   std::vector<u32> mask_;  ///< low_mask64(width); shared by every lane
+  // Retile scratch: the transposed arrays are built here and swapped with
+  // the hot arrays, so the batch scheduler's per-shard layout flips
+  // (kFlat -> kTiled -> kFlat around the lockstep rounds) reuse one
+  // allocation instead of paying a fresh zero-initialised vector each way.
+  std::vector<u32> retile_cur_, retile_nxt_;
+  std::vector<u8> retile_flags_;
   u32* cur_l_ = nullptr;
   u32* nxt_l_ = nullptr;
   u8* flags_l_ = nullptr;
   std::size_t replicas_ = 1;
   std::size_t active_ = 0;
   LaneLayout layout_ = LaneLayout::kFlat;
-  u8 lane_shift_ = 0;  ///< 0 flat, log2(kLaneTile) tiled
+  std::size_t tile_ = kLaneTile;  ///< lanes per interleave tile when tiled
+  u8 lane_shift_ = 0;  ///< 0 flat, log2(lane_tile()) tiled
 
   // Cold side table + name index (shared by every lane). Unit strings are
   // interned: a design has ~dozen distinct units across ~1k nodes, and

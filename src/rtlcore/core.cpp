@@ -971,31 +971,53 @@ void Leon3Core::refresh_node_handles() {
   dcache_->refresh(ctx_);
 }
 
-void Leon3Core::enable_lanes(unsigned count, rtl::LaneLayout layout) {
+void Leon3Core::enable_lanes(unsigned count, rtl::LaneLayout layout,
+                             std::size_t tile) {
   const rtl::LaneLayout before = ctx_.lane_layout();
-  ctx_.set_replicas(count, layout);  // validates count>=1, no armed faults
-  if (layout != before) refresh_node_handles();
+  const std::size_t before_tile = ctx_.lane_tile();
+  // validates count>=1, tile, no armed faults
+  ctx_.set_replicas(count, layout, tile);
+  if (layout != before || ctx_.lane_tile() != before_tile) {
+    refresh_node_handles();
+  }
   lanes_.resize(count);
   active_lane_ = 0;
   rebind_active();  // lanes_ may have reallocated
 }
 
-void Leon3Core::select_lane(unsigned lane) {
-  if (lane >= lanes_.size()) {
-    throw std::out_of_range("select_lane: no such lane");
+void Leon3Core::permute_lanes(const std::vector<std::size_t>& src_of) {
+  if (src_of.size() != lanes_.size() || src_of.empty() || src_of[0] != 0) {
+    throw std::invalid_argument(
+        "permute_lanes: need a whole-core permutation with src_of[0] == 0");
   }
-  if (lane == active_lane_) return;
-  // Stage out the evaluation-path copies of the outgoing lane's state: the
-  // pipe-slot sequence tags and the cache counters. Everything else already
-  // lives in its CoreLaneState slot.
+  // Park the active lane's staged fields (pipe-slot sequence tags, cache
+  // counters) so its CoreLaneState slot is authoritative before slots move.
   CoreLaneState& out = lanes_[active_lane_];
   out.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
   out.icache_hits = icache_->hits();
   out.icache_misses = icache_->misses();
   out.dcache_hits = dcache_->hits();
   out.dcache_misses = dcache_->misses();
-  active_lane_ = lane;
+
+  ctx_.permute_lanes(src_of);  // validates the permutation, moves node state
+
+  // Move the host-side slots to match: traces and per-lane memory images
+  // travel with their CoreLaneState (lane 0's slot stays put — src_of[0] is
+  // pinned — so the external-Memory binding is untouched).
+  std::vector<CoreLaneState> moved(lanes_.size());
+  for (std::size_t dst = 0; dst < lanes_.size(); ++dst) {
+    moved[dst] = std::move(lanes_[src_of[dst]]);
+  }
+  lanes_ = std::move(moved);
+  for (std::size_t dst = 0; dst < src_of.size(); ++dst) {
+    if (src_of[dst] == active_lane_) {
+      active_lane_ = static_cast<unsigned>(dst);
+      break;
+    }
+  }
   rebind_active();
+  // Stage the (possibly relocated) active lane's fields back into the
+  // evaluation path, exactly like select_lane().
   de_.seq = lane_->slot_seq[0];
   ra_.seq = lane_->slot_seq[1];
   ex_.seq = lane_->slot_seq[2];
@@ -1004,10 +1026,20 @@ void Leon3Core::select_lane(unsigned lane) {
   wb_.seq = lane_->slot_seq[5];
   icache_->restore_stats(lane_->icache_hits, lane_->icache_misses);
   dcache_->restore_stats(lane_->dcache_hits, lane_->dcache_misses);
-  ctx_.set_active_lane(lane);
-  // Per-cycle handshake scratch: recomputed at the top of every step();
-  // cleared like restore() so a lane switch lands on a clean cycle boundary.
   clear_cycle_scratch();
+}
+
+void Leon3Core::select_lane(unsigned lane) {
+  if (lane >= lanes_.size()) {
+    throw std::out_of_range("select_lane: no such lane");
+  }
+  // Stage out the evaluation-path copies of the outgoing lane's state (the
+  // pipe-slot sequence tags and the cache counters — everything else already
+  // lives in its CoreLaneState slot), stage in the incoming lane's, rebind
+  // the lane/memory/cache/SimContext bindings, and clear the per-cycle
+  // handshake scratch so a lane switch lands on a clean cycle boundary
+  // (exactly as restore() does).
+  select_lane_fast(lane);
 }
 
 void Leon3Core::clone_active_lane_to(unsigned dst) {

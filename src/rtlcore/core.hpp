@@ -244,21 +244,39 @@ class Leon3Core {
   /// them with clone_active_lane_to(). Requires no armed fault on any lane.
   /// rtl::LaneLayout::kTiled selects the lane-interleaved tile layout whose
   /// commit_lanes() pass the step-lanes driver amortises; kFlat keeps the
-  /// lane-major layout that favours long per-lane stretches.
+  /// lane-major layout that favours long per-lane stretches. `tile` selects
+  /// the interleave width (0 keeps the current one; see
+  /// rtl::SimContext::set_replicas).
   void enable_lanes(unsigned count,
-                    rtl::LaneLayout layout = rtl::LaneLayout::kFlat);
+                    rtl::LaneLayout layout = rtl::LaneLayout::kFlat,
+                    std::size_t tile = 0);
 
   /// Re-tile the replica storage (rtl::SimContext::set_lane_layout): a pure
   /// representation change preserving every lane's node values, armed
   /// faults, host state and the active lane. The batch scheduler switches
   /// to tiles for the dense lockstep rounds and back to flat for the
-  /// straggler tail. Re-mints every module's node handles (their pre-scaled
-  /// slot offsets change with the layout).
-  void set_lane_layout(rtl::LaneLayout layout) {
-    if (layout == ctx_.lane_layout()) return;
-    ctx_.set_lane_layout(layout);
-    refresh_node_handles();
+  /// straggler tail. Re-mints every module's node handles when the slot
+  /// geometry changed (their pre-scaled offsets depend on layout and tile
+  /// width).
+  void set_lane_layout(rtl::LaneLayout layout, std::size_t tile = 0) {
+    const rtl::LaneLayout before = ctx_.lane_layout();
+    const std::size_t before_tile = ctx_.lane_tile();
+    ctx_.set_lane_layout(layout, tile);
+    if (ctx_.lane_layout() != before || ctx_.lane_tile() != before_tile) {
+      refresh_node_handles();
+    }
   }
+
+  /// Compact / reorder whole replica lanes: after the call, lane `dst`
+  /// holds what lane `src_of[dst]` held before — node values and armed
+  /// faults (rtl::SimContext::permute_lanes), host scalars, trace and
+  /// memory image all move as a unit, so a live faulted lane is completely
+  /// relocated. `src_of` must be a permutation of [0, lane_count()) with
+  /// src_of[0] == 0: lane 0 is pinned because it is bound to the external
+  /// Memory (and it is the scheduler's fault-free cursor anyway). The
+  /// active lane follows its content. This is the survivor-compaction
+  /// primitive behind the lane-pool scheduler's dense tiles.
+  void permute_lanes(const std::vector<std::size_t>& src_of);
 
   /// Number of replica lanes (1 unless enable_lanes() grew the core).
   unsigned lane_count() const noexcept {
@@ -275,6 +293,37 @@ class Leon3Core {
   /// every simulated cycle (the step-lanes driver's requirement). The
   /// per-cycle handshake scratch is cleared, exactly as restore() does.
   void select_lane(unsigned lane);
+
+  /// select_lane without the bounds check, inlined for the lockstep round
+  /// loop. The round loop pays one lane switch per evaluated lane-cycle, so
+  /// the out-of-line call plus throw-path spills of select_lane() are a
+  /// measurable fraction of a behavioural cycle (~20ns of a ~45ns cycle on
+  /// the reference box). Bit-identical to select_lane() for any valid lane;
+  /// `lane` must be < lane_count().
+  void select_lane_fast(unsigned lane) noexcept {
+    if (lane == active_lane_) return;
+    CoreLaneState& out = lanes_[active_lane_];
+    out.slot_seq = {de_.seq, ra_.seq, ex_.seq, me_.seq, xc_.seq, wb_.seq};
+    out.icache_hits = icache_->hits();
+    out.icache_misses = icache_->misses();
+    out.dcache_hits = dcache_->hits();
+    out.dcache_misses = dcache_->misses();
+    active_lane_ = lane;
+    lane_ = &lanes_[lane];
+    mem_ = &lane_memory(lane);
+    icache_->rebind(*mem_, lane_->bus);
+    dcache_->rebind(*mem_, lane_->bus);
+    de_.seq = lane_->slot_seq[0];
+    ra_.seq = lane_->slot_seq[1];
+    ex_.seq = lane_->slot_seq[2];
+    me_.seq = lane_->slot_seq[3];
+    xc_.seq = lane_->slot_seq[4];
+    wb_.seq = lane_->slot_seq[5];
+    icache_->restore_stats(lane_->icache_hits, lane_->icache_misses);
+    dcache_->restore_stats(lane_->dcache_hits, lane_->dcache_misses);
+    ctx_.set_active_lane_fast(lane);
+    clear_cycle_scratch();
+  }
 
   /// Direct read-only view of any lane's host state (see CoreLaneState for
   /// the staleness caveats on the active lane's staged fields). Lets the

@@ -160,6 +160,96 @@ TEST(Batch, BatchLargerThanCampaign) {
   expect_same_outcomes(a, b, "batch > campaign");
 }
 
+// Push the scheduler into its survivor-compaction path: a pool as large as
+// the whole shard drains the spawn queue immediately, and a min-live floor
+// of 1 keeps the lockstep rounds running while retirements thin the tiles —
+// so compaction (and the lane permutation behind it) must actually fire.
+// Outcomes stay pinned to the serial reference, and the occupancy counters
+// prove the events happened (rather than the test passing vacuously because
+// the scheduler silently fell back to the scalar tail).
+TEST(Batch, ForcedCompactionStaysBitIdentical) {
+  const auto prog = small_workload();
+  const CampaignConfig cfg = mixed_config();
+
+  EngineOptions serial;
+  serial.threads = 1;
+  const CampaignResult reference = run_rtl_campaign(prog, cfg, {}, serial);
+
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.batch_lanes = 64;
+  opts.simd_lanes = true;
+  opts.simd_min_live = 1;  // lockstep down to the last live lane
+  opts.simd_tile = 4;      // small tiles: many compaction opportunities
+  const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+  expect_same_outcomes(reference, r, "forced compaction");
+  EXPECT_GT(r.replay.simd_rounds, 0u);
+  EXPECT_GT(r.replay.lane_refills, 0u)
+      << "shard should outnumber the pool, forcing continuous refill";
+  EXPECT_GT(r.replay.lane_compactions, 0u)
+      << "drained queue + thinning survivors should trigger compaction";
+  EXPECT_GT(r.replay.live_lane_rounds, r.replay.simd_rounds)
+      << "mean occupancy above one live lane per round";
+}
+
+// lane_refill is a pure scheduling knob: turning it off slices every shard
+// into fixed batch-sized pieces (the pre-pool scheduler, and the bench's
+// A/B baseline) whose failure tails thin the pool instead of respawning —
+// outcomes, records and fault::outcome_hash must not move, with the SIMD
+// rounds on and off, serial and threaded.
+TEST(Batch, FixedBatchSchedulingIsOutcomeNeutral) {
+  const auto prog = small_workload();
+  const CampaignConfig cfg = mixed_config();
+
+  EngineOptions serial;
+  serial.threads = 1;
+  const CampaignResult reference = run_rtl_campaign(prog, cfg, {}, serial);
+
+  for (const unsigned threads : {1u, 2u}) {
+    for (const bool simd : {false, true}) {
+      EngineOptions opts;
+      opts.threads = threads;
+      opts.batch_lanes = 8;
+      opts.simd_lanes = simd;
+      opts.lane_refill = false;
+      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+      expect_same_outcomes(reference, r,
+                           "fixed batches, threads=" +
+                               std::to_string(threads) +
+                               " simd=" + std::to_string(simd));
+    }
+  }
+}
+
+// simd_tile and simd_min_live are pure scheduling knobs: every tile width
+// and min-live floor must leave outcomes bit-identical to the serial path
+// (the tile only changes the interleave grain of the masked commit, the
+// floor only where the scalar tail takes over).
+TEST(Batch, TileAndMinLiveKnobsAreOutcomeNeutral) {
+  const auto prog = small_workload();
+  CampaignConfig cfg = mixed_config();
+  cfg.samples = 24;  // sampled flavour keeps the 3x3 matrix cheap
+
+  EngineOptions serial;
+  serial.threads = 1;
+  const CampaignResult reference = run_rtl_campaign(prog, cfg, {}, serial);
+
+  for (const unsigned tile : {2u, 8u, 16u}) {
+    for (const unsigned min_live : {1u, 6u, 32u}) {
+      EngineOptions opts;
+      opts.threads = 2;
+      opts.batch_lanes = 9;
+      opts.simd_lanes = true;
+      opts.simd_tile = tile;
+      opts.simd_min_live = min_live;
+      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+      expect_same_outcomes(reference, r,
+                           "tile=" + std::to_string(tile) +
+                               " min_live=" + std::to_string(min_live));
+    }
+  }
+}
+
 // The full-window instant draw (InstantWindow::kFull) must reach the second
 // half of the golden run — the states the legacy half-window draw could
 // never sample — while the default keeps the historical draw bit-identical.

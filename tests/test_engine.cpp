@@ -476,6 +476,80 @@ TEST(Engine, OptionsFromEnvParsesSimdFlag) {
   }
 }
 
+TEST(Engine, OptionsFromEnvParsesRefillFlag) {
+  {
+    ScopedEnv s("ISSRTL_REFILL", "0");
+    EXPECT_FALSE(options_from_env().lane_refill);
+  }
+  {
+    ScopedEnv s("ISSRTL_REFILL", "1");
+    EXPECT_TRUE(options_from_env().lane_refill);
+  }
+  {
+    ScopedEnv s("ISSRTL_REFILL", nullptr);
+    EngineOptions base;
+    base.lane_refill = false;
+    EXPECT_FALSE(options_from_env(base).lane_refill);  // unset: untouched
+  }
+  for (const char* v : {"2", "off", "-1", "true"}) {
+    ScopedEnv s("ISSRTL_REFILL", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
+TEST(Engine, OptionsFromEnvParsesSimdMinLive) {
+  {
+    ScopedEnv s("ISSRTL_SIMD_MIN_LIVE", "12");
+    EXPECT_EQ(options_from_env().simd_min_live, 12u);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_MIN_LIVE", "0");  // 0 = auto (one tile)
+    EXPECT_EQ(options_from_env().simd_min_live, 0u);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_MIN_LIVE", nullptr);
+    EngineOptions base;
+    base.simd_min_live = 7;
+    EXPECT_EQ(options_from_env(base).simd_min_live, 7u);  // unset: untouched
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_MIN_LIVE", "1025");  // > kMaxBatchLanes
+    EXPECT_THROW(options_from_env(), std::invalid_argument);
+  }
+  for (const char* v : {"abc", "-4", "8x", " 8", "0x8"}) {
+    ScopedEnv s("ISSRTL_SIMD_MIN_LIVE", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
+TEST(Engine, OptionsFromEnvParsesSimdTile) {
+  for (const unsigned tile : {2u, 8u, 16u, 64u}) {
+    ScopedEnv s("ISSRTL_SIMD_TILE", std::to_string(tile).c_str());
+    EXPECT_EQ(options_from_env().simd_tile, tile);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_TILE", "auto");  // CPUID dispatch
+    EngineOptions base;
+    base.simd_tile = 16;
+    EXPECT_EQ(options_from_env(base).simd_tile, 0u);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_TILE", "0");  // numeric spelling of auto
+    EXPECT_EQ(options_from_env().simd_tile, 0u);
+  }
+  {
+    ScopedEnv s("ISSRTL_SIMD_TILE", nullptr);
+    EngineOptions base;
+    base.simd_tile = 8;
+    EXPECT_EQ(options_from_env(base).simd_tile, 8u);  // unset: untouched
+  }
+  // Non-power-of-two, too small, too large, trailing junk, non-numeric.
+  for (const char* v : {"3", "1", "65", "128", "16x", "wide", "-8"}) {
+    ScopedEnv s("ISSRTL_SIMD_TILE", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
 TEST(Engine, AccumulatorMergeMatchesSequential) {
   OutcomeAccumulator all;
   OutcomeAccumulator a, b;

@@ -338,6 +338,39 @@ TEST(Lanes, LayoutChangeDrainsPendingSparseCommits) {
   EXPECT_EQ(ctx.node(r.id()).r(), 0x1234u);
 }
 
+TEST(Lanes, PermuteLanesMovesContentOverlaysAndActive) {
+  SimContext ctx;
+  Sig r = ctx.reg("r", "iu.ex", 32);
+  Sig w = ctx.wire("w", "iu.alu", 32);
+  ctx.set_replicas(4, LaneLayout::kTiled);
+  for (std::size_t l = 0; l < 4; ++l) {
+    ctx.set_active_lane(l);
+    ctx.node(r.id()).n(0x100u + static_cast<u32>(l));
+  }
+  ctx.commit_lanes();  // clock every lane, not just the active one
+  ctx.set_active_lane(2);
+  ctx.arm_fault(w.id(), FaultModel::kStuckAt1, 3);  // overlay rides lane 2
+  ctx.node(w.id()).w(0);
+  ASSERT_EQ(ctx.node(w.id()).r(), 8u);
+
+  // Rotate: lane d receives old lane (d + 1) % 4.
+  ctx.permute_lanes({1, 2, 3, 0});
+  // The active lane follows its content: old lane 2 now lives in slot 1.
+  EXPECT_EQ(ctx.active_lane(), 1u);
+  for (std::size_t d = 0; d < 4; ++d) {
+    ctx.set_active_lane(d);
+    EXPECT_EQ(ctx.node(r.id()).r(), 0x100u + ((d + 1) % 4)) << d;
+    // The stuck-at overlay moved with its lane (re-applied post-permute).
+    ctx.node(w.id()).w(0);
+    EXPECT_EQ(ctx.node(w.id()).r(), d == 1 ? 8u : 0u) << d;
+  }
+
+  // Validation: wrong size and non-permutations are rejected.
+  EXPECT_THROW(ctx.permute_lanes({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(ctx.permute_lanes({0, 1, 1, 3}), std::invalid_argument);
+  EXPECT_THROW(ctx.permute_lanes({0, 1, 2, 4}), std::invalid_argument);
+}
+
 // ---- differential fuzz: tiled lane-slice primitives vs the flat path -----
 //
 // Two contexts with identical registries, one replicated flat and one as
@@ -511,6 +544,26 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
       flat.sim.copy_lane(dst, src);
       tiled.sim.copy_lane(dst, src);
     }
+    if (step % 19 == 7) {
+      // Random lane permutation: either mirrored on both contexts, or
+      // applied to the tiled context and immediately inverted — both must
+      // leave every lane (values, armed overlays, pending shadows) bit-
+      // identical to the flat context at the check below.
+      std::vector<std::size_t> perm(kLanes);
+      for (std::size_t i = 0; i < kLanes; ++i) perm[i] = i;
+      for (std::size_t i = kLanes - 1; i > 0; --i) {
+        std::swap(perm[i], perm[pick(i + 1)]);
+      }
+      if (step % 2 == 0) {
+        flat.sim.permute_lanes(perm);
+        tiled.sim.permute_lanes(perm);
+      } else {
+        std::vector<std::size_t> inv(kLanes);
+        for (std::size_t d = 0; d < kLanes; ++d) inv[perm[d]] = d;
+        tiled.sim.permute_lanes(perm);
+        tiled.sim.permute_lanes(inv);
+      }
+    }
     if (step % 23 == 0) {
       flat.sim.save_values_into(snaps[lane]);
       ASSERT_TRUE(tiled.sim.values_equal(snaps[lane]))
@@ -519,11 +572,15 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
     check_all_lanes(step);
   }
 
-  // Finally: a layout round-trip (tiled -> flat -> tiled) must preserve
-  // every lane and every armed overlay bit-for-bit.
+  // Finally: layout and tile-width round-trips (tiled/8 -> flat ->
+  // tiled/16 -> tiled/4 -> tiled/8) must preserve every lane and every
+  // armed overlay bit-for-bit at each stop.
   tiled.sim.set_lane_layout(LaneLayout::kFlat);
-  tiled.sim.set_lane_layout(LaneLayout::kTiled);
+  tiled.sim.set_lane_layout(LaneLayout::kTiled, 16);
   check_all_lanes(kSteps);
+  tiled.sim.set_lane_layout(LaneLayout::kTiled, 4);
+  tiled.sim.set_lane_layout(LaneLayout::kTiled, 8);
+  check_all_lanes(kSteps + 1);
 }
 
 TEST(Vcd, ProducesParsableFile) {
