@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,8 @@ int help() {
       "campaign_report — full RTL fault-injection campaign report\n"
       "\n"
       "usage: campaign_report [workload] [samples] [threads] [instants]\n"
-      "                       [window] [--vcd <path>]\n"
+      "                       [window] [--vcd <path>] [--journal=DIR]\n"
+      "                       [--resume] [--deadline-ms=N]\n"
       "  workload   registry name (issrtl_cli list); default rspeed\n"
       "  samples    injection trials per fault model; default 120\n"
       "  threads    engine worker threads; 0 or absent = all hardware\n"
@@ -50,6 +52,15 @@ int help() {
       "  --vcd <path>  write a GTKWave waveform of the first failing run\n"
       "             to <path> (off by default: no files are dropped into\n"
       "             the working directory unless asked)\n"
+      "  --journal=DIR  append every completed site to a checksummed\n"
+      "             write-ahead journal under DIR, keyed by (workload,\n"
+      "             config, seed)\n"
+      "  --resume   import journaled sites instead of re-simulating them;\n"
+      "             the merged report is bit-identical to an uninterrupted\n"
+      "             run\n"
+      "  --deadline-ms=N  wall-clock budget; on expiry (or SIGINT/SIGTERM)\n"
+      "             in-flight lanes drain, the journal is flushed, and the\n"
+      "             partial report is printed with a TRUNCATED banner\n"
       "\n"
       "environment:\n"
       "  ISSRTL_THREADS      worker threads when [threads] is absent\n"
@@ -64,6 +75,14 @@ int help() {
       "  ISSRTL_SIMD         1 (default) = SIMD lane-slice lockstep rounds,\n"
       "                      0 = flat per-lane chunked stepping; results\n"
       "                      are bit-identical either way\n"
+      "  ISSRTL_JOURNAL      journal directory (same as --journal)\n"
+      "  ISSRTL_RESUME       1 = import journaled sites (same as --resume)\n"
+      "  ISSRTL_DEADLINE_MS  wall-clock budget in milliseconds\n"
+      "  ISSRTL_FAIL_SITE    test hook: '<i>' or '<i>:once' (comma list)\n"
+      "                      injects a worker fault at site i\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure or truncated campaign,\n"
+      "2 usage/configuration error\n"
       "\n"
       "Prints per-model Pf, outcome breakdown, per-functional-unit P_mf\n"
       "with the alpha_m area weights (Eq. 1) and the replay-economics\n"
@@ -74,19 +93,51 @@ int help() {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  // Split --vcd off first; everything else is positional as before.
+  // Split the --flags off first; everything else is positional as before.
   std::string vcd_path;
+  std::string journal_dir;
+  bool resume = false;
+  bool have_deadline = false;
+  u64 deadline_ms = 0;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
-      return help();
-    if (std::strcmp(argv[i], "--vcd") == 0) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return help();
+    if (a == "--vcd") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --vcd needs a path argument\n");
         return 2;
       }
       vcd_path = argv[++i];
       continue;
+    }
+    if (a == "--resume") {
+      resume = true;
+      continue;
+    }
+    if (a.rfind("--journal=", 0) == 0) {
+      journal_dir = a.substr(std::strlen("--journal="));
+      if (journal_dir.empty()) {
+        std::fprintf(stderr, "error: --journal=DIR needs a directory\n");
+        return 2;
+      }
+      continue;
+    }
+    if (a.rfind("--deadline-ms=", 0) == 0) {
+      const std::string v = a.substr(std::strlen("--deadline-ms="));
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms=N needs a non-negative integer, "
+                     "got '%s'\n", v.c_str());
+        return 2;
+      }
+      have_deadline = true;
+      deadline_ms = std::strtoull(v.c_str(), nullptr, 10);
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
+      return 2;
     }
     pos.push_back(argv[i]);
   }
@@ -129,6 +180,18 @@ int main(int argc, char** argv) try {
   }
   engine::EngineOptions opts = engine::options_from_env();
   if (threads != 0) opts.threads = threads;
+  if (!journal_dir.empty()) opts.journal_dir = journal_dir;
+  if (resume) opts.resume = true;
+  if (have_deadline) opts.deadline_ms = deadline_ms;
+  if (opts.resume && opts.journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume requires --journal=DIR (or ISSRTL_JOURNAL)\n");
+    return 2;
+  }
+  // Ctrl-C / SIGTERM stop the campaign gracefully: lanes drain, the journal
+  // is flushed, and the partial report below carries a TRUNCATED banner.
+  engine::install_signal_stop();
+  opts.stop = &engine::signal_stop_flag();
   opts.on_progress = engine::stderr_progress();
   const auto r = engine::run_rtl_campaign(prog, cfg, {}, opts);
 
@@ -160,15 +223,30 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(r.replay.lane_refills),
                 static_cast<unsigned long long>(r.replay.lane_compactions));
   }
+  if (r.replay.journal_hits != 0 || r.replay.journal_dropped != 0 ||
+      r.replay.sites_retried != 0 || r.replay.sites_engine_error != 0) {
+    std::printf("durability: %llu journal hits (%llu dropped), "
+                "%llu sites retried, %llu engine errors\n",
+                static_cast<unsigned long long>(r.replay.journal_hits),
+                static_cast<unsigned long long>(r.replay.journal_dropped),
+                static_cast<unsigned long long>(r.replay.sites_retried),
+                static_cast<unsigned long long>(r.replay.sites_engine_error));
+  }
+  if (r.truncated) {
+    std::printf("TRUNCATED: %zu/%zu sites completed; re-run with "
+                "--journal=DIR --resume to finish\n",
+                r.completed_sites, r.total_sites);
+  }
   std::printf("\n");
 
   fault::TextTable t({"model", "Pf", "failures", "hangs", "latent", "silent",
-                      "max latency", "mean latency"});
+                      "errors", "max latency", "mean latency"});
   for (const auto& s : r.per_model) {
     t.add_row({std::string(rtl::fault_model_name(s.model)),
                fault::TextTable::pct(s.pf()), std::to_string(s.failures),
                std::to_string(s.hangs), std::to_string(s.latent),
-               std::to_string(s.silent), std::to_string(s.max_latency),
+               std::to_string(s.silent), std::to_string(s.errors),
+               std::to_string(s.max_latency),
                fault::TextTable::num(s.mean_latency, 0)});
   }
   std::printf("%s\n", t.render().c_str());
@@ -231,7 +309,12 @@ int main(int argc, char** argv) try {
                   vcd_path.c_str());
     }
   }
-  return 0;
+  return r.truncated ? 1 : 0;
+} catch (const std::invalid_argument& e) {
+  // Configuration the library rejected (bad unit prefix, zero instants,
+  // malformed ISSRTL_* values): a usage error, not a runtime failure.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

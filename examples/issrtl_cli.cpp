@@ -18,6 +18,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/avf.hpp"
 #include "core/diversity.hpp"
@@ -35,15 +38,23 @@ using namespace issrtl;
 
 namespace {
 
+// Exit codes: 0 success, 1 runtime failure (simulation, I/O), 2 usage or
+// configuration error. Usage/config diagnostics go to stderr so piped
+// output stays machine-readable.
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
 int usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "usage: issrtl_cli <command> [...]\n"
       "  list | run <wl> [iters] | rtl <wl> [iters] | diversity <wl>\n"
       "  disasm <wl> | campaign <wl> <iu|cmem|''> <sa0|sa1|open|flip> <n> "
       "[threads] [instants] [window]\n"
+      "      [--journal=DIR] [--resume] [--deadline-ms=N]\n"
       "  avf <wl> | asm <file.s> | nodes [unit] | help\n"
       "run 'issrtl_cli help' for the full flag and environment reference\n");
-  return 2;
+  return kExitUsage;
 }
 
 int help() {
@@ -57,7 +68,8 @@ int help() {
       "  rtl <wl> [iters]          run on the RTL core\n"
       "  diversity <wl>            Table-1-style characterisation\n"
       "  disasm <wl>               disassemble a workload image\n"
-      "  campaign <wl> <unit> <model> <n> [threads] [instants]\n"
+      "  campaign <wl> <unit> <model> <n> [threads] [instants] [window]\n"
+      "           [--journal=DIR] [--resume] [--deadline-ms=N]\n"
       "                            RTL fault-injection campaign on the\n"
       "                            parallel engine\n"
       "      <unit>      node-unit prefix: iu, cmem, a subunit like iu.fe,\n"
@@ -92,7 +104,26 @@ int help() {
       "  ISSRTL_SIMD         1 (default) steps batched replicas through the\n"
       "                      SIMD lane-slice rounds, 0 forces the flat\n"
       "                      per-lane chunked path; results are\n"
-      "                      bit-identical either way\n");
+      "                      bit-identical either way\n"
+      "  ISSRTL_JOURNAL      campaign journal directory (same as --journal);\n"
+      "                      every completed site is appended to a\n"
+      "                      checksummed write-ahead journal keyed by\n"
+      "                      (workload, config, seed)\n"
+      "  ISSRTL_RESUME       1 imports journaled sites instead of\n"
+      "                      re-simulating them (same as --resume); 0 (the\n"
+      "                      default) truncates the journal and starts fresh\n"
+      "  ISSRTL_DEADLINE_MS  wall-clock budget in milliseconds; the engine\n"
+      "                      drains in-flight lanes, flushes the journal and\n"
+      "                      returns a partial result marked TRUNCATED\n"
+      "  ISSRTL_FAIL_SITE    test hook: '<i>' or '<i>:once' (comma list)\n"
+      "                      injects a worker fault at site i\n"
+      "\n"
+      "SIGINT/SIGTERM during a campaign stop it gracefully: in-flight lanes\n"
+      "drain, the journal is flushed, and the partial result is printed with\n"
+      "a TRUNCATED banner. Re-run with --journal=DIR --resume to finish.\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure or truncated campaign,\n"
+      "2 usage/configuration error\n");
   return 0;
 }
 
@@ -175,10 +206,21 @@ int cmd_disasm(const std::string& name) {
   return 0;
 }
 
+/// Campaign-only flags peeled off argv before positional dispatch.
+struct CampaignFlags {
+  std::string journal;
+  bool resume = false;
+  bool have_deadline = false;
+  u64 deadline_ms = 0;
+  bool any() const {
+    return !journal.empty() || resume || have_deadline;
+  }
+};
+
 int cmd_campaign(const std::string& name, const std::string& unit,
                  const std::string& model, std::size_t samples,
                  unsigned threads, std::size_t instants,
-                 fault::InstantWindow window) {
+                 fault::InstantWindow window, const CampaignFlags& flags) {
   fault::CampaignConfig cfg;
   cfg.unit_prefix = unit;
   cfg.samples = samples;
@@ -190,19 +232,31 @@ int cmd_campaign(const std::string& name, const std::string& unit,
   else if (model == "open") cfg.models = {rtl::FaultModel::kOpenLine};
   else if (model == "flip") cfg.models = {rtl::FaultModel::kTransientBitFlip};
   else return usage();
-  // Environment knobs first (ISSRTL_THREADS / _CKPT_STRIDE / _CKPT_MB),
-  // explicit arguments on top.
+  // Environment knobs first (ISSRTL_THREADS / _CKPT_STRIDE / _CKPT_MB /
+  // _JOURNAL / _RESUME / _DEADLINE_MS), explicit arguments on top.
   engine::EngineOptions opts = engine::options_from_env();
   if (threads != 0) opts.threads = threads;
+  if (!flags.journal.empty()) opts.journal_dir = flags.journal;
+  if (flags.resume) opts.resume = true;
+  if (flags.have_deadline) opts.deadline_ms = flags.deadline_ms;
+  if (opts.resume && opts.journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume requires --journal=DIR (or ISSRTL_JOURNAL)\n");
+    return kExitUsage;
+  }
+  // Ctrl-C / SIGTERM request a graceful stop: drain in-flight lanes, flush
+  // the journal, print the partial result below with a TRUNCATED banner.
+  engine::install_signal_stop();
+  opts.stop = &engine::signal_stop_flag();
   opts.on_progress = engine::stderr_progress();
   const auto r = engine::run_rtl_campaign(load_workload(name, 1), cfg, {}, opts);
   const auto& s = r.per_model[0];
   std::printf("workload=%s unit=%s model=%s trials=%zu\n"
               "Pf=%.1f%% failures=%zu hangs=%zu latent=%zu silent=%zu "
-              "max_latency=%llu cycles\n",
+              "errors=%zu max_latency=%llu cycles\n",
               name.c_str(), unit.empty() ? "<all>" : unit.c_str(),
               model.c_str(), s.runs, 100.0 * s.pf(), s.failures, s.hangs,
-              s.latent, s.silent, (unsigned long long)s.max_latency);
+              s.latent, s.silent, s.errors, (unsigned long long)s.max_latency);
   const fault::ReplayCounters& rc = r.replay;
   std::printf("replay: ladder %llu rungs (%.1f KiB, %llu evicted), restores "
               "%llu ladder / %llu rolling / %llu cold, fast-forward %llu "
@@ -226,6 +280,21 @@ int cmd_campaign(const std::string& name, const std::string& unit,
                 (unsigned long long)rc.lane_refills,
                 (unsigned long long)rc.lane_compactions);
   }
+  if (rc.journal_hits != 0 || rc.journal_dropped != 0 ||
+      rc.sites_retried != 0 || rc.sites_engine_error != 0) {
+    std::printf("durability: %llu journal hits (%llu dropped), "
+                "%llu sites retried, %llu engine errors\n",
+                (unsigned long long)rc.journal_hits,
+                (unsigned long long)rc.journal_dropped,
+                (unsigned long long)rc.sites_retried,
+                (unsigned long long)rc.sites_engine_error);
+  }
+  if (r.truncated) {
+    std::printf("TRUNCATED: %zu/%zu sites completed; re-run with "
+                "--journal=DIR --resume to finish\n",
+                r.completed_sites, r.total_sites);
+    return kExitRuntime;
+  }
   return 0;
 }
 
@@ -239,8 +308,8 @@ int cmd_avf(const std::string& name) {
 int cmd_asm(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
-    std::printf("cannot open %s\n", path.c_str());
-    return 1;
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return kExitRuntime;
   }
   std::stringstream ss;
   ss << in.rdbuf();
@@ -280,51 +349,98 @@ int cmd_nodes(const std::string& unit) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return help();
+  // Peel --flags off the operand list so they may appear anywhere after the
+  // command name; positional arguments keep their historical order.
+  std::vector<std::string> pos;
+  CampaignFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      pos.push_back(a);
+    } else if (a == "--resume") {
+      flags.resume = true;
+    } else if (a.rfind("--journal=", 0) == 0) {
+      flags.journal = a.substr(std::strlen("--journal="));
+      if (flags.journal.empty()) {
+        std::fprintf(stderr, "error: --journal=DIR needs a directory\n");
+        return kExitUsage;
+      }
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      const std::string v = a.substr(std::strlen("--deadline-ms="));
+      if (v.empty() ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms=N needs a non-negative integer, "
+                     "got '%s'\n", v.c_str());
+        return kExitUsage;
+      }
+      flags.have_deadline = true;
+      flags.deadline_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+  if (flags.any() && cmd != "campaign") {
+    std::fprintf(stderr,
+                 "error: --journal/--resume/--deadline-ms only apply to the "
+                 "campaign command\n");
+    return kExitUsage;
+  }
+  const auto arg = [&pos](std::size_t i) -> const std::string& {
+    return pos[i];
+  };
   try {
-    if (cmd == "help" || cmd == "--help" || cmd == "-h") return help();
     if (cmd == "list") return cmd_list();
-    if (cmd == "run" && argc >= 3)
-      return cmd_run(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
-    if (cmd == "rtl" && argc >= 3)
-      return cmd_rtl(argv[2], argc > 3 ? std::atoi(argv[3]) : 1);
-    if (cmd == "diversity" && argc >= 3) return cmd_diversity(argv[2]);
-    if (cmd == "disasm" && argc >= 3) return cmd_disasm(argv[2]);
-    if (cmd == "campaign" && argc >= 6) {
+    if (cmd == "run" && pos.size() >= 1)
+      return cmd_run(arg(0), pos.size() > 1 ? std::atoi(arg(1).c_str()) : 1);
+    if (cmd == "rtl" && pos.size() >= 1)
+      return cmd_rtl(arg(0), pos.size() > 1 ? std::atoi(arg(1).c_str()) : 1);
+    if (cmd == "diversity" && pos.size() >= 1) return cmd_diversity(arg(0));
+    if (cmd == "disasm" && pos.size() >= 1) return cmd_disasm(arg(0));
+    if (cmd == "campaign" && pos.size() >= 4) {
       // Negative or garbage thread counts fall back to 0 (= all hardware).
-      const int threads = argc > 6 ? std::atoi(argv[6]) : 0;
-      const long long samples = std::atoll(argv[5]);
-      const long long instants = argc > 7 ? std::atoll(argv[7]) : 1;
+      const int threads = pos.size() > 4 ? std::atoi(arg(4).c_str()) : 0;
+      const long long samples = std::atoll(arg(3).c_str());
+      const long long instants =
+          pos.size() > 5 ? std::atoll(arg(5).c_str()) : 1;
       if (samples < 0) {
         // Would wrap to a ~1.8e19-site campaign via size_t.
-        std::printf("error: <n> must be non-negative\n");
-        return 2;
+        std::fprintf(stderr, "error: <n> must be non-negative\n");
+        return kExitUsage;
       }
       if (instants < 0) {
-        std::printf("error: [instants] must be a positive integer\n");
-        return 2;
+        std::fprintf(stderr, "error: [instants] must be a positive integer\n");
+        return kExitUsage;
       }
       fault::InstantWindow window = fault::InstantWindow::kLegacyHalf;
-      if (argc > 8) {
-        const std::string w = argv[8];
+      if (pos.size() > 6) {
+        const std::string& w = arg(6);
         if (w == "full") window = fault::InstantWindow::kFull;
         else if (w != "half") {
-          std::printf("error: [window] must be 'half' or 'full'\n");
-          return 2;
+          std::fprintf(stderr, "error: [window] must be 'half' or 'full'\n");
+          return kExitUsage;
         }
       }
       // 0 instants is passed through: build_fault_list rejects it loudly
       // instead of this front end silently resizing the campaign.
-      return cmd_campaign(argv[2], argv[3], argv[4],
+      return cmd_campaign(arg(0), arg(1), arg(2),
                           static_cast<std::size_t>(samples),
                           threads > 0 ? static_cast<unsigned>(threads) : 0,
-                          static_cast<std::size_t>(instants), window);
+                          static_cast<std::size_t>(instants), window, flags);
     }
-    if (cmd == "avf" && argc >= 3) return cmd_avf(argv[2]);
-    if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2]);
-    if (cmd == "nodes") return cmd_nodes(argc > 2 ? argv[2] : "");
+    if (cmd == "avf" && pos.size() >= 1) return cmd_avf(arg(0));
+    if (cmd == "asm" && pos.size() >= 1) return cmd_asm(arg(0));
+    if (cmd == "nodes") return cmd_nodes(!pos.empty() ? arg(0) : "");
+  } catch (const std::invalid_argument& e) {
+    // Configuration the library rejected (bad unit prefix, zero instants,
+    // malformed ISSRTL_* values): a usage error, not a runtime failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
-    std::printf("error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitRuntime;
   }
   return usage();
 }

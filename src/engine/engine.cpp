@@ -3,6 +3,7 @@
 #include <bit>
 #include <cerrno>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,65 @@ u64 parse_env_u64(const char* name, const char* value, u64 max_value) {
 }
 
 }  // namespace
+
+FailSiteSpec parse_fail_sites(const std::string& spec) {
+  FailSiteSpec out;
+  const auto reject = [&](const char* why) {
+    throw std::invalid_argument("ISSRTL_FAIL_SITE: invalid value '" + spec +
+                                "' (" + why + ")");
+  };
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string::npos) end = spec.size();
+    const std::string part = spec.substr(at, end - at);
+    at = end + 1;
+    std::string digits = part;
+    FailSiteSpec::Entry entry;
+    if (const std::size_t colon = part.find(':'); colon != std::string::npos) {
+      if (part.substr(colon + 1) != "once") {
+        reject("expected <site> or <site>:once");
+      }
+      entry.once = true;
+      digits = part.substr(0, colon);
+    }
+    if (digits.empty()) reject("empty site index");
+    for (const char c : digits) {
+      if (c < '0' || c > '9') reject("site index must be decimal digits");
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const unsigned long long v = std::strtoull(digits.c_str(), &parse_end, 10);
+    if (errno == ERANGE || parse_end != digits.c_str() + digits.size()) {
+      reject("site index out of range");
+    }
+    out.sites.emplace_back(static_cast<std::size_t>(v), entry);
+  }
+  if (!spec.empty() && spec.back() == ',') reject("trailing comma");
+  return out;
+}
+
+std::atomic<bool>& signal_stop_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+namespace {
+
+void issrtl_signal_stop_handler(int signum) {
+  // Lock-free store only (async-signal-safe). Re-arming the default
+  // disposition makes the *second* signal terminate the process, so a
+  // stuck drain can still be killed interactively.
+  signal_stop_flag().store(true, std::memory_order_relaxed);
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_signal_stop() {
+  std::signal(SIGINT, issrtl_signal_stop_handler);
+  std::signal(SIGTERM, issrtl_signal_stop_handler);
+}
 
 unsigned resolve_threads(unsigned requested, std::size_t sites) {
   unsigned threads =
@@ -99,6 +159,19 @@ EngineOptions options_from_env(EngineOptions base) {
       }
       base.simd_tile = static_cast<unsigned>(tile);
     }
+  }
+  if (const char* v = std::getenv("ISSRTL_JOURNAL"); v != nullptr && *v) {
+    base.journal_dir = v;
+  }
+  if (const char* v = std::getenv("ISSRTL_RESUME"); v != nullptr && *v) {
+    base.resume = parse_env_u64("ISSRTL_RESUME", v, 1) != 0;
+  }
+  if (const char* v = std::getenv("ISSRTL_DEADLINE_MS"); v != nullptr && *v) {
+    base.deadline_ms = parse_env_u64("ISSRTL_DEADLINE_MS", v, ~0ull);
+  }
+  if (const char* v = std::getenv("ISSRTL_FAIL_SITE"); v != nullptr && *v) {
+    parse_fail_sites(v);  // validate eagerly: a typo fails here, by name
+    base.fail_sites = v;
   }
   return base;
 }

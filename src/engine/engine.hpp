@@ -26,14 +26,29 @@
 //   std::unique_ptr<W> make_worker(unsigned shard);  // thread-safe
 //     // where W::run_site(std::size_t i) -> Record, deterministic per i
 //
+// For durability (write-ahead journal, see engine/journal.hpp) a backend
+// also identifies its campaign and converts records to/from the journal's
+// backend-neutral entries:
+//
+//   u64 campaign_key() const;              // (workload, config, seed) hash
+//   u64 site_key(std::size_t i) const;     // per-site cross-check hash
+//   JournalEntry journal_entry(std::size_t i, const Record&) const;
+//   Record record_from_journal(const JournalEntry&) const;
+//   Record error_record(std::size_t i, const std::string& what) const;
+//
 // Optionally a backend exposes batched (lane-pool) evaluation:
 //
 //   std::size_t batch_size() const;        // replica-lane pool cap
 //     // where W::run_batch(const std::vector<std::size_t>& sites,
-//     //                    const std::function<void(std::size_t)>& on_done)
-//     //   -> std::vector<Record> (parallel to `sites`), deterministic per
-//     //   site and bit-identical to run_site outcome-wise; on_done(n) is
-//     //   invoked as sites finish, for streaming progress
+//     //                    on_site(item, Record&&), stop(), counters)
+//     //   delivers each site's Record through on_site as it retires
+//     //   (item = position in `sites`), deterministic per site and
+//     //   bit-identical to run_site outcome-wise. stop() is polled at
+//     //   lockstep-round granularity: once true the worker spawns no new
+//     //   sites, drains its in-flight lanes and returns (undelivered
+//     //   sites stay unevaluated). Per-site throws are contained inside
+//     //   run_batch (retry once, then an error_record), tallied into
+//     //   `counters`.
 //
 // When batch_size() > 1 the engine hands each worker its *whole* shard in
 // one run_batch call — the worker owns the scheduling (it feeds a lane
@@ -44,16 +59,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "engine/journal.hpp"
 #include "engine/ladder.hpp"
 
 namespace issrtl::engine {
@@ -161,6 +180,46 @@ struct EngineOptions {
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
   std::size_t progress_stride = 64;
+  /// Campaign directory for the write-ahead outcome journal (see
+  /// engine/journal.hpp); empty disables journaling. Each campaign
+  /// identity — the backend's campaign_key() over (workload image, config,
+  /// seed, golden run) — gets its own file under the directory, so one
+  /// directory serves many campaigns. ISSRTL_JOURNAL is the environment
+  /// path.
+  std::string journal_dir;
+  /// With a journal_dir: import the journal's chain-valid records instead
+  /// of re-simulating their sites. The merged result (outcomes, latencies,
+  /// fault::outcome_hash) is bit-identical to an uninterrupted run
+  /// whatever the original run's crash point, thread count or batch/SIMD
+  /// configuration — per-site records depend only on the site and the
+  /// golden run, so any import/re-simulate partition merges identically.
+  /// false (the default) truncates any existing journal file first: a
+  /// fresh campaign must not silently merge stale records. ISSRTL_RESUME
+  /// (strict 0/1) is the environment path.
+  bool resume = false;
+  /// Wall-clock budget in milliseconds, measured from CampaignEngine::run
+  /// entry; 0 = none. On expiry workers stop starting sites, drain their
+  /// in-flight lanes, flush the journal, and the campaign returns a
+  /// partial result marked truncated (completed/total counts filled in).
+  /// ISSRTL_DEADLINE_MS is the environment path.
+  u64 deadline_ms = 0;
+  /// Cooperative stop flag (optional, not owned): checked alongside the
+  /// deadline at per-site granularity on the serial path and at
+  /// lockstep-round granularity in the batched scheduler. The CLIs point
+  /// this at engine::signal_stop_flag() after install_signal_stop(), which
+  /// is what makes Ctrl-C a graceful truncation instead of a lost
+  /// campaign. A site that already started always finishes (abandoning
+  /// mid-site would make the completed set timing-dependent); only
+  /// not-yet-started sites are skipped.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test-only fault-injection hook (ISSRTL_FAIL_SITE): comma-separated
+  /// site indices whose host simulation throws at fault-arm time —
+  /// "<i>" throws on every attempt (deterministic failure: the retry also
+  /// throws, the site classifies kEngineError), "<i>:once" throws on the
+  /// first attempt only (transient host trouble: the fresh-restore retry
+  /// succeeds). Exercises every retirement path of the worker-isolation
+  /// machinery; empty (the default) disables it.
+  std::string fail_sites;
 };
 
 /// Upper bound on EngineOptions::batch_lanes: far beyond the useful range
@@ -180,17 +239,77 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// rejected), ISSRTL_SIMD_MIN_LIVE (live-lane floor before the scalar
 /// tail, [0, kMaxBatchLanes]; 0 = auto) and ISSRTL_SIMD_TILE ("auto" or 0
 /// = CPUID dispatch, else a power of two in [2, 64] forcing the interleave
-/// width). Unset or empty variables leave the corresponding field of
-/// `base` untouched; front ends apply explicit command-line arguments on
-/// top. A set variable must parse in full — plain decimal digits (plus the
-/// literal "auto" for ISSRTL_CKPT_STRIDE) with no sign, whitespace or
-/// trailing junk — and fit the target field; anything else throws
-/// std::invalid_argument naming the offending variable, rather than
-/// silently running a campaign with a mangled configuration.
+/// width), ISSRTL_JOURNAL (write-ahead journal directory; any non-empty
+/// path), ISSRTL_RESUME (1 = import the journal's records, 0 = truncate
+/// it; any other value is rejected), ISSRTL_DEADLINE_MS (wall-clock budget
+/// in milliseconds; 0 = none) and ISSRTL_FAIL_SITE (test-only throw hook,
+/// comma-separated "<site>" / "<site>:once"). Unset or empty variables
+/// leave the corresponding field of `base` untouched; front ends apply
+/// explicit command-line arguments on top. A set variable must parse in
+/// full — plain decimal digits (plus the literal "auto" for
+/// ISSRTL_CKPT_STRIDE) with no sign, whitespace or trailing junk — and fit
+/// the target field; anything else throws std::invalid_argument naming the
+/// offending variable, rather than silently running a campaign with a
+/// mangled configuration.
 EngineOptions options_from_env(EngineOptions base = {});
 
 /// Threads actually used for `sites` fault sites under `requested`.
 unsigned resolve_threads(unsigned requested, std::size_t sites);
+
+/// Parsed EngineOptions::fail_sites spec (test-only hook).
+struct FailSiteSpec {
+  struct Entry {
+    bool once = false;  ///< throw on the first attempt only
+  };
+  std::vector<std::pair<std::size_t, Entry>> sites;  // few entries: linear
+
+  bool empty() const noexcept { return sites.empty(); }
+  const Entry* find(std::size_t index) const noexcept {
+    for (const auto& [i, e] : sites) {
+      if (i == index) return &e;
+    }
+    return nullptr;
+  }
+};
+
+/// Strict parse of a fail-site spec ("3", "3:once", comma-separated);
+/// throws std::invalid_argument on anything else. "" parses to an empty
+/// spec.
+FailSiteSpec parse_fail_sites(const std::string& spec);
+
+/// Process-global stop flag set by install_signal_stop()'s handlers.
+/// Front ends wire EngineOptions::stop to it.
+std::atomic<bool>& signal_stop_flag();
+
+/// Route SIGINT/SIGTERM to signal_stop_flag() (idempotent). The first
+/// signal requests a graceful stop — drain, flush the journal, return a
+/// truncated result — and re-arms the default disposition, so a second
+/// Ctrl-C force-kills as usual.
+void install_signal_stop();
+
+/// Shared retry/containment tallies a batched worker reports into while it
+/// isolates per-site throws (the serial path tallies them directly).
+struct EngineRunCounters {
+  std::atomic<u64> retried{0};        ///< sites re-run after a first throw
+  std::atomic<u64> engine_errors{0};  ///< sites whose retry also threw
+};
+
+/// What CampaignEngine::run hands back: site-indexed records plus the
+/// durability metadata backends fold into their CampaignResult. Only slots
+/// with done[i] != 0 hold a valid record; completed counts them. truncated
+/// == (completed < records.size()) — a stop request that arrived after the
+/// last site is not a truncation.
+template <class Record>
+struct EngineRun {
+  std::vector<Record> records;
+  std::vector<u8> done;
+  std::size_t completed = 0;
+  bool truncated = false;
+  u64 journal_hits = 0;     ///< sites imported from the journal
+  u64 journal_dropped = 0;  ///< journal records rejected (chain/site-key)
+  u64 sites_retried = 0;
+  u64 engine_errors = 0;
+};
 
 /// Deterministic per-shard RNG stream: decorrelated from the campaign seed
 /// and from every other shard. Any stochastic per-run behaviour a backend
@@ -213,33 +332,98 @@ class CampaignEngine {
   /// injection instant (so its checkpoint only ever moves forward); the
   /// slot a record lands in depends only on its site index, which makes the
   /// result independent of thread count and scheduling.
+  ///
+  /// Durability (opts.journal_dir): chain-valid journal records are
+  /// imported up front (their sites never reach a worker) and every
+  /// freshly completed site is appended — before its done bit is set — so
+  /// a crash at any point loses at most the in-flight sites. Worker
+  /// isolation: a site whose simulation throws is retried once on a fresh
+  /// restore, then classified via backend.error_record; other sites and
+  /// shards are unaffected. Graceful stop (opts.stop / opts.deadline_ms):
+  /// workers stop starting sites, drain in-flight lanes, and run returns a
+  /// partial EngineRun with truncated set. Every completed record is
+  /// bit-identical to the uninterrupted run's, whichever of these paths
+  /// produced it.
   template <class Backend>
-  std::vector<typename Backend::Record> run(Backend& backend) {
+  EngineRun<typename Backend::Record> run(Backend& backend) {
+    using Record = typename Backend::Record;
+    EngineRun<Record> out;
     const std::size_t total = backend.site_count();
-    std::vector<typename Backend::Record> records(total);
-    if (total == 0) return records;
-    const unsigned threads = resolve_threads(opts_.threads, total);
+    out.records.resize(total);
+    out.done.assign(total, 0);
+    if (total == 0) return out;
+
+    std::unique_ptr<OutcomeJournal> journal;
+    if (!opts_.journal_dir.empty()) {
+      journal = std::make_unique<OutcomeJournal>(
+          opts_.journal_dir, backend.campaign_key(), total, opts_.resume);
+      out.journal_dropped += journal->dropped_records();
+      for (const JournalEntry& e : journal->recovered()) {
+        // The chain proves the record is what this campaign once wrote;
+        // the index/site-key check guards the residual risk of a key
+        // collision (and duplicate indices from pre-compaction appends —
+        // first wins, later ones were re-simulations of the same site).
+        if (e.index >= total || e.site_key != backend.site_key(e.index) ||
+            out.done[e.index] != 0) {
+          ++out.journal_dropped;
+          continue;
+        }
+        out.records[e.index] = backend.record_from_journal(e);
+        out.done[e.index] = 1;
+        ++out.journal_hits;
+      }
+    }
+    const std::size_t remaining = total - out.journal_hits;
+    std::atomic<std::size_t> completed{out.journal_hits};
+    if (remaining == 0) {
+      out.completed = total;
+      return out;
+    }
+
+    const unsigned threads = resolve_threads(opts_.threads, remaining);
     std::size_t group = 1;
     if constexpr (requires { backend.batch_size(); }) {
       group = std::max<std::size_t>(std::size_t{1}, backend.batch_size());
     }
 
-    std::atomic<std::size_t> completed{0};
+    // Stop control: external flag (signal or embedder) checked every poll,
+    // wall-clock deadline alongside it. The latch makes a stop sticky and
+    // campaign-wide the moment any worker observes it.
+    std::atomic<bool> stop_latch{false};
+    const bool has_deadline = opts_.deadline_ms != 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts_.deadline_ms);
+    auto stop_poll = [&]() -> bool {
+      if (stop_latch.load(std::memory_order_relaxed)) return true;
+      if ((opts_.stop != nullptr &&
+           opts_.stop->load(std::memory_order_relaxed)) ||
+          (has_deadline && std::chrono::steady_clock::now() >= deadline)) {
+        stop_latch.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+
+    EngineRunCounters counters;
+    std::mutex journal_mu;
     std::mutex progress_mu;
     std::size_t reported = 0;  // highest count delivered, under progress_mu
     std::vector<std::exception_ptr> errors(threads);
 
     auto run_shard = [&](unsigned shard) {
       try {
-        auto worker = backend.make_worker(shard);
         std::vector<std::size_t> mine;
-        mine.reserve(total / threads + 1);
-        for (std::size_t i = shard; i < total; i += threads) mine.push_back(i);
+        mine.reserve(remaining / threads + 1);
+        for (std::size_t i = shard; i < total; i += threads) {
+          if (out.done[i] == 0) mine.push_back(i);
+        }
+        if (mine.empty()) return;
         std::stable_sort(mine.begin(), mine.end(),
                          [&](std::size_t a, std::size_t b) {
                            return backend.site_instant(a) <
                                   backend.site_instant(b);
                          });
+        auto worker = backend.make_worker(shard);
         std::size_t unreported = 0;
         auto report_done = [&](std::size_t n) {
           const std::size_t done = completed.fetch_add(n) + n;
@@ -258,30 +442,64 @@ class CampaignEngine {
             }
           }
         };
+        // Write-ahead commit: journal first, then publish the record and
+        // its done bit. A crash between the two re-simulates the site on
+        // resume and re-appends an identical record (first-wins dedupe on
+        // import makes the duplicate harmless).
+        auto commit = [&](std::size_t site, Record&& r) {
+          if (journal) {
+            const std::lock_guard<std::mutex> lock(journal_mu);
+            journal->append(backend.journal_entry(site, r));
+          }
+          out.records[site] = std::move(r);
+          out.done[site] = 1;
+          report_done(1);
+        };
         using WorkerT = std::remove_reference_t<decltype(*worker)>;
         constexpr bool kHasBatch =
             requires(WorkerT& w, const std::vector<std::size_t>& v,
-                     const std::function<void(std::size_t)>& f) {
-              w.run_batch(v, f);
+                     const std::function<void(std::size_t, Record&&)>& f,
+                     const std::function<bool()>& s, EngineRunCounters& c) {
+              w.run_batch(v, f, s, c);
             };
         if constexpr (kHasBatch) {
           if (group > 1) {
             // Whole-shard handout: the worker schedules the instant-sorted
-            // queue over its lane pool itself, reporting sites as they
-            // retire. Records come back parallel to `mine` and are
-            // scattered to their site-index slots, so the result layout is
-            // identical to the per-site path.
-            auto shard_records = worker->run_batch(
-                mine, [&](std::size_t n) { report_done(n); });
-            for (std::size_t j = 0; j < mine.size(); ++j) {
-              records[mine[j]] = std::move(shard_records[j]);
-            }
+            // queue over its lane pool itself, delivering each record as
+            // its site retires; commit scatters them to site-index slots,
+            // so the result layout is identical to the per-site path.
+            worker->run_batch(
+                mine,
+                [&](std::size_t item, Record&& r) {
+                  commit(mine[item], std::move(r));
+                },
+                stop_poll, counters);
             return;
           }
         }
         for (const std::size_t i : mine) {
-          records[i] = worker->run_site(i);
-          report_done(1);
+          if (stop_poll()) return;
+          // Worker isolation: one fresh-restore retry distinguishes
+          // transient host trouble from a deterministic engine bug; the
+          // second throw is contained as an error record for this site
+          // only (run_site starts from prepare(), so the retry sees a
+          // clean, fault-free restore).
+          Record r;
+          try {
+            r = worker->run_site(i);
+          } catch (...) {
+            counters.retried.fetch_add(1, std::memory_order_relaxed);
+            try {
+              r = worker->run_site(i);
+            } catch (const std::exception& e) {
+              counters.engine_errors.fetch_add(1, std::memory_order_relaxed);
+              r = backend.error_record(i, e.what());
+            } catch (...) {
+              counters.engine_errors.fetch_add(1, std::memory_order_relaxed);
+              r = backend.error_record(i, "unknown exception");
+            }
+          }
+          commit(i, std::move(r));
         }
       } catch (...) {
         errors[shard] = std::current_exception();
@@ -299,7 +517,11 @@ class CampaignEngine {
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
     }
-    return records;
+    out.completed = completed.load();
+    out.truncated = out.completed < total;
+    out.sites_retried = counters.retried.load();
+    out.engine_errors = counters.engine_errors.load();
+    return out;
   }
 
  private:

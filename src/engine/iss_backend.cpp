@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "engine/stats.hpp"
@@ -77,6 +78,74 @@ IssCampaignBackend::IssCampaignBackend(const isa::Program& prog,
       faults_.push_back(f);
     }
   }
+  fail_spec_ = parse_fail_sites(opts_.fail_sites);
+}
+
+u64 IssCampaignBackend::campaign_key() const {
+  Fingerprint fp;
+  fp.mix_str("issrtl-iss-campaign-v1");
+  fp.mix_str(prog_.name);
+  fp.mix(prog_.code_base);
+  fp.mix(prog_.data_base);
+  fp.mix(prog_.entry);
+  fp.mix(prog_.code.size());
+  for (const u32 w : prog_.code) fp.mix(w);
+  fp.mix(prog_.data.size());
+  fp.mix_bytes(prog_.data.data(), prog_.data.size());
+  fp.mix(cfg_.models.size());
+  for (const iss::IssFaultModel m : cfg_.models) fp.mix(static_cast<u64>(m));
+  fp.mix(cfg_.samples);
+  fp.mix(cfg_.seed);
+  fp.mix_bytes(&cfg_.watchdog_factor, sizeof(cfg_.watchdog_factor));
+  fp.mix(golden_instret_);
+  fp.mix(golden_trace_.writes().size());
+  fp.mix(faults_.size());
+  return fp.h;
+}
+
+u64 IssCampaignBackend::site_key(std::size_t i) const {
+  const iss::IssFault& f = faults_[i];
+  Fingerprint fp;
+  fp.mix_str("issrtl-iss-site-v1");
+  fp.mix(i);
+  fp.mix(f.phys_reg);
+  fp.mix(f.bit);
+  fp.mix(static_cast<u64>(f.model));
+  fp.mix(f.inject_at_instr);
+  return fp.h;
+}
+
+JournalEntry IssCampaignBackend::journal_entry(std::size_t i,
+                                               const Record& r) const {
+  JournalEntry e;
+  e.index = i;
+  e.site_key = site_key(i);
+  e.outcome = r.engine_error ? 4u : r.failure ? 2u : r.latent ? 1u : 0u;
+  e.latency = r.latency_instr;
+  e.halt = 0;  // the ISS record does not keep a halt reason
+  e.error = r.error;
+  return e;
+}
+
+IssCampaignBackend::Record IssCampaignBackend::record_from_journal(
+    const JournalEntry& e) const {
+  Record r;
+  r.fault = faults_[e.index];
+  r.engine_error = e.outcome == 4;
+  r.failure = e.outcome == 2;
+  r.latent = e.outcome == 1;
+  r.latency_instr = e.latency;
+  r.error = e.error;
+  return r;
+}
+
+IssCampaignBackend::Record IssCampaignBackend::error_record(
+    std::size_t i, const std::string& what) const {
+  Record r;
+  r.fault = faults_[i];
+  r.engine_error = true;
+  r.error = what;
+  return r;
 }
 
 std::unique_ptr<IssCampaignBackend::Worker> IssCampaignBackend::make_worker(
@@ -136,6 +205,7 @@ fault::IssInjectionResult IssCampaignBackend::Worker::run_site(
   const iss::IssFault fault = b_.faults_[index];
   prepare(fault.inject_at_instr);
   emu_.arm_fault(fault);
+  maybe_fail_site(index);
 
   // The serial driver gave run() the whole watchdog from reset; the prefix
   // consumed inject_at_instr steps of it. A prefix already at or past the
@@ -211,8 +281,18 @@ fault::IssInjectionResult IssCampaignBackend::Worker::run_site(
   return result;
 }
 
-fault::IssCampaignResult IssCampaignBackend::finish(
-    std::vector<Record> records) const {
+void IssCampaignBackend::Worker::maybe_fail_site(std::size_t site_index) {
+  if (b_.fail_spec_.empty()) return;
+  const FailSiteSpec::Entry* entry = b_.fail_spec_.find(site_index);
+  if (entry == nullptr) return;
+  const unsigned attempt = ++fail_attempts_[site_index];
+  if (entry->once && attempt > 1) return;
+  throw std::runtime_error("ISSRTL_FAIL_SITE: injected worker fault at site " +
+                           std::to_string(site_index) + " (attempt " +
+                           std::to_string(attempt) + ")");
+}
+
+fault::IssCampaignResult IssCampaignBackend::finish(EngineRun<Record> run) const {
   fault::IssCampaignResult result;
   result.workload = prog_.name;
   result.golden_instret = golden_instret_;
@@ -224,23 +304,35 @@ fault::IssCampaignResult IssCampaignBackend::finish(
   result.replay.cold_resets = cold_resets_.load();
   result.replay.fast_forward_cycles = fast_forward_instrs_.load();
   result.replay.convergence_cutoffs = convergence_cutoffs_.load();
-  result.runs = std::move(records);
-  std::size_t index = 0;
+  result.replay.journal_hits = run.journal_hits;
+  result.replay.journal_dropped = run.journal_dropped;
+  result.replay.sites_retried = run.sites_retried;
+  result.replay.sites_engine_error = run.engine_errors;
+  result.truncated = run.truncated;
+  result.completed_sites = run.completed;
+  result.total_sites = run.records.size();
+  result.runs.reserve(run.completed);
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    if (run.done[i] != 0) result.runs.push_back(std::move(run.records[i]));
+  }
+  // Aggregate by each record's own model (not by fault-list position: a
+  // truncated run holds an arbitrary done-subset of the site list).
   for (const iss::IssFaultModel model : cfg_.models) {
     OutcomeAccumulator acc;
-    for (std::size_t i = 0; i < cfg_.samples && index < result.runs.size();
-         ++i, ++index) {
-      const fault::IssInjectionResult& run = result.runs[index];
-      acc.add(run.failure ? fault::Outcome::kFailure
-              : run.latent ? fault::Outcome::kLatent
-                           : fault::Outcome::kSilent,
-              run.latency_instr);
+    for (const fault::IssInjectionResult& r : result.runs) {
+      if (r.fault.model != model) continue;
+      acc.add(r.engine_error ? fault::Outcome::kEngineError
+              : r.failure    ? fault::Outcome::kFailure
+              : r.latent     ? fault::Outcome::kLatent
+                             : fault::Outcome::kSilent,
+              r.latency_instr);
     }
     fault::IssCampaignStats stats;
     stats.model = model;
     stats.runs = acc.runs;
     stats.failures = acc.failures;
     stats.latent = acc.latent;
+    stats.errors = acc.errors;
     result.per_model.push_back(stats);
   }
   return result;

@@ -5,10 +5,13 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/journal.hpp"
 #include "engine/ladder.hpp"
 #include "fault/campaign.hpp"
 #include "fault/iss_campaign.hpp"
@@ -43,6 +46,17 @@ class IssCampaignBackend {
     return ladder_;
   }
 
+  /// Durability hooks (see engine.hpp): campaign identity over (workload
+  /// image, config, seed, golden run) — engine options excluded, records
+  /// are schedule-invariant — plus per-site keys and the Record <->
+  /// JournalEntry conversions. Outcome codes in the journal follow
+  /// fault::Outcome: 0 silent, 1 latent, 2 failure, 4 engine error.
+  u64 campaign_key() const;
+  u64 site_key(std::size_t i) const;
+  JournalEntry journal_entry(std::size_t i, const Record& r) const;
+  Record record_from_journal(const JournalEntry& e) const;
+  Record error_record(std::size_t i, const std::string& what) const;
+
   class Worker {
    public:
     Worker(const IssCampaignBackend& backend, unsigned shard);
@@ -50,6 +64,10 @@ class IssCampaignBackend {
 
    private:
     void prepare(u64 inject_at_instr);
+
+    /// ISSRTL_FAIL_SITE test hook: throws right after the fault is armed
+    /// when the spec names this site (see EngineOptions::fail_sites).
+    void maybe_fail_site(std::size_t site_index);
 
     // Stochastic per-run behaviour (none today) must draw from
     // engine::shard_stream(cfg.seed, shard) to stay reshard-stable.
@@ -63,11 +81,15 @@ class IssCampaignBackend {
     Memory checkpoint_mem_;
     std::size_t checkpoint_writes_ = 0;
     std::size_t checkpoint_reads_ = 0;
+    std::map<std::size_t, unsigned> fail_attempts_;  ///< ISSRTL_FAIL_SITE
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;
 
-  fault::IssCampaignResult finish(std::vector<Record> records) const;
+  /// Golden metadata + per-model aggregation over the run's completed
+  /// records (done sites only, in site order; see
+  /// fault::IssCampaignResult on truncation).
+  fault::IssCampaignResult finish(EngineRun<Record> run) const;
 
  private:
   friend class Worker;
@@ -84,6 +106,7 @@ class IssCampaignBackend {
   Memory golden_mem_;
   CheckpointLadder<GoldenSnapshot> ladder_;
   std::vector<iss::IssFault> faults_;
+  FailSiteSpec fail_spec_;  ///< parsed from opts_.fail_sites (test hook)
   // Replay economics (informational only — see fault::ReplayCounters).
   mutable std::atomic<u64> ladder_restores_{0};
   mutable std::atomic<u64> rolling_restores_{0};

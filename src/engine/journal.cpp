@@ -1,0 +1,262 @@
+#include "engine/journal.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace issrtl::engine {
+
+namespace {
+
+std::string hex16(u64 v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// chain_0: derived from the campaign identity so two campaigns' chains
+/// never start equal even on an empty file.
+u64 chain_seed(u64 key, std::size_t total) {
+  Fingerprint f;
+  f.mix_str("issrtl-journal-chain-v1");
+  f.mix(key);
+  f.mix(static_cast<u64>(total));
+  return f.h;
+}
+
+/// chain_i = FNV-1a(chain_{i-1} || payload_i): any altered, reordered or
+/// truncated record invalidates its own and every later chain value.
+u64 chain_next(u64 prev, const JournalEntry& e) {
+  Fingerprint f;
+  f.h = prev;
+  f.mix(static_cast<u64>(e.index));
+  f.mix(e.site_key);
+  f.mix(static_cast<u64>(e.outcome));
+  f.mix(e.latency);
+  f.mix(static_cast<u64>(e.halt));
+  f.mix_str(e.error);
+  return f.h;
+}
+
+/// Error texts are free-form exception strings; percent-encode everything
+/// outside the unambiguous printable set so a record stays one
+/// space-separated line. Empty encodes as "-".
+std::string escape_field(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u > ' ' && u < 0x7f && c != '%') {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", u);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+bool unescape_field(const std::string& s, std::string& out) {
+  out.clear();
+  if (s == "-") return true;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i + 1])) ||
+        !std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      return false;
+    }
+    const std::string hex = s.substr(i + 1, 2);
+    out.push_back(static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16)));
+    i += 2;
+  }
+  return true;
+}
+
+/// Strict full-token parses — a journal is recovered, never trusted, so a
+/// malformed token means "chain broken here", not a best-effort value.
+bool parse_u64_token(const std::string& tok, int base, u64& out) {
+  if (tok.empty()) return false;
+  for (const char c : tok) {
+    const auto u = static_cast<unsigned char>(c);
+    if (base == 16 ? !std::isxdigit(u) : !std::isdigit(u)) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, base);
+  if (errno == ERANGE || end != tok.c_str() + tok.size()) return false;
+  out = static_cast<u64>(v);
+  return true;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (at < line.size()) {
+    const std::size_t sp = line.find(' ', at);
+    if (sp == std::string::npos) {
+      fields.push_back(line.substr(at));
+      break;
+    }
+    fields.push_back(line.substr(at, sp - at));
+    at = sp + 1;
+  }
+  return fields;
+}
+
+/// `s <index> <site_key> <outcome> <latency> <halt> <error|-> <chain>`.
+/// Returns false (chain break) on any malformed field or chain mismatch.
+bool parse_record(const std::string& line, u64 chain_prev, JournalEntry& e,
+                  u64& chain_out) {
+  const std::vector<std::string> f = split_fields(line);
+  if (f.size() != 8 || f[0] != "s") return false;
+  u64 index = 0, outcome = 0, halt = 0, stored_chain = 0;
+  if (!parse_u64_token(f[1], 10, index)) return false;
+  if (!parse_u64_token(f[2], 16, e.site_key)) return false;
+  if (!parse_u64_token(f[3], 10, outcome)) return false;
+  if (!parse_u64_token(f[4], 10, e.latency)) return false;
+  if (!parse_u64_token(f[5], 10, halt)) return false;
+  if (!unescape_field(f[6], e.error)) return false;
+  if (!parse_u64_token(f[7], 16, stored_chain)) return false;
+  e.index = static_cast<std::size_t>(index);
+  e.outcome = static_cast<u32>(outcome);
+  e.halt = static_cast<u32>(halt);
+  const u64 expected = chain_next(chain_prev, e);
+  if (stored_chain != expected) return false;
+  chain_out = expected;
+  return true;
+}
+
+std::string format_record(const JournalEntry& e, u64 chain) {
+  char head[128];
+  std::snprintf(head, sizeof(head), "s %zu %016llx %u %llu %u ", e.index,
+                static_cast<unsigned long long>(e.site_key), e.outcome,
+                static_cast<unsigned long long>(e.latency), e.halt);
+  return std::string(head) + escape_field(e.error) + " " + hex16(chain) + "\n";
+}
+
+std::string format_header(u64 key, std::size_t total) {
+  return "issrtl-journal v1 key=" + hex16(key) + " total=" +
+         std::to_string(total) + "\n";
+}
+
+}  // namespace
+
+std::string OutcomeJournal::path_for(const std::string& dir, u64 campaign_key) {
+  return dir + "/campaign-" + hex16(campaign_key) + ".wal";
+}
+
+OutcomeJournal::OutcomeJournal(const std::string& dir, u64 campaign_key,
+                               std::size_t total_sites, bool resume)
+    : path_(path_for(dir, campaign_key)),
+      key_(campaign_key),
+      total_(total_sites),
+      chain_(chain_seed(campaign_key, total_sites)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("journal: cannot create directory '" + dir +
+                             "': " + ec.message());
+  }
+  if (resume) load();
+  // Rewrite the file as header + valid prefix: recovery compaction when
+  // resuming, a truncating fresh start otherwise (stale records from an
+  // earlier run must not survive into a non-resume campaign's file).
+  rewrite_compacted();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal: cannot open '" + path_ +
+                             "' for append: " + std::strerror(errno));
+  }
+}
+
+OutcomeJournal::~OutcomeJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void OutcomeJournal::load() {
+  std::ifstream in(path_);
+  if (!in.is_open()) return;  // no prior file: nothing to recover
+  std::string line;
+  if (!std::getline(in, line) || line + "\n" != format_header(key_, total_)) {
+    // Unrecognised or foreign header: treat the whole file as unusable.
+    // (The path already encodes the key, so this only triggers on manual
+    // tampering or a format version change.)
+    std::size_t lines = 0;
+    while (std::getline(in, line)) ++lines;
+    dropped_ = lines;
+    return;
+  }
+  u64 chain = chain_;
+  bool broken = false;
+  while (std::getline(in, line)) {
+    if (broken) {
+      ++dropped_;
+      continue;
+    }
+    JournalEntry e;
+    u64 next = 0;
+    if (!parse_record(line, chain, e, next)) {
+      // First invalid record: the chain is broken here, and nothing after
+      // it can be verified against the campaign identity any more.
+      broken = true;
+      ++dropped_;
+      continue;
+    }
+    chain = next;
+    recovered_.push_back(std::move(e));
+  }
+  chain_ = chain;
+}
+
+void OutcomeJournal::rewrite_compacted() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+      throw std::runtime_error("journal: cannot write '" + tmp +
+                               "': " + std::strerror(errno));
+    }
+    const std::string header = format_header(key_, total_);
+    std::fwrite(header.data(), 1, header.size(), out);
+    u64 chain = chain_seed(key_, total_);
+    for (const JournalEntry& e : recovered_) {
+      chain = chain_next(chain, e);
+      const std::string line = format_record(e, chain);
+      std::fwrite(line.data(), 1, line.size(), out);
+    }
+    chain_ = chain;
+    const bool ok = std::fflush(out) == 0;
+    std::fclose(out);
+    if (!ok) {
+      throw std::runtime_error("journal: flush failed for '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    throw std::runtime_error("journal: cannot rename '" + tmp + "' to '" +
+                             path_ + "': " + ec.message());
+  }
+}
+
+void OutcomeJournal::append(const JournalEntry& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  chain_ = chain_next(chain_, e);
+  const std::string line = format_record(e, chain_);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    throw std::runtime_error("journal: append failed for '" + path_ + "'");
+  }
+}
+
+}  // namespace issrtl::engine

@@ -145,6 +145,7 @@ RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
                                    cfg_.watchdog_factor +
                                1000);
   sites_ = fault::build_fault_list(golden.sim(), cfg_, golden_cycles_);
+  fail_spec_ = parse_fail_sites(opts_.fail_sites);
   // Snapshot the node metadata so finish() can label records without the
   // golden core (and without workers copying strings in the per-site loop).
   const rtl::SimContext& sim = golden.sim();
@@ -159,6 +160,85 @@ RtlCampaignBackend::RtlCampaignBackend(const isa::Program& prog,
 std::unique_ptr<RtlCampaignBackend::Worker> RtlCampaignBackend::make_worker(
     unsigned shard) const {
   return std::make_unique<Worker>(*this, shard);
+}
+
+u64 RtlCampaignBackend::campaign_key() const {
+  Fingerprint fp;
+  fp.mix_str("issrtl-rtl-campaign-v1");
+  // Workload image: name, layout and every code/data byte.
+  fp.mix_str(prog_.name);
+  fp.mix(prog_.code_base);
+  fp.mix(prog_.data_base);
+  fp.mix(prog_.entry);
+  fp.mix(prog_.code.size());
+  for (const u32 w : prog_.code) fp.mix(w);
+  fp.mix(prog_.data.size());
+  fp.mix_bytes(prog_.data.data(), prog_.data.size());
+  // Campaign config: every field that shapes the fault list or the
+  // classification of a site.
+  fp.mix_str(cfg_.unit_prefix);
+  fp.mix(cfg_.models.size());
+  for (const rtl::FaultModel m : cfg_.models) fp.mix(static_cast<u64>(m));
+  fp.mix(cfg_.samples);
+  fp.mix(cfg_.instants_per_site);
+  fp.mix(cfg_.seed);
+  fp.mix(static_cast<u64>(cfg_.inject_time));
+  fp.mix(static_cast<u64>(cfg_.instant_window));
+  fp.mix(cfg_.fixed_cycle);
+  fp.mix_bytes(&cfg_.watchdog_factor, sizeof(cfg_.watchdog_factor));
+  fp.mix(static_cast<u64>(cfg_.compare_memory));
+  // Golden-run summary: a cheap proxy for the core config and simulator
+  // semantics — any change to either moves these and retires the journal.
+  fp.mix(golden_cycles_);
+  fp.mix(golden_instret_);
+  fp.mix(golden_trace_.writes().size());
+  fp.mix(sites_.size());
+  return fp.h;
+}
+
+u64 RtlCampaignBackend::site_key(std::size_t i) const {
+  const fault::FaultSite& s = sites_[i];
+  Fingerprint fp;
+  fp.mix_str("issrtl-rtl-site-v1");
+  fp.mix(i);
+  fp.mix(s.node);
+  fp.mix(s.bit);
+  fp.mix(static_cast<u64>(s.model));
+  fp.mix(s.inject_cycle);
+  return fp.h;
+}
+
+JournalEntry RtlCampaignBackend::journal_entry(std::size_t i,
+                                               const Record& r) const {
+  JournalEntry e;
+  e.index = i;
+  e.site_key = site_key(i);
+  e.outcome = static_cast<u32>(r.outcome);
+  e.latency = r.latency_cycles;
+  e.halt = static_cast<u32>(r.halt);
+  e.error = r.error;
+  return e;
+}
+
+RtlCampaignBackend::Record RtlCampaignBackend::record_from_journal(
+    const JournalEntry& e) const {
+  Record r;
+  r.site = sites_[e.index];
+  r.outcome = static_cast<fault::Outcome>(e.outcome);
+  r.latency_cycles = e.latency;
+  r.halt = static_cast<iss::HaltReason>(e.halt);
+  r.error = e.error;
+  return r;
+}
+
+RtlCampaignBackend::Record RtlCampaignBackend::error_record(
+    std::size_t i, const std::string& what) const {
+  Record r;
+  r.site = sites_[i];
+  r.outcome = fault::Outcome::kEngineError;
+  r.halt = iss::HaltReason::kRunning;  // the simulation never concluded
+  r.error = what;
+  return r;
 }
 
 RtlCampaignBackend::Worker::Worker(const RtlCampaignBackend& backend,
@@ -212,6 +292,7 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   const fault::FaultSite site = b_.sites_[index];
   prepare(site.inject_cycle);
   core_.sim().arm_fault(site.node, site.model, site.bit);
+  maybe_fail_site(index);
 
   // Faulty suffix under the serial driver's cycle budget: total cycles,
   // golden prefix included, may not exceed the watchdog. A prefix already at
@@ -379,7 +460,8 @@ void RtlCampaignBackend::Worker::cursor_seek(u64 inject_cycle) {
 }
 
 void RtlCampaignBackend::Worker::spawn_lane(unsigned lane,
-                                            const fault::FaultSite& site) {
+                                            std::size_t site_index) {
+  const fault::FaultSite site = b_.sites_[site_index];
   cursor_seek(site.inject_cycle);
   core_.clone_active_lane_to(lane);
   LaneRun& run = lane_runs_[lane - 1];
@@ -395,9 +477,73 @@ void RtlCampaignBackend::Worker::spawn_lane(unsigned lane,
   run.record.site = site;
   core_.select_lane(lane);
   core_.sim().arm_fault(site.node, site.model, site.bit);
+  maybe_fail_site(site_index);
   run.budget =
       b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 0;
   core_.select_lane(0);
+}
+
+void RtlCampaignBackend::Worker::maybe_fail_site(std::size_t site_index) {
+  if (b_.fail_spec_.empty()) return;
+  const FailSiteSpec::Entry* entry = b_.fail_spec_.find(site_index);
+  if (entry == nullptr) return;
+  const unsigned attempt = ++fail_attempts_[site_index];
+  if (entry->once && attempt > 1) return;
+  throw std::runtime_error("ISSRTL_FAIL_SITE: injected worker fault at site " +
+                           std::to_string(site_index) + " (attempt " +
+                           std::to_string(attempt) + ")");
+}
+
+bool RtlCampaignBackend::Worker::try_spawn(unsigned slot, std::size_t item) {
+  const std::size_t site_index = (*batch_indices_)[item];
+  for (;;) {
+    try {
+      core_.select_lane(0);  // cursor_seek precondition (throw-safe re-park)
+      spawn_lane(slot + 1, site_index);
+      lane_runs_[slot].item = item;
+      return true;
+    } catch (const std::exception& e) {
+      // The replica lane may be half-armed; the next clone into it (the
+      // retry below, or any later respawn) wipes it, so only the retry
+      // budget needs bookkeeping here.
+      if (retried_sites_.insert(site_index).second) {
+        counters_->retried.fetch_add(1, std::memory_order_relaxed);
+        continue;  // one immediate retry on a fresh cursor clone
+      }
+      counters_->engine_errors.fetch_add(1, std::memory_order_relaxed);
+      LaneRun& run = lane_runs_[slot];
+      std::vector<u32> probe = std::move(run.probe_nodes);
+      run = LaneRun{};
+      run.probe_nodes = std::move(probe);
+      run.item = item;
+      run.done = true;
+      run.emit = true;
+      run.record = b_.error_record(site_index, e.what());
+      return false;
+    }
+  }
+}
+
+void RtlCampaignBackend::Worker::handle_lane_failure(unsigned slot,
+                                                     const char* what) {
+  // Isolation epilogue for a mid-flight throw (evaluation, bookkeeping or
+  // scalar stepping): the lane is parked as-is — done, its state garbage
+  // until a respawn clone overwrites it — and only the site's fate is
+  // decided here. Deliberately no lane switching: the surrounding loops
+  // keep their own active-lane discipline.
+  LaneRun& run = lane_runs_[slot];
+  const std::size_t site_index = (*batch_indices_)[run.item];
+  run.done = true;
+  run.just_failed = true;
+  if (retried_sites_.insert(site_index).second) {
+    counters_->retried.fetch_add(1, std::memory_order_relaxed);
+    run.emit = false;
+    retry_queue_.push_back(run.item);  // respawned on a fresh cursor clone
+  } else {
+    counters_->engine_errors.fetch_add(1, std::memory_order_relaxed);
+    run.emit = true;
+    run.record = b_.error_record(site_index, what);
+  }
 }
 
 bool RtlCampaignBackend::Worker::step_lane(LaneRun& run, u64 max_cycles) {
@@ -445,6 +591,7 @@ bool RtlCampaignBackend::Worker::step_lane(LaneRun& run, u64 max_cycles) {
           run.record.outcome = fault::Outcome::kSilent;
           run.record.halt = iss::HaltReason::kHalted;
           run.done = true;
+          run.emit = true;
           return true;
         }
       }
@@ -481,6 +628,7 @@ void RtlCampaignBackend::Worker::classify_lane(LaneRun& run,
   if (halt == iss::HaltReason::kRunning && !run.definite_divergence) {
     halt = iss::HaltReason::kStepLimit;  // watchdog expired
   }
+  run.emit = true;  // the record below is final: deliver it on finalize
   run.record.halt = halt;
   const std::vector<BusRecord>& suffix = core_.offcore().writes();
   const TraceDivergence div = compare_suffix_writes(
@@ -528,7 +676,14 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
     if (run.done || run.definite_divergence || run.budget == 0) continue;
     if (core_.lane_state(j + 1).halt != iss::HaltReason::kRunning) continue;
     core_.select_lane_fast(j + 1);
-    core_.step_no_commit();
+    try {
+      core_.step_no_commit();
+    } catch (const std::exception& e) {
+      // Containment: the lane dies alone (stepped_ stays 0, so the shared
+      // commit skips its half-evaluated state); pool-mates keep going.
+      handle_lane_failure(j, e.what());
+      continue;
+    }
     stepped_[j + 1] = 1;
     ++evaluated;
     --run.budget;
@@ -543,8 +698,23 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
   unsigned retired = 0;
   for (unsigned j = 0; j < n; ++j) {
     LaneRun& run = lane_runs_[j];
-    if (run.done) continue;
-    if (bookkeep_lane(run, j + 1)) {
+    if (run.done) {
+      if (run.just_failed) {  // died in the evaluation pass above
+        run.just_failed = false;
+        ++retired;
+        retired_slots_.push_back(j);
+      }
+      continue;
+    }
+    bool lane_retired = false;
+    try {
+      lane_retired = bookkeep_lane(run, j + 1);
+    } catch (const std::exception& e) {
+      handle_lane_failure(j, e.what());
+      run.just_failed = false;
+      lane_retired = true;
+    }
+    if (lane_retired) {
       ++retired;
       retired_slots_.push_back(j);
     }
@@ -645,6 +815,7 @@ bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
           run.record.outcome = fault::Outcome::kSilent;
           run.record.halt = iss::HaltReason::kHalted;
           run.done = true;
+          run.emit = true;
           return true;
         }
       }
@@ -680,16 +851,31 @@ bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
   return false;
 }
 
-std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
+void RtlCampaignBackend::Worker::run_batch(
     const std::vector<std::size_t>& indices,
-    const std::function<void(std::size_t)>& on_done) {
-  std::vector<Record> records(indices.size());
+    const std::function<void(std::size_t, Record&&)>& on_site,
+    const std::function<bool()>& stop, EngineRunCounters& counters) {
+  batch_indices_ = &indices;
+  on_site_ = &on_site;
+  counters_ = &counters;
+  retry_queue_.clear();
+  retried_sites_.clear();
   if (b_.batch_size() <= 1) {  // batching off: plain per-site loop
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      records[j] = run_site(indices[j]);
-      if (on_done) on_done(1);
+      if (stop()) return;
+      try {
+        on_site(j, run_site(indices[j]));
+      } catch (const std::exception&) {
+        counters.retried.fetch_add(1, std::memory_order_relaxed);
+        try {
+          on_site(j, run_site(indices[j]));  // fresh restore via prepare()
+        } catch (const std::exception& e) {
+          counters.engine_errors.fetch_add(1, std::memory_order_relaxed);
+          on_site(j, b_.error_record(indices[j], e.what()));
+        }
+      }
     }
-    return records;
+    return;
   }
   if (!b_.opts_.lane_refill && indices.size() > b_.batch_size()) {
     // Fixed-batch scheduling (lane_refill off): slice the shard into
@@ -700,18 +886,20 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
     // ladder monotonically (instants arrive sorted across the whole
     // shard), and outcomes are bit-identical to continuous refill: the
     // knob only reshapes the schedule.
-    records.clear();
-    records.reserve(indices.size());
     for (std::size_t at = 0; at < indices.size(); at += b_.batch_size()) {
-      const std::size_t end =
-          std::min(indices.size(), at + b_.batch_size());
-      std::vector<Record> part = run_batch(
-          std::vector<std::size_t>(indices.begin() + static_cast<long>(at),
-                                   indices.begin() + static_cast<long>(end)),
-          on_done);
-      for (Record& r : part) records.push_back(std::move(r));
+      if (stop()) return;
+      const std::size_t end = std::min(indices.size(), at + b_.batch_size());
+      const std::vector<std::size_t> part(
+          indices.begin() + static_cast<long>(at),
+          indices.begin() + static_cast<long>(end));
+      run_batch(
+          part,
+          [&on_site, at](std::size_t item, Record&& r) {
+            on_site(at + item, std::move(r));
+          },
+          stop, counters);
     }
-    return records;
+    return;
   }
   const std::size_t tile = resolve_simd_tile(b_.opts_.simd_tile);
   const unsigned min_live =
@@ -748,22 +936,55 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
     lane_runs_.assign(pool, LaneRun{});
     lanes_ready_ = true;
   }
+  // All slots start parked (nothing spawned, nothing to emit) — the pool
+  // may be inherited from an earlier fixed-batch slice with stale runs.
+  for (LaneRun& run : lane_runs_) {
+    run.done = true;
+    run.emit = false;
+    run.just_failed = false;
+  }
+  // The work queue: the shard tail (next_item onward) plus any items
+  // requeued for their one retry. Retry items respawn behind the cursor;
+  // cursor_seek handles the rewind via a rung restore, so the monotonic
+  // fast-forward of the fresh tail is undisturbed.
+  std::size_t next_item = 0;
+  const auto pending = [&]() {
+    return retry_queue_.size() + (indices.size() - next_item);
+  };
+  const auto peek_instant = [&]() {
+    const std::size_t item =
+        retry_queue_.empty() ? next_item : retry_queue_.front();
+    return b_.sites_[indices[item]].inject_cycle;
+  };
+  const auto take_item = [&]() {
+    if (!retry_queue_.empty()) {
+      const std::size_t item = retry_queue_.front();
+      retry_queue_.pop_front();
+      return item;
+    }
+    return next_item++;
+  };
+  const auto finalize = [&](unsigned slot) {
+    LaneRun& run = lane_runs_[slot];
+    if (run.emit) {
+      run.emit = false;
+      (*on_site_)(run.item, std::move(run.record));
+    }
+  };
   // Initial fill: one monotonic cursor pass over the first `pool` instants
   // (the engine hands the whole shard sorted by instant), one replica
   // clone + arm per site.
-  std::size_t next_item = 0;
-  for (unsigned j = 0; j < pool; ++j) {
-    spawn_lane(j + 1, b_.sites_[indices[next_item]]);
-    lane_runs_[j].item = next_item;
-    ++next_item;
+  bool stopping = stop();
+  unsigned live = 0;
+  for (unsigned j = 0; j < pool && !stopping && pending() != 0; ++j) {
+    if (try_spawn(j, take_item())) {
+      ++live;
+    } else {
+      finalize(j);
+    }
+    if (stop()) stopping = true;
   }
-  unsigned live = pool;
-  auto finalize = [&](unsigned slot) {
-    LaneRun& run = lane_runs_[slot];
-    records[run.item] = std::move(run.record);
-  };
-  if (b_.opts_.simd_lanes &&
-      (next_item < indices.size() || live > min_live)) {
+  if (b_.opts_.simd_lanes && (pending() != 0 || live > min_live)) {
     // SIMD lane-slice rounds over interleaved tiles: every live lane
     // advances one cycle, all lanes are clocked by one commit_lanes()
     // pass, and lanes retire individually (divergence / convergence /
@@ -776,54 +997,49 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
     // fewer than min_live lanes survive do the lanes transpose back to
     // lane-major for the scalar chunk loop below.
     core_.set_lane_layout(rtl::LaneLayout::kTiled, tile);
-    // Retired slots awaiting a refill. A freed slot is not respawned the
-    // instant it opens: in the tiled layout a cursor_seek that has to
-    // restore a rung or fast-forward solo is a strided scatter (one cache
-    // line per node), so the scheduler lets the cursor *ride* there inside
-    // the shared rounds instead — nearly free — and only spawns once the
-    // cursor has reached the instant. Gaps beyond kRideWindow cycles are
-    // jumped via the rung restore as before (riding 1 cycle/round would
-    // idle the free slots longer than the strided restore costs). Which
-    // path positions the cursor is outcome-invisible (restore-source
-    // invisibility), so this is purely a scheduling choice.
+    // A freed slot is not respawned the instant it opens: in the tiled
+    // layout a cursor_seek that has to restore a rung or fast-forward solo
+    // is a strided scatter (one cache line per node), so the scheduler
+    // lets the cursor *ride* there inside the shared rounds instead —
+    // nearly free — and only spawns once the cursor has reached the
+    // instant. Gaps beyond kRideWindow cycles are jumped via the rung
+    // restore as before (riding 1 cycle/round would idle the free slots
+    // longer than the strided restore costs). Which path positions the
+    // cursor is outcome-invisible (restore-source invisibility), so this
+    // is purely a scheduling choice. Free slots are found by scanning the
+    // done flags — a maintained free list would go stale across
+    // compact_lanes' slot permutation.
     constexpr u64 kRideWindow = 4 * kLockstepChunk;
-    std::vector<unsigned> free_slots;
-    while (live > min_live || (next_item < indices.size() && live != 0)) {
+    while (live > min_live || (!stopping && pending() != 0 && live != 0)) {
+      if (!stopping && stop()) stopping = true;  // round-granular stop poll
       const u64 cursor_target =
-          next_item < indices.size()
-              ? b_.sites_[indices[next_item]].inject_cycle
-              : 0;
+          !stopping && pending() != 0 ? peek_instant() : 0;
       const unsigned retired = step_lanes_round(pool, cursor_target);
       live -= retired;
       for (const unsigned slot : retired_slots_) finalize(slot);
-      if (retired != 0 && on_done) on_done(retired);
-      free_slots.insert(free_slots.end(), retired_slots_.begin(),
-                        retired_slots_.end());
-      if (next_item < indices.size()) {
+      if (!stopping && pending() != 0) {
         // Continuous refill: freed slots take the next queued sites, so
         // the tiles stay dense across what used to be batch boundaries.
-        // Instants arrive sorted, so the cursor only moves forward.
-        while (!free_slots.empty() && next_item < indices.size()) {
-          const u64 inject = b_.sites_[indices[next_item]].inject_cycle;
+        for (unsigned j = 0; j < pool && pending() != 0; ++j) {
+          if (!lane_runs_[j].done) continue;
+          const u64 inject = peek_instant();
           const u64 at = core_.lane_state(0).cycle;
           const bool arrived =
               at >= inject ||
               core_.lane_state(0).halt != iss::HaltReason::kRunning;
           if (!arrived && inject - at <= kRideWindow) break;  // keep riding
-          const unsigned slot = free_slots.front();
-          free_slots.erase(free_slots.begin());
-          core_.select_lane(0);
-          spawn_lane(slot + 1, b_.sites_[indices[next_item]]);
-          lane_runs_[slot].item = next_item;
-          ++next_item;
-          ++live;
-          ++stat_refills_;
+          if (try_spawn(j, take_item())) {
+            ++live;
+            ++stat_refills_;
+          } else {
+            finalize(j);
+          }
         }
       } else if (live > min_live) {
-        // Queue drained and survivors thinning: pack them into dense
-        // tiles so the masked commit keeps skipping dead tiles instead of
-        // dragging half-empty strips (outcome-neutral, see
-        // Leon3Core::permute_lanes).
+        // Queue drained (or stop requested) and survivors thinning: pack
+        // them into dense tiles so the masked commit keeps skipping dead
+        // tiles instead of dragging half-empty strips (outcome-neutral,
+        // see Leon3Core::permute_lanes).
         compact_lanes(pool);
       }
     }
@@ -831,25 +1047,35 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
   }
   // Scalar per-lane stepping: the whole shard when the SIMD path is off
   // (still queue-fed, so the pool stays busy), the final < min_live
-  // stragglers otherwise. Rounds of kLockstepChunk cycles per lane; a
-  // straggler never holds its pool-mates.
-  while (live != 0 || next_item < indices.size()) {
+  // stragglers otherwise — and, on a stop request, the drain of whatever
+  // was already in flight (no new spawns). Rounds of kLockstepChunk cycles
+  // per lane; a straggler never holds its pool-mates.
+  while (live != 0 || (!stopping && pending() != 0)) {
+    if (!stopping && stop()) stopping = true;
     for (unsigned j = 0; j < pool; ++j) {
       if (lane_runs_[j].done) {
-        if (next_item >= indices.size()) continue;
-        core_.select_lane(0);
-        spawn_lane(j + 1, b_.sites_[indices[next_item]]);
-        lane_runs_[j].item = next_item;
-        ++next_item;
-        ++live;
-        ++stat_refills_;
+        if (stopping || pending() == 0) continue;
+        if (try_spawn(j, take_item())) {
+          ++live;
+          ++stat_refills_;
+        } else {
+          finalize(j);
+          continue;
+        }
       }
       core_.select_lane(j + 1);
       ++stat_scalar_rounds_;
-      if (step_lane(lane_runs_[j], kLockstepChunk)) {
+      bool lane_retired = false;
+      try {
+        lane_retired = step_lane(lane_runs_[j], kLockstepChunk);
+      } catch (const std::exception& e) {
+        handle_lane_failure(j, e.what());
+        lane_runs_[j].just_failed = false;
+        lane_retired = true;
+      }
+      if (lane_retired) {
         --live;
         finalize(j);
-        if (on_done) on_done(1);
       }
     }
   }
@@ -867,11 +1093,9 @@ std::vector<RtlCampaignBackend::Record> RtlCampaignBackend::Worker::run_batch(
                                     std::memory_order_relaxed);
   stat_simd_rounds_ = stat_scalar_rounds_ = stat_refills_ = 0;
   stat_compactions_ = stat_live_lane_rounds_ = stat_cursor_ride_cycles_ = 0;
-  return records;
 }
 
-fault::CampaignResult RtlCampaignBackend::finish(
-    std::vector<Record> records) const {
+fault::CampaignResult RtlCampaignBackend::finish(EngineRun<Record> run) const {
   fault::CampaignResult result;
   result.workload = prog_.name;
   result.unit_prefix = cfg_.unit_prefix;
@@ -890,15 +1114,28 @@ fault::CampaignResult RtlCampaignBackend::finish(
   result.replay.lane_refills = lane_refills_.load();
   result.replay.lane_compactions = lane_compactions_.load();
   result.replay.live_lane_rounds = live_lane_rounds_.load();
-  result.runs = std::move(records);
-  for (fault::InjectionResult& run : result.runs) {
-    run.node_name = node_names_[run.site.node];
-    run.unit = node_units_[run.site.node];
+  result.replay.journal_hits = run.journal_hits;
+  result.replay.journal_dropped = run.journal_dropped;
+  result.replay.sites_retried = run.sites_retried;
+  result.replay.sites_engine_error = run.engine_errors;
+  result.truncated = run.truncated;
+  result.completed_sites = run.completed;
+  result.total_sites = run.records.size();
+  // Completed records only, kept in site order (an early stop leaves holes
+  // in the site-indexed array; every record that is present is
+  // bit-identical to the uninterrupted run's).
+  result.runs.reserve(run.completed);
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    if (run.done[i] != 0) result.runs.push_back(std::move(run.records[i]));
+  }
+  for (fault::InjectionResult& r : result.runs) {
+    r.node_name = node_names_[r.site.node];
+    r.unit = node_units_[r.site.node];
   }
   for (const rtl::FaultModel model : cfg_.models) {
     OutcomeAccumulator acc;
-    for (const fault::InjectionResult& run : result.runs) {
-      if (run.site.model == model) acc.add(run.outcome, run.latency_cycles);
+    for (const fault::InjectionResult& r : result.runs) {
+      if (r.site.model == model) acc.add(r.outcome, r.latency_cycles);
     }
     result.per_model.push_back(acc.to_stats(model));
   }

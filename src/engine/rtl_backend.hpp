@@ -7,12 +7,16 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/journal.hpp"
 #include "engine/ladder.hpp"
 #include "fault/campaign.hpp"
 
@@ -61,6 +65,22 @@ class RtlCampaignBackend {
     return ladder_;
   }
 
+  /// Campaign identity for the write-ahead journal: an FNV-1a fingerprint
+  /// of the workload image, the campaign config (every field that shapes
+  /// the fault list or classification), the seed and the golden run.
+  /// Engine options (threads, batch, SIMD, …) are deliberately excluded —
+  /// resuming under a different schedule must hit the same journal file,
+  /// because the records are schedule-invariant.
+  u64 campaign_key() const;
+  /// Per-site fingerprint (node, bit, model, instant, index) cross-checked
+  /// against each journal record before import.
+  u64 site_key(std::size_t i) const;
+  JournalEntry journal_entry(std::size_t i, const Record& r) const;
+  Record record_from_journal(const JournalEntry& e) const;
+  /// Record for a site whose simulation threw twice (worker isolation):
+  /// Outcome::kEngineError carrying the exception text.
+  Record error_record(std::size_t i, const std::string& what) const;
+
   /// One per worker thread: owns a core + memory and a rolling golden-prefix
   /// checkpoint; restores whichever of {rolling checkpoint, ladder rung} is
   /// closest below each injection instant.
@@ -70,9 +90,9 @@ class RtlCampaignBackend {
     Record run_site(std::size_t index);
 
     /// Lane-pool lockstep evaluation of a whole shard (the engine passes
-    /// `indices` sorted by injection instant; records come back in the
-    /// same order; `on_done(n)` streams completion counts as sites
-    /// retire). Lane 0 of the core is a fault-free *cursor* that walks
+    /// `indices` sorted by injection instant; each finished record is
+    /// streamed through `on_site(item, record)` the moment its lane
+    /// retires). Lane 0 of the core is a fault-free *cursor* that walks
     /// the golden prefix once for the whole shard — restored from the
     /// best ladder rung when that is closer than its current cycle (the
     /// rolling-checkpoint analogue) and fast-forwarded monotonically
@@ -93,9 +113,18 @@ class RtlCampaignBackend {
     /// bit-identical to run_site's for every pool size, tile width,
     /// min-live floor and thread count. With opts.batch_lanes <= 1 this
     /// simply loops run_site.
-    std::vector<Record> run_batch(
-        const std::vector<std::size_t>& indices,
-        const std::function<void(std::size_t)>& on_done);
+    ///
+    /// Durability semantics (see engine.hpp): `stop()` is polled once per
+    /// lockstep round — when it turns true no new lane is spawned, the
+    /// in-flight lanes drain to retirement, and the remaining queue is
+    /// abandoned (their on_site callbacks simply never fire). A lane that
+    /// throws is retried once on a fresh clone (counters.retried); a
+    /// second throw produces backend.error_record for that site alone
+    /// (counters.engine_errors) while every other lane continues.
+    void run_batch(const std::vector<std::size_t>& indices,
+                   const std::function<void(std::size_t, Record&&)>& on_site,
+                   const std::function<bool()>& stop,
+                   EngineRunCounters& counters);
 
    private:
     /// One in-flight replica lane of a batch: the classification state
@@ -117,6 +146,14 @@ class RtlCampaignBackend {
       rtlcore::CoreActivityScalars scalars_prev;
       std::vector<u32> probe_nodes;
       bool done = false;
+      /// False while the slot holds no finished record to deliver: the
+      /// initial (never-spawned) state, and a lane whose failure was
+      /// requeued for its one retry. True on normal retirement and on the
+      /// second-failure error record.
+      bool emit = false;
+      /// Set by handle_lane_failure so the round's bookkeeping pass counts
+      /// the slot as retired exactly once; cleared when counted.
+      bool just_failed = false;
       Record record;
     };
 
@@ -131,9 +168,28 @@ class RtlCampaignBackend {
     /// Folds stepped-over trace records into the cursor prefix counters.
     void cursor_seek(u64 inject_cycle);
 
-    /// Clone the cursor into replica lane `lane`, arm `site`'s fault there
-    /// and initialise its LaneRun. Leaves the cursor lane active.
-    void spawn_lane(unsigned lane, const fault::FaultSite& site);
+    /// Clone the cursor into replica lane `lane`, arm the fault of site
+    /// `site_index` (a backend-global index) there and initialise its
+    /// LaneRun. Leaves the cursor lane active.
+    void spawn_lane(unsigned lane, std::size_t site_index);
+
+    /// Spawn `item` (an index into *batch_indices_) into pool slot `slot`,
+    /// retrying once on a fresh clone if the spawn throws. Returns true
+    /// when the lane is live; on double failure stores the error record in
+    /// the slot (emit = true, done = true) and returns false.
+    bool try_spawn(unsigned slot, std::size_t item);
+
+    /// Worker-isolation epilogue for a live lane whose evaluation threw:
+    /// park the slot (done, no emit), then either requeue the item for its
+    /// one retry or finalise it as backend.error_record. Restores the
+    /// cursor lane as the active lane.
+    void handle_lane_failure(unsigned slot, const char* what);
+
+    /// ISSRTL_FAIL_SITE test hook: called right after a site's fault is
+    /// armed (serial and batched paths alike); throws when the spec names
+    /// this backend-global site index ("<i>" on every attempt, "<i>:once"
+    /// on the first only).
+    void maybe_fail_site(std::size_t site_index);
 
     /// Step the (active) replica lane of `run` by up to `max_cycles`,
     /// applying the per-cycle divergence / convergence / hang-probe logic.
@@ -206,6 +262,13 @@ class RtlCampaignBackend {
     std::vector<LaneRun> lane_runs_;  ///< slot j drives core lane j + 1
     std::vector<u8> stepped_;         ///< per-round live mask (by core lane)
     std::vector<unsigned> retired_slots_;  ///< pool slots retired this round
+    // Durability plumbing, valid for the duration of one run_batch call.
+    const std::vector<std::size_t>* batch_indices_ = nullptr;
+    const std::function<void(std::size_t, Record&&)>* on_site_ = nullptr;
+    EngineRunCounters* counters_ = nullptr;
+    std::deque<std::size_t> retry_queue_;  ///< items awaiting their retry
+    std::set<std::size_t> retried_sites_;  ///< sites that spent their retry
+    std::map<std::size_t, unsigned> fail_attempts_;  ///< ISSRTL_FAIL_SITE
     // Scheduler-occupancy tallies, accumulated locally and flushed into the
     // backend atomics once per run_batch (informational only).
     u64 stat_simd_rounds_ = 0;
@@ -218,8 +281,11 @@ class RtlCampaignBackend {
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;
 
-  /// Golden metadata + shared per-model aggregation over finished records.
-  fault::CampaignResult finish(std::vector<Record> records) const;
+  /// Golden metadata + shared per-model aggregation over the run's
+  /// completed records (done sites only, kept in site order — an early
+  /// stop yields a truncated result whose records are each bit-identical
+  /// to their uninterrupted counterparts).
+  fault::CampaignResult finish(EngineRun<Record> run) const;
 
  private:
   friend class Worker;
@@ -238,6 +304,7 @@ class RtlCampaignBackend {
   Memory golden_mem_;
   CheckpointLadder<GoldenSnapshot> ladder_;
   std::vector<fault::FaultSite> sites_;
+  FailSiteSpec fail_spec_;  ///< parsed from opts_.fail_sites (test hook)
   // Node metadata snapshot (NodeId-indexed) for labelling results in
   // finish(); the golden core itself does not outlive the constructor.
   std::vector<std::string> node_names_;

@@ -17,6 +17,7 @@ void OutcomeAccumulator::add(fault::Outcome outcome,
     case fault::Outcome::kHang: ++hangs; break;
     case fault::Outcome::kLatent: ++latent; break;
     case fault::Outcome::kSilent: ++silent; break;
+    case fault::Outcome::kEngineError: ++errors; break;
   }
 }
 
@@ -26,6 +27,7 @@ void OutcomeAccumulator::merge(const OutcomeAccumulator& other) noexcept {
   hangs += other.hangs;
   latent += other.latent;
   silent += other.silent;
+  errors += other.errors;
   latency_sum += other.latency_sum;
   latency_n += other.latency_n;
   max_latency = std::max(max_latency, other.max_latency);
@@ -46,6 +48,7 @@ fault::CampaignStats OutcomeAccumulator::to_stats(
   stats.hangs = hangs;
   stats.latent = latent;
   stats.silent = silent;
+  stats.errors = errors;
   stats.max_latency = max_latency;
   stats.mean_latency = mean_latency();
   return stats;

@@ -15,6 +15,7 @@ struct OutcomeAccumulator {
   std::size_t hangs = 0;
   std::size_t latent = 0;
   std::size_t silent = 0;
+  std::size_t errors = 0;    ///< Outcome::kEngineError (host-side)
   u64 latency_sum = 0;       ///< over failures only (paper latency metric)
   std::size_t latency_n = 0;
   u64 max_latency = 0;

@@ -15,6 +15,7 @@ std::string_view outcome_name(Outcome o) {
     case Outcome::kLatent: return "latent";
     case Outcome::kFailure: return "failure";
     case Outcome::kHang: return "hang";
+    case Outcome::kEngineError: return "engine-error";
   }
   assert(false && "outcome_name: invalid Outcome");
   return "?";

@@ -36,6 +36,11 @@ enum class Outcome : u8 {
   kLatent,   ///< write trace matches, internal state differs (lockstep-invisible)
   kFailure,  ///< off-core write mismatch (value/address/order/extra)
   kHang,     ///< watchdog expired (missing writes — detected by lockstep)
+  /// The *host* simulation of this site threw (engine bug or host trouble),
+  /// twice — once on the original attempt and once on a fresh-restore
+  /// retry. Says nothing about the fault's effect on the core; the record
+  /// carries the exception text and is excluded from the pf() denominator.
+  kEngineError,
 };
 
 std::string_view outcome_name(Outcome o);
@@ -52,6 +57,8 @@ struct InjectionResult {
   /// cut-off, see engine::EngineOptions::early_stop); outcome, latency and
   /// pf() are unaffected.
   iss::HaltReason halt = iss::HaltReason::kRunning;
+  /// Exception text for Outcome::kEngineError records; empty otherwise.
+  std::string error;
 };
 
 /// How the fixed injection instant is chosen per trial.
@@ -114,16 +121,21 @@ struct CampaignStats {
   std::size_t hangs = 0;      // watchdog
   std::size_t latent = 0;
   std::size_t silent = 0;
+  std::size_t errors = 0;  // Outcome::kEngineError (host-side, not a verdict)
   u64 max_latency = 0;
   double mean_latency = 0.0;
 
   /// The paper's headline metric: % of injected faults propagating to
   /// failures at off-core boundaries (hangs manifest as missing writes and
-  /// are therefore detected/failed as well).
+  /// are therefore detected/failed as well). kEngineError records carry no
+  /// verdict about the fault at all, so they leave the denominator — a
+  /// campaign with host trouble reports the same estimate over fewer
+  /// samples rather than a biased one.
   double pf() const noexcept {
-    return runs == 0 ? 0.0
-                     : static_cast<double>(failures + hangs) /
-                           static_cast<double>(runs);
+    const std::size_t classified = runs > errors ? runs - errors : 0;
+    return classified == 0 ? 0.0
+                           : static_cast<double>(failures + hangs) /
+                                 static_cast<double>(classified);
   }
 };
 
@@ -151,6 +163,14 @@ struct ReplayCounters {
   u64 lane_compactions = 0;    ///< survivor packs into dense tiles
   u64 live_lane_rounds = 0;    ///< sum of live lanes over all simd rounds
                                ///  (mean occupancy = / simd_rounds)
+  // Durability / robustness events (see engine/journal.hpp and the
+  // worker-isolation retry in CampaignEngine::run; zero on a clean,
+  // journal-less run):
+  u64 journal_hits = 0;        ///< sites imported from the journal on resume
+  u64 journal_dropped = 0;     ///< journal records rejected (chain break,
+                               ///  torn write, site-key mismatch)
+  u64 sites_retried = 0;       ///< sites re-run once after a worker throw
+  u64 sites_engine_error = 0;  ///< sites whose retry also threw (kEngineError)
 };
 
 struct CampaignResult {
@@ -159,6 +179,15 @@ struct CampaignResult {
   u64 golden_cycles = 0;
   u64 golden_instret = 0;
   ReplayCounters replay;
+  /// True when the campaign stopped early (SIGINT/SIGTERM, an external stop
+  /// flag, or EngineOptions::deadline_ms): `runs` then holds the
+  /// completed_sites records, in site order, with the rest of the fault
+  /// list unevaluated. Every completed record is bit-identical to the one
+  /// an uninterrupted run would hold, so a truncated result is a valid
+  /// partial estimate — and, with a journal, a resumable one.
+  bool truncated = false;
+  std::size_t completed_sites = 0;  ///< == runs.size(); == total unless truncated
+  std::size_t total_sites = 0;      ///< enumerated fault-list size
   std::vector<InjectionResult> runs;
   std::vector<CampaignStats> per_model;
 

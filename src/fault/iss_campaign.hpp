@@ -24,7 +24,12 @@ struct IssInjectionResult {
   iss::IssFault fault;
   bool failure = false;    ///< off-core write mismatch or hang
   bool latent = false;
+  /// Host-side simulation failure (Outcome::kEngineError analogue): the
+  /// site threw twice (original attempt + fresh-restore retry); `error`
+  /// carries the exception text. Not a verdict about the fault.
+  bool engine_error = false;
   u64 latency_instr = 0;
+  std::string error;
 };
 
 struct IssCampaignStats {
@@ -32,10 +37,12 @@ struct IssCampaignStats {
   std::size_t runs = 0;
   std::size_t failures = 0;
   std::size_t latent = 0;
+  std::size_t errors = 0;  ///< engine_error records (excluded from pf())
   double pf() const noexcept {
-    return runs == 0 ? 0.0
-                     : static_cast<double>(failures) /
-                           static_cast<double>(runs);
+    const std::size_t classified = runs > errors ? runs - errors : 0;
+    return classified == 0 ? 0.0
+                           : static_cast<double>(failures) /
+                                 static_cast<double>(classified);
   }
 };
 
@@ -45,6 +52,11 @@ struct IssCampaignResult {
   /// Replay economics (instants here are retired instructions); see
   /// fault::ReplayCounters for the determinism caveat.
   ReplayCounters replay;
+  /// See fault::CampaignResult: early-stopped campaigns hold the completed
+  /// records only, each bit-identical to its uninterrupted counterpart.
+  bool truncated = false;
+  std::size_t completed_sites = 0;
+  std::size_t total_sites = 0;
   std::vector<IssInjectionResult> runs;
   std::vector<IssCampaignStats> per_model;
 };

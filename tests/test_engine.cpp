@@ -550,6 +550,71 @@ TEST(Engine, OptionsFromEnvParsesSimdTile) {
   }
 }
 
+TEST(Engine, OptionsFromEnvParsesJournalAndResume) {
+  {
+    ScopedEnv j("ISSRTL_JOURNAL", "/tmp/issrtl-env-journal");
+    EXPECT_EQ(options_from_env().journal_dir, "/tmp/issrtl-env-journal");
+  }
+  {
+    ScopedEnv j("ISSRTL_JOURNAL", nullptr);
+    EngineOptions base;
+    base.journal_dir = "keep";
+    EXPECT_EQ(options_from_env(base).journal_dir, "keep");  // unset: untouched
+  }
+  {
+    ScopedEnv r("ISSRTL_RESUME", "1");
+    EXPECT_TRUE(options_from_env().resume);
+  }
+  {
+    ScopedEnv r("ISSRTL_RESUME", "0");
+    EXPECT_FALSE(options_from_env().resume);
+  }
+  // Resume is a boolean switch, not a count — anything but 0/1 is a typo
+  // that must not silently decide whether journaled work is trusted.
+  for (const char* v : {"2", "x", "yes", "-1", "true", "01x"}) {
+    ScopedEnv r("ISSRTL_RESUME", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
+TEST(Engine, OptionsFromEnvParsesDeadline) {
+  {
+    ScopedEnv d("ISSRTL_DEADLINE_MS", "1500");
+    EXPECT_EQ(options_from_env().deadline_ms, 1500u);
+  }
+  {
+    ScopedEnv d("ISSRTL_DEADLINE_MS", "0");  // 0 = no deadline
+    EXPECT_EQ(options_from_env().deadline_ms, 0u);
+  }
+  for (const char* v : {"-1", "1x", "abc", " 5", "0x10", "1.5"}) {
+    ScopedEnv d("ISSRTL_DEADLINE_MS", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
+TEST(Engine, OptionsFromEnvValidatesFailSiteEagerly) {
+  {
+    ScopedEnv f("ISSRTL_FAIL_SITE", "3:once,7");
+    EXPECT_EQ(options_from_env().fail_sites, "3:once,7");
+  }
+  // A typo'd hook must fail at option parse time, by variable name — not
+  // silently inject (or fail to inject) faults mid-campaign.
+  for (const char* v : {"a", "3:twice", "3,", ",3", "3::once", "-1", ":once"}) {
+    ScopedEnv f("ISSRTL_FAIL_SITE", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
+TEST(Engine, ParseFailSitesSpec) {
+  EXPECT_TRUE(parse_fail_sites("").empty());
+  const FailSiteSpec s = parse_fail_sites("3:once,7");
+  ASSERT_NE(s.find(3), nullptr);
+  EXPECT_TRUE(s.find(3)->once);
+  ASSERT_NE(s.find(7), nullptr);
+  EXPECT_FALSE(s.find(7)->once);
+  EXPECT_EQ(s.find(5), nullptr);
+}
+
 TEST(Engine, AccumulatorMergeMatchesSequential) {
   OutcomeAccumulator all;
   OutcomeAccumulator a, b;
