@@ -18,7 +18,12 @@
 // (ISSRTL_BATCH replica lanes per worker) against the per-site ladder path
 // in this tree and against the committed PR 3 ladder_section reference,
 // with outcomes verified bit-identical at several batch sizes and thread
-// counts.
+// counts. A final section covers the ISS fast path and the mixed-fidelity
+// accelerator: ns/instr of the decoded-basic-block interpreter vs the
+// single-step reference decoder (end states verified identical), and a
+// stuck-at IU campaign run pure-RTL vs mixed-fidelity (ISS golden prefix +
+// architectural-state transplant), with the mixed run's schedule
+// invariance spot-checked across thread counts.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -131,38 +136,68 @@ struct BenchMetrics {
   u64 simd_refills = 0;
   u64 simd_compactions = 0;
   double simd_mean_live = 0.0;   ///< live_lane_rounds / simd_rounds
+  // ISS section (fast-path interpreter + mixed-fidelity accelerator).
+  std::size_t iss_iterations = 0;
+  double iss_baseline_ns_per_instr = 0.0;  ///< single-step reference decoder
+  double iss_fast_ns_per_instr = 0.0;      ///< dbbcache + lscache fast path
+  double iss_fast_vs_baseline_ratio = 0.0;
+  bool iss_state_identical = false;  ///< instret + memory, fast vs baseline
+  std::size_t mixed_samples = 0;
+  unsigned mixed_threads = 0;
+  double pure_rtl_s = 0.0;  ///< same campaign, all-RTL prefixes
+  double mixed_s = 0.0;     ///< ISS golden prefix + transplant
+  double mixed_vs_pure_ratio = 0.0;
+  bool mixed_schedule_invariant = false;  ///< mixed hash, threads {1,3}
 };
 
 /// Direct wall-clock comparison: same workload, same number of "injection
-/// experiments" (here: plain replays) on each vehicle.
+/// experiments" (here: plain replays) on each vehicle. Alternating
+/// min-of-N timing (see report_batched_speedup for the rationale): these
+/// two numbers feed every tree-over-tree ratio in the committed snapshot,
+/// so a single-shot reading taken while a neighbour holds the core would
+/// poison the whole trajectory — the committed pre-PR-8 iss_ns_per_instr
+/// (21.56, single-shot) overshot the clean single-step cost (~10 ns/instr
+/// on the reference box) for exactly that reason.
 void report_speedup(BenchMetrics& m) {
-  const int kRuns = 3;
+  // Replays cost single-digit milliseconds — min-of-9 by default, see
+  // report_iss_fastpath for the rationale.
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_MICRO_REPS", 9));
   u64 rtl_cycles = 0, iss_instrs = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kRuns; ++i) {
-    Memory mem;
-    rtlcore::Leon3Core core(mem);
-    core.load(prog());
-    core.run();
-    rtl_cycles += core.cycles();
+  double rtl_best = 0.0, iss_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      Memory mem;
+      rtlcore::Leon3Core core(mem);
+      core.load(prog());
+      core.run();
+      rtl_cycles = core.cycles();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      Memory mem;
+      iss::Emulator emu(mem);
+      emu.load(prog());
+      emu.run();
+      iss_instrs = emu.instret();
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double rtl = std::chrono::duration<double>(t1 - t0).count();
+    const double iss = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || rtl < rtl_best) rtl_best = rtl;
+    if (r == 0 || iss < iss_best) iss_best = iss;
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kRuns; ++i) {
-    Memory mem;
-    iss::Emulator emu(mem);
-    emu.load(prog());
-    emu.run();
-    iss_instrs += emu.instret();
-  }
-  const auto t2 = std::chrono::steady_clock::now();
-  const double rtl = std::chrono::duration<double>(t1 - t0).count();
-  const double iss = std::chrono::duration<double>(t2 - t1).count();
-  m.rtl_ns_per_cycle = rtl_cycles > 0 ? 1e9 * rtl / rtl_cycles : 0.0;
-  m.iss_ns_per_instr = iss_instrs > 0 ? 1e9 * iss / iss_instrs : 0.0;
-  std::printf("\n--- campaign-cost comparison (rspeed, %d replays each) ---\n",
-              kRuns);
+  m.rtl_ns_per_cycle =
+      rtl_cycles > 0 ? 1e9 * rtl_best / static_cast<double>(rtl_cycles) : 0.0;
+  m.iss_ns_per_instr =
+      iss_instrs > 0 ? 1e9 * iss_best / static_cast<double>(iss_instrs) : 0.0;
+  std::printf("\n--- campaign-cost comparison (rspeed, best of %d replays "
+              "each) ---\n",
+              reps);
   std::printf("RTL:  %.3f s (%.1f ns/cycle)   ISS: %.3f s   ratio: %.0fx\n",
-              rtl, m.rtl_ns_per_cycle, iss, iss > 0 ? rtl / iss : 0.0);
+              rtl_best, m.rtl_ns_per_cycle, iss_best,
+              iss_best > 0 ? rtl_best / iss_best : 0.0);
   std::printf("paper: 25,478 CPU-hours (RTL, clusters) vs <300 h (ISS, one "
               "workstation) => ~85x\n");
 }
@@ -524,6 +559,182 @@ void report_simd_speedup(BenchMetrics& m) {
               (unsigned long long)m.simd_compactions);
 }
 
+/// ISS fast path + mixed-fidelity accelerator. Part one times the decoded-
+/// basic-block interpreter (dbbcache + lscache, the default) against the
+/// single-step reference decoder on a longer rspeed run (ISSRTL_ITERS
+/// iterations, default 8, to amortise program load), alternating min-of-N
+/// like the kernel sections; the end states (instret + full memory image)
+/// must be identical — the fast path is architecturally invisible. Part
+/// two times a stuck-at EX-datapath campaign (ISSRTL_MIXED_SAMPLES
+/// injections, default 24, on rspeed x8, full instant window) pure-RTL vs
+/// mixed-fidelity: the fault-free prefix of every injection runs on the
+/// ISS and the architectural state is transplanted into the RTL core at
+/// the injection instant, so only the faulty suffix pays RTL cost. The
+/// sweep shape is the regime mixed fidelity exists for — prefix-dominated
+/// injections on a long workload: a tight checkpoint-ladder byte budget
+/// (128 KiB, the long-workload stand-in for rung eviction — at the
+/// default 256 MiB every RTL rung stays resident and prefix positioning
+/// is a near-free memcpy for pure mode too), the full instant window (so
+/// late injections with long golden prefixes are sampled, not just the
+/// legacy first half), and EX-stage stuck-at faults whose wrong results
+/// hit the off-core write stream fast (the divergence cut-off ends those
+/// suffixes early in both modes — suffix-dominated populations, e.g.
+/// whole-IU with its latent register-file faults, measure within noise of
+/// pure mode instead, and transient sweeps favour pure mode outright
+/// because the convergence cut-off is disabled under mixed). Stuck-at
+/// faults also keep the comparison honest: the pure side's transient-only
+/// convergence cut-off is idle for both. The mixed run's schedule
+/// invariance (outcome hash at 1 vs 3 threads) is verified untimed on
+/// top.
+void report_iss_fastpath(BenchMetrics& m) {
+  const std::size_t iters = bench::env_size("ISSRTL_ITERS", 8);
+  m.iss_iterations = iters;
+  const isa::Program iss_prog = workloads::build(
+      "rspeed", {.iterations = static_cast<unsigned>(iters), .data_seed = 1});
+
+  // Untimed equivalence check first: same program, both interpreters.
+  {
+    Memory mem_fast, mem_base;
+    iss::Emulator fast_emu(mem_fast), base_emu(mem_base);
+    base_emu.set_fast_path(false);
+    fast_emu.load(iss_prog);
+    base_emu.load(iss_prog);
+    const auto hf = fast_emu.run();
+    const auto hb = base_emu.run();
+    m.iss_state_identical = hf == hb &&
+                            fast_emu.instret() == base_emu.instret() &&
+                            mem_fast.equals(mem_base);
+  }
+
+  // A replay costs milliseconds here, so a generous rep count is free
+  // insurance against scheduler interference on a busy box — unlike the
+  // campaign sections, where ISSRTL_BENCH_REPS stays at 3.
+  const int micro_reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_MICRO_REPS", 9));
+  u64 instrs = 0;
+  double base_best = 0.0, fast_best = 0.0;
+  for (int r = 0; r < micro_reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      Memory mem;
+      iss::Emulator emu(mem);
+      emu.set_fast_path(false);
+      emu.load(iss_prog);
+      emu.run();
+      instrs = emu.instret();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      Memory mem;
+      iss::Emulator emu(mem);
+      emu.load(iss_prog);
+      emu.run();
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double b = std::chrono::duration<double>(t1 - t0).count();
+    const double f = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || b < base_best) base_best = b;
+    if (r == 0 || f < fast_best) fast_best = f;
+  }
+  m.iss_baseline_ns_per_instr =
+      instrs > 0 ? 1e9 * base_best / static_cast<double>(instrs) : 0.0;
+  m.iss_fast_ns_per_instr =
+      instrs > 0 ? 1e9 * fast_best / static_cast<double>(instrs) : 0.0;
+  m.iss_fast_vs_baseline_ratio =
+      fast_best > 0 ? base_best / fast_best : 0.0;
+
+  std::printf("\n--- ISS fast path vs single-step decoder (rspeed x%zu, "
+              "%llu instrs) ---\n",
+              iters, (unsigned long long)instrs);
+  std::printf("single-step: %.3f s (%.2f ns/instr)   fast path: %.3f s "
+              "(%.2f ns/instr)\n",
+              base_best, m.iss_baseline_ns_per_instr, fast_best,
+              m.iss_fast_ns_per_instr);
+  std::printf("speedup: %.2fx   end state identical: %s\n",
+              m.iss_fast_vs_baseline_ratio,
+              m.iss_state_identical ? "yes" : "NO");
+
+  // Part two: mixed-fidelity campaign vs pure RTL, same fault list.
+  const std::size_t samples = bench::env_size("ISSRTL_MIXED_SAMPLES", 24);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const isa::Program mixed_prog =
+      workloads::build("rspeed", {.iterations = 8, .data_seed = 1});
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = "iu.ex";
+  cfg.models = {rtl::FaultModel::kStuckAt1};
+  cfg.samples = samples;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+  cfg.instant_window = fault::InstantWindow::kFull;
+
+  const std::size_t ladder_cap = std::size_t{128} << 10;
+
+  engine::EngineOptions pure = engine::options_from_env();
+  pure.threads = threads;
+  pure.mixed_fidelity = false;
+  pure.ladder_max_bytes = ladder_cap;
+
+  engine::EngineOptions mixed = pure;
+  mixed.mixed_fidelity = true;
+
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
+  fault::CampaignResult pure_run, mixed_run;
+  double pure_best = 0.0, mixed_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pure_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, pure);
+    const auto t1 = std::chrono::steady_clock::now();
+    mixed_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, mixed);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double p = std::chrono::duration<double>(t1 - t0).count();
+    const double x = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || p < pure_best) pure_best = p;
+    if (r == 0 || x < mixed_best) mixed_best = x;
+  }
+
+  // Schedule invariance of the mixed run itself (untimed): the mixed hash
+  // must not depend on the thread count. (Mixed vs pure outcomes are a
+  // *different experiment* for pipeline-resident faults by design — their
+  // equivalence on architectural faults is pinned in tests/test_mixed.cpp,
+  // not here.)
+  bool invariant = true;
+  for (const unsigned t : {1u, 3u}) {
+    engine::EngineOptions o = mixed;
+    o.threads = t;
+    invariant = invariant &&
+                same_outcomes(mixed_run,
+                              engine::run_rtl_campaign(mixed_prog, cfg, {}, o));
+  }
+
+  m.mixed_samples = samples;
+  m.mixed_threads = threads;
+  m.pure_rtl_s = pure_best;
+  m.mixed_s = mixed_best;
+  m.mixed_vs_pure_ratio = mixed_best > 0 ? pure_best / mixed_best : 0.0;
+  m.mixed_schedule_invariant = invariant;
+
+  std::printf("\n--- mixed-fidelity (ISS prefix + transplant) vs pure RTL "
+              "(rspeed x8, %zu stuck-at injections @ iu.ex, full window, "
+              "%zu KiB rung budget) ---\n",
+              samples, ladder_cap >> 10);
+  std::printf("pure RTL (%u thr):   %.3f s\n", threads, pure_best);
+  std::printf("mixed    (%u thr):   %.3f s\n", threads, mixed_best);
+  std::printf("end-to-end speedup: %.2fx   mixed hash thread-invariant "
+              "(1/3/%u thr): %s\n",
+              m.mixed_vs_pure_ratio, threads, invariant ? "yes" : "NO");
+}
+
+/// The PR 7 tree's headline iss_ns_per_instr (rspeed, top-level section)
+/// from the committed BENCH_kernel.json immediately before this PR's
+/// decoded-basic-block fast path — i.e. the decode-per-instruction
+/// interpreter that set_fast_path(false) still reproduces. Single-shot
+/// measurement (alternating min-of-N landed with this PR), reference dev
+/// box only, like the blocks below.
+constexpr double kPr7IssNsPerInstr = 21.56;
+
 /// The PR 1 engine's numbers on this bench's headline section (200 samples,
 /// 4 threads, rspeed, default seed), measured on the reference dev box
 /// immediately before the SoA-kernel/COW-memory rewrite. Only comparable to
@@ -680,6 +891,46 @@ void write_bench_json(const BenchMetrics& m) {
                  kPr5SimdS / m.simd_s);
   }
   std::fprintf(f, "\n  }");
+  std::fprintf(f,
+               ",\n"
+               "  \"iss_section\": {\n"
+               "    \"workload\": \"rspeed\",\n"
+               "    \"iterations\": %zu,\n"
+               "    \"iss_baseline_ns_per_instr\": %.2f,\n"
+               "    \"iss_fast_ns_per_instr\": %.2f,\n"
+               "    \"fast_vs_baseline_ratio\": %.2f,\n"
+               "    \"iss_state_identical\": %s,\n"
+               "    \"mixed_samples\": %zu,\n"
+               "    \"mixed_threads\": %u,\n"
+               "    \"mixed_unit\": \"iu.ex\",\n"
+               "    \"mixed_iterations\": 8,\n"
+               "    \"mixed_instant_window\": \"full\",\n"
+               "    \"mixed_ladder_cap_bytes\": 131072,\n"
+               "    \"pure_rtl_s\": %.3f,\n"
+               "    \"mixed_s\": %.3f,\n"
+               "    \"mixed_vs_pure_ratio\": %.2f,\n"
+               "    \"mixed_schedule_invariant_threads_1_3\": %s",
+               m.iss_iterations, m.iss_baseline_ns_per_instr,
+               m.iss_fast_ns_per_instr, m.iss_fast_vs_baseline_ratio,
+               m.iss_state_identical ? "true" : "false", m.mixed_samples,
+               m.mixed_threads, m.pure_rtl_s, m.mixed_s,
+               m.mixed_vs_pure_ratio,
+               m.mixed_schedule_invariant ? "true" : "false");
+  if (on_reference_box && m.iss_fast_ns_per_instr > 0) {
+    // Tree-over-tree: the committed PR 7 top-level iss_ns_per_instr (the
+    // decode-per-instruction interpreter, before the dbbcache/lscache fast
+    // path) vs this section's min-of-N fast-path ns/instr on the same
+    // workload. The in-tree fast_vs_baseline_ratio above is smaller than
+    // this: the PR also sped up the single-step path (and replaced the
+    // single-shot timing that inflated the committed PR 7 reading).
+    std::fprintf(f,
+                 ",\n"
+                 "    \"pr7_iss_ns_per_instr\": %.2f,\n"
+                 "    \"fast_vs_pr7_iss_ratio\": %.2f",
+                 kPr7IssNsPerInstr,
+                 kPr7IssNsPerInstr / m.iss_fast_ns_per_instr);
+  }
+  std::fprintf(f, "\n  }");
   if (baseline != nullptr && std::string_view(baseline) == "pr1" &&
       m.samples == 200 && m.threads == 4) {
     std::fprintf(f,
@@ -712,6 +963,7 @@ int main(int argc, char** argv) try {
   report_ladder_speedup(metrics);
   report_batched_speedup(metrics);
   report_simd_speedup(metrics);
+  report_iss_fastpath(metrics);
   write_bench_json(metrics);
   return 0;
 } catch (const std::exception& e) {

@@ -10,15 +10,18 @@
 # that snapshot. Knobs (env): ISSRTL_SAMPLES (default 200 — the headline
 # engine section), ISSRTL_THREADS (default 4), ISSRTL_SEED, and for the
 # checkpoint-ladder section ISSRTL_SITES x ISSRTL_INSTANTS (default 25 x 8)
-# plus ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB / ISSRTL_BATCH / ISSRTL_SIMD. CI
+# plus ISSRTL_CKPT_STRIDE / ISSRTL_CKPT_MB / ISSRTL_BATCH / ISSRTL_SIMD, and
+# for the ISS section ISSRTL_ITERS (default 8) and ISSRTL_MIXED_SAMPLES
+# (default 60). CI
 # runs this on a fixed small workload and archives the JSON as the
 # per-commit perf trajectory point.
 #
 # --check mode additionally compares the fresh run against the committed
 # reference snapshot (default: BENCH_kernel.json at the repo root) and fails
 # loudly when the kernel regressed past tolerance: rtl_ns_per_cycle may not
-# exceed reference * (1 + ISSRTL_BENCH_TOL), and the batched/serial and
-# simd/batched ratios may not fall below reference * (1 - ISSRTL_BENCH_TOL).
+# exceed reference * (1 + ISSRTL_BENCH_TOL), and the batched/serial,
+# simd/batched, ISS fast/baseline and mixed/pure ratios may not fall below
+# reference * (1 - ISSRTL_BENCH_TOL).
 # The simd/batched ratio additionally has an *absolute* floor of
 # 1.0 * (1 - ISSRTL_BENCH_TOL): the SIMD rounds must beat flat chunked
 # stepping outright, not merely match the last committed snapshot.
@@ -98,11 +101,35 @@ if "simd_section" in ref:
     # run with ISSRTL_BENCH_TOL=0 to demand a strict >= 1.0.
     floor_check("simd_section.simd_vs_batched_ratio >= 1.0",
                 out["simd_section"]["simd_vs_batched_ratio"], 1.0)
+if "iss_section" in ref:
+    floor_check("iss_section.fast_vs_baseline_ratio",
+                out["iss_section"]["fast_vs_baseline_ratio"],
+                ref["iss_section"]["fast_vs_baseline_ratio"])
+    # Absolute floor: the decoded-basic-block fast path must stay an
+    # outright win over the in-tree single-step decoder on any box.
+    floor_check("iss_section.fast_vs_baseline_ratio >= 1.0",
+                out["iss_section"]["fast_vs_baseline_ratio"], 1.0)
+    # Reference-box snapshots additionally carry the tree-over-tree ratio
+    # against the committed pre-fast-path ISS (PR 7's iss_ns_per_instr);
+    # the PR that introduced the fast path required >= 3x there.
+    if "fast_vs_pr7_iss_ratio" in out["iss_section"]:
+        floor_check("iss_section.fast_vs_pr7_iss_ratio >= 3.0",
+                    out["iss_section"]["fast_vs_pr7_iss_ratio"], 3.0)
+    floor_check("iss_section.mixed_vs_pure_ratio",
+                out["iss_section"]["mixed_vs_pure_ratio"],
+                ref["iss_section"]["mixed_vs_pure_ratio"])
+    # Mixed-fidelity must remain an end-to-end *win* over pure RTL, not
+    # merely track the snapshot.
+    floor_check("iss_section.mixed_vs_pure_ratio >= 1.0",
+                out["iss_section"]["mixed_vs_pure_ratio"], 1.0)
 
 for section, key in (("batched_section",
                       "outcomes_identical_batches_4_32_threads_1_3"),
                      ("simd_section",
-                      "outcomes_identical_simd_on_off_threads_1_3")):
+                      "outcomes_identical_simd_on_off_threads_1_3"),
+                     ("iss_section", "iss_state_identical"),
+                     ("iss_section",
+                      "mixed_schedule_invariant_threads_1_3")):
     if section in out and not out[section].get(key, True):
         print(f"  {section}.{key}: false — determinism broke")
         failures.append(f"{section}.{key}")

@@ -34,6 +34,7 @@ u8 Memory::load_u8(u32 addr) const {
 }
 
 void Memory::store_u8(u32 addr, u8 value) {
+  bump_revision();  // API-path store: revoke ISS lscache pointers
   page_for_write(addr)[addr & (kPageSize - 1)] = value;
 }
 
@@ -68,6 +69,7 @@ u64 Memory::load_u64(u32 addr) const {
 }
 
 void Memory::store_u16(u32 addr, u16 value) {
+  bump_revision();
   const u32 off = addr & (kPageSize - 1);
   if (off + 2 <= kPageSize) {
     u8* b = page_for_write(addr).data() + off;
@@ -80,6 +82,7 @@ void Memory::store_u16(u32 addr, u16 value) {
 }
 
 void Memory::store_u32(u32 addr, u32 value) {
+  bump_revision();
   const u32 off = addr & (kPageSize - 1);
   if (off + 4 <= kPageSize) {
     u8* b = page_for_write(addr).data() + off;
@@ -101,6 +104,7 @@ void Memory::store_u64(u32 addr, u64 value) {
 }
 
 void Memory::write_block(u32 addr, const void* data, std::size_t size) {
+  bump_revision();
   const u8* bytes = static_cast<const u8*>(data);
   while (size > 0) {
     const u32 off = addr & (kPageSize - 1);

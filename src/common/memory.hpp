@@ -47,6 +47,7 @@ class Memory {
   // destination.
   Memory(const Memory& other) : pages_(other.pages_) {
     other.write_page_.store(nullptr, std::memory_order_relaxed);
+    other.bump_revision();
   }
   Memory(Memory&& other) noexcept
       : pages_(std::move(other.pages_)),
@@ -56,6 +57,7 @@ class Memory {
     other.cached_index_ = kNoPage;
     other.read_page_ = nullptr;
     other.write_page_.store(nullptr, std::memory_order_relaxed);
+    other.bump_revision();
   }
   Memory& operator=(const Memory& other) {
     if (this != &other) {
@@ -64,6 +66,8 @@ class Memory {
       read_page_ = nullptr;
       write_page_.store(nullptr, std::memory_order_relaxed);
       other.write_page_.store(nullptr, std::memory_order_relaxed);
+      bump_revision();
+      other.bump_revision();
     }
     return *this;
   }
@@ -76,6 +80,8 @@ class Memory {
     other.cached_index_ = kNoPage;
     other.read_page_ = nullptr;
     other.write_page_.store(nullptr, std::memory_order_relaxed);
+    bump_revision();
+    other.bump_revision();
     return *this;
   }
 
@@ -129,6 +135,40 @@ class Memory {
   /// Pages still shared between the two images compare by pointer.
   bool equals(const Memory& other) const;
 
+  // ---- raw page access for the ISS load/store cache -----------------------
+  //
+  // iss::Emulator keeps a one-entry page cache of raw byte pointers (the
+  // "lscache") so the hot load/store path inlines completely. Raw pointers
+  // outlive this image's bookkeeping, so every event that can re-share or
+  // replace a page — clone()/copy/move (pages become shared) and stores made
+  // through the Memory API (COW unshare swaps the page object) — bumps
+  // `revision_`; the emulator compares revision() against its captured value
+  // once per instruction and drops its cached pointers on mismatch. Stores
+  // the emulator itself performs through write_page_base() do NOT bump the
+  // revision: the emulator refreshes its own entries from the returned
+  // pointer, which is what keeps the fast path's revision check a hit on
+  // every instruction of an undisturbed run.
+
+  /// Monotonic counter of pointer-invalidating events (see above).
+  u64 revision() const noexcept {
+    return revision_.load(std::memory_order_relaxed);
+  }
+
+  /// Byte pointer to the start of the page holding `addr`, read-only, or
+  /// nullptr when the page was never written (reads as zero). Valid until
+  /// revision() changes or this image writes to that page.
+  const u8* read_page_base(u32 addr) const noexcept {
+    const Page* p = find_page(addr);
+    return p != nullptr ? p->data() : nullptr;
+  }
+
+  /// Byte pointer to the start of the page holding `addr`, private to this
+  /// image: allocated (zeroed) on first touch, un-shared on first write to a
+  /// shared page. Valid until revision() changes. The caller owns coherence
+  /// of any previously fetched read pointer to the same page (the un-share
+  /// may have replaced the page object).
+  u8* write_page_base(u32 addr) { return page_for_write(addr).data(); }
+
  private:
   using Page = std::array<u8, kPageSize>;
   using PageRef = std::shared_ptr<Page>;
@@ -159,6 +199,10 @@ class Memory {
     return page_for_write_slow(addr);
   }
 
+  void bump_revision() const noexcept {
+    revision_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::unordered_map<u32, PageRef> pages_;
   mutable u32 cached_index_ = kNoPage;
   mutable const Page* read_page_ = nullptr;  ///< addr-cache, read side
@@ -166,6 +210,10 @@ class Memory {
   /// many threads on one shared source, e.g. ladder rungs — must revoke
   /// the source's uniqueness assumption without a data race.
   mutable std::atomic<Page*> write_page_{nullptr};
+  /// Pointer-invalidation counter for the ISS lscache (see revision());
+  /// atomic for the same reason as write_page_ — concurrent clone() from a
+  /// shared golden image must revoke without a data race.
+  mutable std::atomic<u64> revision_{0};
 };
 
 }  // namespace issrtl

@@ -166,6 +166,12 @@ EngineOptions options_from_env(EngineOptions base) {
   if (const char* v = std::getenv("ISSRTL_RESUME"); v != nullptr && *v) {
     base.resume = parse_env_u64("ISSRTL_RESUME", v, 1) != 0;
   }
+  if (const char* v = std::getenv("ISSRTL_MIXED"); v != nullptr && *v) {
+    base.mixed_fidelity = parse_env_u64("ISSRTL_MIXED", v, 1) != 0;
+  }
+  if (const char* v = std::getenv("ISSRTL_ISS_FAST"); v != nullptr && *v) {
+    base.iss_fast_path = parse_env_u64("ISSRTL_ISS_FAST", v, 1) != 0;
+  }
   if (const char* v = std::getenv("ISSRTL_DEADLINE_MS"); v != nullptr && *v) {
     base.deadline_ms = parse_env_u64("ISSRTL_DEADLINE_MS", v, ~0ull);
   }

@@ -212,6 +212,30 @@ struct EngineOptions {
   /// mid-site would make the completed set timing-dependent); only
   /// not-yet-started sites are skipped.
   const std::atomic<bool>* stop = nullptr;
+  /// Mixed-fidelity golden-prefix acceleration for the RTL backend: run the
+  /// fault-free prefix of every injection on the ISS (decoded-block fast
+  /// path), transplant the architectural state into the RTL core at the
+  /// last retirement boundary at or before the injection instant
+  /// (Leon3Core::transplant, golden timebase and bus prefix preserved), and
+  /// simulate only the faulty suffix at RTL fidelity. The resulting
+  /// campaign is schedule-invariant — fault::outcome_hash is bit-identical
+  /// across threads, batch, SIMD and ladder settings — but it is a
+  /// different experiment from a pure-RTL campaign for faults whose effect
+  /// depends on the in-flight pipeline contents at the injection instant
+  /// (the transplanted pipeline starts empty; see docs/ARCHITECTURE.md
+  /// "Mixed-fidelity prefix"), so the RTL backend folds this flag into
+  /// campaign_key(), unlike the schedule knobs above. Forces the serial
+  /// per-site path (batch_lanes is ignored). The ISS backend ignores it.
+  /// ISSRTL_MIXED (strict 0/1) is the environment path.
+  bool mixed_fidelity = false;
+  /// Drive every engine-owned iss::Emulator through its decoded-block fast
+  /// path (dbbcache + lscache, see iss/emulator.hpp). false selects the
+  /// reference decode-per-instruction path. The caches are
+  /// architecturally invisible, so results are bit-identical either way
+  /// and the flag stays out of campaign_key(); it exists as the
+  /// differential-testing axis. ISSRTL_ISS_FAST (strict 0/1) is the
+  /// environment path.
+  bool iss_fast_path = true;
   /// Test-only fault-injection hook (ISSRTL_FAIL_SITE): comma-separated
   /// site indices whose host simulation throws at fault-arm time —
   /// "<i>" throws on every attempt (deterministic failure: the retry also
@@ -241,9 +265,13 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// = CPUID dispatch, else a power of two in [2, 64] forcing the interleave
 /// width), ISSRTL_JOURNAL (write-ahead journal directory; any non-empty
 /// path), ISSRTL_RESUME (1 = import the journal's records, 0 = truncate
-/// it; any other value is rejected), ISSRTL_DEADLINE_MS (wall-clock budget
-/// in milliseconds; 0 = none) and ISSRTL_FAIL_SITE (test-only throw hook,
-/// comma-separated "<site>" / "<site>:once"). Unset or empty variables
+/// it; any other value is rejected), ISSRTL_MIXED (1 = mixed-fidelity
+/// ISS-prefix/RTL-suffix campaigns, 0 = pure RTL; any other value is
+/// rejected), ISSRTL_ISS_FAST (1 = decoded-block ISS fast path, 0 = the
+/// reference decode-per-instruction path; any other value is rejected),
+/// ISSRTL_DEADLINE_MS (wall-clock budget in milliseconds; 0 = none) and
+/// ISSRTL_FAIL_SITE (test-only throw hook, comma-separated "<site>" /
+/// "<site>:once"). Unset or empty variables
 /// leave the corresponding field of `base` untouched; front ends apply
 /// explicit command-line arguments on top. A set variable must parse in
 /// full — plain decimal digits (plus the literal "auto" for

@@ -34,6 +34,7 @@ IssCampaignBackend::IssCampaignBackend(const isa::Program& prog,
   prog_.load_into(initial_mem_);
   golden_mem_ = initial_mem_.clone();
   iss::Emulator golden(golden_mem_);
+  golden.set_fast_path(opts_.iss_fast_path);
   golden.reset(prog_.entry);
   // The golden run, stepped manually so the ladder can snapshot it on the
   // stride grid (same 10M-instruction watchdog as Emulator::run's default).
@@ -155,7 +156,9 @@ std::unique_ptr<IssCampaignBackend::Worker> IssCampaignBackend::make_worker(
 
 IssCampaignBackend::Worker::Worker(const IssCampaignBackend& backend,
                                    unsigned /*shard*/)
-    : b_(backend), emu_(mem_) {}
+    : b_(backend), emu_(mem_) {
+  emu_.set_fast_path(backend.opts_.iss_fast_path);
+}
 
 void IssCampaignBackend::Worker::prepare(u64 inject_at_instr) {
   emu_.clear_faults();

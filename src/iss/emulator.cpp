@@ -1,5 +1,7 @@
 #include "iss/emulator.hpp"
 
+#include <algorithm>
+
 #include "iss/timing.hpp"
 
 namespace issrtl::iss {
@@ -22,7 +24,17 @@ std::string_view halt_reason_name(HaltReason r) {
   return "?";
 }
 
-Emulator::Emulator(Memory& mem) : mem_(mem) {}
+Emulator::Emulator(Memory& mem) : mem_(mem) { rebuild_regmap(); }
+
+void Emulator::rebuild_regmap() noexcept {
+  for (unsigned r = 0; r < 32; ++r) {
+    u32* slot = &state_.regs[isa::phys_reg_index(r, state_.cwp)];
+    rmap_[r] = slot;
+    wmap_[r] = slot;
+  }
+  rmap_[0] = &zero_reg_;
+  wmap_[0] = &discard_reg_;
+}
 
 void Emulator::load(const isa::Program& prog) {
   prog.load_into(mem_);
@@ -31,6 +43,7 @@ void Emulator::load(const isa::Program& prog) {
 
 void Emulator::reset(u32 entry) {
   state_.reset(entry);
+  rebuild_regmap();
   trace_.clear();
   offcore_.clear();
   halt_ = HaltReason::kRunning;
@@ -55,6 +68,175 @@ void Emulator::record_store(u32 addr, u8 size, u64 data) {
 void Emulator::arm_fault(const IssFault& fault) { faults_.push_back(fault); }
 void Emulator::clear_faults() { faults_.clear(); }
 
+// ---- fast path (dbbcache + lscache) -----------------------------------------
+
+void Emulator::set_fast_path(bool on) {
+  if (fast_path_ == on) return;
+  fast_path_ = on;
+  drop_caches();
+}
+
+void Emulator::flush_dbb() {
+  dbb_stale_ = false;
+  if (dbb_.empty()) return;
+  dbb_.clear();
+  if (xlat_ != nullptr) xlat_->fill(XlatEntry{});
+  cur_block_ = nullptr;
+  code_lo_ = ~0u;
+  code_hi_ = 0;
+  ++dbb_flushes_;
+}
+
+void Emulator::drop_caches() {
+  flush_dbb();
+  ls_rd_index_ = kNoLsPage;
+  ls_wr_index_ = kNoLsPage;
+  ls_rd_base_ = nullptr;
+  ls_wr_base_ = nullptr;
+  ls_revision_ = ~0ull;
+}
+
+void Emulator::resync_caches() {
+  // An external event moved the memory revision: pages may have been
+  // re-shared (clone) or mutated through the Memory API at addresses this
+  // emulator never saw. Raw page pointers are dead, and decoded blocks may
+  // alias rewritten code — drop both, then track the new revision.
+  ls_rd_index_ = kNoLsPage;
+  ls_wr_index_ = kNoLsPage;
+  ls_rd_base_ = nullptr;
+  ls_wr_base_ = nullptr;
+  flush_dbb();
+  ls_revision_ = mem_.revision();
+}
+
+const Emulator::DbbBlock& Emulator::build_block(u32 pc) {
+  DbbBlock blk;
+  blk.base = pc;
+  u32 p = pc;
+  bool in_delay_slot = false;
+  for (std::size_t i = 0; i < kMaxBlockInsts; ++i) {
+    const DecodedInst d = isa::decode(mem_.load_u32(p));
+    blk.insts.push_back(d);
+    p += 4;
+    if (!d.valid()) break;  // sentinel; executor halts exactly like baseline
+    if (in_delay_slot) break;  // CTI + its delay slot close the block
+    const InstClass ic = d.iclass;
+    if (ic == InstClass::kTrap) break;  // halts; no delay slot
+    if (ic == InstClass::kBranch || ic == InstClass::kCall ||
+        ic == InstClass::kJmpl) {
+      // Include the delay slot: it executes at CTI+4 no matter where the
+      // transfer goes, so keeping it in-block makes a taken branch cost a
+      // single block transition (the target), not two. A CTI in the delay
+      // slot (DCTI couple) just ends the block one later.
+      in_delay_slot = true;
+    }
+    if (p == 0) break;  // address-space wrap
+  }
+  blk.bytes = static_cast<u32>(blk.insts.size()) * 4u;
+  code_lo_ = std::min(code_lo_, blk.base);
+  code_hi_ = std::max(code_hi_, blk.base + blk.bytes);
+  DbbBlock& slot = dbb_[pc];
+  slot = std::move(blk);
+  return slot;
+}
+
+const DecodedInst* Emulator::fetch_decoded(u32 pc) {
+  if (dbb_stale_) flush_dbb();  // deferred self-modifying-code invalidation
+  const DbbBlock* b = cur_block_;
+  if (b == nullptr || pc - b->base >= b->bytes) {
+    if (xlat_ == nullptr) xlat_ = std::make_unique<std::array<XlatEntry, kXlatSize>>();
+    XlatEntry& e = (*xlat_)[(pc >> 2) & (kXlatSize - 1)];
+    if (e.blk != nullptr && e.pc == pc) {
+      b = e.blk;
+    } else {
+      const auto it = dbb_.find(pc);
+      b = (it != dbb_.end()) ? &it->second : &build_block(pc);
+      e.pc = pc;
+      e.blk = b;
+    }
+    cur_block_ = b;
+  }
+  return &b->insts[(pc - b->base) >> 2];
+}
+
+const u8* Emulator::rd_bytes(u32 addr) {
+  const u32 idx = addr >> Memory::kPageBits;
+  if (idx != ls_rd_index_) {
+    const u8* base = mem_.read_page_base(addr);
+    if (base == nullptr) return nullptr;  // absent page: reads as zero
+    ls_rd_index_ = idx;
+    ls_rd_base_ = base;
+  }
+  return ls_rd_base_ + (addr & (Memory::kPageSize - 1));
+}
+
+u8* Emulator::wr_bytes(u32 addr) {
+  const u32 idx = addr >> Memory::kPageBits;
+  if (idx != ls_wr_index_) {
+    u8* base = mem_.write_page_base(addr);
+    ls_wr_index_ = idx;
+    ls_wr_base_ = base;
+    // The COW un-share may have replaced the page object; keep the read
+    // entry for the same page coherent with the private copy.
+    if (ls_rd_index_ == idx) ls_rd_base_ = base;
+  }
+  return ls_wr_base_ + (addr & (Memory::kPageSize - 1));
+}
+
+u8 Emulator::ld8(u32 addr) {
+  if (!fast_path_) return mem_.load_u8(addr);
+  const u8* p = rd_bytes(addr);
+  return p != nullptr ? *p : 0;
+}
+
+u16 Emulator::ld16(u32 addr) {
+  if (!fast_path_) return mem_.load_u16(addr);
+  const u8* p = rd_bytes(addr);
+  if (p == nullptr) return 0;
+  return static_cast<u16>((static_cast<u16>(p[0]) << 8) | p[1]);
+}
+
+u32 Emulator::ld32(u32 addr) {
+  if (!fast_path_) return mem_.load_u32(addr);
+  const u8* p = rd_bytes(addr);
+  if (p == nullptr) return 0;
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+void Emulator::st8(u32 addr, u8 v) {
+  if (!fast_path_) {
+    mem_.store_u8(addr, v);
+    return;
+  }
+  if (touches_code(addr, 1)) dbb_stale_ = true;  // self-modifying code
+  *wr_bytes(addr) = v;
+}
+
+void Emulator::st16(u32 addr, u16 v) {
+  if (!fast_path_) {
+    mem_.store_u16(addr, v);
+    return;
+  }
+  if (touches_code(addr, 2)) dbb_stale_ = true;
+  u8* p = wr_bytes(addr);
+  p[0] = static_cast<u8>(v >> 8);
+  p[1] = static_cast<u8>(v);
+}
+
+void Emulator::st32(u32 addr, u32 v) {
+  if (!fast_path_) {
+    mem_.store_u32(addr, v);
+    return;
+  }
+  if (touches_code(addr, 4)) dbb_stale_ = true;
+  u8* p = wr_bytes(addr);
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
 EmuCheckpoint Emulator::checkpoint() const {
   return EmuCheckpoint{state_, trace_, offcore_, halt_, trap_code_, instret_};
 }
@@ -66,6 +248,7 @@ EmuCheckpoint Emulator::checkpoint_lite() const {
 
 void Emulator::restore(const EmuCheckpoint& ck) {
   state_ = ck.state;
+  rebuild_regmap();
   trace_ = ck.trace;
   offcore_ = ck.offcore;
   halt_ = ck.halt;
@@ -133,8 +316,8 @@ Icc logic_flags(u32 r) {
 }  // namespace
 
 HaltReason Emulator::exec_memory(const DecodedInst& d, u32 pc) {
-  const u32 a = state_.get_reg(d.rs1);
-  const u32 b = d.uses_imm ? static_cast<u32>(d.simm13) : state_.get_reg(d.rs2);
+  const u32 a = rreg(d.rs1);
+  const u32 b = d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
   const u32 addr = a + b;
 
   auto aligned = [&](u32 align) { return (addr & (align - 1)) == 0; };
@@ -142,64 +325,64 @@ HaltReason Emulator::exec_memory(const DecodedInst& d, u32 pc) {
   switch (d.opcode) {
     case Opcode::kLD:
       if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
-      state_.set_reg(d.rd, mem_.load_u32(addr));
+      wreg(d.rd, ld32(addr));
       break;
     case Opcode::kLDUB:
-      state_.set_reg(d.rd, mem_.load_u8(addr));
+      wreg(d.rd, ld8(addr));
       break;
     case Opcode::kLDSB:
-      state_.set_reg(d.rd, static_cast<u32>(static_cast<i32>(
-                               static_cast<i8>(mem_.load_u8(addr)))));
+      wreg(d.rd, static_cast<u32>(static_cast<i32>(
+                               static_cast<i8>(ld8(addr)))));
       break;
     case Opcode::kLDUH:
       if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
-      state_.set_reg(d.rd, mem_.load_u16(addr));
+      wreg(d.rd, ld16(addr));
       break;
     case Opcode::kLDSH:
       if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
-      state_.set_reg(d.rd, static_cast<u32>(static_cast<i32>(
-                               static_cast<i16>(mem_.load_u16(addr)))));
+      wreg(d.rd, static_cast<u32>(static_cast<i32>(
+                               static_cast<i16>(ld16(addr)))));
       break;
     case Opcode::kLDD:
       if (!aligned(8)) return halt_with(HaltReason::kMisalignedAccess);
-      state_.set_reg(d.rd, mem_.load_u32(addr));
-      state_.set_reg(d.rd + 1u, mem_.load_u32(addr + 4));
+      wreg(d.rd, ld32(addr));
+      wreg(d.rd + 1u, ld32(addr + 4));
       break;
     case Opcode::kST:
       if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
-      mem_.store_u32(addr, state_.get_reg(d.rd));
-      record_store(addr, 4, state_.get_reg(d.rd));
+      st32(addr, rreg(d.rd));
+      record_store(addr, 4, rreg(d.rd));
       break;
     case Opcode::kSTB:
-      mem_.store_u8(addr, static_cast<u8>(state_.get_reg(d.rd)));
-      record_store(addr, 1, state_.get_reg(d.rd) & 0xFF);
+      st8(addr, static_cast<u8>(rreg(d.rd)));
+      record_store(addr, 1, rreg(d.rd) & 0xFF);
       break;
     case Opcode::kSTH:
       if (!aligned(2)) return halt_with(HaltReason::kMisalignedAccess);
-      mem_.store_u16(addr, static_cast<u16>(state_.get_reg(d.rd)));
-      record_store(addr, 2, state_.get_reg(d.rd) & 0xFFFF);
+      st16(addr, static_cast<u16>(rreg(d.rd)));
+      record_store(addr, 2, rreg(d.rd) & 0xFFFF);
       break;
     case Opcode::kSTD:
       if (!aligned(8)) return halt_with(HaltReason::kMisalignedAccess);
-      mem_.store_u32(addr, state_.get_reg(d.rd));
-      mem_.store_u32(addr + 4, state_.get_reg(d.rd + 1u));
-      record_store(addr, 4, state_.get_reg(d.rd));
-      record_store(addr + 4, 4, state_.get_reg(d.rd + 1u));
+      st32(addr, rreg(d.rd));
+      st32(addr + 4, rreg(d.rd + 1u));
+      record_store(addr, 4, rreg(d.rd));
+      record_store(addr + 4, 4, rreg(d.rd + 1u));
       break;
     case Opcode::kLDSTUB: {
-      const u8 old = mem_.load_u8(addr);
-      mem_.store_u8(addr, 0xFF);
+      const u8 old = ld8(addr);
+      st8(addr, 0xFF);
       record_store(addr, 1, 0xFF);
-      state_.set_reg(d.rd, old);
+      wreg(d.rd, old);
       break;
     }
     case Opcode::kSWAP: {
       if (!aligned(4)) return halt_with(HaltReason::kMisalignedAccess);
-      const u32 old = mem_.load_u32(addr);
-      const u32 nv = state_.get_reg(d.rd);
-      mem_.store_u32(addr, nv);
+      const u32 old = ld32(addr);
+      const u32 nv = rreg(d.rd);
+      st32(addr, nv);
       record_store(addr, 4, nv);
-      state_.set_reg(d.rd, old);
+      wreg(d.rd, old);
       break;
     }
     default:
@@ -224,25 +407,37 @@ HaltReason Emulator::step() {
 
   const u32 pc = state_.pc;
   if ((pc & 3) != 0) return halt_with(HaltReason::kMisalignedAccess);
-  const u32 word = mem_.load_u32(pc);
-  const DecodedInst d = isa::decode(word);
-
+  if (fast_path_) {
+    if (mem_.revision() != ls_revision_) resync_caches();
+    // Borrowed, not copied: a self-modifying store only marks the dbbcache
+    // stale; the flush is deferred to the next fetch_decoded().
+    const DecodedInst& d = *fetch_decoded(pc);
+    if (!d.valid()) return halt_with(HaltReason::kIllegalInstruction);
+    return exec_one(d, pc);
+  }
+  const DecodedInst d = isa::decode(mem_.load_u32(pc));
   if (!d.valid()) return halt_with(HaltReason::kIllegalInstruction);
+  return exec_one(d, pc);
+}
 
+HaltReason Emulator::exec_one(const DecodedInst& d, u32 pc) {
   trace_.record(d.opcode);
   ++instret_;
   if (timing_ != nullptr) timing_->on_fetch(pc, d);
 
-  const u32 a = state_.get_reg(d.rs1);
-  const u32 b = d.uses_imm ? static_cast<u32>(d.simm13) : state_.get_reg(d.rs2);
-
+  // Operand reads live inside the cases that use them: branches/sethi/call
+  // don't read the register file, and the memory classes read their own
+  // operands in exec_memory.
   switch (d.iclass) {
     case InstClass::kSethi:
-      state_.set_reg(d.rd, d.imm22 << 10);
+      wreg(d.rd, d.imm22 << 10);
       advance_pc();
       break;
 
     case InstClass::kAlu: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       u32 r = 0;
       Icc icc = state_.icc;
       bool write_icc = d.sets_icc;
@@ -319,13 +514,16 @@ HaltReason Emulator::step() {
         default:
           return halt_with(HaltReason::kIllegalInstruction);
       }
-      state_.set_reg(d.rd, r);
+      wreg(d.rd, r);
       if (write_icc) state_.icc = icc;
       advance_pc();
       break;
     }
 
     case InstClass::kShift: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       const u32 count = b & 31;
       u32 r = 0;
       switch (d.opcode) {
@@ -334,12 +532,15 @@ HaltReason Emulator::step() {
         case Opcode::kSRA: r = static_cast<u32>(static_cast<i32>(a) >> count); break;
         default: return halt_with(HaltReason::kIllegalInstruction);
       }
-      state_.set_reg(d.rd, r);
+      wreg(d.rd, r);
       advance_pc();
       break;
     }
 
     case InstClass::kMul: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       const bool is_signed =
           d.opcode == Opcode::kSMUL || d.opcode == Opcode::kSMULCC;
       const u64 prod = is_signed
@@ -348,7 +549,7 @@ HaltReason Emulator::step() {
                            : static_cast<u64>(a) * b;
       const u32 lo = static_cast<u32>(prod);
       state_.y = static_cast<u32>(prod >> 32);
-      state_.set_reg(d.rd, lo);
+      wreg(d.rd, lo);
       if (d.sets_icc) {
         state_.icc = logic_flags(lo);  // V=C=0, N/Z from the low word
       }
@@ -357,6 +558,9 @@ HaltReason Emulator::step() {
     }
 
     case InstClass::kDiv: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       if (b == 0) return halt_with(HaltReason::kDivisionByZero);
       const bool is_signed =
           d.opcode == Opcode::kSDIV || d.opcode == Opcode::kSDIVCC;
@@ -374,7 +578,7 @@ HaltReason Emulator::step() {
         if (uq > 0xFFFF'FFFFull) { q = 0xFFFF'FFFFu; overflow = true; }
         else q = static_cast<u32>(uq);
       }
-      state_.set_reg(d.rd, q);
+      wreg(d.rd, q);
       if (d.sets_icc) {
         state_.icc = Icc::make((q >> 31) & 1, q == 0, overflow, false);
       }
@@ -383,7 +587,10 @@ HaltReason Emulator::step() {
     }
 
     case InstClass::kBranch: {
-      const bool taken = eval_cond(isa::branch_cond(d.opcode), state_.icc.nzvc);
+      // cond is bits 28:25 of the Bicc word — decode derived the opcode
+      // from exactly these bits, so read them back instead of paying the
+      // out-of-line branch_cond() mapping per branch.
+      const bool taken = eval_cond((d.raw >> 25) & 0xF, state_.icc.nzvc);
       const u32 target = pc + static_cast<u32>(d.disp);
       if (timing_ != nullptr) timing_->on_branch(taken);
       if (d.opcode == Opcode::kBA && d.annul) {
@@ -402,7 +609,7 @@ HaltReason Emulator::step() {
     }
 
     case InstClass::kCall: {
-      state_.set_reg(15, pc);  // %o7
+      wreg(15, pc);  // %o7
       const u32 target = pc + static_cast<u32>(d.disp);
       if (timing_ != nullptr) timing_->on_branch(true);
       state_.pc = state_.npc;
@@ -411,9 +618,12 @@ HaltReason Emulator::step() {
     }
 
     case InstClass::kJmpl: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       const u32 target = a + b;
       if ((target & 3) != 0) return halt_with(HaltReason::kMisalignedAccess);
-      state_.set_reg(d.rd, pc);
+      wreg(d.rd, pc);
       if (timing_ != nullptr) timing_->on_branch(true);
       state_.pc = state_.npc;
       state_.npc = target;
@@ -429,6 +639,9 @@ HaltReason Emulator::step() {
     }
 
     case InstClass::kSaveRestore: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       const bool is_save = d.opcode == Opcode::kSAVE;
       if (is_save) {
         if (state_.window_depth + 1 >= isa::kNumWindows) {
@@ -443,22 +656,27 @@ HaltReason Emulator::step() {
         --state_.window_depth;
         state_.cwp = (state_.cwp + 1) % isa::kNumWindows;
       }
+      rebuild_regmap();
       // Operands were read in the *old* window; the sum is written to rd in
       // the *new* window (SPARC V8 semantics).
-      state_.set_reg(d.rd, a + b);
+      wreg(d.rd, a + b);
       advance_pc();
       break;
     }
 
     case InstClass::kReadSpecial:
-      state_.set_reg(d.rd, state_.y);
+      wreg(d.rd, state_.y);
       advance_pc();
       break;
 
-    case InstClass::kWriteSpecial:
+    case InstClass::kWriteSpecial: {
+      const u32 a = rreg(d.rs1);
+      const u32 b =
+          d.uses_imm ? static_cast<u32>(d.simm13) : rreg(d.rs2);
       state_.y = a ^ b;  // SPARC: WR xor's rs1 with operand2
       advance_pc();
       break;
+    }
 
     case InstClass::kTrap:
       trap_code_ = d.trap_num;
@@ -476,11 +694,54 @@ HaltReason Emulator::step() {
   return halt_;
 }
 
-HaltReason Emulator::run(u64 max_steps) {
+HaltReason Emulator::run_loop(u64 max_steps, bool arm_step_limit) {
+  u64 remaining = max_steps;
+
+  // Block-walk fast loop: with no timing model and no armed faults, the
+  // per-instruction halt/fault/revision checks hoist out of the loop and
+  // dispatch is an index into the current decoded block — the offset is
+  // re-derived from pc each iteration, so delay slots (in-block by
+  // construction) and untaken branches never leave the block, and a taken
+  // transfer costs one fetch_decoded() for the target. A timing model or
+  // armed fault drops to the general per-step loop below (faults must be
+  // re-evaluated at every instruction boundary).
+  if (fast_path_ && timing_ == nullptr && faults_.empty()) {
+    if (halt_ != HaltReason::kRunning) return halt_;
+    if (mem_.revision() != ls_revision_) resync_caches();
+    const DbbBlock* blk = nullptr;
+    while (remaining != 0) {
+      const u32 pc = state_.pc;
+      u32 off = 0;
+      if (blk == nullptr || (off = pc - blk->base) >= blk->bytes) {
+        // Alignment is checked at block entry only: every in-block pc is a
+        // multiple of 4 by construction (branch/call displacements are
+        // word-scaled, jmpl targets are checked, advance_pc adds 4).
+        if ((pc & 3) != 0) return halt_with(HaltReason::kMisalignedAccess);
+        fetch_decoded(pc);
+        blk = cur_block_;
+        off = pc - blk->base;
+      }
+      const DecodedInst& d = blk->insts[off >> 2];
+      if (!d.valid()) return halt_with(HaltReason::kIllegalInstruction);
+      if (exec_one(d, pc) != HaltReason::kRunning) return halt_;
+      --remaining;
+      // A self-modifying store marked the dbbcache stale: refetch, which
+      // performs the deferred flush.
+      if (dbb_stale_) blk = nullptr;
+    }
+    return arm_step_limit ? halt_with(HaltReason::kStepLimit) : halt_;
+  }
+
   for (u64 i = 0; i < max_steps; ++i) {
     if (step() != HaltReason::kRunning) return halt_;
   }
-  return halt_with(HaltReason::kStepLimit);
+  return arm_step_limit ? halt_with(HaltReason::kStepLimit) : halt_;
+}
+
+HaltReason Emulator::run(u64 max_steps) { return run_loop(max_steps, true); }
+
+HaltReason Emulator::advance(u64 max_steps) {
+  return run_loop(max_steps, false);
 }
 
 }  // namespace issrtl::iss

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bus.hpp"
@@ -86,9 +87,14 @@ class Emulator {
   /// (kStepLimit if the watchdog expired).
   HaltReason run(u64 max_steps = 10'000'000);
 
+  /// Execute up to `max_steps` instructions without arming the kStepLimit
+  /// watchdog: reaching the budget simply returns with the emulator still
+  /// kRunning. The engine's prefix replay ("step to instant N, then keep
+  /// going") is this, and it takes the same block-walk fast loop as run().
+  HaltReason advance(u64 max_steps);
+
   // ---- observers ------------------------------------------------------------
   const ArchState& state() const noexcept { return state_; }
-  ArchState& mutable_state() noexcept { return state_; }
   const InstrTrace& trace() const noexcept { return trace_; }
   const OffCoreTrace& offcore() const noexcept { return offcore_; }
   HaltReason halt_reason() const noexcept { return halt_; }
@@ -98,6 +104,30 @@ class Emulator {
 
   /// Attach a timing model (borrowed); pass nullptr to detach.
   void set_timing(TimingModel* timing) noexcept { timing_ = timing; }
+
+  // ---- fast path (dbbcache + lscache) ---------------------------------------
+  //
+  // On by default. Instructions are decoded once per basic block into a
+  // cache keyed by the block's entry PC (the "dbbcache", after
+  // riscv-vp-plusplus), and data accesses go through a one-entry raw page
+  // cache (the "lscache") instead of the Memory hash path. Both caches are
+  // microarchitecturally invisible: every observable (architectural state,
+  // traces, halt reasons, fault semantics) is bit-identical to the baseline
+  // decode-per-instruction path, which is kept — selectable here — as the
+  // reference for differential testing.
+  //
+  // Coherence: stores the emulator itself executes are checked against the
+  // byte range covered by cached blocks (self-modifying code flushes the
+  // dbbcache); every *external* event that could invalidate decoded bytes or
+  // cached page pointers — stores through the Memory API, clone()/copy/move
+  // re-sharing pages — bumps Memory::revision(), which step() compares once
+  // per instruction and resynchronises on mismatch.
+  void set_fast_path(bool on);
+  bool fast_path() const noexcept { return fast_path_; }
+
+  /// Cache introspection for tests and stats.
+  std::size_t dbb_blocks() const noexcept { return dbb_.size(); }
+  u64 dbb_flushes() const noexcept { return dbb_flushes_; }
 
   /// Capture the execution state between instructions (Memory excluded).
   EmuCheckpoint checkpoint() const;
@@ -124,6 +154,31 @@ class Emulator {
   void clear_faults();
 
  private:
+  /// One decoded basic block: straight-line decode starting at `base`,
+  /// terminated by (and including) the first control-transfer instruction
+  /// (branch/call/jmpl/trap), the first invalid encoding (kept as a sentinel
+  /// so the executor's valid() check fires exactly as in the baseline), or
+  /// the kMaxBlockInsts cap. Blocks never alias stale bytes: building reads
+  /// memory directly, and invalidation (below) flushes before bytes change.
+  struct DbbBlock {
+    u32 base = 0;
+    u32 bytes = 0;  ///< insts.size() * 4
+    std::vector<isa::DecodedInst> insts;
+  };
+  static constexpr std::size_t kMaxBlockInsts = 64;
+  static constexpr u32 kNoLsPage = ~0u;  // page indices are < 2^20
+
+  /// Direct-mapped block-entry translation table in front of dbb_: block
+  /// transitions happen every few instructions (every taken branch costs
+  /// two — delay slot, then target), and the hash find dominated the
+  /// profile. Entry pointers stay valid between flushes (node-based map).
+  static constexpr u32 kXlatBits = 12;
+  static constexpr u32 kXlatSize = 1u << kXlatBits;
+  struct XlatEntry {
+    u32 pc = 0;
+    const DbbBlock* blk = nullptr;
+  };
+
   HaltReason halt_with(HaltReason r);
   void advance_pc();
   void apply_faults();
@@ -132,8 +187,53 @@ class Emulator {
   HaltReason exec_memory(const isa::DecodedInst& d, u32 pc);
   void record_store(u32 addr, u8 size, u64 data);
 
+  /// Execute one already-fetched, already-validated instruction: the
+  /// trace/instret bookkeeping plus the big dispatch switch. The per-step
+  /// halt/fault/alignment/revision checks are the caller's job — step()
+  /// does them each time, the run()/advance() fast loop hoists them.
+  HaltReason exec_one(const isa::DecodedInst& d, u32 pc);
+  HaltReason run_loop(u64 max_steps, bool arm_step_limit);
+
+  // Fast-path internals (all no-ops / pass-throughs when fast_path_ is off).
+  const isa::DecodedInst* fetch_decoded(u32 pc);
+  const DbbBlock& build_block(u32 pc);
+  void flush_dbb();
+  void drop_caches();    ///< dbb + lscache; forces a revision resync
+  void resync_caches();  ///< Memory::revision() moved: external invalidation
+
+  /// True when [addr, addr+len) overlaps the byte range covered by cached
+  /// blocks (conservative union, not per-block).
+  bool touches_code(u32 addr, u32 len) const noexcept {
+    return addr < code_hi_ && addr + len > code_lo_;
+  }
+
+  /// Windowed-register dispatch: arch reg -> physical slot pointers for the
+  /// current window, rebuilt whenever cwp can change (reset/restore/
+  /// save/restore). Entry 0 splits into a read view (always-zero slot, %g0
+  /// reads as zero) and a write view (discard slot, %g0 writes vanish), so
+  /// the hot path is two dependent loads with no zero-test or window
+  /// arithmetic.
+  void rebuild_regmap() noexcept;
+  u32 rreg(unsigned r) const noexcept { return *rmap_[r]; }
+  void wreg(unsigned r, u32 v) noexcept { *wmap_[r] = v; }
+
+  // Data-access helpers: lscache when fast, Memory API otherwise. Alignment
+  // is checked by exec_memory before these run, so no access crosses a page.
+  u8 ld8(u32 addr);
+  u16 ld16(u32 addr);
+  u32 ld32(u32 addr);
+  void st8(u32 addr, u8 v);
+  void st16(u32 addr, u16 v);
+  void st32(u32 addr, u32 v);
+  const u8* rd_bytes(u32 addr);  ///< nullptr = never-written page (zero)
+  u8* wr_bytes(u32 addr);
+
   Memory& mem_;
   ArchState state_;
+  std::array<const u32*, 32> rmap_{};
+  std::array<u32*, 32> wmap_{};
+  u32 zero_reg_ = 0;     ///< rmap_[0]: %g0 source
+  u32 discard_reg_ = 0;  ///< wmap_[0]: %g0 sink
   InstrTrace trace_;
   OffCoreTrace offcore_;
   TimingModel* timing_ = nullptr;
@@ -141,6 +241,25 @@ class Emulator {
   HaltReason halt_ = HaltReason::kRunning;
   u8 trap_code_ = 0;
   u64 instret_ = 0;
+
+  // Fast-path state. cur_block_ relies on unordered_map node stability.
+  bool fast_path_ = true;
+  std::unordered_map<u32, DbbBlock> dbb_;
+  std::unique_ptr<std::array<XlatEntry, kXlatSize>> xlat_;  // lazy, 64 KiB
+  const DbbBlock* cur_block_ = nullptr;
+  u32 code_lo_ = ~0u;  ///< [code_lo_, code_hi_): bytes covered by dbb_
+  u32 code_hi_ = 0;
+  /// A store landed in the cached code range; the flush is deferred to the
+  /// next fetch_decoded() so in-flight DecodedInst references stay valid
+  /// through the instruction that did the store (fetch-before-execute
+  /// semantics, same as the baseline).
+  bool dbb_stale_ = false;
+  u64 dbb_flushes_ = 0;
+  u32 ls_rd_index_ = kNoLsPage;
+  u32 ls_wr_index_ = kNoLsPage;
+  const u8* ls_rd_base_ = nullptr;
+  u8* ls_wr_base_ = nullptr;
+  u64 ls_revision_ = ~0ull;  ///< expected mem_.revision(); ~0 forces resync
 };
 
 }  // namespace issrtl::iss

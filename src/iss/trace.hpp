@@ -1,6 +1,11 @@
 // Instruction-level trace: the information the ISS "dumps" per §3 of the
 // paper. From it we derive the diversity metric (unique instruction types),
 // per-functional-unit diversity D_m, and the Table 1 characterisation counts.
+//
+// record() is on the emulator's per-instruction hot path, so it is a single
+// array increment; everything else (per-unit counts, seen-sets) is derived
+// from counts_ on demand — observers are O(kNumOpcodes), which is fine for
+// reporting, and the checkpoint footprint shrinks to one array.
 #pragma once
 
 #include <array>
@@ -13,17 +18,8 @@ namespace issrtl::iss {
 
 class InstrTrace {
  public:
-  void record(isa::Opcode op) {
-    const auto idx = static_cast<std::size_t>(op);
-    ++counts_[idx];
-    seen_.set(idx);
-    const u32 units = isa::opcode_info(op).units;
-    for (std::size_t u = 0; u < isa::kNumFuncUnits; ++u) {
-      if (units & (1u << u)) {
-        ++unit_counts_[u];
-        unit_seen_[u].set(idx);
-      }
-    }
+  void record(isa::Opcode op) noexcept {
+    ++counts_[static_cast<std::size_t>(op)];
   }
 
   /// Dynamic count of one instruction type.
@@ -56,38 +52,50 @@ class InstrTrace {
   /// The paper's diversity metric: number of unique instruction types
   /// (opcodes) executed by the application.
   unsigned diversity() const noexcept {
-    return static_cast<unsigned>(seen_.count());
+    unsigned n = 0;
+    for (u64 c : counts_) n += (c != 0) ? 1u : 0u;
+    return n;
   }
 
   /// Per-functional-unit diversity D_m: unique instruction types that
   /// exercise unit m.
   unsigned unit_diversity(isa::FuncUnit u) const noexcept {
-    return static_cast<unsigned>(
-        unit_seen_[static_cast<std::size_t>(u)].count());
+    const u32 bit = 1u << static_cast<std::size_t>(u);
+    unsigned n = 0;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      if (counts_[i] != 0 &&
+          (isa::opcode_info(static_cast<isa::Opcode>(i)).units & bit) != 0) {
+        ++n;
+      }
+    }
+    return n;
   }
 
   /// Dynamic accesses to unit m.
   u64 unit_accesses(isa::FuncUnit u) const noexcept {
-    return unit_counts_[static_cast<std::size_t>(u)];
+    const u32 bit = 1u << static_cast<std::size_t>(u);
+    u64 t = 0;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      if ((isa::opcode_info(static_cast<isa::Opcode>(i)).units & bit) != 0) {
+        t += counts_[i];
+      }
+    }
+    return t;
   }
 
   /// Set of executed types, for set-algebra in tests and analysis.
-  const std::bitset<isa::kNumOpcodes>& opcode_set() const noexcept {
-    return seen_;
+  std::bitset<isa::kNumOpcodes> opcode_set() const noexcept {
+    std::bitset<isa::kNumOpcodes> seen;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      if (counts_[i] != 0) seen.set(i);
+    }
+    return seen;
   }
 
-  void clear() {
-    counts_.fill(0);
-    unit_counts_.fill(0);
-    seen_.reset();
-    for (auto& s : unit_seen_) s.reset();
-  }
+  void clear() { counts_.fill(0); }
 
  private:
   std::array<u64, isa::kNumOpcodes> counts_{};
-  std::array<u64, isa::kNumFuncUnits> unit_counts_{};
-  std::bitset<isa::kNumOpcodes> seen_;
-  std::array<std::bitset<isa::kNumOpcodes>, isa::kNumFuncUnits> unit_seen_{};
 };
 
 }  // namespace issrtl::iss

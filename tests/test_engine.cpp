@@ -577,6 +577,63 @@ TEST(Engine, OptionsFromEnvParsesJournalAndResume) {
   }
 }
 
+TEST(Engine, OptionsFromEnvParsesMixedFidelity) {
+  {
+    ScopedEnv m("ISSRTL_MIXED", "1");
+    EXPECT_TRUE(options_from_env().mixed_fidelity);
+  }
+  {
+    ScopedEnv m("ISSRTL_MIXED", "0");
+    EXPECT_FALSE(options_from_env().mixed_fidelity);
+  }
+  {
+    ScopedEnv m("ISSRTL_MIXED", nullptr);
+    EngineOptions base;
+    base.mixed_fidelity = true;
+    EXPECT_TRUE(options_from_env(base).mixed_fidelity);  // unset: untouched
+  }
+  // Mixed fidelity changes the experiment (it is folded into the campaign
+  // key) — a typo must not silently pick which experiment ran.
+  for (const char* v : {"2", "x", "yes", "-1", "true", "01x", " 1"}) {
+    ScopedEnv m("ISSRTL_MIXED", v);
+    try {
+      options_from_env();
+      FAIL() << "expected std::invalid_argument for '" << v << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("ISSRTL_MIXED"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Engine, OptionsFromEnvParsesIssFastPath) {
+  {
+    ScopedEnv f("ISSRTL_ISS_FAST", "0");
+    EXPECT_FALSE(options_from_env().iss_fast_path);
+  }
+  {
+    ScopedEnv f("ISSRTL_ISS_FAST", "1");
+    EXPECT_TRUE(options_from_env().iss_fast_path);
+  }
+  {
+    ScopedEnv f("ISSRTL_ISS_FAST", nullptr);
+    EngineOptions base;
+    base.iss_fast_path = false;
+    EXPECT_FALSE(options_from_env(base).iss_fast_path);  // unset: untouched
+  }
+  for (const char* v : {"2", "fast", "-1", "true", "1 "}) {
+    ScopedEnv f("ISSRTL_ISS_FAST", v);
+    try {
+      options_from_env();
+      FAIL() << "expected std::invalid_argument for '" << v << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("ISSRTL_ISS_FAST"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(Engine, OptionsFromEnvParsesDeadline) {
   {
     ScopedEnv d("ISSRTL_DEADLINE_MS", "1500");

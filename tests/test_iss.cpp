@@ -500,6 +500,145 @@ TEST(Emulator, WryXorSemantics) {
   EXPECT_EQ(reg(r, Reg::o1), 0xFF00FF00u ^ 0x0F0u);
 }
 
+// ---- fast-path cache coherence -----------------------------------------------------
+//
+// The dbbcache (decoded basic blocks) and lscache (one-entry raw page cache)
+// must stay invisible under every event that can change the bytes behind
+// them: the program writing its own code, external stores through the
+// Memory API, and COW clone() re-sharing pages out from under a cached
+// write pointer. tests/test_iss_fastpath.cpp carries the broad differential
+// harness; these are the targeted invalidation regressions.
+
+/// Single-instruction encoding of `mov rd, imm` via a throwaway assembler
+/// (no hand-rolled instruction formats in the tests).
+u32 encode_mov_imm(Reg rd, i32 imm) {
+  Assembler t("enc");
+  t.mov(rd, imm);
+  Program p = t.finalize();
+  return p.code[0];
+}
+
+TEST(FastPath, SelfModifyingStoreFlushesDbbcache) {
+  // A loop whose body overwrites its own first instruction (mov %o0, 1 ->
+  // mov %o0, 7) while that block is decoded AND currently executing: pass 1
+  // must still run the old code to completion (fetch-before-execute), pass
+  // 2 must run the new code. Accumulator ends at 1 + 7 = 8.
+  const auto build = [] {
+    Assembler a("t");
+    const u32 donor = a.data_u32(encode_mov_imm(Reg::o0, 7));
+    a.mov(Reg::l2, 0);                    // pass counter
+    a.mov(Reg::l3, 0);                    // accumulator
+    a.set32(Reg::l4, donor);
+    auto loop = a.here();
+    const u32 patch = a.current_pc();
+    a.mov(Reg::o0, 1);                    // patch site
+    a.add(Reg::l3, Reg::l3, Reg::o0);
+    a.ld(Reg::o1, Reg::l4, 0);            // donor word
+    a.set32(Reg::l5, patch);
+    a.st(Reg::o1, Reg::l5, 0);            // self-modify
+    a.add(Reg::l2, Reg::l2, 1);
+    a.cmp(Reg::l2, 2);
+    a.bne(loop);
+    a.nop();
+    a.halt();
+    return a.finalize();
+  };
+  for (const bool fast : {true, false}) {
+    Memory mem;
+    Emulator e(mem);
+    e.set_fast_path(fast);
+    e.load(build());
+    e.run();
+    EXPECT_EQ(e.halt_reason(), HaltReason::kHalted) << "fast=" << fast;
+    EXPECT_EQ(e.state().get_reg(isa::reg_num(Reg::l3)), 8u) << "fast=" << fast;
+    if (fast) {
+      EXPECT_GE(e.dbb_flushes(), 1u)
+          << "store into cached code must flush the dbbcache";
+    }
+  }
+}
+
+TEST(FastPath, ExternalStoreInvalidatesDecodedBlocks) {
+  // A store through the Memory API (not the emulator's own data path) lands
+  // in a decoded block; Memory::revision() must carry the invalidation into
+  // the next step().
+  Assembler a("t");
+  a.nop();
+  const u32 patch = a.current_pc();
+  a.mov(Reg::o0, 1);
+  a.halt();
+  Program p = a.finalize();
+  Memory mem;
+  Emulator e(mem);
+  e.load(p);
+  e.step();  // decodes the block [nop, mov, ta 0]
+  ASSERT_GE(e.dbb_blocks(), 1u);
+  const u64 rev = mem.revision();
+  mem.store_u32(patch, encode_mov_imm(Reg::o0, 7));
+  EXPECT_GT(mem.revision(), rev);
+  e.run();
+  EXPECT_EQ(e.halt_reason(), HaltReason::kHalted);
+  EXPECT_EQ(e.state().get_reg(isa::reg_num(Reg::o0)), 7u);
+}
+
+TEST(FastPath, CloneDoesNotShareStaleLscache) {
+  // clone() re-shares every page, so the emulator's cached raw write
+  // pointer into the pre-clone page would corrupt the snapshot if it kept
+  // being used: the revision bump must force a resync and the next store
+  // must COW-unshare. The clone is immutable history.
+  Assembler a("t");
+  const u32 buf = a.data_zero(16);
+  a.set32(Reg::l0, buf);
+  a.mov(Reg::o0, 1);
+  a.st(Reg::o0, Reg::l0, 0);   // populates the lscache write entry
+  a.mov(Reg::o0, 2);
+  a.st(Reg::o0, Reg::l0, 4);   // post-clone store, same page
+  a.halt();
+  Program p = a.finalize();
+  Memory mem;
+  Emulator e(mem);
+  e.load(p);
+  while (e.offcore().writes().empty() &&
+         e.halt_reason() == HaltReason::kRunning) {
+    e.step();
+  }
+  ASSERT_EQ(e.offcore().writes().size(), 1u);
+  Memory snap = mem.clone();
+  e.run();
+  EXPECT_EQ(e.halt_reason(), HaltReason::kHalted);
+  EXPECT_EQ(mem.load_u32(buf + 4), 2u);
+  EXPECT_EQ(snap.load_u32(buf), 1u);      // pre-clone store visible
+  EXPECT_EQ(snap.load_u32(buf + 4), 0u);  // post-clone store is not
+}
+
+TEST(FastPath, EmulatorOverCloneReadsFreshPages) {
+  // The mirror image: after cloning, the *source* keeps running and
+  // unshares pages; an emulator started over the clone must read the
+  // snapshot's bytes, never the source's newer ones.
+  Assembler a("t");
+  const u32 buf = a.data_zero(16);
+  a.set32(Reg::l0, buf);
+  a.mov(Reg::o0, 5);
+  a.st(Reg::o0, Reg::l0, 0);
+  a.halt();
+  Program p = a.finalize();
+  Memory mem;
+  Emulator e(mem);
+  e.load(p);
+  e.run();
+  ASSERT_EQ(mem.load_u32(buf), 5u);
+  Memory snap = mem.clone();
+  mem.store_u32(buf, 99);  // source moves on after the snapshot
+  // Re-run the program over the snapshot: it must see 0 at buf (its own
+  // fresh store path), and the source's 99 must never leak in.
+  Emulator e2(snap);
+  e2.load(p);
+  e2.run();
+  EXPECT_EQ(e2.halt_reason(), HaltReason::kHalted);
+  EXPECT_EQ(snap.load_u32(buf), 5u);
+  EXPECT_EQ(mem.load_u32(buf), 99u);
+}
+
 // ---- instruction trace / diversity -------------------------------------------------
 
 TEST(Trace, DiversityCountsUniqueTypes) {
