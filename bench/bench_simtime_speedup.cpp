@@ -32,6 +32,7 @@
 #include <exception>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "bench/bench_util.hpp"
 #include "engine/rtl_backend.hpp"
@@ -129,6 +130,20 @@ struct BenchMetrics {
   double simd_s = 0.0;           ///< lane-pool scheduler, SIMD rounds on
   double simd_vs_batched_ratio = 0.0;  ///< SIMD on vs off, same tree
   bool simd_identical = false;   ///< counts + hash, simd on/off x threads
+  // Pipeline section (same sweep, staged restore→arm→step→classify driver
+  // vs the synchronous loop, ISSRTL_PIPELINE on/off in the same tree).
+  double pipeline_sync_s = 0.0;    ///< synchronous driver (pipeline=0)
+  double pipeline_staged_s = 0.0;  ///< staged 3-thread-per-shard driver
+  double pipeline_vs_sync_ratio = 0.0;  ///< sync_s / staged_s
+  bool pipeline_identical = false;  ///< counts + hash, on/off x threads
+  unsigned pipeline_prefetch_depth = 0;  ///< resolved restore-queue depth
+  // Stage tallies of the timed staged run (fault::ReplayCounters).
+  u64 pipeline_prefetched = 0;     ///< restores served from the prefetcher
+  u64 pipeline_demand = 0;         ///< restores done inline on [S]
+  u64 pipeline_snapshot_waits = 0;
+  u64 pipeline_restore_stalls = 0;
+  u64 pipeline_classify_stalls = 0;
+  u64 pipeline_backlog_peak = 0;
   // Lane-pool occupancy of the timed SIMD run (fault::ReplayCounters).
   std::size_t lane_tile = 0;     ///< resolved tile width (env or CPUID)
   u64 simd_rounds = 0;
@@ -559,6 +574,118 @@ void report_simd_speedup(BenchMetrics& m) {
               (unsigned long long)m.simd_compactions);
 }
 
+/// Staged pipeline vs synchronous driver, same sweep as the SIMD section.
+/// The staged driver (the default since this PR) splits each shard into a
+/// restore/prefetch thread, the clone/arm+step thread, and a classify+
+/// report thread joined by bounded queues; ISSRTL_PIPELINE=0 reproduces
+/// the synchronous loop bit-identically in the same tree, so this ratio
+/// measures exactly what the extra threads buy: golden-prefix restores
+/// overlapped with stepping, and classification/journal I/O drained off
+/// the stepping path. On a sweep this small the restore and classify
+/// legs are a modest share of shard wall-clock, so parity (ratio ~1.0)
+/// is an honest outcome here — the floor in scripts/bench_kernel.sh
+/// asserts "no regression", not a win. On a host with fewer cores than
+/// threads x 3 the stages cannot truly overlap at all and the ratio
+/// degenerates to pure coordination overhead (the committed reference
+/// snapshot comes from a single-core box: ~0.9x there, i.e. the staged
+/// driver costs under ~10% when it can buy nothing); host_cores is
+/// recorded in the JSON so a reader can tell which regime a number came
+/// from. The stage tallies of the timed
+/// staged run (prefetched vs demand restores, queue stalls, classify
+/// backlog) are recorded alongside so a parity reading still shows
+/// whether the prefetcher was actually ahead of demand.
+void report_pipeline_speedup(BenchMetrics& m) {
+  const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
+  const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const unsigned batch =
+      static_cast<unsigned>(bench::env_size("ISSRTL_BATCH", 16));
+  const char* unit_env = std::getenv("ISSRTL_UNIT");
+  const std::string unit =
+      unit_env != nullptr && unit_env[0] != '\0' ? unit_env : "iu.ex";
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  cfg.samples = sites;
+  cfg.instants_per_site = instants;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  engine::EngineOptions staged = engine::options_from_env();
+  staged.threads = threads;
+  staged.batch_lanes = batch;
+  staged.simd_lanes = true;
+  staged.pipeline = true;
+
+  engine::EngineOptions sync = staged;
+  sync.pipeline = false;
+
+  // Alternating min-of-N, same scheme (and rationale) as the SIMD
+  // section: both drivers timed in the same rep so the ratio survives
+  // clock drift and neighbour load.
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
+  fault::CampaignResult fast;
+  double sync_best = 0.0, staged_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sync_run = engine::run_rtl_campaign(prog(), cfg, {}, sync);
+    const auto t1 = std::chrono::steady_clock::now();
+    fast = engine::run_rtl_campaign(prog(), cfg, {}, staged);
+    const auto t2 = std::chrono::steady_clock::now();
+    (void)sync_run;
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    const double p = std::chrono::duration<double>(t2 - t1).count();
+    if (r == 0 || s < sync_best) sync_best = s;
+    if (r == 0 || p < staged_best) staged_best = p;
+  }
+
+  bool identical = true;
+  for (const unsigned t : {1u, 3u}) {
+    engine::EngineOptions a = staged, b = sync;
+    a.threads = b.threads = t;
+    identical = identical &&
+                same_outcomes(engine::run_rtl_campaign(prog(), cfg, {}, a),
+                              engine::run_rtl_campaign(prog(), cfg, {}, b));
+  }
+  m.pipeline_sync_s = sync_best;
+  m.pipeline_staged_s = staged_best;
+  m.pipeline_vs_sync_ratio =
+      staged_best > 0 ? sync_best / staged_best : 0.0;
+  m.pipeline_identical = identical;
+  m.pipeline_prefetch_depth = static_cast<unsigned>(staged.prefetch_depth);
+  m.pipeline_prefetched = fast.replay.restores_prefetched;
+  m.pipeline_demand = fast.replay.restores_demand;
+  m.pipeline_snapshot_waits = fast.replay.snapshot_waits;
+  m.pipeline_restore_stalls = fast.replay.restore_queue_stalls;
+  m.pipeline_classify_stalls = fast.replay.classify_queue_stalls;
+  m.pipeline_backlog_peak = fast.replay.classify_backlog_peak;
+
+  std::printf("\n--- staged pipeline vs synchronous driver "
+              "(rspeed, %zu sites x %zu instants, transient flips @ %s) "
+              "---\n",
+              sites, instants, unit.c_str());
+  std::printf("synchronous (pipeline off, %u thr): %.3f s\n", threads,
+              m.pipeline_sync_s);
+  std::printf("staged      (pipeline on,  %u thr): %.3f s\n", threads,
+              m.pipeline_staged_s);
+  std::printf("staged/sync: %.2fx   outcomes+hash bit-identical "
+              "(on vs off x threads {1,3}): %s\n",
+              m.pipeline_vs_sync_ratio, identical ? "yes" : "NO");
+  std::printf("stages: %llu restores prefetched / %llu demand, "
+              "%llu snapshot waits, stalls %llu restore / %llu classify, "
+              "classify backlog peak %llu (depth %u)\n",
+              (unsigned long long)m.pipeline_prefetched,
+              (unsigned long long)m.pipeline_demand,
+              (unsigned long long)m.pipeline_snapshot_waits,
+              (unsigned long long)m.pipeline_restore_stalls,
+              (unsigned long long)m.pipeline_classify_stalls,
+              (unsigned long long)m.pipeline_backlog_peak,
+              m.pipeline_prefetch_depth);
+}
+
 /// ISS fast path + mixed-fidelity accelerator. Part one times the decoded-
 /// basic-block interpreter (dbbcache + lscache, the default) against the
 /// single-step reference decoder on a longer rspeed run (ISSRTL_ITERS
@@ -893,6 +1020,41 @@ void write_bench_json(const BenchMetrics& m) {
   std::fprintf(f, "\n  }");
   std::fprintf(f,
                ",\n"
+               "  \"pipeline_section\": {\n"
+               "    \"unit\": \"%s\",\n"
+               "    \"sites\": %zu,\n"
+               "    \"instants_per_site\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"host_cores\": %u,\n"
+               "    \"batch_lanes\": %u,\n"
+               "    \"prefetch_depth\": %u,\n"
+               "    \"sync_mode\": \"ISSRTL_PIPELINE=0 synchronous loop, "
+               "kept in-tree as the A/B baseline\",\n"
+               "    \"sync_s\": %.3f,\n"
+               "    \"staged_s\": %.3f,\n"
+               "    \"staged_vs_sync_ratio\": %.2f,\n"
+               "    \"restores_prefetched\": %llu,\n"
+               "    \"restores_demand\": %llu,\n"
+               "    \"snapshot_waits\": %llu,\n"
+               "    \"restore_queue_stalls\": %llu,\n"
+               "    \"classify_queue_stalls\": %llu,\n"
+               "    \"classify_backlog_peak\": %llu,\n"
+               "    \"outcomes_identical_pipeline_on_off_threads_1_3\": %s\n"
+               "  }",
+               m.ladder_unit.c_str(), m.ladder_sites, m.ladder_instants,
+               m.ladder_threads, std::thread::hardware_concurrency(),
+               m.batch_lanes, m.pipeline_prefetch_depth,
+               m.pipeline_sync_s, m.pipeline_staged_s,
+               m.pipeline_vs_sync_ratio,
+               (unsigned long long)m.pipeline_prefetched,
+               (unsigned long long)m.pipeline_demand,
+               (unsigned long long)m.pipeline_snapshot_waits,
+               (unsigned long long)m.pipeline_restore_stalls,
+               (unsigned long long)m.pipeline_classify_stalls,
+               (unsigned long long)m.pipeline_backlog_peak,
+               m.pipeline_identical ? "true" : "false");
+  std::fprintf(f,
+               ",\n"
                "  \"iss_section\": {\n"
                "    \"workload\": \"rspeed\",\n"
                "    \"iterations\": %zu,\n"
@@ -963,6 +1125,7 @@ int main(int argc, char** argv) try {
   report_ladder_speedup(metrics);
   report_batched_speedup(metrics);
   report_simd_speedup(metrics);
+  report_pipeline_speedup(metrics);
   report_iss_fastpath(metrics);
   write_bench_json(metrics);
   return 0;

@@ -237,6 +237,17 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(r.replay.lane_refills),
                 static_cast<unsigned long long>(r.replay.lane_compactions));
   }
+  if (r.replay.restores_prefetched != 0 || r.replay.restores_demand != 0) {
+    std::printf("pipeline: %llu restores prefetched / %llu demand, "
+                "%llu snapshot waits, stalls %llu restore / %llu classify, "
+                "classify backlog peak %llu\n",
+                static_cast<unsigned long long>(r.replay.restores_prefetched),
+                static_cast<unsigned long long>(r.replay.restores_demand),
+                static_cast<unsigned long long>(r.replay.snapshot_waits),
+                static_cast<unsigned long long>(r.replay.restore_queue_stalls),
+                static_cast<unsigned long long>(r.replay.classify_queue_stalls),
+                static_cast<unsigned long long>(r.replay.classify_backlog_peak));
+  }
   if (r.replay.journal_hits != 0 || r.replay.journal_dropped != 0 ||
       r.replay.sites_retried != 0 || r.replay.sites_engine_error != 0) {
     std::printf("durability: %llu journal hits (%llu dropped), "

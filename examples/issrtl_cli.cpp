@@ -125,8 +125,18 @@ int help() {
       "  ISSRTL_DEADLINE_MS  wall-clock budget in milliseconds; the engine\n"
       "                      drains in-flight lanes, flushes the journal and\n"
       "                      returns a partial result marked TRUNCATED\n"
+      "  ISSRTL_PIPELINE     1 (default) runs each shard as the staged\n"
+      "                      restore -> step -> classify pipeline (bounded\n"
+      "                      queues, see docs/ARCHITECTURE.md), 0 forces the\n"
+      "                      synchronous loop; results are bit-identical\n"
+      "                      either way\n"
+      "  ISSRTL_PREFETCH_DEPTH  snapshot-queue depth per shard for the staged\n"
+      "                      pipeline, [1, 64] instant groups (default 2);\n"
+      "                      schedule-only, results are bit-identical\n"
       "  ISSRTL_FAIL_SITE    test hook: '<i>' or '<i>:once' (comma list)\n"
-      "                      injects a worker fault at site i\n"
+      "                      injects a worker fault at site i; an optional\n"
+      "                      stage tag (':restore'/':arm'/':step'/':classify')\n"
+      "                      picks the pipeline stage that throws\n"
       "\n"
       "SIGINT/SIGTERM during a campaign stop it gracefully: in-flight lanes\n"
       "drain, the journal is flushed, and the partial result is printed with\n"
@@ -291,6 +301,17 @@ int cmd_campaign(const std::string& name, const std::string& unit,
                 (unsigned long long)rc.scalar_rounds,
                 (unsigned long long)rc.lane_refills,
                 (unsigned long long)rc.lane_compactions);
+  }
+  if (rc.restores_prefetched != 0 || rc.restores_demand != 0) {
+    std::printf("pipeline: %llu restores prefetched / %llu demand, "
+                "%llu snapshot waits, stalls %llu restore / %llu classify, "
+                "classify backlog peak %llu\n",
+                (unsigned long long)rc.restores_prefetched,
+                (unsigned long long)rc.restores_demand,
+                (unsigned long long)rc.snapshot_waits,
+                (unsigned long long)rc.restore_queue_stalls,
+                (unsigned long long)rc.classify_queue_stalls,
+                (unsigned long long)rc.classify_backlog_peak);
   }
   if (rc.journal_hits != 0 || rc.journal_dropped != 0 ||
       rc.sites_retried != 0 || rc.sites_engine_error != 0) {

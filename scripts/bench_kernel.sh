@@ -24,7 +24,10 @@
 # reference * (1 - ISSRTL_BENCH_TOL).
 # The simd/batched ratio additionally has an *absolute* floor of
 # 1.0 * (1 - ISSRTL_BENCH_TOL): the SIMD rounds must beat flat chunked
-# stepping outright, not merely match the last committed snapshot.
+# stepping outright, not merely match the last committed snapshot. The
+# staged/sync pipeline ratio carries the same absolute floor — the staged
+# driver is the default, so parity is acceptable but a wall-clock cost is
+# a regression.
 # The default tolerance (ISSRTL_BENCH_TOL=0.5) is deliberately loose — CI
 # boxes are noisy and differ from the reference box — so only a real
 # regression (a silently-serialised batch path, a kernel slowdown of 1.5x+)
@@ -101,6 +104,17 @@ if "simd_section" in ref:
     # run with ISSRTL_BENCH_TOL=0 to demand a strict >= 1.0.
     floor_check("simd_section.simd_vs_batched_ratio >= 1.0",
                 out["simd_section"]["simd_vs_batched_ratio"], 1.0)
+if "pipeline_section" in ref:
+    floor_check("pipeline_section.staged_vs_sync_ratio",
+                out["pipeline_section"]["staged_vs_sync_ratio"],
+                ref["pipeline_section"]["staged_vs_sync_ratio"])
+if "pipeline_section" in out:
+    # Absolute floor: the staged driver must be no slower than the
+    # synchronous loop it replaced as the default (1.0 * (1 - tol) — the
+    # tolerance absorbs CI noise; parity is an acceptable outcome, a
+    # pipeline that *costs* wall-clock is not).
+    floor_check("pipeline_section.staged_vs_sync_ratio >= 1.0",
+                out["pipeline_section"]["staged_vs_sync_ratio"], 1.0)
 if "iss_section" in ref:
     floor_check("iss_section.fast_vs_baseline_ratio",
                 out["iss_section"]["fast_vs_baseline_ratio"],
@@ -127,6 +141,8 @@ for section, key in (("batched_section",
                       "outcomes_identical_batches_4_32_threads_1_3"),
                      ("simd_section",
                       "outcomes_identical_simd_on_off_threads_1_3"),
+                     ("pipeline_section",
+                      "outcomes_identical_pipeline_on_off_threads_1_3"),
                      ("iss_section", "iss_state_identical"),
                      ("iss_section",
                       "mixed_schedule_invariant_threads_1_3")):

@@ -20,7 +20,8 @@ namespace {
 /// which would silently run a campaign with a mangled configuration), and
 /// the result must fit `max_value`. Throws std::invalid_argument naming the
 /// variable otherwise.
-u64 parse_env_u64(const char* name, const char* value, u64 max_value) {
+u64 parse_env_u64(const char* name, const char* value, u64 max_value,
+                  u64 min_value = 0) {
   const auto reject = [&](const char* why) {
     throw std::invalid_argument(std::string(name) + ": invalid value '" +
                                 value + "' (" + why + ")");
@@ -32,8 +33,30 @@ u64 parse_env_u64(const char* name, const char* value, u64 max_value) {
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value, &end, 10);
   if (*end != '\0') reject("trailing junk after the number");
-  if (errno == ERANGE || parsed > max_value) reject("value out of range");
+  if (errno == ERANGE || parsed > max_value || parsed < min_value) {
+    reject("value out of range");
+  }
   return static_cast<u64>(parsed);
+}
+
+/// Apply `apply(value)` when the variable is set and non-empty; unset/empty
+/// leaves the EngineOptions field untouched. The one shared getenv gate for
+/// every knob in options_from_env.
+template <class Apply>
+void with_env(const char* name, Apply&& apply) {
+  if (const char* v = std::getenv(name); v != nullptr && *v) apply(v);
+}
+
+/// Strict 0/1 flag; any other value is rejected, by name.
+bool env_flag(const char* name, const char* value) {
+  return parse_env_u64(name, value, 1) != 0;
+}
+
+/// "auto" -> `auto_value`, else a strict decimal in [0, max_value].
+u64 env_u64_or_auto(const char* name, const char* value, u64 max_value,
+                    u64 auto_value) {
+  if (std::strcmp(value, "auto") == 0) return auto_value;
+  return parse_env_u64(name, value, max_value);
 }
 
 }  // namespace
@@ -53,11 +76,37 @@ FailSiteSpec parse_fail_sites(const std::string& spec) {
     std::string digits = part;
     FailSiteSpec::Entry entry;
     if (const std::size_t colon = part.find(':'); colon != std::string::npos) {
-      if (part.substr(colon + 1) != "once") {
-        reject("expected <site> or <site>:once");
-      }
-      entry.once = true;
       digits = part.substr(0, colon);
+      bool have_stage = false;
+      std::size_t tag_at = colon + 1;
+      for (;;) {
+        std::size_t tag_end = part.find(':', tag_at);
+        if (tag_end == std::string::npos) tag_end = part.size();
+        const std::string tag = part.substr(tag_at, tag_end - tag_at);
+        if (tag == "once") {
+          entry.once = true;
+        } else {
+          FailStage stage = FailStage::kArm;
+          if (tag == "restore") {
+            stage = FailStage::kRestore;
+          } else if (tag == "arm") {
+            stage = FailStage::kArm;
+          } else if (tag == "step") {
+            stage = FailStage::kStep;
+          } else if (tag == "classify") {
+            stage = FailStage::kClassify;
+          } else {
+            reject(
+                "expected <site> with optional :once and one of "
+                ":restore/:arm/:step/:classify");
+          }
+          if (have_stage) reject("more than one stage tag");
+          have_stage = true;
+          entry.stage = stage;
+        }
+        if (tag_end == part.size()) break;
+        tag_at = tag_end + 1;
+      }
     }
     if (digits.empty()) reject("empty site index");
     for (const char c : digits) {
@@ -117,68 +166,66 @@ Xoshiro256 shard_stream(u64 seed, unsigned shard) {
 }
 
 EngineOptions options_from_env(EngineOptions base) {
-  if (const char* v = std::getenv("ISSRTL_THREADS"); v != nullptr && *v) {
+  with_env("ISSRTL_THREADS", [&](const char* v) {
     base.threads =
         static_cast<unsigned>(parse_env_u64("ISSRTL_THREADS", v, UINT_MAX));
-  }
-  if (const char* v = std::getenv("ISSRTL_CKPT_STRIDE"); v != nullptr && *v) {
+  });
+  with_env("ISSRTL_CKPT_STRIDE", [&](const char* v) {
     base.ladder_stride =
-        std::strcmp(v, "auto") == 0
-            ? kLadderStrideAuto
-            : parse_env_u64("ISSRTL_CKPT_STRIDE", v, ~0ull);
-  }
-  if (const char* v = std::getenv("ISSRTL_CKPT_MB"); v != nullptr && *v) {
+        env_u64_or_auto("ISSRTL_CKPT_STRIDE", v, ~0ull, kLadderStrideAuto);
+  });
+  with_env("ISSRTL_CKPT_MB", [&](const char* v) {
     base.ladder_max_bytes = static_cast<std::size_t>(parse_env_u64(
                                 "ISSRTL_CKPT_MB", v, SIZE_MAX >> 20))
                             << 20;
-  }
-  if (const char* v = std::getenv("ISSRTL_BATCH"); v != nullptr && *v) {
+  });
+  with_env("ISSRTL_BATCH", [&](const char* v) {
     base.batch_lanes = static_cast<unsigned>(
         parse_env_u64("ISSRTL_BATCH", v, kMaxBatchLanes));
-  }
-  if (const char* v = std::getenv("ISSRTL_SIMD"); v != nullptr && *v) {
-    base.simd_lanes = parse_env_u64("ISSRTL_SIMD", v, 1) != 0;
-  }
-  if (const char* v = std::getenv("ISSRTL_REFILL"); v != nullptr && *v) {
-    base.lane_refill = parse_env_u64("ISSRTL_REFILL", v, 1) != 0;
-  }
-  if (const char* v = std::getenv("ISSRTL_SIMD_MIN_LIVE");
-      v != nullptr && *v) {
+  });
+  with_env("ISSRTL_SIMD", [&](const char* v) {
+    base.simd_lanes = env_flag("ISSRTL_SIMD", v);
+  });
+  with_env("ISSRTL_REFILL", [&](const char* v) {
+    base.lane_refill = env_flag("ISSRTL_REFILL", v);
+  });
+  with_env("ISSRTL_SIMD_MIN_LIVE", [&](const char* v) {
     base.simd_min_live = static_cast<unsigned>(
         parse_env_u64("ISSRTL_SIMD_MIN_LIVE", v, kMaxBatchLanes));
-  }
-  if (const char* v = std::getenv("ISSRTL_SIMD_TILE"); v != nullptr && *v) {
-    if (std::strcmp(v, "auto") == 0) {
-      base.simd_tile = 0;
-    } else {
-      const u64 tile = parse_env_u64("ISSRTL_SIMD_TILE", v, 64);
-      if (tile != 0 && (tile < 2 || !std::has_single_bit(tile))) {
-        throw std::invalid_argument(
-            "ISSRTL_SIMD_TILE: invalid value '" + std::string(v) +
-            "' (expected auto, 0, or a power of two in [2, 64])");
-      }
-      base.simd_tile = static_cast<unsigned>(tile);
+  });
+  with_env("ISSRTL_SIMD_TILE", [&](const char* v) {
+    const u64 tile = env_u64_or_auto("ISSRTL_SIMD_TILE", v, 64, 0);
+    if (tile != 0 && (tile < 2 || !std::has_single_bit(tile))) {
+      throw std::invalid_argument(
+          "ISSRTL_SIMD_TILE: invalid value '" + std::string(v) +
+          "' (expected auto, 0, or a power of two in [2, 64])");
     }
-  }
-  if (const char* v = std::getenv("ISSRTL_JOURNAL"); v != nullptr && *v) {
-    base.journal_dir = v;
-  }
-  if (const char* v = std::getenv("ISSRTL_RESUME"); v != nullptr && *v) {
-    base.resume = parse_env_u64("ISSRTL_RESUME", v, 1) != 0;
-  }
-  if (const char* v = std::getenv("ISSRTL_MIXED"); v != nullptr && *v) {
-    base.mixed_fidelity = parse_env_u64("ISSRTL_MIXED", v, 1) != 0;
-  }
-  if (const char* v = std::getenv("ISSRTL_ISS_FAST"); v != nullptr && *v) {
-    base.iss_fast_path = parse_env_u64("ISSRTL_ISS_FAST", v, 1) != 0;
-  }
-  if (const char* v = std::getenv("ISSRTL_DEADLINE_MS"); v != nullptr && *v) {
+    base.simd_tile = static_cast<unsigned>(tile);
+  });
+  with_env("ISSRTL_JOURNAL", [&](const char* v) { base.journal_dir = v; });
+  with_env("ISSRTL_RESUME", [&](const char* v) {
+    base.resume = env_flag("ISSRTL_RESUME", v);
+  });
+  with_env("ISSRTL_MIXED", [&](const char* v) {
+    base.mixed_fidelity = env_flag("ISSRTL_MIXED", v);
+  });
+  with_env("ISSRTL_ISS_FAST", [&](const char* v) {
+    base.iss_fast_path = env_flag("ISSRTL_ISS_FAST", v);
+  });
+  with_env("ISSRTL_DEADLINE_MS", [&](const char* v) {
     base.deadline_ms = parse_env_u64("ISSRTL_DEADLINE_MS", v, ~0ull);
-  }
-  if (const char* v = std::getenv("ISSRTL_FAIL_SITE"); v != nullptr && *v) {
+  });
+  with_env("ISSRTL_PIPELINE", [&](const char* v) {
+    base.pipeline = env_flag("ISSRTL_PIPELINE", v);
+  });
+  with_env("ISSRTL_PREFETCH_DEPTH", [&](const char* v) {
+    base.prefetch_depth = static_cast<std::size_t>(
+        parse_env_u64("ISSRTL_PREFETCH_DEPTH", v, 64, 1));
+  });
+  with_env("ISSRTL_FAIL_SITE", [&](const char* v) {
     parse_fail_sites(v);  // validate eagerly: a typo fails here, by name
     base.fail_sites = v;
-  }
+  });
   return base;
 }
 

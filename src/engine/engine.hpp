@@ -70,10 +70,14 @@
 #include <type_traits>
 #include <vector>
 
+#include <map>
+#include <stdexcept>
+
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "engine/journal.hpp"
 #include "engine/ladder.hpp"
+#include "engine/pipeline.hpp"
 
 namespace issrtl::engine {
 
@@ -236,13 +240,41 @@ struct EngineOptions {
   /// differential-testing axis. ISSRTL_ISS_FAST (strict 0/1) is the
   /// environment path.
   bool iss_fast_path = true;
+  /// Staged campaign pipeline (see engine/pipeline.hpp): run each shard as
+  /// restore/prefetch -> clone+arm+step -> classify+report stages decoupled
+  /// by bounded queues, so ladder restores and suffix classification
+  /// overlap the lockstep stepping rounds instead of stalling them. false
+  /// selects the synchronous single-thread-per-shard loop, kept in-tree as
+  /// the A/B baseline and determinism axis (exactly like lane_refill).
+  /// fault::outcome_hash is bit-identical either way, at every thread
+  /// count x batch size x SIMD/tile/refill setting x resume cut-point: the
+  /// prefetcher replays the same deterministic golden prefix the demand
+  /// path replays, per-site records are schedule-invariant, and commit
+  /// order is invisible to site-indexed slots and the dedup-on-import
+  /// journal. Paths without a staged driver (RTL serial batch_lanes <= 1,
+  /// mixed fidelity) degenerate to the synchronous flow even when set.
+  /// ISSRTL_PIPELINE (strict 0/1) is the environment path.
+  bool pipeline = true;
+  /// Bounded depth of the restore/prefetch stage's snapshot queue, in
+  /// instant-groups ahead of demand per shard (the retirement queue sizes
+  /// itself at twice this). [1, 64]; higher values trade memory (one
+  /// golden-prefix snapshot per slot) for more slack between the stages.
+  /// Schedule-only: outcomes are bit-identical at every depth.
+  /// ISSRTL_PREFETCH_DEPTH is the environment path. No effect unless
+  /// pipeline is on.
+  std::size_t prefetch_depth = 2;
   /// Test-only fault-injection hook (ISSRTL_FAIL_SITE): comma-separated
-  /// site indices whose host simulation throws at fault-arm time —
+  /// site indices whose host simulation throws while being processed —
   /// "<i>" throws on every attempt (deterministic failure: the retry also
   /// throws, the site classifies kEngineError), "<i>:once" throws on the
   /// first attempt only (transient host trouble: the fresh-restore retry
-  /// succeeds). Exercises every retirement path of the worker-isolation
-  /// machinery; empty (the default) disables it.
+  /// succeeds). An optional stage tag ("<i>:step", "<i>:once:classify")
+  /// moves the throw from fault-arm time (the default, ":arm") to the
+  /// restore, stepping or classification stage, so isolation can be
+  /// exercised on every stage of the staged pipeline — and, identically,
+  /// on the corresponding points of the synchronous loop. Exercises every
+  /// retirement path of the worker-isolation machinery; empty (the
+  /// default) disables it.
   std::string fail_sites;
 };
 
@@ -269,9 +301,13 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// ISS-prefix/RTL-suffix campaigns, 0 = pure RTL; any other value is
 /// rejected), ISSRTL_ISS_FAST (1 = decoded-block ISS fast path, 0 = the
 /// reference decode-per-instruction path; any other value is rejected),
-/// ISSRTL_DEADLINE_MS (wall-clock budget in milliseconds; 0 = none) and
+/// ISSRTL_DEADLINE_MS (wall-clock budget in milliseconds; 0 = none),
+/// ISSRTL_PIPELINE (1 = staged restore/step/classify pipeline, 0 = the
+/// synchronous loop; any other value is rejected), ISSRTL_PREFETCH_DEPTH
+/// (snapshot queue depth per shard, [1, 64]) and
 /// ISSRTL_FAIL_SITE (test-only throw hook, comma-separated "<site>" /
-/// "<site>:once"). Unset or empty variables
+/// "<site>:once" with an optional ":restore"/":arm"/":step"/":classify"
+/// stage tag). Unset or empty variables
 /// leave the corresponding field of `base` untouched; front ends apply
 /// explicit command-line arguments on top. A set variable must parse in
 /// full — plain decimal digits (plus the literal "auto" for
@@ -284,10 +320,22 @@ EngineOptions options_from_env(EngineOptions base = {});
 /// Threads actually used for `sites` fault sites under `requested`.
 unsigned resolve_threads(unsigned requested, std::size_t sites);
 
+/// Which processing stage an ISSRTL_FAIL_SITE entry throws in. The stages
+/// exist as explicit threads only in the staged pipeline, but every one has
+/// an exact counterpart in the synchronous loop (the hook fires at the same
+/// logical point either way, so records and retry counters match).
+enum class FailStage : u8 {
+  kRestore,   ///< right after golden-prefix positioning for the site
+  kArm,       ///< right after the fault is armed (the default)
+  kStep,      ///< at the first stepping round after the site spawns
+  kClassify,  ///< at classification start (skipped by convergence cutoffs)
+};
+
 /// Parsed EngineOptions::fail_sites spec (test-only hook).
 struct FailSiteSpec {
   struct Entry {
     bool once = false;  ///< throw on the first attempt only
+    FailStage stage = FailStage::kArm;
   };
   std::vector<std::pair<std::size_t, Entry>> sites;  // few entries: linear
 
@@ -300,10 +348,29 @@ struct FailSiteSpec {
   }
 };
 
-/// Strict parse of a fail-site spec ("3", "3:once", comma-separated);
-/// throws std::invalid_argument on anything else. "" parses to an empty
-/// spec.
+/// Strict parse of a fail-site spec ("3", "3:once", "3:step",
+/// "3:once:classify", comma-separated; tags in any order, at most one stage
+/// tag per site); throws std::invalid_argument on anything else. "" parses
+/// to an empty spec.
 FailSiteSpec parse_fail_sites(const std::string& spec);
+
+/// Shared ISSRTL_FAIL_SITE trigger: throws std::runtime_error when `spec`
+/// names `site_index` at `stage` (respecting :once against this holder's
+/// per-site attempt map). Both backends' workers and the staged classify
+/// stages call this so the error text — including the attempt number — is
+/// identical pipeline on or off.
+inline void maybe_fail_stage(const FailSiteSpec& spec,
+                             std::map<std::size_t, unsigned>& attempts,
+                             std::size_t site_index, FailStage stage) {
+  if (spec.empty()) return;
+  const FailSiteSpec::Entry* entry = spec.find(site_index);
+  if (entry == nullptr || entry->stage != stage) return;
+  const unsigned attempt = ++attempts[site_index];
+  if (entry->once && attempt > 1) return;
+  throw std::runtime_error("ISSRTL_FAIL_SITE: injected worker fault at site " +
+                           std::to_string(site_index) + " (attempt " +
+                           std::to_string(attempt) + ")");
+}
 
 /// Process-global stop flag set by install_signal_stop()'s handlers.
 /// Front ends wire EngineOptions::stop to it.
@@ -337,6 +404,10 @@ struct EngineRun {
   u64 journal_dropped = 0;  ///< journal records rejected (chain/site-key)
   u64 sites_retried = 0;
   u64 engine_errors = 0;
+  /// Staged-pipeline occupancy/stall tallies summed over shards (peaks are
+  /// maxed). All zero when the pipeline was off or degenerate. Observability
+  /// only — schedule-dependent, exempt from determinism comparisons.
+  StageTallies stages;
 };
 
 /// Deterministic per-shard RNG stream: decorrelated from the campaign seed
@@ -437,6 +508,7 @@ class CampaignEngine {
     std::mutex progress_mu;
     std::size_t reported = 0;  // highest count delivered, under progress_mu
     std::vector<std::exception_ptr> errors(threads);
+    std::vector<StageTallies> stage_tallies(threads);
 
     auto run_shard = [&](unsigned shard) {
       try {
@@ -484,6 +556,26 @@ class CampaignEngine {
           report_done(1);
         };
         using WorkerT = std::remove_reference_t<decltype(*worker)>;
+        // Staged pipeline: hand the shard to the three-stage driver when
+        // the backend supports it and the options ask for it. The driver
+        // reuses the same commit/stop closures, so journaling, progress,
+        // truncation and isolation semantics are unchanged — commit just
+        // runs on the shard's classify thread instead of its main one.
+        constexpr bool kHasStaged = requires(const Backend& b, unsigned s) {
+          typename Backend::Retired;
+          typename Backend::PrefetchSnapshot;
+          b.staged_enabled();
+          b.make_prefetcher(s);
+          b.make_classifier();
+        };
+        if constexpr (kHasStaged) {
+          if (opts_.pipeline && backend.staged_enabled()) {
+            run_staged_shard(backend, *worker, shard, mine, commit,
+                             stop_poll, counters, stage_tallies[shard],
+                             opts_.prefetch_depth);
+            return;
+          }
+        }
         constexpr bool kHasBatch =
             requires(WorkerT& w, const std::vector<std::size_t>& v,
                      const std::function<void(std::size_t, Record&&)>& f,
@@ -549,6 +641,7 @@ class CampaignEngine {
     out.truncated = out.completed < total;
     out.sites_retried = counters.retried.load();
     out.engine_errors = counters.engine_errors.load();
+    for (const StageTallies& t : stage_tallies) out.stages.merge(t);
     return out;
   }
 

@@ -59,39 +59,10 @@ unsigned resolve_simd_min_live(unsigned requested, std::size_t tile) {
   return requested != 0 ? requested : static_cast<unsigned>(tile);
 }
 
-/// Suffix-aware equivalent of OffCoreTrace::compare_writes: the faulty
-/// trace is conceptually (golden prefix of length `prefix`) + `suffix`, but
-/// only the suffix was materialised — the prefix was inherited from the
-/// fault-free cursor, whose records equal the golden ones by construction
-/// and therefore need no storage and no comparison. Returns the same
-/// {diverged, index, cycle} a full-trace compare_writes would (indices are
-/// golden-absolute), which is what keeps batched classification and
-/// latencies bit-identical to the serial path.
-TraceDivergence compare_suffix_writes(const std::vector<BusRecord>& golden,
-                                      std::size_t prefix,
-                                      const std::vector<BusRecord>& suffix) {
-  const std::size_t mine_total = prefix + suffix.size();
-  const std::size_t n = std::min(mine_total, golden.size());
-  for (std::size_t i = prefix; i < n; ++i) {
-    if (!suffix[i - prefix].same_payload(golden[i])) {
-      return {true, i, suffix[i - prefix].cycle, {}};
-    }
-  }
-  if (mine_total != golden.size()) {
-    u64 cycle = 0;
-    if (mine_total > golden.size()) {
-      // Extra write(s): n >= prefix because the golden run contains the
-      // whole inherited prefix.
-      cycle = suffix[n - prefix].cycle;
-    } else if (!suffix.empty()) {
-      cycle = suffix.back().cycle;
-    } else if (prefix != 0) {
-      cycle = golden[prefix - 1].cycle;  // last (golden) write we emitted
-    }
-    return {true, n, cycle, {}};
-  }
-  return {};
-}
+// compare_suffix_writes — the suffix-aware equivalent of
+// OffCoreTrace::compare_writes that batched classification relies on —
+// lives in engine/pipeline.{hpp,cpp} now: the staged classify stages of
+// both backends share it with classify_lane below.
 
 }  // namespace
 
@@ -439,8 +410,9 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   } else {
     prepare(site.inject_cycle);
   }
+  maybe_fail_site(index, FailStage::kRestore);
   core_.sim().arm_fault(site.node, site.model, site.bit);
-  maybe_fail_site(index);
+  maybe_fail_site(index, FailStage::kArm);
 
   // Faulty suffix under the serial driver's cycle budget: total cycles,
   // golden prefix included, may not exceed the watchdog. A prefix already at
@@ -468,6 +440,7 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   rtlcore::CoreActivityScalars scalars_prev;
   bool scalars_valid = false;
   bool nodes_valid = false;
+  maybe_fail_site(index, FailStage::kStep);
   iss::HaltReason halt = core_.halt_reason();
   while (budget > 0 && halt == iss::HaltReason::kRunning &&
          !definite_divergence) {
@@ -542,6 +515,7 @@ fault::InjectionResult RtlCampaignBackend::Worker::run_site(
   if (halt == iss::HaltReason::kRunning && !definite_divergence) {
     halt = iss::HaltReason::kStepLimit;  // watchdog expired
   }
+  maybe_fail_site(index, FailStage::kClassify);
 
   fault::InjectionResult result;
   result.site = site;
@@ -580,21 +554,41 @@ void RtlCampaignBackend::Worker::cursor_seek(u64 inject_cycle) {
   if (cursor_usable && (rung == nullptr || rung->instant <= core_.cycles())) {
     // The cursor itself is the rolling checkpoint: just keep stepping.
     b_.rolling_restores_.fetch_add(1, std::memory_order_relaxed);
-  } else if (rung != nullptr) {
-    // checkpoint_lite snapshots carry an empty trace, so this restore is
-    // O(nodes) — the golden-prefix trace exists only as the length
-    // counters below, never as a per-restore O(instant) copy.
-    core_.restore(rung->snap->core);
-    mem_ = rung->snap->mem.clone();
-    cursor_writes_ = rung->snap->writes;
-    cursor_reads_ = rung->snap->reads;
-    b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    mem_ = b_.initial_mem_.clone();
-    core_.reset(b_.prog_.entry);
-    cursor_writes_ = 0;
-    cursor_reads_ = 0;
-    b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
+    // The cursor would pay a rung restore or a cold reset here; in staged
+    // mode, adopt the restore stage's snapshot instead when it is ready
+    // *right now* (never wait — a demand restore is bit-identical, only
+    // the tallies can tell which side of the race won).
+    const GoldenSnapshot* pf = nullptr;
+    if (pipe_ != nullptr) {
+      pf = pipe_->src.acquire(current_item_, pipe_->tallies.snapshot_waits);
+      if (pf != nullptr && pf->core.cycle != inject_cycle) pf = nullptr;
+    }
+    if (pf != nullptr) {
+      core_.restore(pf->core);
+      mem_ = pf->mem.clone();
+      cursor_writes_ = pf->writes;
+      cursor_reads_ = pf->reads;
+      ++pipe_->tallies.restores_prefetched;
+    } else {
+      if (pipe_ != nullptr) ++pipe_->tallies.restores_demand;
+      if (rung != nullptr) {
+        // checkpoint_lite snapshots carry an empty trace, so this restore
+        // is O(nodes) — the golden-prefix trace exists only as the length
+        // counters below, never as a per-restore O(instant) copy.
+        core_.restore(rung->snap->core);
+        mem_ = rung->snap->mem.clone();
+        cursor_writes_ = rung->snap->writes;
+        cursor_reads_ = rung->snap->reads;
+        b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        mem_ = b_.initial_mem_.clone();
+        core_.reset(b_.prog_.entry);
+        cursor_writes_ = 0;
+        cursor_reads_ = 0;
+        b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   cursor_valid_ = true;
   u64 stepped = 0;
@@ -615,6 +609,7 @@ void RtlCampaignBackend::Worker::spawn_lane(unsigned lane,
                                             std::size_t site_index) {
   const fault::FaultSite site = b_.sites_[site_index];
   cursor_seek(site.inject_cycle);
+  maybe_fail_site(site_index, FailStage::kRestore);
   core_.clone_active_lane_to(lane);
   LaneRun& run = lane_runs_[lane - 1];
   std::vector<u32> probe = std::move(run.probe_nodes);  // keep the buffer
@@ -627,27 +622,25 @@ void RtlCampaignBackend::Worker::spawn_lane(unsigned lane,
                  site.model == rtl::FaultModel::kTransientBitFlip;
   run.track_writes = b_.opts_.early_stop || run.converge;
   run.record.site = site;
+  // Arm the :step hook lazily: it must fire inside the stepping machinery
+  // (mid-flight containment), not here in the spawn path.
+  run.step_hook_pending = !b_.fail_spec_.empty();
   core_.select_lane(lane);
   core_.sim().arm_fault(site.node, site.model, site.bit);
-  maybe_fail_site(site_index);
+  maybe_fail_site(site_index, FailStage::kArm);
   run.budget =
       b_.watchdog_ > core_.cycles() ? b_.watchdog_ - core_.cycles() : 0;
   core_.select_lane(0);
 }
 
-void RtlCampaignBackend::Worker::maybe_fail_site(std::size_t site_index) {
-  if (b_.fail_spec_.empty()) return;
-  const FailSiteSpec::Entry* entry = b_.fail_spec_.find(site_index);
-  if (entry == nullptr) return;
-  const unsigned attempt = ++fail_attempts_[site_index];
-  if (entry->once && attempt > 1) return;
-  throw std::runtime_error("ISSRTL_FAIL_SITE: injected worker fault at site " +
-                           std::to_string(site_index) + " (attempt " +
-                           std::to_string(attempt) + ")");
+void RtlCampaignBackend::Worker::maybe_fail_site(std::size_t site_index,
+                                                 FailStage stage) {
+  maybe_fail_stage(b_.fail_spec_, fail_attempts_, site_index, stage);
 }
 
 bool RtlCampaignBackend::Worker::try_spawn(unsigned slot, std::size_t item) {
   const std::size_t site_index = (*batch_indices_)[item];
+  current_item_ = item_offset_ + item;  // snapshot-adoption key (staged mode)
   for (;;) {
     try {
       core_.select_lane(0);  // cursor_seek precondition (throw-safe re-park)
@@ -694,11 +687,16 @@ void RtlCampaignBackend::Worker::handle_lane_failure(unsigned slot,
   } else {
     counters_->engine_errors.fetch_add(1, std::memory_order_relaxed);
     run.emit = true;
+    run.pre_classified = true;  // final record: bypasses the classify stage
     run.record = b_.error_record(site_index, what);
   }
 }
 
 bool RtlCampaignBackend::Worker::step_lane(LaneRun& run, u64 max_cycles) {
+  if (run.step_hook_pending) {
+    run.step_hook_pending = false;
+    maybe_fail_site((*batch_indices_)[run.item], FailStage::kStep);
+  }
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   const u64 rung_stride = b_.ladder_.stride();
   iss::HaltReason halt = core_.halt_reason();
@@ -781,6 +779,26 @@ void RtlCampaignBackend::Worker::classify_lane(LaneRun& run,
     halt = iss::HaltReason::kStepLimit;  // watchdog expired
   }
   run.emit = true;  // the record below is final: deliver it on finalize
+  if (pipe_ != nullptr) {
+    // Staged capture: record what classification needs while the lane is
+    // still selected — the suffix trace plus the end-state oracle verdict,
+    // which must read this lane's live node/memory state — and hand the
+    // verdict off to the classify stage. states_ok is only evaluated when
+    // it could matter (clean halt, suffix completing the golden trace);
+    // the classifier consults it exactly where the synchronous epilogue
+    // would have called states_match.
+    run.pre_classified = false;
+    run.halt_out = halt;
+    run.suffix = core_.offcore().writes();
+    run.states_valid =
+        halt != iss::HaltReason::kStepLimit && !run.write_mismatch &&
+        run.prefix_writes + run.suffix.size() == b_.golden_trace_.writes().size();
+    run.states_ok = run.states_valid &&
+                    states_match(core_, b_.golden_state_, b_.golden_mem_,
+                                 b_.cfg_.compare_memory);
+    return;
+  }
+  maybe_fail_site((*batch_indices_)[run.item], FailStage::kClassify);
   run.record.halt = halt;
   const std::vector<BusRecord>& suffix = core_.offcore().writes();
   const TraceDivergence div = compare_suffix_writes(
@@ -917,6 +935,10 @@ bool RtlCampaignBackend::Worker::compact_lanes(unsigned n) {
 }
 
 bool RtlCampaignBackend::Worker::bookkeep_lane(LaneRun& run, unsigned lane) {
+  if (run.step_hook_pending) {
+    run.step_hook_pending = false;
+    maybe_fail_site((*batch_indices_)[run.item], FailStage::kStep);
+  }
   const rtlcore::CoreLaneState& ls = core_.lane_state(lane);
   const std::vector<BusRecord>& golden_writes = b_.golden_trace_.writes();
   iss::HaltReason halt = ls.halt;
@@ -1038,18 +1060,24 @@ void RtlCampaignBackend::Worker::run_batch(
     // ladder monotonically (instants arrive sorted across the whole
     // shard), and outcomes are bit-identical to continuous refill: the
     // knob only reshapes the schedule.
+    const std::size_t saved_offset = item_offset_;
     for (std::size_t at = 0; at < indices.size(); at += b_.batch_size()) {
       if (stop()) return;
       const std::size_t end = std::min(indices.size(), at + b_.batch_size());
       const std::vector<std::size_t> part(
           indices.begin() + static_cast<long>(at),
           indices.begin() + static_cast<long>(end));
+      // Re-base the slice's item positions so staged packets and snapshot
+      // lookups stay shard-absolute (the sync callback re-bases on_site the
+      // same way).
+      item_offset_ = saved_offset + at;
       run_batch(
           part,
           [&on_site, at](std::size_t item, Record&& r) {
             on_site(at + item, std::move(r));
           },
           stop, counters);
+      item_offset_ = saved_offset;
     }
     return;
   }
@@ -1118,10 +1146,27 @@ void RtlCampaignBackend::Worker::run_batch(
   };
   const auto finalize = [&](unsigned slot) {
     LaneRun& run = lane_runs_[slot];
-    if (run.emit) {
-      run.emit = false;
-      (*on_site_)(run.item, std::move(run.record));
+    if (!run.emit) return;
+    run.emit = false;
+    if (pipe_ != nullptr) {
+      // Staged capture: ship the retirement to the classify stage instead
+      // of delivering a classified record inline. A failed push means the
+      // classify stage died; folding that into the stop poll drains the
+      // in-flight lanes exactly like a deadline stop.
+      Retired p;
+      p.item = item_offset_ + run.item;
+      p.site_index = (*batch_indices_)[run.item];
+      p.prefix_writes = run.prefix_writes;
+      p.suffix = std::move(run.suffix);
+      p.halt = run.halt_out;
+      p.states_valid = run.states_valid;
+      p.states_ok = run.states_ok;
+      p.pre_classified = run.pre_classified;
+      p.record = std::move(run.record);
+      if (!pipe_->retired_q.push(std::move(p))) sink_closed_ = true;
+      return;
     }
+    (*on_site_)(run.item, std::move(run.record));
   };
   // Initial fill: one monotonic cursor pass over the first `pool` instants
   // (the engine hands the whole shard sorted by instant), one replica
@@ -1247,6 +1292,112 @@ void RtlCampaignBackend::Worker::run_batch(
   stat_compactions_ = stat_live_lane_rounds_ = stat_cursor_ride_cycles_ = 0;
 }
 
+void RtlCampaignBackend::Worker::run_capture(
+    const std::vector<std::size_t>& indices, Pipe& pipe,
+    const std::function<bool()>& stop, EngineRunCounters& counters) {
+  pipe_ = &pipe;
+  sink_closed_ = false;
+  item_offset_ = 0;
+  // A dead classify stage (push returned false) reads as a stop request:
+  // no new spawns, in-flight lanes drain, the driver rethrows its error.
+  const std::function<bool()> stop_or_closed = [this, &stop]() {
+    return sink_closed_ || stop();
+  };
+  // Every record leaves through the retirement queue while pipe_ is set,
+  // so run_batch's on_site sink is never invoked.
+  const std::function<void(std::size_t, Record&&)> no_sink =
+      [](std::size_t, Record&&) {};
+  try {
+    run_batch(indices, no_sink, stop_or_closed, counters);
+  } catch (...) {
+    pipe_ = nullptr;
+    throw;
+  }
+  pipe_ = nullptr;
+}
+
+RtlCampaignBackend::Prefetcher::Prefetcher(const RtlCampaignBackend& backend)
+    : b_(backend), core_(mem_, backend.core_cfg_) {}
+
+std::shared_ptr<const RtlCampaignBackend::GoldenSnapshot>
+RtlCampaignBackend::Prefetcher::materialize(u64 inject_cycle) {
+  // cursor_seek's three-way positioning on a private fault-free core. The
+  // engine hands each shard's instants sorted, so the rolling branch (just
+  // keep stepping) covers everything but the first instant and retries.
+  const auto* rung =
+      b_.opts_.checkpoint ? b_.ladder_.best_at_or_below(inject_cycle) : nullptr;
+  const bool rolling =
+      b_.opts_.checkpoint && valid_ && core_.cycles() <= inject_cycle;
+  if (rolling && (rung == nullptr || rung->instant <= core_.cycles())) {
+    b_.rolling_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else if (rung != nullptr) {
+    core_.restore(rung->snap->core);
+    mem_ = rung->snap->mem.clone();
+    writes_ = rung->snap->writes;
+    reads_ = rung->snap->reads;
+    b_.ladder_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mem_ = b_.initial_mem_.clone();
+    core_.reset(b_.prog_.entry);
+    writes_ = 0;
+    reads_ = 0;
+    b_.cold_resets_.fetch_add(1, std::memory_order_relaxed);
+  }
+  valid_ = true;
+  u64 stepped = 0;
+  while (core_.cycles() < inject_cycle &&
+         core_.halt_reason() == iss::HaltReason::kRunning) {
+    core_.step();
+    ++stepped;
+  }
+  if (stepped != 0) {
+    b_.fast_forward_cycles_.fetch_add(stepped, std::memory_order_relaxed);
+  }
+  core_.drain_trace_counts(writes_, reads_);
+  if (core_.cycles() != inject_cycle ||
+      core_.halt_reason() != iss::HaltReason::kRunning) {
+    return nullptr;  // not exactly positioned: the capture stage restores
+  }
+  auto snap = std::make_shared<GoldenSnapshot>();
+  snap->core = core_.checkpoint_lite();
+  // fork_detached, not clone: the snapshot's pages cross the queue to the
+  // capture thread while this core keeps mutating mem_.
+  snap->mem = mem_.fork_detached();
+  snap->writes = writes_;
+  snap->reads = reads_;
+  return snap;
+}
+
+RtlCampaignBackend::Record RtlCampaignBackend::Classifier::classify(
+    const Retired& p) {
+  maybe_fail_stage(b_.fail_spec_, fail_attempts_, p.site_index,
+                   FailStage::kClassify);
+  // run_site's epilogue over the packet instead of the live lane: the
+  // suffix compare is a pure function of the recorded trace, and the
+  // end-state verdict was captured at retirement (states_valid gates the
+  // exact cases where the synchronous path would have run states_match).
+  Record r = p.record;
+  r.halt = p.halt;
+  const TraceDivergence div = compare_suffix_writes(
+      b_.golden_trace_.writes(), p.prefix_writes, p.suffix);
+  if (div.diverged) {
+    r.outcome = p.halt == iss::HaltReason::kStepLimit &&
+                        div.index >= p.prefix_writes + p.suffix.size()
+                    ? fault::Outcome::kHang
+                    : fault::Outcome::kFailure;
+    r.latency_cycles =
+        div.cycle > r.site.inject_cycle ? div.cycle - r.site.inject_cycle : 0;
+  } else if (p.halt == iss::HaltReason::kStepLimit) {
+    r.outcome = fault::Outcome::kHang;
+    r.latency_cycles = b_.watchdog_ - r.site.inject_cycle;
+  } else if (p.states_ok) {
+    r.outcome = fault::Outcome::kSilent;
+  } else {
+    r.outcome = fault::Outcome::kLatent;
+  }
+  return r;
+}
+
 fault::CampaignResult RtlCampaignBackend::finish(EngineRun<Record> run) const {
   fault::CampaignResult result;
   result.workload = prog_.name;
@@ -1270,6 +1421,12 @@ fault::CampaignResult RtlCampaignBackend::finish(EngineRun<Record> run) const {
   result.replay.journal_dropped = run.journal_dropped;
   result.replay.sites_retried = run.sites_retried;
   result.replay.sites_engine_error = run.engine_errors;
+  result.replay.restores_prefetched = run.stages.restores_prefetched;
+  result.replay.restores_demand = run.stages.restores_demand;
+  result.replay.snapshot_waits = run.stages.snapshot_waits;
+  result.replay.restore_queue_stalls = run.stages.restore_queue_stalls;
+  result.replay.classify_queue_stalls = run.stages.classify_queue_stalls;
+  result.replay.classify_backlog_peak = run.stages.classify_backlog_peak;
   result.truncated = run.truncated;
   result.completed_sites = run.completed;
   result.total_sites = run.records.size();

@@ -74,6 +74,62 @@ class RtlCampaignBackend {
     const unsigned lanes = std::min(opts_.batch_lanes, kMaxBatchLanes);
     return lanes > 1 ? lanes : 1;
   }
+
+  // ---- staged pipeline (see engine/pipeline.hpp) --------------------------
+  using PrefetchSnapshot = GoldenSnapshot;
+  using Retired = RetiredPacket<Record>;
+  using Pipe = StagePipe<GoldenSnapshot, Retired>;
+
+  /// The staged driver covers the lane-pool scheduler only; the serial
+  /// per-site and mixed-fidelity paths keep the synchronous flow (their
+  /// degenerate "single-stage pipeline") even with EngineOptions::pipeline
+  /// on — run_site classifies inline, exactly as before.
+  bool staged_enabled() const noexcept {
+    return !opts_.mixed_fidelity && batch_size() > 1;
+  }
+
+  /// Restore/prefetch stage: owns a private fault-free core + memory and
+  /// materialises one golden-prefix snapshot per distinct injection
+  /// instant, walking the shard's instants monotonically (rung restore /
+  /// cold reset / rolling advance — cursor_seek's three-way choice).
+  /// Runs no ISSRTL_FAIL_SITE hooks: it works per-instant, not per-site.
+  class Prefetcher {
+   public:
+    explicit Prefetcher(const RtlCampaignBackend& backend);
+    /// Snapshot exactly at `inject_cycle`, or nullptr when the position
+    /// cannot be materialised (the capture stage then pays the demand
+    /// restore, which is bit-identical). The Memory is fork_detached() so
+    /// the snapshot can cross the queue to the capture thread.
+    std::shared_ptr<const GoldenSnapshot> materialize(u64 inject_cycle);
+
+   private:
+    const RtlCampaignBackend& b_;
+    Memory mem_;
+    rtlcore::Leon3Core core_;
+    bool valid_ = false;
+    std::size_t writes_ = 0;
+    std::size_t reads_ = 0;
+  };
+
+  /// Classification stage: a pure function of the retired packet (suffix
+  /// trace + capture-time oracle verdict) against the shared golden trace.
+  /// Mirrors run_site's epilogue / the synchronous classify_lane branch.
+  class Classifier {
+   public:
+    explicit Classifier(const RtlCampaignBackend& backend) : b_(backend) {}
+    Record classify(const Retired& p);
+
+   private:
+    const RtlCampaignBackend& b_;
+    std::map<std::size_t, unsigned> fail_attempts_;  ///< ISSRTL_FAIL_SITE
+  };
+
+  std::unique_ptr<Prefetcher> make_prefetcher(unsigned /*shard*/) const {
+    return std::make_unique<Prefetcher>(*this);
+  }
+  std::unique_ptr<Classifier> make_classifier() const {
+    return std::make_unique<Classifier>(*this);
+  }
   const std::vector<fault::FaultSite>& sites() const noexcept {
     return sites_;
   }
@@ -142,6 +198,19 @@ class RtlCampaignBackend {
                    const std::function<bool()>& stop,
                    EngineRunCounters& counters);
 
+    /// Staged-pipeline capture stage: run_batch's scheduler, with three
+    /// differences wired through pipe_ — golden-prefix positioning adopts
+    /// prefetched snapshots when the restore stage has them ready (never
+    /// waiting when it does not), retirement builds a Retired packet
+    /// (suffix trace + capture-time oracle verdict) and pushes it to the
+    /// classify stage instead of classifying inline, and a closed
+    /// retirement queue (dead classify stage) folds into the stop poll so
+    /// the scheduler drains gracefully. Outcome-invisible by construction;
+    /// see pipeline.hpp's boundary invariants.
+    void run_capture(const std::vector<std::size_t>& indices, Pipe& pipe,
+                     const std::function<bool()>& stop,
+                     EngineRunCounters& counters);
+
    private:
     /// One in-flight replica lane of a batch: the classification state
     /// run_site keeps in locals, plus the golden-trace prefix lengths the
@@ -170,6 +239,19 @@ class RtlCampaignBackend {
       /// Set by handle_lane_failure so the round's bookkeeping pass counts
       /// the slot as retired exactly once; cleared when counted.
       bool just_failed = false;
+      /// ISSRTL_FAIL_SITE :step hook armed at spawn, consumed at the
+      /// lane's first stepping round (exercises mid-flight containment).
+      bool step_hook_pending = false;
+      // Staged capture (pipe_ set): classify_lane records the lane's
+      // suffix trace and end-state verdict here instead of classifying;
+      // finalize ships them to the classify stage. pre_classified stays
+      // true for records that are already final (convergence cutoffs,
+      // isolation error records).
+      bool pre_classified = true;
+      iss::HaltReason halt_out = iss::HaltReason::kRunning;
+      bool states_valid = false;
+      bool states_ok = false;
+      std::vector<BusRecord> suffix;
       Record record;
     };
 
@@ -217,11 +299,11 @@ class RtlCampaignBackend {
     /// cursor lane as the active lane.
     void handle_lane_failure(unsigned slot, const char* what);
 
-    /// ISSRTL_FAIL_SITE test hook: called right after a site's fault is
-    /// armed (serial and batched paths alike); throws when the spec names
-    /// this backend-global site index ("<i>" on every attempt, "<i>:once"
-    /// on the first only).
-    void maybe_fail_site(std::size_t site_index);
+    /// ISSRTL_FAIL_SITE test hook: called at each processing stage of a
+    /// site (serial and batched paths alike); throws when the spec names
+    /// this backend-global site index at `stage` ("<i>" on every attempt,
+    /// "<i>:once" on the first only).
+    void maybe_fail_site(std::size_t site_index, FailStage stage);
 
     /// Step the (active) replica lane of `run` by up to `max_cycles`,
     /// applying the per-cycle divergence / convergence / hang-probe logic.
@@ -307,6 +389,16 @@ class RtlCampaignBackend {
     const std::vector<std::size_t>* batch_indices_ = nullptr;
     const std::function<void(std::size_t, Record&&)>* on_site_ = nullptr;
     EngineRunCounters* counters_ = nullptr;
+    // Staged pipeline plumbing, valid for the duration of one run_capture
+    // call (null on the synchronous path). item_offset_ re-bases the
+    // slice-relative items of the fixed-batch (!lane_refill) recursion so
+    // packets and snapshot lookups carry shard-absolute item positions;
+    // current_item_ is the item being spawned (set by try_spawn, read by
+    // cursor_seek's snapshot adoption).
+    Pipe* pipe_ = nullptr;
+    bool sink_closed_ = false;
+    std::size_t item_offset_ = 0;
+    std::size_t current_item_ = 0;
     std::deque<std::size_t> retry_queue_;  ///< items awaiting their retry
     std::set<std::size_t> retried_sites_;  ///< sites that spent their retry
     std::map<std::size_t, unsigned> fail_attempts_;  ///< ISSRTL_FAIL_SITE

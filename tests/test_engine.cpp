@@ -649,14 +649,70 @@ TEST(Engine, OptionsFromEnvParsesDeadline) {
   }
 }
 
+TEST(Engine, OptionsFromEnvParsesPipeline) {
+  {
+    ScopedEnv p("ISSRTL_PIPELINE", "0");
+    EXPECT_FALSE(options_from_env().pipeline);
+  }
+  {
+    ScopedEnv p("ISSRTL_PIPELINE", "1");
+    EXPECT_TRUE(options_from_env().pipeline);
+  }
+  {
+    ScopedEnv p("ISSRTL_PIPELINE", nullptr);
+    EngineOptions base;
+    base.pipeline = false;
+    EXPECT_FALSE(options_from_env(base).pipeline);  // unset: untouched
+  }
+  for (const char* v : {"2", "staged", "-1", "true", "01x", " 1"}) {
+    ScopedEnv p("ISSRTL_PIPELINE", v);
+    try {
+      options_from_env();
+      FAIL() << "expected std::invalid_argument for '" << v << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("ISSRTL_PIPELINE"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Engine, OptionsFromEnvParsesPrefetchDepth) {
+  {
+    ScopedEnv d("ISSRTL_PREFETCH_DEPTH", "8");
+    EXPECT_EQ(options_from_env().prefetch_depth, 8u);
+  }
+  {
+    ScopedEnv d("ISSRTL_PREFETCH_DEPTH", "1");  // the minimum legal depth
+    EXPECT_EQ(options_from_env().prefetch_depth, 1u);
+  }
+  {
+    ScopedEnv d("ISSRTL_PREFETCH_DEPTH", nullptr);
+    EngineOptions base;
+    base.prefetch_depth = 5;
+    EXPECT_EQ(options_from_env(base).prefetch_depth, 5u);  // unset: untouched
+  }
+  // 0 would deadlock a bounded queue and 65 is past the documented cap —
+  // both are range errors, not schedule choices.
+  for (const char* v : {"0", "65", "4x", "abc", "-2", " 4", "0x4"}) {
+    ScopedEnv d("ISSRTL_PREFETCH_DEPTH", v);
+    EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
+  }
+}
+
 TEST(Engine, OptionsFromEnvValidatesFailSiteEagerly) {
   {
     ScopedEnv f("ISSRTL_FAIL_SITE", "3:once,7");
     EXPECT_EQ(options_from_env().fail_sites, "3:once,7");
   }
+  {
+    ScopedEnv f("ISSRTL_FAIL_SITE", "3:once:classify,7:step");
+    EXPECT_EQ(options_from_env().fail_sites, "3:once:classify,7:step");
+  }
   // A typo'd hook must fail at option parse time, by variable name — not
   // silently inject (or fail to inject) faults mid-campaign.
-  for (const char* v : {"a", "3:twice", "3,", ",3", "3::once", "-1", ":once"}) {
+  for (const char* v : {"a", "3:twice", "3,", ",3", "3::once", "-1", ":once",
+                        "3:bogus", "3:arm:step", "3:classify:"}) {
     ScopedEnv f("ISSRTL_FAIL_SITE", v);
     EXPECT_THROW(options_from_env(), std::invalid_argument) << v;
   }
@@ -667,9 +723,29 @@ TEST(Engine, ParseFailSitesSpec) {
   const FailSiteSpec s = parse_fail_sites("3:once,7");
   ASSERT_NE(s.find(3), nullptr);
   EXPECT_TRUE(s.find(3)->once);
+  EXPECT_EQ(s.find(3)->stage, FailStage::kArm);  // default stage
   ASSERT_NE(s.find(7), nullptr);
   EXPECT_FALSE(s.find(7)->once);
   EXPECT_EQ(s.find(5), nullptr);
+}
+
+TEST(Engine, ParseFailSitesStageTags) {
+  const FailSiteSpec s =
+      parse_fail_sites("1:restore,2:arm,3:step,4:classify:once,5");
+  ASSERT_NE(s.find(1), nullptr);
+  EXPECT_EQ(s.find(1)->stage, FailStage::kRestore);
+  ASSERT_NE(s.find(2), nullptr);
+  EXPECT_EQ(s.find(2)->stage, FailStage::kArm);
+  ASSERT_NE(s.find(3), nullptr);
+  EXPECT_EQ(s.find(3)->stage, FailStage::kStep);
+  ASSERT_NE(s.find(4), nullptr);
+  EXPECT_EQ(s.find(4)->stage, FailStage::kClassify);
+  EXPECT_TRUE(s.find(4)->once);  // tags compose in any order
+  ASSERT_NE(s.find(5), nullptr);
+  EXPECT_EQ(s.find(5)->stage, FailStage::kArm);
+  // At most one stage tag per site: a second one is a conflict, not a
+  // last-wins override.
+  EXPECT_THROW(parse_fail_sites("3:restore:classify"), std::invalid_argument);
 }
 
 TEST(Engine, AccumulatorMergeMatchesSequential) {

@@ -1,0 +1,446 @@
+// Staged-pipeline tests (engine/pipeline.hpp): the restore -> clone/arm ->
+// step -> classify driver must be an implementation detail of *scheduling*,
+// never of *results*. The load-bearing claim: fault::outcome_hash — and
+// every per-record field behind it — is bit-identical pipeline on or off,
+// at every thread count x batch size x SIMD setting x prefetch depth, for
+// both backends, across journal-resume cuts that cross the pipeline
+// boundary, under graceful truncation, and with ISSRTL_FAIL_SITE throws
+// landing on each stage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/iss_backend.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/rtl_backend.hpp"
+#include "workloads/workload.hpp"
+
+namespace issrtl::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+using fault::CampaignConfig;
+using fault::CampaignResult;
+using fault::Outcome;
+using rtl::FaultModel;
+
+isa::Program small_workload() {
+  return workloads::build("a2time_x", {.iterations = 1, .data_seed = 1});
+}
+
+CampaignConfig small_cfg() {
+  CampaignConfig cfg;
+  cfg.unit_prefix = "iu";
+  cfg.samples = 24;
+  cfg.models = {FaultModel::kStuckAt1};
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+  return cfg;
+}
+
+fault::IssCampaignConfig iss_cfg() {
+  fault::IssCampaignConfig cfg;
+  cfg.samples = 24;
+  cfg.models = {iss::IssFaultModel::kBitFlip};
+  return cfg;
+}
+
+EngineOptions pipe_opts(bool pipeline, unsigned threads = 1,
+                        unsigned batch = 1, bool simd = true) {
+  EngineOptions opts;
+  opts.pipeline = pipeline;
+  opts.threads = threads;
+  opts.batch_lanes = batch;
+  opts.simd_lanes = simd;
+  return opts;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(fault::outcome_hash(a), fault::outcome_hash(b));
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].site.node, b.runs[i].site.node) << i;
+    EXPECT_EQ(a.runs[i].site.inject_cycle, b.runs[i].site.inject_cycle) << i;
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << i;
+    EXPECT_EQ(a.runs[i].latency_cycles, b.runs[i].latency_cycles) << i;
+    EXPECT_EQ(a.runs[i].error, b.runs[i].error) << i;
+  }
+}
+
+std::string scratch_dir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("issrtl_pipeline_" + std::string(info->name()) + "_" +
+                        tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+fs::path journal_file_in(const std::string& dir) {
+  fs::path found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_TRUE(found.empty()) << "more than one journal file in " << dir;
+    found = entry.path();
+  }
+  EXPECT_FALSE(found.empty()) << "no journal file in " << dir;
+  return found;
+}
+
+std::vector<std::string> read_lines(const fs::path& file) {
+  std::ifstream in(file);
+  EXPECT_TRUE(in.good()) << file;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_file(const fs::path& file, const std::string& content) {
+  std::ofstream out(file, std::ios::trunc);
+  ASSERT_TRUE(out.good()) << file;
+  out << content;
+}
+
+// ---- the bounded queue underneath every stage boundary ----------------------
+
+TEST(BoundedQueue, FifoCapacityAndClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.try_pop(), 1);  // FIFO across the capacity boundary
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 2);
+  q.close();
+  EXPECT_FALSE(q.push(4));    // closed: producers bounce...
+  EXPECT_EQ(q.pop(), 3);      // ...but queued items still drain
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  q.close();                  // idempotent
+  EXPECT_EQ(q.peak_depth(), 2u);
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopAndCountsStalls) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread t([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: capacity 1, slot occupied
+  });
+  // Don't pop until the producer has registered its stall, so the assert
+  // below is deterministic rather than a race against thread startup.
+  while (q.push_stalls() == 0) std::this_thread::yield();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  t.join();
+  EXPECT_EQ(q.push_stalls(), 1u);
+}
+
+// ---- suffix-compare equivalence ---------------------------------------------
+
+TEST(SuffixCompare, MatchesFullTraceCompareSemantics) {
+  std::vector<BusRecord> golden(4);
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    golden[i].addr = static_cast<u32>(0x100 + 4 * i);
+    golden[i].data = i;
+    golden[i].cycle = 10 * (i + 1);
+  }
+  // Identical suffix -> no divergence.
+  EXPECT_FALSE(
+      compare_suffix_writes(golden, 2, {golden[2], golden[3]}).diverged);
+  // Payload mismatch at absolute index 3.
+  std::vector<BusRecord> bad = {golden[2], golden[3]};
+  bad[1].data ^= 1;
+  const TraceDivergence d = compare_suffix_writes(golden, 2, bad);
+  EXPECT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 3u);
+  EXPECT_EQ(d.cycle, bad[1].cycle);
+  // Missing writes: divergence at the first absent index, stamped with the
+  // faulty run's last write cycle.
+  const TraceDivergence miss = compare_suffix_writes(golden, 2, {golden[2]});
+  EXPECT_TRUE(miss.diverged);
+  EXPECT_EQ(miss.index, 3u);
+  EXPECT_EQ(miss.cycle, golden[2].cycle);
+  // Extra write past the golden end.
+  BusRecord extra = golden[3];
+  extra.cycle = 99;
+  const TraceDivergence ex =
+      compare_suffix_writes(golden, 3, {golden[3], extra});
+  EXPECT_TRUE(ex.diverged);
+  EXPECT_EQ(ex.index, 4u);
+  EXPECT_EQ(ex.cycle, 99u);
+}
+
+// ---- determinism: pipeline on == pipeline off -------------------------------
+
+TEST(Pipeline, RtlBitIdenticalOnOffAcrossScheduleMatrix) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult ref =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false));
+  const u64 ref_hash = fault::outcome_hash(ref);
+
+  for (const unsigned threads : {1u, 3u}) {
+    for (const unsigned batch : {1u, 32u}) {
+      for (const bool simd : {true, false}) {
+        for (const bool pipeline : {true, false}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " batch=" + std::to_string(batch) +
+                       " simd=" + std::to_string(simd) +
+                       " pipeline=" + std::to_string(pipeline));
+          const CampaignResult r = run_rtl_campaign(
+              prog, cfg, {}, pipe_opts(pipeline, threads, batch, simd));
+          EXPECT_EQ(fault::outcome_hash(r), ref_hash);
+          expect_identical(ref, r);
+        }
+      }
+    }
+  }
+}
+
+TEST(Pipeline, PrefetchDepthIsOutcomeNeutral) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult ref =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false));
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{8}}) {
+    EngineOptions opts = pipe_opts(true, 3, 32);
+    opts.prefetch_depth = depth;
+    const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+    SCOPED_TRACE(depth);
+    expect_identical(ref, r);
+  }
+}
+
+TEST(Pipeline, IssBitIdenticalOnOffAcrossThreads) {
+  const auto prog = small_workload();
+  const auto cfg = iss_cfg();
+  const auto ref = run_iss_campaign_engine(prog, cfg, pipe_opts(false));
+  for (const unsigned threads : {1u, 3u}) {
+    for (const bool pipeline : {true, false}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " pipeline=" + std::to_string(pipeline));
+      const auto r =
+          run_iss_campaign_engine(prog, cfg, pipe_opts(pipeline, threads));
+      ASSERT_EQ(r.runs.size(), ref.runs.size());
+      for (std::size_t i = 0; i < r.runs.size(); ++i) {
+        EXPECT_EQ(r.runs[i].failure, ref.runs[i].failure) << i;
+        EXPECT_EQ(r.runs[i].latent, ref.runs[i].latent) << i;
+        EXPECT_EQ(r.runs[i].latency_instr, ref.runs[i].latency_instr) << i;
+        EXPECT_EQ(r.runs[i].engine_error, ref.runs[i].engine_error) << i;
+      }
+    }
+  }
+}
+
+TEST(Pipeline, StageTalliesSurfaceOnlyWhenStaged) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult on =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(true, 1, 8));
+  // Every staged spawn is either an adoption or a demand restore.
+  EXPECT_GT(on.replay.restores_prefetched + on.replay.restores_demand, 0u);
+
+  const CampaignResult off =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false, 1, 8));
+  EXPECT_EQ(off.replay.restores_prefetched, 0u);
+  EXPECT_EQ(off.replay.restores_demand, 0u);
+  EXPECT_EQ(off.replay.snapshot_waits, 0u);
+  EXPECT_EQ(off.replay.restore_queue_stalls, 0u);
+  EXPECT_EQ(off.replay.classify_queue_stalls, 0u);
+  EXPECT_EQ(off.replay.classify_backlog_peak, 0u);
+}
+
+// ---- journal resume across the pipeline boundary ----------------------------
+
+TEST(Pipeline, JournalResumeCrossesPipelineBoundary) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult ref =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false));
+
+  // Staged run journals; cut mid-run; the synchronous loop resumes.
+  {
+    const std::string dir = scratch_dir("on_to_off");
+    EngineOptions opts = pipe_opts(true, 1, 8);
+    opts.journal_dir = dir;
+    run_rtl_campaign(prog, cfg, {}, opts);
+    const fs::path file = journal_file_in(dir);
+    const auto lines = read_lines(file);
+    ASSERT_EQ(lines.size(), 1u + ref.runs.size());
+    std::string half;
+    for (std::size_t i = 0; i < 1 + ref.runs.size() / 2; ++i) {
+      half += lines[i];
+      half += '\n';
+    }
+    write_file(file, half);
+    EngineOptions resume = pipe_opts(false, 3);
+    resume.journal_dir = dir;
+    resume.resume = true;
+    const CampaignResult r = run_rtl_campaign(prog, cfg, {}, resume);
+    expect_identical(ref, r);
+    EXPECT_EQ(r.replay.journal_hits, ref.runs.size() / 2);
+  }
+
+  // And the reverse cut: synchronous run journals, the staged driver
+  // resumes (on a different schedule, for good measure).
+  {
+    const std::string dir = scratch_dir("off_to_on");
+    EngineOptions opts = pipe_opts(false);
+    opts.journal_dir = dir;
+    run_rtl_campaign(prog, cfg, {}, opts);
+    const fs::path file = journal_file_in(dir);
+    const auto lines = read_lines(file);
+    std::string half;
+    for (std::size_t i = 0; i < 1 + ref.runs.size() / 2; ++i) {
+      half += lines[i];
+      half += '\n';
+    }
+    write_file(file, half);
+    EngineOptions resume = pipe_opts(true, 3, 32);
+    resume.journal_dir = dir;
+    resume.resume = true;
+    const CampaignResult r = run_rtl_campaign(prog, cfg, {}, resume);
+    expect_identical(ref, r);
+    EXPECT_EQ(r.replay.journal_hits, ref.runs.size() / 2);
+  }
+}
+
+// ---- graceful truncation through the staged driver --------------------------
+
+TEST(Pipeline, StopFlagTruncatesStagedDriverThenResumeCompletes) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult ref =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false));
+
+  const std::string dir = scratch_dir("stop");
+  std::atomic<bool> stop{false};
+  EngineOptions opts = pipe_opts(true, 1, 8);
+  opts.journal_dir = dir;
+  opts.stop = &stop;
+  opts.progress_stride = 1;
+  opts.on_progress = [&stop](const EngineProgress& p) {
+    if (p.completed >= 3) stop.store(true, std::memory_order_relaxed);
+  };
+  const CampaignResult cut = run_rtl_campaign(prog, cfg, {}, opts);
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_GE(cut.completed_sites, 3u);
+  EXPECT_LT(cut.completed_sites, cut.total_sites);
+
+  EngineOptions resume = pipe_opts(true, 3, 32);
+  resume.journal_dir = dir;
+  resume.resume = true;
+  const CampaignResult r = run_rtl_campaign(prog, cfg, {}, resume);
+  expect_identical(ref, r);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.replay.journal_hits, cut.completed_sites);
+}
+
+TEST(Pipeline, DeadlineTruncatesStagedDriver) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  EngineOptions opts = pipe_opts(true, 1, 8);
+  opts.deadline_ms = 1;  // expires long before 24 RTL sites can finish
+  const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LT(r.completed_sites, r.total_sites);
+}
+
+// ---- ISSRTL_FAIL_SITE isolation on every stage ------------------------------
+
+// A deterministic throw at each stage must classify that site kEngineError
+// — with a byte-identical error record (including the retry-attempt count)
+// pipeline on or off — and a :once throw must retry to a clean campaign.
+TEST(Pipeline, FailSiteLandsOnEveryStageRtl) {
+  const auto prog = small_workload();
+  const auto cfg = small_cfg();
+  const CampaignResult ref =
+      run_rtl_campaign(prog, cfg, {}, pipe_opts(false));
+
+  for (const char* stage : {"restore", "arm", "step", "classify"}) {
+    SCOPED_TRACE(stage);
+    std::string error_on;
+    std::string error_off;
+    for (const bool pipeline : {true, false}) {
+      EngineOptions opts = pipe_opts(pipeline, 1, 8);
+      opts.fail_sites = std::string("3:") + stage;
+      const CampaignResult r = run_rtl_campaign(prog, cfg, {}, opts);
+      ASSERT_EQ(r.runs.size(), ref.runs.size());
+      for (std::size_t i = 0; i < r.runs.size(); ++i) {
+        if (i == 3) {
+          EXPECT_EQ(r.runs[i].outcome, Outcome::kEngineError) << pipeline;
+          EXPECT_NE(r.runs[i].error.find("ISSRTL_FAIL_SITE"),
+                    std::string::npos)
+              << r.runs[i].error;
+          (pipeline ? error_on : error_off) = r.runs[i].error;
+        } else {
+          EXPECT_EQ(r.runs[i].outcome, ref.runs[i].outcome) << i;
+          EXPECT_EQ(r.runs[i].latency_cycles, ref.runs[i].latency_cycles)
+              << i;
+        }
+      }
+      EXPECT_EQ(r.replay.sites_retried, 1u) << pipeline;
+      EXPECT_EQ(r.replay.sites_engine_error, 1u) << pipeline;
+    }
+    EXPECT_EQ(error_on, error_off);
+
+    // Transient (:once): the retry succeeds and the campaign is clean.
+    EngineOptions once = pipe_opts(true, 1, 8);
+    once.fail_sites = std::string("3:once:") + stage;
+    const CampaignResult r = run_rtl_campaign(prog, cfg, {}, once);
+    expect_identical(ref, r);
+    EXPECT_EQ(r.replay.sites_retried, 1u);
+    EXPECT_EQ(r.replay.sites_engine_error, 0u);
+  }
+}
+
+TEST(Pipeline, FailSiteLandsOnEveryStageIss) {
+  const auto prog = small_workload();
+  const auto cfg = iss_cfg();
+  const auto ref = run_iss_campaign_engine(prog, cfg, pipe_opts(false));
+
+  for (const char* stage : {"restore", "arm", "step", "classify"}) {
+    SCOPED_TRACE(stage);
+    std::string error_on;
+    std::string error_off;
+    for (const bool pipeline : {true, false}) {
+      EngineOptions opts = pipe_opts(pipeline);
+      opts.fail_sites = std::string("2:") + stage;
+      const auto r = run_iss_campaign_engine(prog, cfg, opts);
+      ASSERT_EQ(r.runs.size(), ref.runs.size());
+      for (std::size_t i = 0; i < r.runs.size(); ++i) {
+        if (i == 2) {
+          EXPECT_TRUE(r.runs[i].engine_error) << pipeline;
+          (pipeline ? error_on : error_off) = r.runs[i].error;
+        } else {
+          EXPECT_FALSE(r.runs[i].engine_error) << i;
+          EXPECT_EQ(r.runs[i].failure, ref.runs[i].failure) << i;
+          EXPECT_EQ(r.runs[i].latency_instr, ref.runs[i].latency_instr) << i;
+        }
+      }
+      EXPECT_EQ(r.replay.sites_retried, 1u) << pipeline;
+      EXPECT_EQ(r.replay.sites_engine_error, 1u) << pipeline;
+    }
+    EXPECT_EQ(error_on, error_off);
+
+    EngineOptions once = pipe_opts(true);
+    once.fail_sites = std::string("2:once:") + stage;
+    const auto r = run_iss_campaign_engine(prog, cfg, once);
+    ASSERT_EQ(r.runs.size(), ref.runs.size());
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      EXPECT_FALSE(r.runs[i].engine_error) << i;
+      EXPECT_EQ(r.runs[i].failure, ref.runs[i].failure) << i;
+      EXPECT_EQ(r.runs[i].latency_instr, ref.runs[i].latency_instr) << i;
+    }
+    EXPECT_EQ(r.replay.sites_retried, 1u);
+    EXPECT_EQ(r.replay.sites_engine_error, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace issrtl::engine
