@@ -130,6 +130,15 @@ struct BenchMetrics {
   double simd_s = 0.0;           ///< lane-pool scheduler, SIMD rounds on
   double simd_vs_batched_ratio = 0.0;  ///< SIMD on vs off, same tree
   bool simd_identical = false;   ///< counts + hash, simd on/off x threads
+  // Vec-eval section (same sweep, node-major lowered latch-transfer kernel
+  // inside the SIMD rounds on vs off, ISSRTL_VECEVAL in the same tree).
+  double veceval_off_s = 0.0;  ///< behavioral per-lane stepping (vec_eval=0)
+  double veceval_on_s = 0.0;   ///< lowered node-major path (vec_eval=1)
+  double veceval_vs_scalar_ratio = 0.0;  ///< off_s / on_s
+  bool veceval_identical = false;  ///< hash, on/off x tile {8,16} x thr {1,3}
+  u64 veceval_rounds = 0;          ///< simd rounds with >= 1 planned lane
+  u64 veceval_lane_cycles = 0;     ///< lane-cycles on the lowered path
+  u64 veceval_escapes = 0;         ///< lane-cycles escaped to behavioral
   // Pipeline section (same sweep, staged restore→arm→step→classify driver
   // vs the synchronous loop, ISSRTL_PIPELINE on/off in the same tree).
   double pipeline_sync_s = 0.0;    ///< synchronous driver (pipeline=0)
@@ -179,30 +188,22 @@ void report_speedup(BenchMetrics& m) {
   const int reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_MICRO_REPS", 9));
   u64 rtl_cycles = 0, iss_instrs = 0;
-  double rtl_best = 0.0, iss_best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    {
-      Memory mem;
-      rtlcore::Leon3Core core(mem);
-      core.load(prog());
-      core.run();
-      rtl_cycles = core.cycles();
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    {
-      Memory mem;
-      iss::Emulator emu(mem);
-      emu.load(prog());
-      emu.run();
-      iss_instrs = emu.instret();
-    }
-    const auto t2 = std::chrono::steady_clock::now();
-    const double rtl = std::chrono::duration<double>(t1 - t0).count();
-    const double iss = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || rtl < rtl_best) rtl_best = rtl;
-    if (r == 0 || iss < iss_best) iss_best = iss;
-  }
+  const auto [rtl_best, iss_best] = bench::min_alternating(
+      reps,
+      [&] {
+        Memory mem;
+        rtlcore::Leon3Core core(mem);
+        core.load(prog());
+        core.run();
+        rtl_cycles = core.cycles();
+      },
+      [&] {
+        Memory mem;
+        iss::Emulator emu(mem);
+        emu.load(prog());
+        emu.run();
+        iss_instrs = emu.instret();
+      });
   m.rtl_ns_per_cycle =
       rtl_cycles > 0 ? 1e9 * rtl_best / static_cast<double>(rtl_cycles) : 0.0;
   m.iss_ns_per_instr =
@@ -413,25 +414,16 @@ void report_batched_speedup(BenchMetrics& m) {
   batched.batch_lanes = batch;
   batched.simd_lanes = false;  // PR 4 path: flat lanes, chunked stepping
 
-  // Alternating min-of-N timing: the two configs run interleaved and each
-  // keeps its fastest rep, so slow clock drift (turbo decay, a neighbour
-  // stealing the core) biases neither side — a single-shot pair read the
-  // drift as a ratio swing of up to ±30% on the reference box.
+  // Alternating min-of-N timing (bench::min_alternating): the two configs
+  // run interleaved and each keeps its fastest rep, so slow clock drift
+  // biases neither side.
   const int reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
   fault::CampaignResult base, fast;
-  double serial_best = 0.0, batched_best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    base = engine::run_rtl_campaign(prog(), cfg, {}, serial);
-    const auto t1 = std::chrono::steady_clock::now();
-    fast = engine::run_rtl_campaign(prog(), cfg, {}, batched);
-    const auto t2 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    const double b = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || s < serial_best) serial_best = s;
-    if (r == 0 || b < batched_best) batched_best = b;
-  }
+  const auto [serial_best, batched_best] = bench::min_alternating(
+      reps,
+      [&] { base = engine::run_rtl_campaign(prog(), cfg, {}, serial); },
+      [&] { fast = engine::run_rtl_campaign(prog(), cfg, {}, batched); });
 
   bool identical = same_outcomes(base, fast);
   // Determinism spot-check across batch sizes and thread counts (untimed).
@@ -517,19 +509,10 @@ void report_simd_speedup(BenchMetrics& m) {
   const int reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
   fault::CampaignResult fast;
-  double flat_best = 0.0, simd_best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto flat_run = engine::run_rtl_campaign(prog(), cfg, {}, flat);
-    const auto t1 = std::chrono::steady_clock::now();
-    fast = engine::run_rtl_campaign(prog(), cfg, {}, simd);
-    const auto t2 = std::chrono::steady_clock::now();
-    (void)flat_run;
-    const double f = std::chrono::duration<double>(t1 - t0).count();
-    const double s = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || f < flat_best) flat_best = f;
-    if (r == 0 || s < simd_best) simd_best = s;
-  }
+  const auto [flat_best, simd_best] = bench::min_alternating(
+      reps,
+      [&] { engine::run_rtl_campaign(prog(), cfg, {}, flat); },
+      [&] { fast = engine::run_rtl_campaign(prog(), cfg, {}, simd); });
 
   bool identical = true;
   for (const unsigned t : {1u, 3u}) {
@@ -572,6 +555,95 @@ void report_simd_speedup(BenchMetrics& m) {
               (unsigned long long)m.simd_scalar_rounds,
               (unsigned long long)m.simd_refills,
               (unsigned long long)m.simd_compactions);
+}
+
+/// Node-major vector evaluation on/off inside the SIMD lane-pool rounds,
+/// same sweep as the SIMD section. With vec_eval on (the default) every
+/// lane whose next cycle is a pure latch-transfer/bubble cycle is planned
+/// into the lowered micro-netlist program and evaluated node-major across
+/// the whole tile (AVX-512 masked stores when the tile is 16 and the host
+/// has the feature, a portable blend loop otherwise); trap/memory/CTI/
+/// multicycle/window/fetch-miss/armed-fault cycles escape per lane to the
+/// behavioral step. ISSRTL_VECEVAL=0 reproduces the pure behavioral rounds
+/// bit-identically in the same tree, so the ratio isolates exactly what
+/// the lowering buys. Outcomes+hash are additionally pinned across vec
+/// on/off x tile {8,16} x threads {1,3} untimed, and the replay counters
+/// of the timed run record how much of the work actually ran lowered.
+void report_veceval_speedup(BenchMetrics& m) {
+  const std::size_t sites = bench::env_size("ISSRTL_SITES", 25);
+  const std::size_t instants = bench::env_size("ISSRTL_INSTANTS", 8);
+  const unsigned threads =
+      static_cast<unsigned>(bench::env_size("ISSRTL_THREADS", 4));
+  const unsigned batch =
+      static_cast<unsigned>(bench::env_size("ISSRTL_BATCH", 16));
+  const char* unit_env = std::getenv("ISSRTL_UNIT");
+  const std::string unit =
+      unit_env != nullptr && unit_env[0] != '\0' ? unit_env : "iu.ex";
+
+  fault::CampaignConfig cfg;
+  cfg.unit_prefix = unit;
+  cfg.models = {rtl::FaultModel::kTransientBitFlip};
+  cfg.samples = sites;
+  cfg.instants_per_site = instants;
+  cfg.seed = bench::seed();
+  cfg.inject_time = fault::InjectTime::kUniformRandom;
+
+  engine::EngineOptions vec = engine::options_from_env();
+  vec.threads = threads;
+  vec.batch_lanes = batch;
+  vec.simd_lanes = true;
+  vec.vec_eval = true;
+
+  engine::EngineOptions scalar = vec;
+  scalar.vec_eval = false;
+
+  const int reps =
+      static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
+  fault::CampaignResult fast;
+  const auto [scalar_best, vec_best] = bench::min_alternating(
+      reps,
+      [&] { engine::run_rtl_campaign(prog(), cfg, {}, scalar); },
+      [&] { fast = engine::run_rtl_campaign(prog(), cfg, {}, vec); });
+
+  bool identical = true;
+  for (const unsigned t : {1u, 3u}) {
+    for (const unsigned tile : {8u, 16u}) {
+      engine::EngineOptions a = vec, b = scalar;
+      a.threads = b.threads = t;
+      a.simd_tile = b.simd_tile = tile;
+      identical = identical &&
+                  same_outcomes(engine::run_rtl_campaign(prog(), cfg, {}, a),
+                                engine::run_rtl_campaign(prog(), cfg, {}, b));
+    }
+  }
+  m.veceval_off_s = scalar_best;
+  m.veceval_on_s = vec_best;
+  m.veceval_vs_scalar_ratio = vec_best > 0 ? scalar_best / vec_best : 0.0;
+  m.veceval_identical = identical;
+  m.veceval_rounds = fast.replay.veceval_rounds;
+  m.veceval_lane_cycles = fast.replay.veceval_lane_cycles;
+  m.veceval_escapes = fast.replay.veceval_escapes;
+
+  const u64 total = m.veceval_lane_cycles + m.veceval_escapes;
+  std::printf("\n--- node-major vector evaluation vs behavioral rounds "
+              "(rspeed, %zu sites x %zu instants, transient flips @ %s) "
+              "---\n",
+              sites, instants, unit.c_str());
+  std::printf("behavioral rounds (vec off, %u thr): %.3f s\n", threads,
+              m.veceval_off_s);
+  std::printf("lowered rounds    (vec on,  %u thr): %.3f s\n", threads,
+              m.veceval_on_s);
+  std::printf("vec/behavioral: %.2fx   outcomes+hash bit-identical "
+              "(on vs off x tile {8,16} x threads {1,3}): %s\n",
+              m.veceval_vs_scalar_ratio, identical ? "yes" : "NO");
+  std::printf("lowered path: %llu rounds, %llu lane-cycles planned / "
+              "%llu escaped (%.1f%% lowered)\n",
+              (unsigned long long)m.veceval_rounds,
+              (unsigned long long)m.veceval_lane_cycles,
+              (unsigned long long)m.veceval_escapes,
+              total > 0 ? 100.0 * static_cast<double>(m.veceval_lane_cycles) /
+                              static_cast<double>(total)
+                        : 0.0);
 }
 
 /// Staged pipeline vs synchronous driver, same sweep as the SIMD section.
@@ -628,19 +700,10 @@ void report_pipeline_speedup(BenchMetrics& m) {
   const int reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
   fault::CampaignResult fast;
-  double sync_best = 0.0, staged_best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto sync_run = engine::run_rtl_campaign(prog(), cfg, {}, sync);
-    const auto t1 = std::chrono::steady_clock::now();
-    fast = engine::run_rtl_campaign(prog(), cfg, {}, staged);
-    const auto t2 = std::chrono::steady_clock::now();
-    (void)sync_run;
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    const double p = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || s < sync_best) sync_best = s;
-    if (r == 0 || p < staged_best) staged_best = p;
-  }
+  const auto [sync_best, staged_best] = bench::min_alternating(
+      reps,
+      [&] { engine::run_rtl_campaign(prog(), cfg, {}, sync); },
+      [&] { fast = engine::run_rtl_campaign(prog(), cfg, {}, staged); });
 
   bool identical = true;
   for (const unsigned t : {1u, 3u}) {
@@ -739,30 +802,22 @@ void report_iss_fastpath(BenchMetrics& m) {
   const int micro_reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_MICRO_REPS", 9));
   u64 instrs = 0;
-  double base_best = 0.0, fast_best = 0.0;
-  for (int r = 0; r < micro_reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    {
-      Memory mem;
-      iss::Emulator emu(mem);
-      emu.set_fast_path(false);
-      emu.load(iss_prog);
-      emu.run();
-      instrs = emu.instret();
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    {
-      Memory mem;
-      iss::Emulator emu(mem);
-      emu.load(iss_prog);
-      emu.run();
-    }
-    const auto t2 = std::chrono::steady_clock::now();
-    const double b = std::chrono::duration<double>(t1 - t0).count();
-    const double f = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || b < base_best) base_best = b;
-    if (r == 0 || f < fast_best) fast_best = f;
-  }
+  const auto [base_best, fast_best] = bench::min_alternating(
+      micro_reps,
+      [&] {
+        Memory mem;
+        iss::Emulator emu(mem);
+        emu.set_fast_path(false);
+        emu.load(iss_prog);
+        emu.run();
+        instrs = emu.instret();
+      },
+      [&] {
+        Memory mem;
+        iss::Emulator emu(mem);
+        emu.load(iss_prog);
+        emu.run();
+      });
   m.iss_baseline_ns_per_instr =
       instrs > 0 ? 1e9 * base_best / static_cast<double>(instrs) : 0.0;
   m.iss_fast_ns_per_instr =
@@ -809,18 +864,10 @@ void report_iss_fastpath(BenchMetrics& m) {
   const int reps =
       static_cast<int>(bench::env_size("ISSRTL_BENCH_REPS", 3));
   fault::CampaignResult pure_run, mixed_run;
-  double pure_best = 0.0, mixed_best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    pure_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, pure);
-    const auto t1 = std::chrono::steady_clock::now();
-    mixed_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, mixed);
-    const auto t2 = std::chrono::steady_clock::now();
-    const double p = std::chrono::duration<double>(t1 - t0).count();
-    const double x = std::chrono::duration<double>(t2 - t1).count();
-    if (r == 0 || p < pure_best) pure_best = p;
-    if (r == 0 || x < mixed_best) mixed_best = x;
-  }
+  const auto [pure_best, mixed_best] = bench::min_alternating(
+      reps,
+      [&] { pure_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, pure); },
+      [&] { mixed_run = engine::run_rtl_campaign(mixed_prog, cfg, {}, mixed); });
 
   // Schedule invariance of the mixed run itself (untimed): the mixed hash
   // must not depend on the thread count. (Mixed vs pure outcomes are a
@@ -1020,6 +1067,33 @@ void write_bench_json(const BenchMetrics& m) {
   std::fprintf(f, "\n  }");
   std::fprintf(f,
                ",\n"
+               "  \"veceval_section\": {\n"
+               "    \"unit\": \"%s\",\n"
+               "    \"sites\": %zu,\n"
+               "    \"instants_per_site\": %zu,\n"
+               "    \"threads\": %u,\n"
+               "    \"batch_lanes\": %u,\n"
+               "    \"lane_tile\": %zu,\n"
+               "    \"scalar_mode\": \"ISSRTL_VECEVAL=0 behavioral rounds, "
+               "kept in-tree as the A/B baseline\",\n"
+               "    \"scalar_s\": %.3f,\n"
+               "    \"veceval_s\": %.3f,\n"
+               "    \"veceval_vs_scalar_ratio\": %.2f,\n"
+               "    \"veceval_rounds\": %llu,\n"
+               "    \"veceval_lane_cycles\": %llu,\n"
+               "    \"veceval_escapes\": %llu,\n"
+               "    \"outcomes_identical_veceval_on_off_tiles_8_16_threads_1_3\""
+               ": %s\n"
+               "  }",
+               m.ladder_unit.c_str(), m.ladder_sites, m.ladder_instants,
+               m.ladder_threads, m.batch_lanes, m.lane_tile,
+               m.veceval_off_s, m.veceval_on_s, m.veceval_vs_scalar_ratio,
+               (unsigned long long)m.veceval_rounds,
+               (unsigned long long)m.veceval_lane_cycles,
+               (unsigned long long)m.veceval_escapes,
+               m.veceval_identical ? "true" : "false");
+  std::fprintf(f,
+               ",\n"
                "  \"pipeline_section\": {\n"
                "    \"unit\": \"%s\",\n"
                "    \"sites\": %zu,\n"
@@ -1125,6 +1199,7 @@ int main(int argc, char** argv) try {
   report_ladder_speedup(metrics);
   report_batched_speedup(metrics);
   report_simd_speedup(metrics);
+  report_veceval_speedup(metrics);
   report_pipeline_speedup(metrics);
   report_iss_fastpath(metrics);
   write_bench_json(metrics);

@@ -237,6 +237,18 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(r.replay.lane_refills),
                 static_cast<unsigned long long>(r.replay.lane_compactions));
   }
+  if (r.replay.veceval_rounds != 0) {
+    const u64 total = r.replay.veceval_lane_cycles + r.replay.veceval_escapes;
+    std::printf("veceval: %llu rounds, %llu lane-cycles lowered / "
+                "%llu escaped (%.0f%% lowered)\n",
+                static_cast<unsigned long long>(r.replay.veceval_rounds),
+                static_cast<unsigned long long>(r.replay.veceval_lane_cycles),
+                static_cast<unsigned long long>(r.replay.veceval_escapes),
+                total != 0
+                    ? 100.0 * static_cast<double>(r.replay.veceval_lane_cycles) /
+                          static_cast<double>(total)
+                    : 0.0);
+  }
   if (r.replay.restores_prefetched != 0 || r.replay.restores_demand != 0) {
     std::printf("pipeline: %llu restores prefetched / %llu demand, "
                 "%llu snapshot waits, stalls %llu restore / %llu classify, "

@@ -302,6 +302,17 @@ int cmd_campaign(const std::string& name, const std::string& unit,
                 (unsigned long long)rc.lane_refills,
                 (unsigned long long)rc.lane_compactions);
   }
+  if (rc.veceval_rounds != 0) {
+    const u64 total = rc.veceval_lane_cycles + rc.veceval_escapes;
+    std::printf("veceval: %llu rounds, %llu lane-cycles lowered / "
+                "%llu escaped (%.0f%% lowered)\n",
+                (unsigned long long)rc.veceval_rounds,
+                (unsigned long long)rc.veceval_lane_cycles,
+                (unsigned long long)rc.veceval_escapes,
+                total != 0 ? 100.0 * double(rc.veceval_lane_cycles) /
+                                 double(total)
+                           : 0.0);
+  }
   if (rc.restores_prefetched != 0 || rc.restores_demand != 0) {
     std::printf("pipeline: %llu restores prefetched / %llu demand, "
                 "%llu snapshot waits, stalls %llu restore / %llu classify, "

@@ -202,6 +202,9 @@ EngineOptions options_from_env(EngineOptions base) {
     }
     base.simd_tile = static_cast<unsigned>(tile);
   });
+  with_env("ISSRTL_VECEVAL", [&](const char* v) {
+    base.vec_eval = env_flag("ISSRTL_VECEVAL", v);
+  });
   with_env("ISSRTL_JOURNAL", [&](const char* v) { base.journal_dir = v; });
   with_env("ISSRTL_RESUME", [&](const char* v) {
     base.resume = env_flag("ISSRTL_RESUME", v);

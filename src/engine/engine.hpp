@@ -180,6 +180,21 @@ struct EngineOptions {
   /// wide hosts (the CI dispatch-fallback smoke). Outcomes are
   /// bit-identical at every width.
   unsigned simd_tile = 0;
+  /// Node-major vector evaluation inside the SIMD lockstep rounds: each
+  /// round first *plans* every live lane's cycle (rtlcore escape analysis),
+  /// executes the lowered latch-transfer program once, node-major, over all
+  /// planned lanes' tile slices (rtl/veceval.hpp — AVX-512F masked stores
+  /// behind the same runtime dispatch as simd_tile, portable blend loops
+  /// otherwise), and finishes each planned lane with the unchanged per-lane
+  /// compute hooks; lanes whose cycle is data-dependent (traps, memory,
+  /// CTIs, multicycle, armed faults, fetch misses) escape to the behavioral
+  /// step for that cycle. false keeps every lane on the behavioral
+  /// lane-major step — the A/B baseline. Outcomes, latencies and
+  /// fault::outcome_hash are bit-identical either way (the compute hooks
+  /// are the behavioral code), so the flag stays out of campaign_key().
+  /// ISSRTL_VECEVAL (strict 0/1) is the environment path. No effect unless
+  /// batch_lanes > 1 and simd_lanes is on.
+  bool vec_eval = true;
   /// Called (serialised) as injections finish; every worker reports at
   /// least every `progress_stride` completed sites.
   std::function<void(const EngineProgress&)> on_progress;
@@ -295,7 +310,9 @@ inline constexpr unsigned kMaxBatchLanes = 1024;
 /// rejected), ISSRTL_SIMD_MIN_LIVE (live-lane floor before the scalar
 /// tail, [0, kMaxBatchLanes]; 0 = auto) and ISSRTL_SIMD_TILE ("auto" or 0
 /// = CPUID dispatch, else a power of two in [2, 64] forcing the interleave
-/// width), ISSRTL_JOURNAL (write-ahead journal directory; any non-empty
+/// width), ISSRTL_VECEVAL (1 = node-major vector evaluation inside the
+/// SIMD rounds, 0 = behavioral lane-major stepping; any other value is
+/// rejected), ISSRTL_JOURNAL (write-ahead journal directory; any non-empty
 /// path), ISSRTL_RESUME (1 = import the journal's records, 0 = truncate
 /// it; any other value is rejected), ISSRTL_MIXED (1 = mixed-fidelity
 /// ISS-prefix/RTL-suffix campaigns, 0 = pure RTL; any other value is

@@ -829,6 +829,7 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
   // every lane after the pass is indistinguishable from per-lane commits.
   stepped_.assign(core_.lane_count(), 0);
   unsigned evaluated = 0;
+  const bool vec = b_.opts_.vec_eval;
   if (cursor_target != 0 && core_.lane_state(0).cycle < cursor_target &&
       core_.lane_state(0).halt == iss::HaltReason::kRunning) {
     // The cursor rides the tiles toward the next pending instant: one more
@@ -837,7 +838,10 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
     // longer pays. It never passes the instant, so cursor_seek's monotonic
     // precondition — and the cursor's golden trajectory — are untouched.
     core_.select_lane_fast(0);
-    core_.step_no_commit();
+    if (!vec || core_.plan_vec_cycle() != rtlcore::VecEscape::kNone) {
+      core_.step_no_commit();
+      if (vec) ++stat_veceval_escapes_;
+    }
     stepped_[0] = 1;
     ++stat_cursor_ride_cycles_;
   }
@@ -846,6 +850,18 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
     if (run.done || run.definite_divergence || run.budget == 0) continue;
     if (core_.lane_state(j + 1).halt != iss::HaltReason::kRunning) continue;
     core_.select_lane_fast(j + 1);
+    // Vector evaluation: try the node-major lowered path first. A planned
+    // cycle mutates only the lane's cycle counter and sequence tags here;
+    // the node work happens in the shared transfer pass + compute hooks
+    // below. An escape leaves the lane exactly as if plan_vec_cycle had
+    // never run, so the behavioral step is a drop-in.
+    if (vec && core_.plan_vec_cycle() == rtlcore::VecEscape::kNone) {
+      stepped_[j + 1] = 1;
+      ++evaluated;
+      --run.budget;
+      continue;
+    }
+    if (vec) ++stat_veceval_escapes_;
     try {
       core_.step_no_commit();
     } catch (const std::exception& e) {
@@ -857,6 +873,32 @@ unsigned RtlCampaignBackend::Worker::step_lanes_round(unsigned n,
     stepped_[j + 1] = 1;
     ++evaluated;
     --run.budget;
+  }
+  if (vec && !core_.vec_pending_lanes().empty()) {
+    // Phase 2: one node-major pass moves every planned lane's latches.
+    core_.apply_vec_transfers();
+    // Phase 3: the per-lane compute the lowering left behavioral. Same
+    // containment contract as the behavioral step above — a throwing pool
+    // lane dies alone (its stepped_ bit is cleared so the shared commit
+    // skips it); the fault-free cursor is not guarded, matching
+    // step_no_commit on the cursor ride.
+    for (const unsigned lane : core_.vec_pending_lanes()) {
+      core_.select_lane_fast(lane);
+      if (lane == 0) {
+        core_.complete_vec_cycle();
+        continue;
+      }
+      try {
+        core_.complete_vec_cycle();
+      } catch (const std::exception& e) {
+        handle_lane_failure(lane - 1, e.what());
+        stepped_[lane] = 0;
+        continue;
+      }
+    }
+    ++stat_veceval_rounds_;
+    stat_veceval_lane_cycles_ += core_.vec_pending_lanes().size();
+    core_.clear_vec_pending();
   }
   // Parking the cursor stages out the last-evaluated lane's sequence tags,
   // so the bookkeeping pass can read every replica's state directly.
@@ -1288,8 +1330,15 @@ void RtlCampaignBackend::Worker::run_batch(
                                  std::memory_order_relaxed);
   b_.fast_forward_cycles_.fetch_add(stat_cursor_ride_cycles_,
                                     std::memory_order_relaxed);
+  b_.veceval_rounds_.fetch_add(stat_veceval_rounds_,
+                               std::memory_order_relaxed);
+  b_.veceval_lane_cycles_.fetch_add(stat_veceval_lane_cycles_,
+                                    std::memory_order_relaxed);
+  b_.veceval_escapes_.fetch_add(stat_veceval_escapes_,
+                                std::memory_order_relaxed);
   stat_simd_rounds_ = stat_scalar_rounds_ = stat_refills_ = 0;
   stat_compactions_ = stat_live_lane_rounds_ = stat_cursor_ride_cycles_ = 0;
+  stat_veceval_rounds_ = stat_veceval_lane_cycles_ = stat_veceval_escapes_ = 0;
 }
 
 void RtlCampaignBackend::Worker::run_capture(
@@ -1417,6 +1466,9 @@ fault::CampaignResult RtlCampaignBackend::finish(EngineRun<Record> run) const {
   result.replay.lane_refills = lane_refills_.load();
   result.replay.lane_compactions = lane_compactions_.load();
   result.replay.live_lane_rounds = live_lane_rounds_.load();
+  result.replay.veceval_rounds = veceval_rounds_.load();
+  result.replay.veceval_lane_cycles = veceval_lane_cycles_.load();
+  result.replay.veceval_escapes = veceval_escapes_.load();
   result.replay.journal_hits = run.journal_hits;
   result.replay.journal_dropped = run.journal_dropped;
   result.replay.sites_retried = run.sites_retried;

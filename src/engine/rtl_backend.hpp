@@ -323,8 +323,13 @@ class RtlCampaignBackend {
     /// number of lanes that retired this round and records their pool slots
     /// in retired_slots_ (for the refill). Per lane the cycle/check
     /// sequence is exactly step_lane's, so outcomes stay bit-identical to
-    /// the chunked path. Accumulates the occupancy counters (one simd
-    /// round, live-lane count).
+    /// the chunked path. With opts_.vec_eval on, each lane's evaluation
+    /// first tries the node-major lowered path (Leon3Core::plan_vec_cycle);
+    /// planned lanes are finished by one apply_vec_transfers() pass plus
+    /// per-lane complete_vec_cycle() hooks, escaping lanes run the
+    /// behavioral step as before — bit-identical next-state either way.
+    /// Accumulates the occupancy counters (one simd round, live-lane count,
+    /// vec-eval planned/escaped tallies).
     unsigned step_lanes_round(unsigned n, u64 cursor_target);
 
     /// Survivor compaction: when the sparse live set occupies more tiles
@@ -410,6 +415,9 @@ class RtlCampaignBackend {
     u64 stat_refills_ = 0;
     u64 stat_compactions_ = 0;
     u64 stat_live_lane_rounds_ = 0;
+    u64 stat_veceval_rounds_ = 0;       ///< rounds with >= 1 planned lane
+    u64 stat_veceval_lane_cycles_ = 0;  ///< lane-cycles on the lowered path
+    u64 stat_veceval_escapes_ = 0;      ///< lane-cycles that fell back
   };
 
   std::unique_ptr<Worker> make_worker(unsigned shard) const;
@@ -463,6 +471,10 @@ class RtlCampaignBackend {
   mutable std::atomic<u64> lane_refills_{0};
   mutable std::atomic<u64> lane_compactions_{0};
   mutable std::atomic<u64> live_lane_rounds_{0};
+  // Node-major vector evaluation occupancy (see fault::ReplayCounters).
+  mutable std::atomic<u64> veceval_rounds_{0};
+  mutable std::atomic<u64> veceval_lane_cycles_{0};
+  mutable std::atomic<u64> veceval_escapes_{0};
 };
 
 /// Full engine-backed RTL campaign. fault::run_campaign is the serial thin

@@ -163,6 +163,13 @@ struct ReplayCounters {
   u64 lane_compactions = 0;    ///< survivor packs into dense tiles
   u64 live_lane_rounds = 0;    ///< sum of live lanes over all simd rounds
                                ///  (mean occupancy = / simd_rounds)
+  // Node-major vector evaluation inside the simd rounds (zero with
+  // vec_eval off or outside batched RTL mode): how much of the per-cycle
+  // work actually ran on the lowered node-major path vs escaping to the
+  // behavioral step.
+  u64 veceval_rounds = 0;      ///< simd rounds with >= 1 planned lane
+  u64 veceval_lane_cycles = 0; ///< lane-cycles evaluated on the lowered path
+  u64 veceval_escapes = 0;     ///< lane-cycles that fell back to behavioral
   // Durability / robustness events (see engine/journal.hpp and the
   // worker-isolation retry in CampaignEngine::run; zero on a clean,
   // journal-less run):

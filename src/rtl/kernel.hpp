@@ -275,6 +275,39 @@ class SimContext {
     return Sig(this, id, static_cast<u32>(slot(id)));
   }
 
+  // ---- tiled lane-slice access (node-major vector evaluation) --------------
+
+  /// Number of interleave tiles the hot arrays are sized for (kTiled only;
+  /// includes the padding tile, whose lanes are never addressable).
+  std::size_t tile_count() const noexcept {
+    return layout_ == LaneLayout::kTiled ? storage_lanes() / tile_ : 0;
+  }
+
+  /// Contiguous u32×lane_tile() slice holding node `id`'s current values
+  /// for every lane of interleave tile `tile` (kTiled only — the lane
+  /// slice the node-major vector evaluator reads). No bounds check: the
+  /// evaluator validates its tile list once per round.
+  const u32* cur_tile_ptr(NodeId id, std::size_t tile) const noexcept {
+    return cur_.data() + tile * (meta_.size() * tile_) + slot(id);
+  }
+
+  /// Next-value counterpart of cur_tile_ptr — the slice the vector pass
+  /// writes. Values stored here must already be within the node's width
+  /// mask (the masked-copy/zero ops only move committed values, exactly
+  /// like copy_next_range); armed overlays are re-applied at commit like
+  /// for any other next write.
+  u32* nxt_tile_ptr(NodeId id, std::size_t tile) noexcept {
+    return nxt_.data() + tile * (meta_.size() * tile_) + slot(id);
+  }
+
+  /// Number of faults armed on the active lane — the escape predicate of
+  /// the vector evaluator (a lane carrying an overlay always takes the
+  /// behavioral scalar step, so the write-through patching scheme never
+  /// interacts with masked vector stores).
+  std::size_t armed_fault_count() const noexcept {
+    return armed_[active_].size();
+  }
+
   // ---- cold metadata (side table, never touched by the simulation loop) ----
   const std::string& name(NodeId id) const { return meta_.at(id).name; }
   const std::string& unit(NodeId id) const {

@@ -1,0 +1,129 @@
+#include "rtl/veceval.hpp"
+
+namespace issrtl::rtl {
+
+namespace {
+
+/// Portable executor: plain blend loops over the u32×T slice. The branchless
+/// select compiles to vector blends at -O2 for T = 8/16 without any ISA-
+/// specific code, which keeps this path the correctness reference for the
+/// AVX-512 kernel below (the differential fuzz runs both through the same
+/// entry point on whatever the host provides).
+void exec_portable(SimContext& ctx, const VecProgram& prog,
+                   const std::vector<u32>& tiles,
+                   const std::vector<u64>& ctl_masks) {
+  const std::size_t T = ctx.lane_tile();
+  const std::size_t ntiles = tiles.size();
+  for (const VecOp& op : prog.ops) {
+    const u64* row = ctl_masks.data() + op.ctl * ntiles;
+    for (std::size_t ti = 0; ti < ntiles; ++ti) {
+      const u64 m = row[ti];
+      const std::size_t tile = tiles[ti];
+      switch (op.kind) {
+        case VecOp::Kind::kCopy: {
+          const u32* s = ctx.cur_tile_ptr(op.src, tile);
+          u32* d = ctx.nxt_tile_ptr(op.dst, tile);
+          for (std::size_t l = 0; l < T; ++l) d[l] = s[l];
+          break;
+        }
+        case VecOp::Kind::kMaskedCopy: {
+          if (m == 0) break;
+          const u32* s = ctx.cur_tile_ptr(op.src, tile);
+          u32* d = ctx.nxt_tile_ptr(op.dst, tile);
+          for (std::size_t l = 0; l < T; ++l) {
+            d[l] = ((m >> l) & 1) != 0 ? s[l] : d[l];
+          }
+          break;
+        }
+        case VecOp::Kind::kMaskedZero: {
+          if (m == 0) break;
+          u32* d = ctx.nxt_tile_ptr(op.dst, tile);
+          for (std::size_t l = 0; l < T; ++l) {
+            d[l] = ((m >> l) & 1) != 0 ? 0 : d[l];
+          }
+          break;
+        }
+        case VecOp::Kind::kMux2: {
+          const u32* a = ctx.cur_tile_ptr(op.src, tile);
+          const u32* b = ctx.cur_tile_ptr(op.src2, tile);
+          u32* d = ctx.nxt_tile_ptr(op.dst, tile);
+          for (std::size_t l = 0; l < T; ++l) {
+            d[l] = ((m >> l) & 1) != 0 ? a[l] : b[l];
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ISSRTL_VECEVAL_X86 1
+
+#include <immintrin.h>
+
+/// AVX-512F executor for T == 16: one 512-bit register per slice, masked
+/// stores for the lane selection. Compiled with a function-level target
+/// attribute (no global -mavx512f — the rest of the binary stays portable)
+/// and only ever called behind the runtime CPUID check in vec_execute.
+__attribute__((target("avx512f"))) void exec_avx512(
+    SimContext& ctx, const VecProgram& prog, const std::vector<u32>& tiles,
+    const std::vector<u64>& ctl_masks) {
+  const std::size_t ntiles = tiles.size();
+  for (const VecOp& op : prog.ops) {
+    const u64* row = ctl_masks.data() + op.ctl * ntiles;
+    for (std::size_t ti = 0; ti < ntiles; ++ti) {
+      const __mmask16 m = static_cast<__mmask16>(row[ti]);
+      const std::size_t tile = tiles[ti];
+      switch (op.kind) {
+        case VecOp::Kind::kCopy: {
+          const __m512i s =
+              _mm512_loadu_si512(ctx.cur_tile_ptr(op.src, tile));
+          _mm512_storeu_si512(ctx.nxt_tile_ptr(op.dst, tile), s);
+          break;
+        }
+        case VecOp::Kind::kMaskedCopy: {
+          if (m == 0) break;
+          const __m512i s =
+              _mm512_loadu_si512(ctx.cur_tile_ptr(op.src, tile));
+          _mm512_mask_storeu_epi32(ctx.nxt_tile_ptr(op.dst, tile), m, s);
+          break;
+        }
+        case VecOp::Kind::kMaskedZero: {
+          if (m == 0) break;
+          _mm512_mask_storeu_epi32(ctx.nxt_tile_ptr(op.dst, tile), m,
+                                   _mm512_setzero_si512());
+          break;
+        }
+        case VecOp::Kind::kMux2: {
+          const __m512i a =
+              _mm512_loadu_si512(ctx.cur_tile_ptr(op.src, tile));
+          const __m512i b =
+              _mm512_loadu_si512(ctx.cur_tile_ptr(op.src2, tile));
+          _mm512_storeu_si512(ctx.nxt_tile_ptr(op.dst, tile),
+                              _mm512_mask_blend_epi32(m, b, a));
+          break;
+        }
+      }
+    }
+  }
+}
+#endif  // x86-64
+
+}  // namespace
+
+void vec_execute(SimContext& ctx, const VecProgram& prog,
+                 const std::vector<u32>& tiles,
+                 const std::vector<u64>& ctl_masks) {
+  if (tiles.empty() || prog.ops.empty()) return;
+#if defined(ISSRTL_VECEVAL_X86)
+  static const bool kHasAvx512 = __builtin_cpu_supports("avx512f") != 0;
+  if (ctx.lane_tile() == 16 && kHasAvx512) {
+    exec_avx512(ctx, prog, tiles, ctl_masks);
+    return;
+  }
+#endif
+  exec_portable(ctx, prog, tiles, ctl_masks);
+}
+
+}  // namespace issrtl::rtl

@@ -1,0 +1,78 @@
+// Micro-netlist IR for node-major vector evaluation over lane tiles.
+//
+// The batched lockstep scheduler (engine/rtl_backend) steps up to 16 replica
+// lanes per cycle against the kTiled SimContext layout, but the behavioral
+// core walks one lane's nodes at a time — lane-major — so every node access
+// touches a different cache line of the interleaved tile and the dense tiles
+// never pay off. The fix is this tiny IR: the *structural* portion of the
+// core's per-cycle step (pipeline-register transfers and bubble muxes — the
+// part that is the same masked data movement every cycle) is lowered once at
+// core construction into a static, topologically-ordered program of per-node
+// ops, and the program is executed node-major: for each op, the live-lane
+// u32×T slice of one node is processed in a single pass (one or two cache
+// lines), with a per-tile lane mask selecting which lanes participate.
+//
+// Anything data-dependent — traps, cache/memory transactions, window
+// over/underflow, CTIs, multicycle ops, armed fault overlays — is *not*
+// lowered: lanes whose escape predicate fires that cycle simply drop out of
+// the vector pass and are finished by the unchanged lane-major behavioral
+// step (see rtlcore::Leon3Core::plan_vec_cycle), so bit-identity holds by
+// construction rather than by re-deriving the trap semantics in the IR.
+//
+// Execution discipline mirrors the kernel's two-phase clock: every op reads
+// current values (cur) and writes next values (nxt) only, exactly like
+// copy_next_range / zero_next_range. Per-lane compute that follows the
+// vector pass overwrites individual nxt fields, which commutes with the
+// transfers because the behavioral step obeys the same read-cur/write-nxt
+// discipline. Masked stores touch only the selected lanes' words of a
+// slice, so lanes outside the mask — escaped lanes, dead lanes, lanes with
+// armed overlays — keep their nxt values untouched (the overlay
+// write-through scheme never sees a vector store on a patched lane).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtl/kernel.hpp"
+
+namespace issrtl::rtl {
+
+/// One node-major operation. `ctl` names a control-mask row: the executor
+/// receives ctl_count per-tile u64 lane masks per round, and each masked op
+/// applies only to the lanes set in its row's mask for the current tile.
+struct VecOp {
+  enum class Kind : u8 {
+    kCopy,        ///< nxt[dst] = cur[src], every lane of the tile
+    kMaskedCopy,  ///< nxt[dst] = cur[src] on lanes in mask(ctl)
+    kMaskedZero,  ///< nxt[dst] = 0 on lanes in mask(ctl)
+    kMux2,        ///< nxt[dst] = mask(ctl) ? cur[src] : cur[src2], all lanes
+  };
+  Kind kind = Kind::kCopy;
+  u8 ctl = 0;       ///< control-mask row for masked ops / mux selector
+  NodeId dst = 0;
+  NodeId src = 0;
+  NodeId src2 = 0;  ///< second source (kMux2 only)
+};
+
+/// A static program of VecOps in topological (emission) order plus the
+/// number of control-mask rows its masked ops reference. Built once (see
+/// Leon3Core::build_veceval_program) and executed every vector round.
+struct VecProgram {
+  std::vector<VecOp> ops;
+  u8 ctl_count = 0;
+};
+
+/// Execute `prog` node-major over the listed interleave tiles of a kTiled
+/// context. `ctl_masks` holds prog.ctl_count rows of tiles.size() per-tile
+/// lane masks, row-major: ctl_masks[ctl * tiles.size() + ti] is the lane
+/// mask of control row `ctl` in tile tiles[ti] (bit l = lane l within the
+/// tile). Ops whose mask is zero for a tile are skipped. Dispatches to an
+/// AVX-512F masked-store kernel when lane_tile() == 16 and the CPU reports
+/// the feature (same runtime CPUID discipline as preferred_lane_tile), and
+/// to a portable blend loop otherwise.
+void vec_execute(SimContext& ctx, const VecProgram& prog,
+                 const std::vector<u32>& tiles,
+                 const std::vector<u64>& ctl_masks);
+
+}  // namespace issrtl::rtl

@@ -51,6 +51,15 @@ class Cache {
   /// True while a refill is in progress (pipeline must stall).
   bool busy() const { return busy_.r() != 0; }
 
+  /// Pure probe: would a load issued at `addr` complete this cycle? True
+  /// exactly when step_load would return true without touching any state —
+  /// no refill countdown, no bus record, no hit/miss counter update. The
+  /// vector evaluator's escape predicate uses this to decide whether a
+  /// lane's fetch can stay on the lowered path (step_load mutates the
+  /// busy/pending nodes on a miss and while counting down, so the planned
+  /// path may only ever issue guaranteed hits).
+  bool would_hit(u32 addr) const { return busy_.r() == 0 && hit(addr); }
+
   /// Abandon an in-flight refill (fetch redirect); the line stays invalid.
   void abort() { busy_.n(0); }
 

@@ -97,6 +97,7 @@ Leon3Core::Leon3Core(Memory& mem, const CoreConfig& cfg)
   // real encoding — UNIMP — and must not alias the default-constructed
   // DecodedInst).
   for (DecodeEntry& e : decode_cache_) e.inst = isa::decode(0);
+  build_veceval_program();
 }
 
 void Leon3Core::load(const isa::Program& prog) {
@@ -746,6 +747,11 @@ void Leon3Core::eval_ra(bool ex_free) {
 
   // Read operands and resolve destination mapping.
   ex_.load_from(ctx_, ra_);
+  ra_issue_fields(d, cwp);
+  ra_consumed_ = true;
+}
+
+void Leon3Core::ra_issue_fields(const DecodedInst& d, unsigned cwp) {
   ex_.a.n(rf_->read(d.rs1, cwp));
   ex_.b.n(d.uses_imm ? static_cast<u32>(d.simm13) : rf_->read(d.rs2, cwp));
   if (d.iclass == InstClass::kStore || d.iclass == InstClass::kAtomic) {
@@ -779,7 +785,6 @@ void Leon3Core::eval_ra(bool ex_free) {
   }
   ex_.wreg.n(writes ? 1 : 0);
   ex_.wreg2.n(d.opcode == Opcode::kLDD ? 1 : 0);
-  ra_consumed_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -818,7 +823,10 @@ void Leon3Core::eval_fe(bool de_free) {
     return;
   }
   if (!de_free) return;
+  fe_fetch();
+}
 
+void Leon3Core::fe_fetch() {
   const u32 pc = fetch_pc_.r();
   u32 word = 0;
   if (!icache_->step_load(lane_->cycle, pc, word)) {
@@ -889,6 +897,223 @@ HaltReason Leon3Core::run(u64 max_cycles) {
   }
   if (lane_->halt == HaltReason::kRunning) lane_->halt = HaltReason::kStepLimit;
   return lane_->halt;
+}
+
+// ---------------------------------------------------------------------------
+// Node-major vector evaluation (see rtl/veceval.hpp and the protocol comment
+// in core.hpp). The lowering covers exactly the structural latch actions of
+// step_eval — advance (16-field ranged copy) and bubble (zero the valid bit)
+// for the wb/xc/me/ex/ra latches — while everything data-dependent stays on
+// the per-lane behavioral code, either as an escape (the whole cycle falls
+// back to step_no_commit) or as a planned compute hook (the same eval_*
+// helpers run on the advancing packet after the vector pass).
+
+void Leon3Core::build_veceval_program() {
+  vec_program_.ops.clear();
+  // ctl rows 0-4: advance masks of wb/xc/me/ex/ra; rows 5-9: bubble masks.
+  vec_program_.ctl_count = 10;
+  const struct {
+    const PipeSlot* dst;
+    const PipeSlot* src;
+  } latches[5] = {
+      {&wb_, &xc_}, {&xc_, &me_}, {&me_, &ex_}, {&ex_, &ra_}, {&ra_, &de_}};
+  for (u8 i = 0; i < 5; ++i) {
+    const rtl::NodeId d0 = latches[i].dst->valid.id();
+    const rtl::NodeId s0 = latches[i].src->valid.id();
+    // Advance: the vector image of PipeSlot::load_from's ranged copy. All
+    // reads are cur and all writes nxt, so op order across latches is
+    // immaterial; emit downstream-first to mirror the behavioral order.
+    for (rtl::NodeId f = 0; f < PipeSlot::kFieldCount; ++f) {
+      vec_program_.ops.push_back({rtl::VecOp::Kind::kMaskedCopy, i,
+                                  static_cast<rtl::NodeId>(d0 + f),
+                                  static_cast<rtl::NodeId>(s0 + f), 0});
+    }
+    // Bubble: PipeSlot::bubble() zeroes only the valid bit (stale payload
+    // fields are dont-care behind valid == 0, same as the behavioral path).
+    vec_program_.ops.push_back(
+        {rtl::VecOp::Kind::kMaskedZero, static_cast<u8>(5 + i), d0, 0, 0});
+  }
+  // DE needs no vector ops: a planned fetch writes the de_ fields directly
+  // in fe_fetch (valid/pc/inst plus one ranged zero), and a fetch that
+  // cannot complete this cycle escapes the lane instead.
+}
+
+VecEscape Leon3Core::plan_vec_cycle() {
+  // step_eval recomputes the handshake scratch every cycle; clear it here
+  // unconditionally so a lane whose previous behavioral step left kill /
+  // annul / stall flags behind cannot poison this cycle's planned compute
+  // (select_lane_fast clears on a switch, but not when the lane is already
+  // active).
+  clear_cycle_scratch();
+  if (lane_->halt != HaltReason::kRunning) return VecEscape::kHalted;
+  // Armed overlays patch reads lane-locally through the scalar write-through
+  // scheme; the vector pass must never store into a patched lane.
+  if (ctx_.armed_fault_count() != 0) return VecEscape::kArmedFault;
+
+  VecLanePlan p{};
+
+  // XC: a committing trap halts the core this cycle.
+  const bool xc_valid = xc_.valid.rb();
+  if (xc_valid && xc_.trap.r() != 0) return VecEscape::kTrap;
+  if (xc_valid) p.wb_adv = true; else p.wb_bub = true;
+
+  // ME: memory-class packets drive cache/bus transactions, and a trapped
+  // packet in ME makes EX's trap_pending fire — both leave the lowered path.
+  const bool me_valid = me_.valid.rb();
+  if (me_valid) {
+    if (me_.trap.r() != 0) return VecEscape::kTrap;
+    const DecodedInst& dme = decode_cached(me_.inst.r());
+    if (dme.iclass == InstClass::kLoad || dme.iclass == InstClass::kStore ||
+        dme.iclass == InstClass::kAtomic) {
+      return VecEscape::kMemOp;
+    }
+    p.xc_adv = true;
+  } else {
+    p.xc_bub = true;
+  }
+
+  // EX: CTIs (same-cycle kill/annul/redirect scratch), multicycle ops (the
+  // ex_busy countdown) and window-trapping save/restore escape; every other
+  // class completes inline via the unchanged do_ex_compute. A packet
+  // carrying a decode-stage trap advances without compute, exactly like
+  // eval_ex. (me_free is unconditionally true here: only a memory ME stalls,
+  // and that escaped above; trap_pending is false for the same reason.)
+  const bool ex_valid = ex_.valid.rb();
+  bool ex_is_save_restore = false;
+  if (ex_valid) {
+    if (ex_.trap.r() == 0) {
+      const DecodedInst& dex = decode_cached(ex_.inst.r());
+      if (is_multicycle(dex)) return VecEscape::kMulticycle;
+      switch (dex.iclass) {
+        case InstClass::kBranch:
+        case InstClass::kCall:
+        case InstClass::kJmpl:
+          return VecEscape::kCti;
+        case InstClass::kSaveRestore: {
+          const bool is_save = dex.opcode == Opcode::kSAVE;
+          const u32 depth = wdepth_.r();
+          if ((is_save && depth + 1 >= isa::kNumWindows) ||
+              (!is_save && depth == 0)) {
+            return VecEscape::kWindow;
+          }
+          ex_is_save_restore = true;
+          break;
+        }
+        default:
+          break;
+      }
+      p.ex_compute = true;
+    }
+    p.me_adv = true;
+  } else {
+    p.me_bub = true;
+  }
+
+  // RA: eval_ra with ex_free == true and no kill in flight. Interlock and
+  // scoreboard stalls stay on the lowered path (they are pure latch
+  // actions); only the operand read of an issuing packet becomes compute.
+  bool ra_consumed;
+  if (!ra_.valid.rb()) {
+    p.ex_bub = true;
+    ra_consumed = true;
+  } else if (ex_is_save_restore) {
+    // Save-in-EX interlock: the pending CWP update serialises register
+    // access, so RA holds and EX is fed a bubble.
+    p.ex_bub = true;
+    ra_consumed = false;
+  } else {
+    const DecodedInst& dra = decode_cached(ra_.inst.r());
+    std::array<unsigned, 4> srcs{};
+    unsigned nsrc = 0;
+    gather_sources(dra, cwp_.r(), srcs, nsrc);
+    if (scoreboard_blocks(srcs, nsrc)) {
+      p.ex_bub = true;
+      ra_consumed = false;
+    } else {
+      p.ex_adv = true;
+      p.ra_compute = true;
+      ra_consumed = true;
+    }
+  }
+
+  // DE: pure latch action (killed == false without a CTI in EX).
+  bool de_consumed;
+  if (ra_consumed || !ra_.valid.rb()) {
+    if (de_.valid.rb()) p.ra_adv = true; else p.ra_bub = true;
+    de_consumed = true;
+  } else {
+    de_consumed = false;
+  }
+
+  // FE: fetches only when DE is free, and the fetch must be a same-cycle
+  // icache hit — Cache::step_load mutates the refill countdown on a miss or
+  // while busy, so the planned path may only issue guaranteed hits.
+  if (de_consumed || !de_.valid.rb()) {
+    if (!icache_->would_hit(fetch_pc_.r())) return VecEscape::kFetchMiss;
+    p.fe_fetch = true;
+  }
+
+  // Commit the plan: the only host mutations step_eval would make besides
+  // node writes are the cycle counter and the latch sequence tags — apply
+  // them now (downstream-first, the behavioral load_from order).
+  ++lane_->cycle;
+  if (p.wb_adv) wb_.seq = xc_.seq;
+  if (p.xc_adv) xc_.seq = me_.seq;
+  if (p.me_adv) me_.seq = ex_.seq;
+  if (p.ex_adv) ex_.seq = ra_.seq;
+  if (p.ra_adv) ra_.seq = de_.seq;
+  if (vec_plans_.size() < lanes_.size()) vec_plans_.resize(lanes_.size());
+  vec_plans_[active_lane_] = p;
+  vec_pending_.push_back(active_lane_);
+  return VecEscape::kNone;
+}
+
+void Leon3Core::apply_vec_transfers() {
+  if (vec_pending_.empty()) return;
+  if (ctx_.lane_layout() != rtl::LaneLayout::kTiled) {
+    throw std::logic_error(
+        "Leon3Core::apply_vec_transfers: requires the kTiled lane layout");
+  }
+  const std::size_t T = ctx_.lane_tile();
+  // Pass 1: the touched-tile list. Pending lanes arrive in planning order,
+  // so equal tiles form runs; pass 2 below advances its cursor on exactly
+  // the same run boundaries, which keeps the mapping correct for any order.
+  vec_tiles_.clear();
+  for (const unsigned lane : vec_pending_) {
+    const u32 tile = static_cast<u32>(lane / T);
+    if (vec_tiles_.empty() || vec_tiles_.back() != tile) {
+      vec_tiles_.push_back(tile);
+    }
+  }
+  const std::size_t nt = vec_tiles_.size();
+  vec_masks_.assign(static_cast<std::size_t>(vec_program_.ctl_count) * nt, 0);
+  // Pass 2: scatter each lane's latch actions into its tile's mask rows.
+  std::size_t ti = 0;
+  for (const unsigned lane : vec_pending_) {
+    const u32 tile = static_cast<u32>(lane / T);
+    if (vec_tiles_[ti] != tile) ++ti;  // same run structure as pass 1
+    const u64 bit = u64{1} << (lane % T);
+    const VecLanePlan& p = vec_plans_[lane];
+    const bool adv[5] = {p.wb_adv, p.xc_adv, p.me_adv, p.ex_adv, p.ra_adv};
+    const bool bub[5] = {p.wb_bub, p.xc_bub, p.me_bub, p.ex_bub, p.ra_bub};
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (adv[i]) vec_masks_[i * nt + ti] |= bit;
+      if (bub[i]) vec_masks_[(5 + i) * nt + ti] |= bit;
+    }
+  }
+  rtl::vec_execute(ctx_, vec_program_, vec_tiles_, vec_masks_);
+}
+
+void Leon3Core::complete_vec_cycle() {
+  const VecLanePlan& p = vec_plans_[active_lane_];
+  // The behavioral stage order with the latch transfers removed. Every read
+  // below is a current value, untouched by the vector pass (which writes
+  // next values only), so each hook sees exactly what its eval_* caller
+  // would have seen.
+  eval_wb();
+  if (p.ex_compute) do_ex_compute(ex_, decode_cached(ex_.inst.r()));
+  if (p.ra_compute) ra_issue_fields(decode_cached(ra_.inst.r()), cwp_.r());
+  if (p.fe_fetch) fe_fetch();
 }
 
 CoreCheckpoint Leon3Core::checkpoint() const {

@@ -32,10 +32,28 @@
 #include "iss/state.hpp"   // HaltReason lives with the ISS; reused for parity
 #include "iss/emulator.hpp"
 #include "rtl/kernel.hpp"
+#include "rtl/veceval.hpp"
 #include "rtlcore/cache.hpp"
 #include "rtlcore/regfile.hpp"
 
 namespace issrtl::rtlcore {
+
+/// Why a lane dropped out of the node-major vector pass for one cycle (see
+/// Leon3Core::plan_vec_cycle). kNone means the cycle was planned onto the
+/// lowered path; every other value sends the lane to the unchanged
+/// behavioral scalar step, which is always exact — escapes cost vector
+/// coverage, never correctness.
+enum class VecEscape : u8 {
+  kNone = 0,
+  kHalted,      ///< lane already halted (callers normally filter these)
+  kArmedFault,  ///< armed overlay on the lane: scalar write-through path
+  kTrap,        ///< trap in flight (ME/XC) or committing this cycle
+  kMemOp,       ///< load/store/atomic in ME: cache/bus transaction
+  kCti,         ///< branch/call/jmpl in EX: same-cycle kill/redirect scratch
+  kMulticycle,  ///< mul/div in EX: ex_busy countdown
+  kWindow,      ///< save/restore in EX that will raise a window trap
+  kFetchMiss,   ///< FE wants to fetch but the icache is busy or would miss
+};
 
 /// Trap codes carried down the pipe to the XC stage.
 enum class TrapKind : u8 {
@@ -379,6 +397,52 @@ class Leon3Core {
     return ctx_.values_equal(values);
   }
 
+  // ---- node-major vector evaluation (rtl/veceval.hpp) ----------------------
+  //
+  // A vector round replaces the active lane's step_no_commit() with three
+  // phases: (1) plan_vec_cycle() per lane — a pure read of the current
+  // values that either records a latch-action plan (advancing the cycle
+  // counter and sequence tags, exactly the host mutations step_eval makes)
+  // or returns an escape reason with *no* state touched, so the caller can
+  // run the unchanged behavioral step instead; (2) apply_vec_transfers() —
+  // one node-major masked pass executing the lowered latch program over
+  // every planned lane's tile slices; (3) complete_vec_cycle() per planned
+  // lane — the per-lane compute the lowering left behavioral (WB retire,
+  // EX datapath, RA operand read, FE fetch on a guaranteed icache hit),
+  // reusing the exact eval_* code so the final next-state is bit-identical
+  // to step_no_commit() by construction. The caller then commits all
+  // stepped lanes in one commit_lanes() pass as before.
+
+  /// Phase 1: plan the active lane's next cycle onto the lowered path, or
+  /// return the escape reason without mutating anything (the behavioral
+  /// step then runs as if plan_vec_cycle had never been called).
+  VecEscape plan_vec_cycle();
+
+  /// Lanes whose current cycle is planned (in planning order). Cleared by
+  /// clear_vec_pending() after the round's compute phase.
+  const std::vector<unsigned>& vec_pending_lanes() const noexcept {
+    return vec_pending_;
+  }
+
+  /// Phase 2: execute the lowered latch-transfer program node-major over
+  /// the pending lanes' tiles. Requires the kTiled layout (throws
+  /// std::logic_error otherwise). Lane selection is irrelevant here — the
+  /// pass addresses every pending lane's slices directly.
+  void apply_vec_transfers();
+
+  /// Phase 3: run the planned per-lane compute for the *active* lane
+  /// (callers select_lane_fast() each pending lane first).
+  void complete_vec_cycle();
+
+  /// Forget the round's plans (after compute + commit).
+  void clear_vec_pending() noexcept { vec_pending_.clear(); }
+
+  /// The lowered latch-transfer program (built once at construction) — for
+  /// tests and diagnostics.
+  const rtl::VecProgram& veceval_program() const noexcept {
+    return vec_program_;
+  }
+
  private:
   /// Handshake reset + the seven stage evaluators (commit excluded).
   void step_eval();
@@ -400,6 +464,34 @@ class Leon3Core {
   void halt_with(iss::HaltReason r, u8 code);
   void do_ex_compute(PipeSlot& s, const isa::DecodedInst& d);
   void icache_abort_();
+
+  /// Operand-read half of eval_ra (everything after the ex_ <- ra_ latch
+  /// copy): shared verbatim between the behavioral step and the vector
+  /// compute phase so the issued packet is bit-identical on both paths.
+  void ra_issue_fields(const isa::DecodedInst& d, unsigned cwp);
+
+  /// Fetch half of eval_fe (everything after the redirect/de_free gates):
+  /// shared verbatim between the behavioral step and the vector compute
+  /// phase. On the planned path the icache access is a guaranteed hit
+  /// (plan_vec_cycle escapes otherwise), so the miss branch is never taken
+  /// there.
+  void fe_fetch();
+
+  /// Lower the structural latch transfers into the node-major program
+  /// (called once at construction; see docs/ARCHITECTURE.md).
+  void build_veceval_program();
+
+  /// One lane's planned latch actions + compute selections for a vector
+  /// cycle. A latch with neither flag set holds (nxt == cur).
+  struct VecLanePlan {
+    bool wb_adv = false, xc_adv = false, me_adv = false, ex_adv = false,
+         ra_adv = false;
+    bool wb_bub = false, xc_bub = false, me_bub = false, ex_bub = false,
+         ra_bub = false;
+    bool ex_compute = false;  ///< run do_ex_compute on the advancing packet
+    bool ra_compute = false;  ///< run ra_issue_fields on the issued packet
+    bool fe_fetch = false;    ///< run fe_fetch (guaranteed icache hit)
+  };
 
   /// Memory image backing `lane` (lane 0 is the external one).
   Memory& lane_memory(unsigned lane) noexcept {
@@ -482,6 +574,16 @@ class Leon3Core {
     }
     return e.inst;
   }
+
+  // Node-major vector evaluation state: the lowered latch program (static
+  // after construction) plus per-round scratch. vec_masks_ is row-major
+  // [ctl row][touched tile]: rows 0-4 are the advance masks of the wb/xc/
+  // me/ex/ra latches, rows 5-9 the bubble masks.
+  rtl::VecProgram vec_program_;
+  std::vector<VecLanePlan> vec_plans_;   ///< indexed by lane
+  std::vector<unsigned> vec_pending_;    ///< lanes planned this round
+  std::vector<u32> vec_tiles_;           ///< scratch: touched tiles
+  std::vector<u64> vec_masks_;           ///< scratch: per-tile lane masks
 
   // Per-lane host state; lane_ points at the active slot, mem_ at the
   // active image. Always at least one lane (serial mode = lane 0 only).

@@ -380,8 +380,13 @@ TEST(Lanes, PermuteLanesMovesContentOverlaysAndActive) {
 // every commit, every lane of the tiled context must be bit-identical to
 // the flat one — the vectorized commit_lanes pass, the strided probes and
 // the overlay re-application may differ only in memory order, never in
-// value.
-TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
+// value. `tile` selects the tiled context's tile width (0 = the context
+// default); with `midstream_retile` the tiled context additionally
+// round-trips its own layout (through kFlat and the other tile width)
+// every few steps *between* armed overlays and masked commits, so the
+// retile paths are exercised against live pending shadows and fault
+// overlays, not just at the end.
+void run_lane_fuzz(std::size_t tile, u64 fuzz_seed, bool midstream_retile) {
   constexpr std::size_t kLanes = 11;   // crosses a tile boundary, odd count
   constexpr std::size_t kBlock = 16;   // contiguous 32-bit regs (latch-like)
   constexpr int kSteps = 400;
@@ -416,10 +421,10 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
   build(flat);
   build(tiled);
   flat.sim.set_replicas(kLanes, LaneLayout::kFlat);
-  tiled.sim.set_replicas(kLanes, LaneLayout::kTiled);
+  tiled.sim.set_replicas(kLanes, LaneLayout::kTiled, tile);
   ASSERT_EQ(tiled.sim.lane_layout(), LaneLayout::kTiled);
 
-  Xoshiro256 rng(0xF00DF00Dull);
+  Xoshiro256 rng(fuzz_seed);
   auto pick = [&](std::size_t n) {
     return static_cast<std::size_t>(rng.next_below(n));
   };
@@ -564,6 +569,21 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
         tiled.sim.permute_lanes(inv);
       }
     }
+    if (midstream_retile && step % 29 == 13) {
+      // Retile round-trip between mutations: through the flat layout and
+      // the other tile width, back to the fuzzed width — with whatever
+      // armed overlays and pending shadows the stream has built up riding
+      // along. The flat-vs-tiled check below runs right after, so any
+      // value, flag or overlay the transpose drops is caught immediately.
+      const std::size_t here = tiled.sim.lane_tile();
+      const std::size_t other = here == 16 ? 8 : 16;
+      if (step % 2 == 0) {
+        tiled.sim.set_lane_layout(LaneLayout::kFlat);
+      } else {
+        tiled.sim.set_lane_layout(LaneLayout::kTiled, other);
+      }
+      tiled.sim.set_lane_layout(LaneLayout::kTiled, here);
+    }
     if (step % 23 == 0) {
       flat.sim.save_values_into(snaps[lane]);
       ASSERT_TRUE(tiled.sim.values_equal(snaps[lane]))
@@ -572,7 +592,7 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
     check_all_lanes(step);
   }
 
-  // Finally: layout and tile-width round-trips (tiled/8 -> flat ->
+  // Finally: layout and tile-width round-trips (tiled -> flat ->
   // tiled/16 -> tiled/4 -> tiled/8) must preserve every lane and every
   // armed overlay bit-for-bit at each stop.
   tiled.sim.set_lane_layout(LaneLayout::kFlat);
@@ -581,6 +601,18 @@ TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
   tiled.sim.set_lane_layout(LaneLayout::kTiled, 4);
   tiled.sim.set_lane_layout(LaneLayout::kTiled, 8);
   check_all_lanes(kSteps + 1);
+}
+
+TEST(LaneFuzz, TiledPrimitivesMatchFlatBitForBit) {
+  run_lane_fuzz(0, 0xF00DF00Dull, false);
+}
+
+// The 16-wide tile is the AVX-512 operating point of the vector evaluator
+// (rtl/veceval.cpp engages the masked 512-bit kernel only at lane_tile 16),
+// so the same differential stream runs again at that width with midstream
+// retile round-trips folded between the armed overlays and masked commits.
+TEST(LaneFuzz, Tile16PrimitivesAndRetilesMatchFlatBitForBit) {
+  run_lane_fuzz(16, 0xBEEFCAFEull, true);
 }
 
 TEST(Vcd, ProducesParsableFile) {
